@@ -1,0 +1,118 @@
+"""Extension workloads beyond the paper's evaluation.
+
+The paper notes its analysis "remains similar" for longer chains and other
+operators; these benchmarks exercise that generality:
+
+* depthwise-separable blocks (MobileNet) — extremely memory-bound,
+* three-convolution towers — two intermediates, composed halos,
+* MLP blocks (GEMM -> GELU -> GEMM).
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis import render_table
+from repro.hardware import a100, xeon_gold_6240
+from repro.ir.chains import conv_tower, mlp_chain, separable_chain
+from repro.runtime import compare
+
+
+def test_separable_blocks_gpu(benchmark):
+    hw = a100()
+    workloads = [
+        ("mbv1-early", separable_chain(8, 32, 112, 112, 64)),
+        ("mbv1-mid", separable_chain(8, 128, 28, 28, 256)),
+        ("mbv1-late", separable_chain(8, 512, 7, 7, 1024)),
+    ]
+
+    def experiment():
+        comp = compare(
+            [c for _, c in workloads],
+            hw,
+            ("pytorch", "ansor", "chimera"),
+            workload_names=[n for n, _ in workloads],
+        )
+        assert comp.geomean_speedup("Chimera", "PyTorch") > 1.0
+        return comp
+
+    comp = run_once(benchmark, experiment)
+    emit(
+        "ext_separable_gpu",
+        comp.table("PyTorch")
+        + f"\n\ngeomean Chimera over PyTorch: "
+        f"{comp.geomean_speedup('Chimera', 'PyTorch'):.2f}x, over Ansor: "
+        f"{comp.geomean_speedup('Chimera', 'Ansor'):.2f}x",
+    )
+
+
+def test_three_op_chains_cpu(benchmark):
+    hw = xeon_gold_6240()
+    workloads = [
+        ("tower-1x1", conv_tower(1, 64, 56, 56, [64, 64, 64], [1, 1, 1])),
+        ("tower-331", conv_tower(1, 32, 56, 56, [64, 64, 32], [3, 3, 1])),
+        ("mlp-thin", mlp_chain(2048, 64, 2048, 64)),
+    ]
+
+    def experiment():
+        comp = compare(
+            [c for _, c in workloads],
+            hw,
+            ("relay", "ansor", "chimera"),
+            workload_names=[n for n, _ in workloads],
+        )
+        assert comp.geomean_speedup("Chimera", "Relay") > 1.0
+        return comp
+
+    comp = run_once(benchmark, experiment)
+    emit(
+        "ext_three_op_cpu",
+        comp.table("Relay")
+        + f"\n\ngeomean Chimera over Relay: "
+        f"{comp.geomean_speedup('Chimera', 'Relay'):.2f}x, over Ansor: "
+        f"{comp.geomean_speedup('Chimera', 'Ansor'):.2f}x",
+    )
+
+
+def test_order_quality_vs_fixed(benchmark):
+    """On the extension chains too, analytical ordering beats a hard-coded
+    output-stationary order at equal tiling quality."""
+    from repro.baselines.base import fixed_fusion_order
+    from repro.core.movement import MovementModel
+    from repro.core.optimizer import ChimeraOptimizer
+    from repro.core.solver import solve_tiles
+
+    hw = xeon_gold_6240()
+    chains = [
+        separable_chain(8, 64, 56, 56, 128),
+        mlp_chain(2048, 64, 2048, 64),
+    ]
+
+    def experiment():
+        rows = []
+        capacity = float(hw.per_block_capacity(hw.level("L3"))) * 0.75
+        for chain in chains:
+            plan = ChimeraOptimizer(hw).optimize(chain)
+            fixed = MovementModel(chain, fixed_fusion_order(chain))
+            fixed_solution = solve_tiles(fixed, capacity)
+            rows.append(
+                [
+                    chain.name[:40],
+                    f"{plan.outer.predicted_dv / 1e6:.2f} MB",
+                    f"{fixed_solution.dv / 1e6:.2f} MB",
+                    f"{fixed_solution.dv / plan.outer.predicted_dv:.2f}x",
+                ]
+            )
+            # Chimera plans only LRU-safe orders (no pinned distribution
+            # buffers on hardware caches), which can concede a few percent
+            # of raw DV to an unconstrained fixed order; it must stay
+            # within that margin and usually wins outright.
+            assert plan.outer.predicted_dv <= fixed_solution.dv * 1.15
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit(
+        "ext_order_quality",
+        "DRAM-boundary DV: analytical order vs fixed output-stationary\n"
+        + render_table(
+            ["chain", "Chimera DV", "fixed-order DV", "ratio"], rows
+        ),
+    )

@@ -1,0 +1,98 @@
+"""Figure 5: subgraph fusion performance on CPU (Xeon Gold 6240 model).
+
+Four parts, as in the paper: (a) batch GEMM + batch GEMM, (b) batch GEMM
+chain + softmax, (c) convolution + convolution, (d) convolution chain +
+ReLU.  Bars are relative performance normalized to PyTorch (higher is
+better).  Paper averages for reference: (a) Chimera 2.62x over PyTorch,
+4.78x over Relay, 1.40x over Ansor, 3.28x over oneDNN.
+"""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.hardware import xeon_gold_6240
+from repro.runtime import compare
+from repro.workloads import TABLE_IV, TABLE_V
+
+SYSTEMS = ("pytorch", "relay", "ansor", "onednn", "chimera")
+
+
+def _summary(comp):
+    lines = [comp.table("PyTorch"), ""]
+    for over in ("PyTorch", "Relay", "Ansor", "oneDNN"):
+        lines.append(
+            f"geomean Chimera speedup over {over}: "
+            f"{comp.geomean_speedup('Chimera', over):.2f}x "
+            f"(max {comp.max_speedup('Chimera', over):.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def _assert_chimera_wins(comp):
+    for over in ("PyTorch", "Relay", "Ansor", "oneDNN"):
+        assert comp.geomean_speedup("Chimera", over) > 1.0, over
+
+
+def test_fig5a_bmm_bmm(benchmark):
+    hw = xeon_gold_6240()
+    chains = [c.build() for c in TABLE_IV]
+
+    def experiment():
+        comp = compare(
+            chains, hw, SYSTEMS, workload_names=[c.name for c in TABLE_IV]
+        )
+        _assert_chimera_wins(comp)
+        return comp
+
+    comp = run_once(benchmark, experiment)
+    emit("fig5a_cpu_bmm_bmm", _summary(comp))
+
+
+def test_fig5b_bmm_softmax(benchmark):
+    hw = xeon_gold_6240()
+    chains = [c.build(with_softmax=True) for c in TABLE_IV]
+
+    def experiment():
+        comp = compare(
+            chains, hw, SYSTEMS, workload_names=[c.name for c in TABLE_IV]
+        )
+        _assert_chimera_wins(comp)
+        return comp
+
+    comp = run_once(benchmark, experiment)
+    emit("fig5b_cpu_bmm_softmax", _summary(comp))
+
+
+def test_fig5c_conv_conv(benchmark):
+    hw = xeon_gold_6240()
+    configs = TABLE_V
+    chains = [c.build() for c in configs]
+
+    def experiment():
+        comp = compare(
+            chains, hw, SYSTEMS, workload_names=[c.name for c in configs]
+        )
+        # The paper's claim on CPU convs: Chimera beats Relay and Ansor.
+        assert comp.geomean_speedup("Chimera", "Relay") > 1.0
+        assert comp.geomean_speedup("Chimera", "Ansor") > 1.0
+        return comp
+
+    comp = run_once(benchmark, experiment)
+    emit("fig5c_cpu_conv_conv", _summary(comp))
+
+
+def test_fig5d_conv_relu(benchmark):
+    hw = xeon_gold_6240()
+    configs = TABLE_V
+    chains = [c.build(with_relu=True) for c in configs]
+
+    def experiment():
+        comp = compare(
+            chains, hw, SYSTEMS, workload_names=[c.name for c in configs]
+        )
+        assert comp.geomean_speedup("Chimera", "PyTorch") > 1.0
+        assert comp.geomean_speedup("Chimera", "Relay") > 1.0
+        return comp
+
+    comp = run_once(benchmark, experiment)
+    emit("fig5d_cpu_conv_relu", _summary(comp))

@@ -1,0 +1,129 @@
+"""Figure 6: subgraph fusion performance on GPU (A100 model).
+
+Four parts: (a) batch GEMM + batch GEMM vs PyTorch / TASO / Relay / Ansor /
+TensorRT / TVM+Cutlass, (b) batch GEMM chain + softmax (TASO and
+TVM+Cutlass have no softmax support, as in the paper), (c) conv + conv,
+(d) conv chain + ReLU.  Paper averages for reference: (a) 2.77x over
+PyTorch, 3.30x over TASO, 1.69x over Relay, 1.33x over Ansor, 2.29x over
+TensorRT, 1.51x over TVM+Cutlass.
+
+Convolution chains run at batch 8 so kernels are large enough that launch
+overhead is not the dominant term (documented in EXPERIMENTS.md).
+"""
+
+from conftest import emit, run_once
+
+from repro.hardware import a100
+from repro.runtime import compare
+from repro.workloads import TABLE_IV, TABLE_V
+
+BMM_SYSTEMS = (
+    "pytorch", "taso", "relay", "ansor", "tensorrt", "tvm-cutlass", "chimera",
+)
+SOFTMAX_SYSTEMS = ("pytorch", "relay", "ansor", "tensorrt", "chimera")
+CONV_SYSTEMS = ("pytorch", "relay", "ansor", "tensorrt", "chimera")
+CONV_BATCH = 8
+
+
+def _summary(comp, overs):
+    lines = [comp.table("PyTorch"), ""]
+    for over in overs:
+        lines.append(
+            f"geomean Chimera speedup over {over}: "
+            f"{comp.geomean_speedup('Chimera', over):.2f}x "
+            f"(max {comp.max_speedup('Chimera', over):.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def test_fig6a_bmm_bmm(benchmark):
+    hw = a100()
+    chains = [c.build() for c in TABLE_IV]
+
+    def experiment():
+        comp = compare(
+            chains, hw, BMM_SYSTEMS, workload_names=[c.name for c in TABLE_IV]
+        )
+        for over in ("PyTorch", "TASO", "Relay", "Ansor", "TensorRT",
+                     "TVM+Cutlass"):
+            assert comp.geomean_speedup("Chimera", over) > 1.0, over
+        # The fixed-order fused baseline helps on average but loses to
+        # analytical ordering (the paper's BOLT diagnosis).
+        assert comp.geomean_speedup("TVM+Cutlass", "PyTorch") > 1.0
+        return comp
+
+    comp = run_once(benchmark, experiment)
+    emit(
+        "fig6a_gpu_bmm_bmm",
+        _summary(comp, ("PyTorch", "TASO", "Relay", "Ansor", "TensorRT",
+                        "TVM+Cutlass")),
+    )
+
+
+def test_fig6b_bmm_softmax(benchmark):
+    hw = a100()
+    chains = [c.build(with_softmax=True) for c in TABLE_IV]
+
+    def experiment():
+        comp = compare(
+            chains, hw, SOFTMAX_SYSTEMS,
+            workload_names=[c.name for c in TABLE_IV],
+        )
+        for over in ("PyTorch", "Relay", "Ansor", "TensorRT"):
+            assert comp.geomean_speedup("Chimera", over) > 1.0, over
+        return comp
+
+    comp = run_once(benchmark, experiment)
+    emit(
+        "fig6b_gpu_bmm_softmax",
+        _summary(comp, ("PyTorch", "Relay", "Ansor", "TensorRT")),
+    )
+
+
+def test_fig6c_conv_conv(benchmark):
+    hw = a100()
+    chains = [c.build(batch=CONV_BATCH) for c in TABLE_V]
+
+    def experiment():
+        comp = compare(
+            chains, hw, CONV_SYSTEMS,
+            workload_names=[c.name for c in TABLE_V],
+        )
+        assert comp.geomean_speedup("Chimera", "PyTorch") > 1.0
+        assert comp.geomean_speedup("Chimera", "TensorRT") > 1.0
+        # C6 (compute-bound 3x3 consumer): fusion pays halo recomputation.
+        # The paper reports no gain over Ansor there; in this reproduction
+        # the first conv's memory-boundedness still leaves a gain, but the
+        # recompute cost must be visible in the fused plan (documented in
+        # EXPERIMENTS.md).
+        c6_result = comp.rows[5].results["Chimera"]
+        for plan in c6_result.plans:
+            if plan.fused and len(plan.chain.ops) > 1:
+                assert plan.executed_flops > plan.chain.total_flops()
+        return comp
+
+    comp = run_once(benchmark, experiment)
+    emit(
+        "fig6c_gpu_conv_conv",
+        _summary(comp, ("PyTorch", "Relay", "Ansor", "TensorRT")),
+    )
+
+
+def test_fig6d_conv_relu(benchmark):
+    hw = a100()
+    chains = [c.build(batch=CONV_BATCH, with_relu=True) for c in TABLE_V]
+
+    def experiment():
+        comp = compare(
+            chains, hw, CONV_SYSTEMS,
+            workload_names=[c.name for c in TABLE_V],
+        )
+        assert comp.geomean_speedup("Chimera", "Relay") > 1.0
+        assert comp.geomean_speedup("Chimera", "Ansor") > 1.0
+        return comp
+
+    comp = run_once(benchmark, experiment)
+    emit(
+        "fig6d_gpu_conv_relu",
+        _summary(comp, ("PyTorch", "Relay", "Ansor", "TensorRT")),
+    )

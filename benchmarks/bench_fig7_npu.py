@@ -1,0 +1,42 @@
+"""Figure 7: GEMM chain fusion on NPU (Ascend 910 model).
+
+All Table IV chains at batch 1, against the TBE library and AKG, as in the
+paper.  Paper averages: Chimera 2.39x over TBE, 1.14x over AKG; for some
+large chains Chimera gains nothing over AKG because the Unified Buffer
+bottlenecks the intermediate handoff.
+"""
+
+from conftest import emit, run_once
+
+from repro.hardware import ascend_910
+from repro.runtime import compare
+from repro.workloads import TABLE_IV
+
+SYSTEMS = ("tbe", "akg", "chimera")
+
+
+def test_fig7_npu_gemm_chain(benchmark):
+    hw = ascend_910()
+    chains = [c.build(batch_override=1) for c in TABLE_IV]
+
+    def experiment():
+        comp = compare(
+            chains, hw, SYSTEMS, workload_names=[c.name for c in TABLE_IV]
+        )
+        assert comp.geomean_speedup("Chimera", "TBE") > 1.0
+        assert comp.geomean_speedup("Chimera", "AKG") > 1.0
+        # AKG is the strong baseline (close to Chimera), TBE the weak one.
+        assert comp.geomean_speedup("Chimera", "TBE") > comp.geomean_speedup(
+            "Chimera", "AKG"
+        )
+        return comp
+
+    comp = run_once(benchmark, experiment)
+    lines = [comp.table("TBE"), ""]
+    for over in ("TBE", "AKG"):
+        lines.append(
+            f"geomean Chimera speedup over {over}: "
+            f"{comp.geomean_speedup('Chimera', over):.2f}x "
+            f"(max {comp.max_speedup('Chimera', over):.2f}x)"
+        )
+    emit("fig7_npu_gemm_chain", "\n".join(lines))

@@ -1,0 +1,77 @@
+"""Figure 9: end-to-end network performance on the A100 model.
+
+Times Transformer / Bert / ViT encoders (batch 1) under the paper's five
+pairings: PyTorch+CuDNN, Relay+TensorRT, Relay+CuDNN, Relay+Ansor, and
+Relay+Chimera (Relay hosting the graph, the named system supplying the
+attention batch GEMM chain kernels).  Paper geomeans for Relay+Chimera:
+1.42x over Relay+TensorRT, 1.31x over Relay+CuDNN, 1.22x over Relay+Ansor.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis import geomean, render_table
+from repro.baselines import get_system
+from repro.hardware import a100
+from repro.workloads import build_network, is_fusable_chain, network_config
+
+NETWORKS = (
+    "TF-Small", "TF-Base", "TF-Large",
+    "Bert-Small", "Bert-Base", "Bert-Large",
+    "ViT-Base/14", "ViT-Large/14", "ViT-Huge/14",
+)
+
+PAIRINGS = {
+    "PyTorch+CuDNN": ("pytorch", "pytorch"),
+    "Relay+TensorRT": ("relay", "tensorrt"),
+    "Relay+CuDNN": ("relay", "cudnn"),
+    "Relay+Ansor": ("relay", "ansor"),
+    "Relay+Chimera": ("relay", "chimera"),
+}
+
+
+def test_fig9_end_to_end(benchmark, runner):
+    hw = a100()
+
+    def experiment():
+        totals = {name: {} for name in NETWORKS}
+        for net_name in NETWORKS:
+            dag = build_network(network_config(net_name))
+            for pairing, (base_key, chain_key) in PAIRINGS.items():
+                total = 0.0
+                for node in dag.nodes:
+                    key = chain_key if is_fusable_chain(node) else base_key
+                    result = runner.run(key, node.chain, hw)
+                    total += result.time * node.repeat
+                totals[net_name][pairing] = total
+        return totals
+
+    totals = run_once(benchmark, experiment)
+
+    rows = []
+    speedups = {p: [] for p in PAIRINGS if p != "Relay+Chimera"}
+    for net_name in NETWORKS:
+        times = totals[net_name]
+        base = times["PyTorch+CuDNN"]
+        rows.append(
+            [net_name]
+            + [f"{base / times[p]:.2f}" for p in PAIRINGS]
+        )
+        for p in speedups:
+            speedups[p].append(times[p] / times["Relay+Chimera"])
+
+    summary = []
+    for p, values in speedups.items():
+        g = geomean(values)
+        summary.append(f"Relay+Chimera geomean speedup over {p}: {g:.2f}x")
+        assert g > 1.0, p
+
+    emit(
+        "fig9_end_to_end",
+        "relative performance normalized to PyTorch+CuDNN "
+        "(higher is better)\n"
+        + render_table(["network"] + list(PAIRINGS), rows)
+        + "\n\n"
+        + "\n".join(summary)
+        + "\n(paper: 1.42x over Relay+TensorRT, 1.31x over Relay+CuDNN, "
+        "1.22x over Relay+Ansor)",
+    )

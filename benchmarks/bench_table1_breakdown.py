@@ -1,0 +1,85 @@
+"""Table I: compute/memory breakdown of ML models.
+
+Reproduces the %MI / %CI / %BMM execution-time shares for Transformer,
+Bert-Base and ViT-Huge (sequence length 512 / 256 patches) on the A100
+model, plus the accelerator characteristics rows straight from the
+hardware presets.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis import render_table
+from repro.hardware import all_presets, a100
+from repro.workloads import model_breakdown
+from repro.workloads.networks import NetworkConfig
+
+# The paper sets sequence length 512 for every model in Table I.
+PAPER_ROWS = {
+    "Transformer": (
+        NetworkConfig("Transformer", 12, 8, 512, 64),
+        (19.45, 40.51, 40.04),
+    ),
+    "Bert-Base": (
+        NetworkConfig("Bert-Base", 12, 12, 512, 64),
+        (30.56, 42.79, 26.65),
+    ),
+    "ViT-Huge": (
+        NetworkConfig("ViT-Huge", 32, 16, 512, 80),
+        (15.63, 50.85, 33.52),
+    ),
+}
+
+
+def test_table1_model_breakdown(benchmark):
+    hw = a100()
+
+    def experiment():
+        rows = []
+        for name, (config, paper) in PAPER_ROWS.items():
+            measured = model_breakdown(config, hw)
+            rows.append(
+                [
+                    name,
+                    f"{measured.mi_fraction * 100:.2f}",
+                    f"{measured.ci_fraction * 100:.2f}",
+                    f"{measured.bmm_fraction * 100:.2f}",
+                    f"{paper[0]:.2f}",
+                    f"{paper[1]:.2f}",
+                    f"{paper[2]:.2f}",
+                ]
+            )
+            # The motivating observation must reproduce: the memory-bound
+            # attention batch GEMMs take a substantial share.
+            assert measured.bmm_fraction > 0.08
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit(
+        "table1_breakdown",
+        render_table(
+            ["Model", "%MI", "%CI", "%BMM",
+             "paper %MI", "paper %CI", "paper %BMM"],
+            rows,
+        ),
+    )
+
+
+def test_table1_accelerator_characteristics(benchmark):
+    def experiment():
+        rows = []
+        for hw in all_presets():
+            rows.append(
+                [
+                    hw.name,
+                    f"{hw.peak_flops / 1e12:.0f} TFlops",
+                    f"{hw.dram_bandwidth / 1e9:.0f} GB/s",
+                    f"{hw.machine_balance:.0f} Flop/byte",
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit(
+        "table1_accelerators",
+        render_table(["Device", "Peak Perf.", "Memory BW.", "Peak Perf/BW"], rows),
+    )

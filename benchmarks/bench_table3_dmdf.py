@@ -1,0 +1,59 @@
+"""Table III: per-tensor DM/DF of the GEMM chain under order mlkn.
+
+Checks Algorithm 1's output against the paper's closed forms
+(``DM_A = MK ceil(L/T_L)`` etc.) and prints the table.
+"""
+
+import math
+
+from conftest import emit, run_once
+
+from repro.analysis import render_table
+from repro.core.movement import MovementModel
+from repro.ir.chains import gemm_chain
+
+M = N = K = L = 2048
+TM, TN, TK, TL = 128, 32, 32, 128
+
+
+def test_table3_dm_df(benchmark):
+    chain = gemm_chain(M, N, K, L)
+    tiles = {"m": TM, "n": TN, "k": TK, "l": TL}
+
+    def experiment():
+        model = MovementModel(chain, ("m", "l", "k", "n"))
+        per_tensor = model.per_tensor(tiles)
+        elem = 2  # fp16
+        closed = {
+            "A": M * K * math.ceil(L / TL) * elem,
+            "B": K * L * math.ceil(M / TM) * elem,
+            "C": 0.0,
+            "D": N * L * math.ceil(M / TM) * elem,
+            "E": M * N * math.ceil(L / TL) * elem,
+        }
+        footprints = {
+            "A": TM * TK, "B": TK * TL, "C": TM * TL,
+            "D": TL * TN, "E": TM * TN,
+        }
+        rows = []
+        for tensor in ("A", "B", "C", "D", "E"):
+            got = per_tensor[tensor]
+            want = closed[tensor]
+            assert got == want, (tensor, got, want)
+            rows.append(
+                [
+                    tensor,
+                    f"{got / 1e6:.2f} MB",
+                    f"{want / 1e6:.2f} MB",
+                    f"{footprints[tensor]} elems",
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit(
+        "table3_dmdf",
+        "GEMM chain M=N=K=L=2048, order mlkn, "
+        f"tiles T_M={TM} T_N={TN} T_K={TK} T_L={TL}\n"
+        + render_table(["Tensor", "DM (Algorithm 1)", "DM (closed form)", "DF"], rows),
+    )

@@ -1,0 +1,59 @@
+"""Shared benchmark harness utilities.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the experiment once inside the ``benchmark`` fixture (so ``pytest
+benchmarks/ --benchmark-only`` times the full experiment), prints the same
+rows/series the paper reports, and writes the text to
+``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Dict, Tuple
+
+import pytest
+
+from repro.baselines import get_system
+from repro.baselines.base import SystemResult
+from repro.hardware.spec import HardwareSpec
+from repro.ir.chain import OperatorChain
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+class CachedRunner:
+    """Runs (system, chain) pairs once per session.
+
+    Figure 9's pairings re-time the same non-chain nodes under the same
+    base system; caching keeps the end-to-end benchmark affordable.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, str, str], SystemResult] = {}
+
+    def run(
+        self, system_key: str, chain: OperatorChain, hardware: HardwareSpec
+    ) -> SystemResult:
+        key = (system_key, chain.name, hardware.name)
+        if key not in self._cache:
+            self._cache[key] = get_system(system_key).run(chain, hardware)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def runner() -> CachedRunner:
+    return CachedRunner()
+
+
+def run_once(benchmark, fn: Callable):
+    """Execute an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Validating the analytical model against simulated profiling (Figure 8).
+
+Samples random decomposition factors for a square GEMM chain, predicts the
+L1<->L2 data movement with Algorithm 1, measures it by replaying the block
+schedule through the cache simulator, and prints the scatter plus R^2 —
+the reproduction of the paper's Figure 8(d-f).
+
+Run:
+    python examples/model_validation.py
+"""
+
+import repro
+from repro.analysis import validate_model
+from repro.ir.chains import gemm_chain
+
+
+def _ascii_scatter(points, width=56, height=14):
+    """Crude terminal scatter of predicted (x) vs measured (y)."""
+    xs = [p.predicted for p in points]
+    ys = [p.measured for p in points]
+    lo = min(min(xs), min(ys))
+    hi = max(max(xs), max(ys))
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - lo) / span * (width - 1))
+        row = height - 1 - int((y - lo) / span * (height - 1))
+        grid[row][col] = "o"
+    # y = x diagonal
+    for i in range(min(width, height * 4)):
+        col = int(i / (min(width, height * 4) - 1) * (width - 1))
+        row = height - 1 - int(i / (min(width, height * 4) - 1) * (height - 1))
+        if grid[row][col] == " ":
+            grid[row][col] = "."
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    hw = repro.xeon_gold_6240()
+    chain = gemm_chain(512, 512, 512, 512)
+
+    for label, order, reuse in (
+        ("(d) order mlkn, intermediate reused", ("m", "l", "k", "n"), True),
+        ("(e) order mlnk, intermediate reused", ("m", "l", "n", "k"), True),
+        ("(f) order mlkn, no intermediate reuse", ("m", "l", "k", "n"), False),
+    ):
+        result = validate_model(
+            chain, hw, order, samples=40, seed=7, reuse_intermediates=reuse
+        )
+        print("=" * 64)
+        print(f"{label}: R^2 = {result.r_squared:.3f}, "
+              f"mean relative error {result.mean_relative_error:.1%}")
+        best = result.best_predicted()
+        print(f"model's pick measures {best.measured / 1e6:.1f} MB "
+              f"(measured optimum {result.best_measured().measured / 1e6:.1f} MB)")
+        print("measured (y) vs predicted (x), '.' marks y = x:")
+        print(_ascii_scatter(result.points))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""One chain, three backends: replaceable micro kernels in action.
+
+Section V of the paper: the same high-level matmul micro kernel lowers to
+AVX-512 assembly on CPU, WMMA tensor-core intrinsics on GPU, and cube-unit
+``mad`` pragmas on NPU.  The inter-block optimizer re-plans per machine
+(different hierarchies, capacities, bandwidths) while the code generator
+swaps the registered low-level implementation.
+
+Run:
+    python examples/multi_backend.py
+"""
+
+import repro
+from repro import microkernel
+from repro.hardware import all_presets
+
+
+def main() -> None:
+    chain = repro.batch_gemm_chain(batch=8, m=512, n=64, k=64, l=512)
+
+    for hw in all_presets():
+        print("=" * 72)
+        print(f"{hw.name} ({hw.backend}): "
+              f"{hw.peak_flops / 1e12:.0f} TFLOP/s, "
+              f"balance {hw.machine_balance:.0f} flop/byte")
+        kernel = microkernel.lower_for_chain(hw, chain)
+        print(f"  micro kernel: {kernel.name}")
+        print(f"    native tile {kernel.tile_m}x{kernel.tile_n}x{kernel.tile_k},"
+              f" AI {kernel.arithmetic_intensity:.2f},"
+              f" params {dict(kernel.params)}")
+
+        result = repro.compile_chain(chain, hw, force_fusion=True)
+        plan = result.kernels[0].plan
+        outer = plan.outer
+        inner = plan.inner
+        print(f"  block order (DRAM-facing): {'/'.join(outer.order)}")
+        print(f"  outer tiles: "
+              + ", ".join(f"{n}={outer.tiles[n]}" for n in outer.order))
+        print(f"  inner level {inner.level}: order {'/'.join(inner.order)}")
+
+        report = repro.simulate_plan(plan)
+        print(f"  simulated: {report.time * 1e6:.1f}us "
+              f"(compute {report.compute_time * 1e6:.1f}us, "
+              f"DRAM {report.dram_traffic / 1e6:.2f}MB)")
+
+        print("  lowered micro kernel (first 6 lines):")
+        for line in kernel.source.splitlines()[:6]:
+            print("    " + line)
+        print()
+
+
+if __name__ == "__main__":
+    main()

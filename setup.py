@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs fail; this shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` take the legacy ``setup.py develop`` path.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""Chimera reproduction: analytical optimization for compute-intensive
+operator fusion (HPCA 2023).
+
+Quickstart::
+
+    import repro
+
+    chain = repro.batch_gemm_chain(8, 512, 64, 64, 512, with_softmax=True)
+    hw = repro.xeon_gold_6240()
+    result = repro.compile_chain(chain, hw)
+    kernel = result.kernels[0]
+    outputs = kernel(repro.random_inputs(chain))
+    print(kernel.plan.describe())
+    print(kernel.source)
+
+Subpackages:
+
+* :mod:`repro.ir` — tensor-expression IR and chain builders.
+* :mod:`repro.hardware` — machine models (Table I presets).
+* :mod:`repro.core` — the analytical inter-block optimizer (Algorithm 1).
+* :mod:`repro.microkernel` — replaceable micro kernels (Section V).
+* :mod:`repro.codegen` — block programs, execution, source emission.
+* :mod:`repro.sim` — the memory-hierarchy measurement substrate.
+* :mod:`repro.baselines` — the comparator systems of the evaluation.
+* :mod:`repro.workloads` — Tables IV/V chains and Figure 9 networks.
+* :mod:`repro.runtime` — ``compile_chain`` and the comparison harness.
+* :mod:`repro.analysis` — Figure 8 validation and report rendering.
+"""
+
+from .codegen import execute_reference, random_inputs
+from .core import ChimeraConfig, ChimeraOptimizer, FusionPlan, decide_fusion
+from .hardware import a100, ascend_910, preset, xeon_gold_6240
+from .ir import (
+    OperatorChain,
+    attention_chain,
+    batch_gemm_chain,
+    conv_chain,
+    conv_tower,
+    gemm_chain,
+    mlp_chain,
+    separable_chain,
+)
+from .runtime import CompileResult, compare, compile_chain, optimize_chain
+from .sim import SimReport, simulate_plan, simulate_sequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "execute_reference",
+    "random_inputs",
+    "ChimeraConfig",
+    "ChimeraOptimizer",
+    "FusionPlan",
+    "decide_fusion",
+    "a100",
+    "ascend_910",
+    "preset",
+    "xeon_gold_6240",
+    "OperatorChain",
+    "attention_chain",
+    "batch_gemm_chain",
+    "conv_chain",
+    "conv_tower",
+    "gemm_chain",
+    "mlp_chain",
+    "separable_chain",
+    "CompileResult",
+    "compare",
+    "compile_chain",
+    "optimize_chain",
+    "SimReport",
+    "simulate_plan",
+    "simulate_sequence",
+    "__version__",
+]

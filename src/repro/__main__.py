@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``plan`` — optimize a named workload and print the fusion plan, the
+  simulated profile, and optionally the generated source.
+* ``compare`` — run a workload across systems (one Figure 5/6/7 row).
+* ``validate`` — Figure-8 style model validation for a GEMM chain.
+* ``workloads`` — list the Table IV / Table V configurations.
+
+Examples::
+
+    python -m repro plan G1 --hw xeon-gold-6240 --softmax
+    python -m repro plan C3 --hw a100 --source
+    python -m repro compare G2 --hw a100
+    python -m repro validate --size 512 --order m,l,k,n
+    python -m repro workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from . import compile_chain, simulate_plan
+from .analysis import render_table, validate_model
+from .baselines.systems import PROFILES
+from .hardware import preset
+from .ir.chain import OperatorChain
+from .ir.chains import gemm_chain
+from .runtime import compare as run_compare
+from .workloads import conv_chain_config, gemm_chain_config
+
+
+def _build_workload(
+    name: str, softmax: bool, relu: bool, batch: Optional[int]
+) -> OperatorChain:
+    if name.upper().startswith("G"):
+        config = gemm_chain_config(name.upper())
+        return config.build(with_softmax=softmax, batch_override=batch)
+    if name.upper().startswith("C"):
+        config = conv_chain_config(name.upper())
+        return config.build(batch=batch or 1, with_relu=relu)
+    raise KeyError(f"unknown workload {name!r} (use G1-G12 or C1-C8)")
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    hw = preset(args.hw)
+    chain = _build_workload(args.workload, args.softmax, args.relu, args.batch)
+    print(chain.describe())
+    print()
+    result = compile_chain(chain, hw)
+    kernel = result.kernels[0]
+    print(f"fusion decision: {'fuse' if result.fused else 'split'} "
+          f"(predicted speedup {result.decision.predicted_speedup:.2f}x)")
+    for k in result.kernels:
+        print(k.plan.describe())
+    print()
+    print(simulate_plan(kernel.plan).describe())
+    if args.source:
+        print()
+        print(kernel.source)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    hw = preset(args.hw)
+    chain = _build_workload(args.workload, args.softmax, args.relu, args.batch)
+    keys = tuple(args.systems.split(",")) if args.systems else ()
+    comparison = run_compare([chain], hw, keys,
+                             workload_names=[args.workload.upper()])
+    print(comparison.table(comparison.systems[0]))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    hw = preset(args.hw)
+    chain = gemm_chain(args.size, args.size, args.size, args.size)
+    order = tuple(args.order.split(","))
+    result = validate_model(
+        chain, hw, order, samples=args.samples,
+        reuse_intermediates=not args.no_reuse,
+    )
+    print(f"R^2 = {result.r_squared:.3f}  "
+          f"mean relative error = {result.mean_relative_error:.1%}  "
+          f"({len(result.points)} points)")
+    best = result.best_predicted()
+    print(f"model's pick: tiles "
+          + ", ".join(f"{n}={best.tiles[n]}" for n in order)
+          + f" -> measured {best.measured / 1e6:.2f} MB")
+    return 0
+
+
+def _cmd_workloads(_: argparse.Namespace) -> int:
+    from .workloads import TABLE_IV, TABLE_V
+
+    rows = [
+        [c.name, str(c.batch), str(c.m), str(c.n), str(c.k), str(c.l), c.network]
+        for c in TABLE_IV
+    ]
+    print(render_table(["name", "batch", "M", "N", "K", "L", "network"], rows))
+    print()
+    rows = [
+        [c.name, str(c.ic), f"{c.h}x{c.w}", str(c.oc1), str(c.oc2),
+         f"{c.st1}/{c.st2}", f"{c.k1}/{c.k2}"]
+        for c in TABLE_V
+    ]
+    print(render_table(
+        ["name", "IC", "HxW", "OC1", "OC2", "strides", "kernels"], rows
+    ))
+    print()
+    print("systems:", ", ".join(sorted(PROFILES)))
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Parse arguments and dispatch to the selected subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Chimera reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="optimize and profile one workload")
+    plan.add_argument("workload", help="G1-G12 or C1-C8")
+    plan.add_argument("--hw", default="xeon-gold-6240",
+                      help="hardware preset name")
+    plan.add_argument("--softmax", action="store_true",
+                      help="insert softmax between the GEMMs")
+    plan.add_argument("--relu", action="store_true",
+                      help="append ReLU to each convolution")
+    plan.add_argument("--batch", type=int, default=None)
+    plan.add_argument("--source", action="store_true",
+                      help="print the generated kernel source")
+    plan.set_defaults(fn=_cmd_plan)
+
+    cmp_parser = sub.add_parser("compare", help="run systems side by side")
+    cmp_parser.add_argument("workload")
+    cmp_parser.add_argument("--hw", default="xeon-gold-6240")
+    cmp_parser.add_argument("--softmax", action="store_true")
+    cmp_parser.add_argument("--relu", action="store_true")
+    cmp_parser.add_argument("--batch", type=int, default=None)
+    cmp_parser.add_argument(
+        "--systems", default="",
+        help="comma-separated registry keys (default: all for the backend)",
+    )
+    cmp_parser.set_defaults(fn=_cmd_compare)
+
+    val = sub.add_parser("validate", help="Figure-8 model validation")
+    val.add_argument("--hw", default="xeon-gold-6240")
+    val.add_argument("--size", type=int, default=512)
+    val.add_argument("--order", default="m,l,k,n")
+    val.add_argument("--samples", type=int, default=30)
+    val.add_argument("--no-reuse", action="store_true")
+    val.set_defaults(fn=_cmd_validate)
+
+    wl = sub.add_parser("workloads", help="list Table IV / Table V configs")
+    wl.set_defaults(fn=_cmd_workloads)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Analysis utilities: model validation (Figure 8) and report rendering."""
+
+from .roofline import (
+    RooflinePoint,
+    chain_roofline,
+    fusion_prognosis,
+    operator_roofline,
+)
+from .reporting import (
+    TABLE_II,
+    geomean,
+    render_series,
+    render_table,
+    render_table_ii,
+)
+from .validation import (
+    ValidationPoint,
+    ValidationResult,
+    measure_movement,
+    validate_model,
+)
+
+__all__ = [
+    "RooflinePoint",
+    "chain_roofline",
+    "fusion_prognosis",
+    "operator_roofline",
+    "TABLE_II",
+    "geomean",
+    "render_series",
+    "render_table",
+    "render_table_ii",
+    "ValidationPoint",
+    "ValidationResult",
+    "measure_movement",
+    "validate_model",
+]

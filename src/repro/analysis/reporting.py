@@ -1,0 +1,100 @@
+"""Text rendering for benchmark tables and figures.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep the formatting uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Monospace table with per-column widths."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_series(series: Mapping[str, Sequence[float]], fmt: str = "{:.2f}") -> str:
+    """One labelled numeric row per entry (figure data series)."""
+    lines = []
+    for label, values in series.items():
+        body = " ".join(fmt.format(v) for v in values)
+        lines.append(f"{label}: {body}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table II: the related-work comparison matrix
+# ----------------------------------------------------------------------
+TABLE_II: Tuple[Dict[str, str], ...] = (
+    dict(name="AKG", codegen="Yes", inter="Minimize Reuse Distance",
+         intra="Loop Transformation", cpu="Yes", gpu="Yes", npu="Yes",
+         method="Polyhedral"),
+    dict(name="DNNFusion", codegen="Yes", inter="Template-based Fusion",
+         intra="Fixed Micro Kernel", cpu="Yes", gpu="Yes", npu="No",
+         method="Tuning"),
+    dict(name="TASO", codegen="No", inter="Graph Substitution Rules",
+         intra="None", cpu="No", gpu="Yes", npu="No", method="Tuning"),
+    dict(name="AStitch", codegen="Partial", inter="Kernel Stitching Rules",
+         intra="Fixed Micro Kernel", cpu="No", gpu="Yes", npu="No",
+         method="Rule-based"),
+    dict(name="CoSA", codegen="No", inter="Minimize Compute Cycles",
+         intra="None", cpu="No", gpu="Yes", npu="No", method="MIP"),
+    dict(name="Atomic", codegen="No", inter="Minimize Inter-engine Movement",
+         intra="None", cpu="No", gpu="No", npu="No", method="DP"),
+    dict(name="MOpt", codegen="Yes", inter="Optimize Single-op Locality",
+         intra="Fixed Micro Kernel", cpu="Yes", gpu="No", npu="No",
+         method="Analytical"),
+    dict(name="Roller", codegen="Yes", inter="rProgram Generation Algorithm",
+         intra="Generated Micro Kernel", cpu="No", gpu="Yes", npu="No",
+         method="Cost Model"),
+    dict(name="Ansor", codegen="Yes", inter="Sketch Generation Rules",
+         intra="Loop Transformation", cpu="Yes", gpu="Yes", npu="No",
+         method="Tuning"),
+    dict(name="BOLT", codegen="Partial", inter="Persistent Kernels",
+         intra="Fixed Micro Kernel", cpu="No", gpu="Yes", npu="No",
+         method="Tuning"),
+    dict(name="Chimera", codegen="Yes", inter="Minimize Data Movement",
+         intra="Replaceable Micro Kernel", cpu="Yes", gpu="Yes", npu="Yes",
+         method="Analytical"),
+)
+
+
+def render_table_ii() -> str:
+    """Render the paper's Table II comparison matrix as text."""
+    headers = [
+        "Name", "Codegen", "Inter-block", "Intra-block",
+        "CPU", "GPU", "NPU", "Method",
+    ]
+    rows = [
+        [
+            row["name"], row["codegen"], row["inter"], row["intra"],
+            row["cpu"], row["gpu"], row["npu"], row["method"],
+        ]
+        for row in TABLE_II
+    ]
+    return render_table(headers, rows)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's average-speedup statistic)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean needs positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,105 @@
+"""Roofline classification of operators and chains.
+
+The paper's fusion profitability story is a roofline argument: an operator
+whose arithmetic intensity (flop per DRAM byte) sits below the machine
+balance (peak flop/s over DRAM bandwidth, Table I) is memory-bound, and
+chains ending in memory-bound operators are the fusion targets.  These
+helpers make that classification explicit — they power the fuse-or-not
+intuition and the "convolutions can also become memory-bound under certain
+input shapes" observation of Section II-A.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from ..hardware.spec import HardwareSpec
+from ..ir.chain import OperatorChain, single_op_chain
+from ..ir.operator import OperatorSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the roofline.
+
+    Attributes:
+        name: operator or chain name.
+        arithmetic_intensity: flop per compulsory DRAM byte.
+        machine_balance: the device's flop-per-byte ridge point.
+        attainable_flops: min(peak, AI * DRAM bandwidth), flop/s.
+    """
+
+    name: str
+    arithmetic_intensity: float
+    machine_balance: float
+    attainable_flops: float
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.arithmetic_intensity < self.machine_balance
+
+    @property
+    def attainable_fraction(self) -> float:
+        """Fraction of peak the kernel can reach at best."""
+        return min(1.0, self.arithmetic_intensity / self.machine_balance)
+
+    def describe(self) -> str:
+        kind = "memory-bound" if self.memory_bound else "compute-bound"
+        return (
+            f"{self.name}: AI {self.arithmetic_intensity:.1f} flop/B vs "
+            f"balance {self.machine_balance:.0f} -> {kind} "
+            f"({self.attainable_fraction:.0%} of peak attainable)"
+        )
+
+
+def chain_roofline(chain: OperatorChain, hardware: HardwareSpec) -> RooflinePoint:
+    """Roofline position of the whole chain run as one fused kernel."""
+    ai = chain.arithmetic_intensity()
+    return RooflinePoint(
+        name=chain.name,
+        arithmetic_intensity=ai,
+        machine_balance=hardware.machine_balance,
+        attainable_flops=min(
+            hardware.peak_flops, ai * hardware.dram_bandwidth
+        ),
+    )
+
+
+def operator_roofline(
+    op: OperatorSpec, chain: OperatorChain, hardware: HardwareSpec
+) -> RooflinePoint:
+    """Roofline position of one operator run as a standalone kernel.
+
+    The operator's intermediate neighbours count as IO (they round-trip
+    through DRAM when the operator runs alone).
+    """
+    solo = single_op_chain(op, chain.tensors)
+    ai = solo.arithmetic_intensity()
+    return RooflinePoint(
+        name=op.name,
+        arithmetic_intensity=ai,
+        machine_balance=hardware.machine_balance,
+        attainable_flops=min(
+            hardware.peak_flops, ai * hardware.dram_bandwidth
+        ),
+    )
+
+
+def fusion_prognosis(
+    chain: OperatorChain, hardware: HardwareSpec
+) -> Tuple[RooflinePoint, List[RooflinePoint], bool]:
+    """Roofline view of the fusion decision.
+
+    Returns:
+        ``(chain_point, per_op_points, promising)`` where ``promising`` is
+        the paper's rule of thumb: fusion pays when some unfused operator is
+        memory-bound (its intermediate round-trip is the saving).
+    """
+    chain_point = chain_roofline(chain, hardware)
+    per_op = [
+        operator_roofline(op, chain, hardware)
+        for op in chain.compute_intensive_ops()
+    ]
+    promising = any(point.memory_bound for point in per_op)
+    return chain_point, per_op, promising

@@ -1,0 +1,29 @@
+"""Comparator systems (library and compiler baselines)."""
+
+from .autotuner import tuned_plan
+from .base import (
+    BaselineSystem,
+    SystemProfile,
+    SystemResult,
+    default_order,
+    fixed_fusion_order,
+    segment_chain,
+    subchain,
+    template_plan,
+)
+from .systems import PROFILES, get_system, systems_for
+
+__all__ = [
+    "tuned_plan",
+    "BaselineSystem",
+    "SystemProfile",
+    "SystemResult",
+    "default_order",
+    "fixed_fusion_order",
+    "segment_chain",
+    "subchain",
+    "template_plan",
+    "PROFILES",
+    "get_system",
+    "systems_for",
+]

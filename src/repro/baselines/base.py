@@ -1,0 +1,365 @@
+"""Baseline system machinery.
+
+Every comparator system (PyTorch, Relay, Ansor, TensorRT, TVM+CUTLASS,
+TBE, AKG, ...) is described by a :class:`SystemProfile` capturing the four
+axes on which the paper differentiates them:
+
+* **fusion scope** — none, element-wise epilogues only, fixed-order
+  compute-intensive fusion (BOLT-style), or full Chimera fusion;
+* **tiling quality** — analytically optimal, fixed templates, or tuned by
+  (simulated) trial search;
+* **kernel quality** — a multiplier on the micro kernel's sustained
+  efficiency;
+* **dispatch cost** — a multiplier on launch overhead (dynamic frameworks
+  pay more, graph runtimes less).
+
+The driver compiles a chain into a kernel sequence per the profile, runs it
+through the shared memory-hierarchy simulator, and reports time — the same
+measurement harness for every system, so comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import microkernel
+from ..core.movement import MovementModel, executed_flops
+from ..core.reordering import producer_private_reductions
+from ..core.optimizer import ChimeraConfig, ChimeraOptimizer
+from ..core.plan import FusionPlan, LevelSchedule
+from ..hardware.spec import HardwareSpec
+from ..ir.chain import OperatorChain
+from ..ir.operator import OperatorSpec
+from ..sim.hierarchy import SimConfig
+from ..sim.profiler import SimReport, simulate_sequence
+
+ELEMENTWISE_TAGS = ("relu", "bias_add", "gelu")
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemProfile:
+    """Behavioural description of one system under comparison.
+
+    Attributes:
+        name: display name used in benchmark tables.
+        fusion: ``"none"`` (every operator its own kernel), ``"epilogue"``
+            (element-wise ops folded into the preceding kernel; softmax
+            stays separate), ``"fixed-order"`` (whole-chain fusion with one
+            hard-coded block order), or ``"chimera"`` (analytical fusion
+            with fuse-or-not decision).
+        tiling: ``"optimal"`` | ``"template"`` | ``"tuned"``.
+        efficiency_factor: multiplier on micro-kernel efficiency.
+        launch_factor: multiplier on per-kernel launch overhead.
+        template_tile: base tile for template tiling.
+        tune_trials: nominal hardware-profiling trials (tuned tiling);
+            reported by the optimization-overhead benchmark.
+        backends: backends this system exists on.
+    """
+
+    name: str
+    fusion: str
+    tiling: str
+    efficiency_factor: float = 1.0
+    launch_factor: float = 1.0
+    template_tile: int = 64
+    tune_trials: int = 0
+    backends: Tuple[str, ...] = ("cpu", "gpu", "npu")
+
+    def __post_init__(self) -> None:
+        if self.fusion not in ("none", "epilogue", "fixed-order", "chimera"):
+            raise ValueError(f"unknown fusion mode {self.fusion!r}")
+        if self.tiling not in ("optimal", "template", "tuned"):
+            raise ValueError(f"unknown tiling mode {self.tiling!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemResult:
+    """Outcome of running one system on one workload."""
+
+    system: str
+    chain: str
+    report: SimReport
+    plans: Tuple[FusionPlan, ...]
+    compile_seconds: float = 0.0
+    tune_trials: int = 0
+
+    @property
+    def time(self) -> float:
+        return self.report.time
+
+
+def segment_chain(
+    chain: OperatorChain, fusion: str
+) -> List[OperatorChain]:
+    """Split a chain into per-kernel sub-chains for a fusion mode.
+
+    ``"none"`` yields one kernel per operator; ``"epilogue"`` folds
+    element-wise operators into the kernel of their producer (softmax is a
+    kernel of its own); other modes keep the whole chain.
+    """
+    if fusion in ("fixed-order", "chimera"):
+        return [chain]
+    groups: List[List[OperatorSpec]] = []
+    for op in chain.ops:
+        fold = (
+            fusion == "epilogue"
+            and op.tag in ELEMENTWISE_TAGS
+            and groups
+        )
+        if fold:
+            groups[-1].append(op)
+        else:
+            groups.append([op])
+    return [subchain(chain, ops) for ops in groups]
+
+
+def subchain(chain: OperatorChain, ops: Sequence[OperatorSpec]) -> OperatorChain:
+    """A chain over a contiguous subset of operators."""
+    touched = {
+        access.tensor: chain.tensors[access.tensor]
+        for op in ops
+        for access in op.all_accesses()
+    }
+    name = "+".join(op.name for op in ops)
+    return OperatorChain(name=name, ops=tuple(ops), tensors=touched)
+
+
+def default_order(chain: OperatorChain) -> Tuple[str, ...]:
+    """The natural nesting order: loops in first-appearance order.
+
+    This is what a non-reordering code generator emits — output loops of
+    the first operator outermost, reductions innermost-ish.
+    """
+    extents = chain.loop_extents()
+    spatial = []
+    reductions = []
+    for op in chain.ops:
+        for loop in op.loops:
+            if extents[loop.name] <= 1:
+                continue
+            target = reductions if loop.is_reduction else spatial
+            if loop.name not in spatial and loop.name not in reductions:
+                target.append(loop.name)
+    return tuple(spatial + reductions)
+
+
+def template_plan(
+    chain: OperatorChain,
+    hardware: HardwareSpec,
+    base_tile: int = 64,
+    order: Optional[Tuple[str, ...]] = None,
+) -> FusionPlan:
+    """A plan with fixed template tiles (no shape-specific optimization).
+
+    Every level uses the natural order; tiles start at ``base_tile`` for
+    each loop (clamped to extents and to the parent) and are halved
+    uniformly until the level's memory usage fits.
+    """
+    if order is None:
+        order = default_order(chain)
+    model = MovementModel(chain, order)
+    extents = chain.loop_extents()
+    reductions = set(producer_private_reductions(chain))
+    schedules: List[LevelSchedule] = []
+    parent: Optional[Dict[str, int]] = None
+    on_chip = hardware.on_chip_levels
+    for offset, level in enumerate(reversed(on_chip)):
+        level_index = len(on_chip) - 1 - offset
+        inner_most = level_index == 0
+        capacity = float(hardware.per_block_capacity(level))
+        tile = base_tile
+        tiles = _clamped_tiles(order, extents, tile, parent, reductions, inner_most)
+        while model.usage(tiles) > capacity and tile > 1:
+            tile //= 2
+            tiles = _clamped_tiles(order, extents, tile, parent, reductions, inner_most)
+        schedules.append(
+            LevelSchedule(
+                level=level.name,
+                order=tuple(order),
+                tiles=tiles,
+                predicted_dv=model.volume(tiles),
+                predicted_mu=model.usage(tiles),
+                capacity=capacity,
+                bandwidth=hardware.levels[level_index + 1].bandwidth,
+            )
+        )
+        parent = dict(tiles)
+    schedules.reverse()
+    flops = executed_flops(chain, order, schedules[0].tiles)
+    return FusionPlan(
+        chain=chain,
+        hardware=hardware,
+        levels=tuple(schedules),
+        fused=True,  # one kernel, whatever the chain length
+        executed_flops=flops,
+        notes=(f"template tiles base {base_tile}",),
+    )
+
+
+def _clamped_tiles(
+    order: Sequence[str],
+    extents: Mapping[str, int],
+    tile: int,
+    parent: Optional[Mapping[str, int]],
+    reductions: frozenset = frozenset(),
+    innermost: bool = True,
+) -> Dict[str, int]:
+    tiles = {}
+    for name in extents:
+        bound = extents[name]
+        if parent is not None:
+            bound = min(bound, parent.get(name, bound))
+        if name in reductions and not innermost:
+            # Reductions iterate only at the innermost level (see the
+            # optimizer); templates follow the same discipline.
+            tiles[name] = bound
+        else:
+            tiles[name] = max(1, min(tile, bound))
+    return tiles
+
+
+class BaselineSystem:
+    """Compiles and measures chains per a :class:`SystemProfile`."""
+
+    def __init__(self, profile: SystemProfile) -> None:
+        self.profile = profile
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def supports(self, hardware: HardwareSpec) -> bool:
+        return hardware.backend in self.profile.backends
+
+    # ------------------------------------------------------------------
+    def plan(
+        self, chain: OperatorChain, hardware: HardwareSpec
+    ) -> Tuple[List[FusionPlan], int]:
+        """Build the kernel sequence; returns (plans, tune trials used)."""
+        from .autotuner import tuned_plan  # local import to avoid a cycle
+
+        profile = self.profile
+        trials = 0
+
+        if profile.fusion == "chimera":
+            from ..core.fusion import decide_fusion
+
+            micro = microkernel.lower_for_chain(hardware, chain)
+            config = ChimeraConfig(
+                min_tiles=microkernel.chain_min_tiles(chain, micro),
+                quanta=microkernel.chain_quanta(chain, micro),
+            )
+            decision = decide_fusion(chain, hardware, config)
+            plans = [
+                self._attach_kernel(plan, hardware, profile)
+                for plan in decision.chosen
+            ]
+            return plans, trials
+
+        kernels = segment_chain(chain, profile.fusion)
+        plans = []
+        for sub in kernels:
+            if profile.fusion == "fixed-order":
+                plan = _force_fixed_order(sub, hardware, profile)
+            elif profile.tiling == "optimal":
+                micro = microkernel.lower_for_chain(hardware, sub)
+                config = ChimeraConfig(
+                    min_tiles=microkernel.chain_min_tiles(sub, micro),
+                    quanta=microkernel.chain_quanta(sub, micro),
+                )
+                plan = ChimeraOptimizer(hardware, config).optimize(sub)
+            elif profile.tiling == "template":
+                plan = template_plan(sub, hardware, profile.template_tile)
+            else:  # tuned
+                plan, used = tuned_plan(
+                    sub, hardware, trials=max(profile.tune_trials, 1)
+                )
+                trials += used
+            plans.append(self._attach_kernel(plan, hardware, profile))
+        return plans, trials
+
+    def _attach_kernel(
+        self,
+        plan: FusionPlan,
+        hardware: HardwareSpec,
+        profile: SystemProfile,
+    ) -> FusionPlan:
+        micro = microkernel.lower_for_chain(hardware, plan.chain)
+        efficiency = (
+            microkernel.chain_efficiency(
+                plan.chain, micro, dict(plan.inner.tiles)
+            )
+            * profile.efficiency_factor
+        )
+        return plan.with_micro_kernel(micro.name, min(1.0, max(efficiency, 1e-3)))
+
+    def run(
+        self,
+        chain: OperatorChain,
+        hardware: HardwareSpec,
+        *,
+        sim_config: Optional[SimConfig] = None,
+    ) -> SystemResult:
+        """Plan, simulate, and report this system on one chain."""
+        import time as _time
+
+        if not self.supports(hardware):
+            raise ValueError(
+                f"{self.name} does not support backend {hardware.backend!r}"
+            )
+        started = _time.perf_counter()
+        plans, trials = self.plan(chain, hardware)
+        compile_seconds = _time.perf_counter() - started
+        report = simulate_sequence(
+            plans,
+            name=f"{self.name}:{chain.name}",
+            config=sim_config,
+            launch_overhead_factor=self.profile.launch_factor,
+        )
+        return SystemResult(
+            system=self.name,
+            chain=chain.name,
+            report=report,
+            plans=tuple(plans),
+            compile_seconds=compile_seconds,
+            tune_trials=trials,
+        )
+
+
+def fixed_fusion_order(chain: OperatorChain) -> Tuple[str, ...]:
+    """The hard-coded block order of a template fusion library.
+
+    CUTLASS B2B / BOLT persistent kernels are *output-stationary*: the
+    threadblock grid partitions the final output's spatial dimensions, and
+    the remaining loops run inside in chain order.  This is one fixed
+    choice — the exact thing the paper contrasts with Chimera's analytical
+    order selection.
+    """
+    extents = chain.loop_extents()
+    final = chain.ops[-1]
+    order = [
+        loop.name
+        for loop in final.loops
+        if not loop.is_reduction and extents[loop.name] > 1
+    ]
+    for op in chain.ops:
+        for loop in op.loops:
+            if extents[loop.name] > 1 and loop.name not in order:
+                order.append(loop.name)
+    return tuple(order)
+
+
+def _force_fixed_order(
+    chain: OperatorChain,
+    hardware: HardwareSpec,
+    profile: SystemProfile,
+) -> FusionPlan:
+    """BOLT/CUTLASS-style whole-chain fusion at one hard-coded order.
+
+    Tile sizes come from the template policy — the template library has
+    one blocking scheme, not a per-shape analytical solve.
+    """
+    return template_plan(
+        chain, hardware, profile.template_tile, order=fixed_fusion_order(chain)
+    )

@@ -1,0 +1,28 @@
+"""Code generation: block programs, numerical execution, source emission."""
+
+from .executor import (
+    execute_plan,
+    execute_program,
+    execute_reference,
+    random_inputs,
+    virtual_shapes,
+)
+from .kernel import FusedKernel, build_kernel
+from .program import BlockProgram, BodyNode, LoopNode, SeqNode, lower_schedule
+from .source import emit_source
+
+__all__ = [
+    "execute_plan",
+    "execute_program",
+    "execute_reference",
+    "random_inputs",
+    "virtual_shapes",
+    "FusedKernel",
+    "build_kernel",
+    "BlockProgram",
+    "BodyNode",
+    "LoopNode",
+    "SeqNode",
+    "lower_schedule",
+    "emit_source",
+]

@@ -1,0 +1,441 @@
+"""Numerical execution of block programs.
+
+Two interpreters prove a fusion plan computes the right answer:
+
+* :func:`execute_program` walks the distributed block nest and executes one
+  numpy kernel per computation block — the faithful analogue of the
+  generated fused kernel, including partial-reduction accumulation,
+  sliding-window recomputation (halo'd producers run their reductions
+  privately per spatial block, like the per-block scratch of a real fused
+  kernel), and the paper's softmax trick (the row sum is accumulated on the
+  fly and the division is swapped past the second GEMM, Section VI-B);
+* :func:`execute_reference` runs the chain operator-by-operator with plain
+  whole-tensor numpy calls.
+
+Tests assert the two agree for every chain family and for randomly chosen
+orders/tiles (the dependency-preservation property the paper claims).
+
+Convention: convolutions use trailing zero padding — the output grid is
+``OH = H // stride`` and windows may read up to ``(OH-1)*stride + k - 1``,
+past the declared input; arrays are padded with zeros on the high side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..ir.chain import OperatorChain
+from ..ir.operator import OperatorSpec
+from .program import BlockProgram, Ranges
+
+Arrays = Dict[str, np.ndarray]
+
+
+def virtual_shapes(chain: OperatorChain) -> Dict[str, Tuple[int, ...]]:
+    """Padded working shape per tensor (covers every access, see module doc)."""
+    extents = chain.loop_extents()
+    shapes: Dict[str, Tuple[int, ...]] = {
+        name: tuple(spec.shape) for name, spec in chain.tensors.items()
+    }
+    for op in chain.ops:
+        for access in op.all_accesses():
+            current = list(shapes[access.tensor])
+            for axis, dim in enumerate(access.dims):
+                needed = dim.extent(extents)
+                current[axis] = max(current[axis], needed)
+            shapes[access.tensor] = tuple(current)
+    return shapes
+
+
+def _allocate(chain: OperatorChain, inputs: Mapping[str, np.ndarray]) -> Arrays:
+    shapes = virtual_shapes(chain)
+    arrays: Arrays = {}
+    for name, spec in chain.tensors.items():
+        array = np.zeros(shapes[name], dtype=np.float64)
+        if name in inputs:
+            given = np.asarray(inputs[name], dtype=np.float64)
+            if given.shape != spec.shape:
+                raise ValueError(
+                    f"input {name!r} has shape {given.shape}, "
+                    f"expected {spec.shape}"
+                )
+            array[tuple(slice(0, s) for s in spec.shape)] = given
+        arrays[name] = array
+    missing = set(chain.input_tensors()) - set(inputs)
+    if missing:
+        raise ValueError(f"missing chain inputs: {sorted(missing)}")
+    return arrays
+
+
+def _op_ranges(op: OperatorSpec, block: Ranges) -> Ranges:
+    """The block's iteration range for each of the op's loops."""
+    ranges: Ranges = {}
+    for loop in op.loops:
+        ranges[loop.name] = block.get(loop.name, (0, loop.extent))
+    return ranges
+
+
+def _region_slices(
+    op: OperatorSpec,
+    tensor: str,
+    block: Ranges,
+    shape: Tuple[int, ...],
+) -> Tuple[slice, ...]:
+    access = op.access_of(tensor)
+    region = access.region_from_ranges(_op_ranges(op, block), shape)
+    return tuple(slice(lo, hi) for lo, hi in region)
+
+
+def _has_halo_output(op: OperatorSpec) -> bool:
+    """Whether the op's output regions can overlap across blocks."""
+    return any(
+        len(dim.terms) > 1 or any(coeff > 1 for _, coeff in dim.terms)
+        for dim in op.output.dims
+    )
+
+
+def _gemm_block(
+    op: OperatorSpec,
+    arrays: Arrays,
+    block: Ranges,
+    *,
+    full_reduction: bool = False,
+) -> None:
+    lhs_a, rhs_a = op.reads
+    out_a = op.output
+    if full_reduction:
+        reductions = set(op.reduction_loop_names)
+        block = {k: v for k, v in block.items() if k not in reductions}
+    lhs = arrays[lhs_a.tensor][
+        _region_slices(op, lhs_a.tensor, block, arrays[lhs_a.tensor].shape)
+    ]
+    rhs = arrays[rhs_a.tensor][
+        _region_slices(op, rhs_a.tensor, block, arrays[rhs_a.tensor].shape)
+    ]
+    out_slices = _region_slices(
+        op, out_a.tensor, block, arrays[out_a.tensor].shape
+    )
+    if op.tag == "gemm":
+        update = lhs @ rhs
+    elif op.attrs.get("transpose_b"):
+        update = np.einsum("bmk,bnk->bmn", lhs, rhs)
+    else:  # batch_gemm, row-major rhs
+        update = np.einsum("bmk,bkn->bmn", lhs, rhs)
+    if full_reduction:
+        arrays[out_a.tensor][out_slices] = update
+    else:
+        arrays[out_a.tensor][out_slices] += update
+
+
+def _conv_block(
+    op: OperatorSpec,
+    arrays: Arrays,
+    block: Ranges,
+    *,
+    full_reduction: bool = False,
+) -> None:
+    data_a, weight_a = op.reads
+    out_a = op.output
+    stride = int(op.attrs["stride"])
+    data = arrays[data_a.tensor]
+    weight = arrays[weight_a.tensor]
+    out = arrays[out_a.tensor]
+
+    out_slices = _region_slices(op, out_a.tensor, block, out.shape)
+    n_sl, oc_sl, y_sl, x_sl = out_slices
+    # Reduction loop identity: builders declare conv reductions in
+    # (ic, rh, rw) order and rewriting preserves declaration order.
+    ic_name, rh_name, rw_name = op.reduction_loop_names
+    if full_reduction:
+        ic0, ic1 = 0, op.loop(ic_name).extent
+        rh0, rh1 = 0, op.loop(rh_name).extent
+        rw0, rw1 = 0, op.loop(rw_name).extent
+    else:
+        ranges = _op_ranges(op, block)
+        ic0, ic1 = ranges[ic_name]
+        rh0, rh1 = ranges[rh_name]
+        rw0, rw1 = ranges[rw_name]
+
+    if y_sl.start >= y_sl.stop or x_sl.start >= x_sl.stop:
+        return
+    acc = np.zeros(
+        (
+            n_sl.stop - n_sl.start,
+            oc_sl.stop - oc_sl.start,
+            y_sl.stop - y_sl.start,
+            x_sl.stop - x_sl.start,
+        ),
+        dtype=np.float64,
+    )
+    for kh in range(rh0, rh1):
+        for kw in range(rw0, rw1):
+            patch = data[
+                n_sl,
+                ic0:ic1,
+                y_sl.start * stride + kh : (y_sl.stop - 1) * stride + kh + 1 : stride,
+                x_sl.start * stride + kw : (x_sl.stop - 1) * stride + kw + 1 : stride,
+            ]
+            w = weight[oc_sl, ic0:ic1, kh, kw]
+            acc += np.einsum("nchw,oc->nohw", patch, w)
+    if full_reduction:
+        # Halo'd producer: every block recomputes its full region into
+        # private scratch; overlapping assignments are idempotent.
+        out[n_sl, oc_sl, y_sl, x_sl] = acc
+    else:
+        out[n_sl, oc_sl, y_sl, x_sl] += acc
+
+
+def _depthwise_block(
+    op: OperatorSpec,
+    arrays: Arrays,
+    block: Ranges,
+    *,
+    full_reduction: bool = False,
+) -> None:
+    data_a, weight_a = op.reads
+    out_a = op.output
+    stride = int(op.attrs["stride"])
+    data = arrays[data_a.tensor]
+    weight = arrays[weight_a.tensor]
+    out = arrays[out_a.tensor]
+
+    out_slices = _region_slices(op, out_a.tensor, block, out.shape)
+    n_sl, c_sl, y_sl, x_sl = out_slices
+    rh_name, rw_name = op.reduction_loop_names
+    if full_reduction:
+        rh0, rh1 = 0, op.loop(rh_name).extent
+        rw0, rw1 = 0, op.loop(rw_name).extent
+    else:
+        ranges = _op_ranges(op, block)
+        rh0, rh1 = ranges[rh_name]
+        rw0, rw1 = ranges[rw_name]
+
+    if y_sl.start >= y_sl.stop or x_sl.start >= x_sl.stop:
+        return
+    acc = np.zeros(
+        (
+            n_sl.stop - n_sl.start,
+            c_sl.stop - c_sl.start,
+            y_sl.stop - y_sl.start,
+            x_sl.stop - x_sl.start,
+        ),
+        dtype=np.float64,
+    )
+    for kh in range(rh0, rh1):
+        for kw in range(rw0, rw1):
+            patch = data[
+                n_sl,
+                c_sl,
+                y_sl.start * stride + kh : (y_sl.stop - 1) * stride + kh + 1 : stride,
+                x_sl.start * stride + kw : (x_sl.stop - 1) * stride + kw + 1 : stride,
+            ]
+            w = weight[c_sl, kh, kw]
+            acc += patch * w[None, :, None, None]
+    if full_reduction:
+        out[n_sl, c_sl, y_sl, x_sl] = acc
+    else:
+        out[n_sl, c_sl, y_sl, x_sl] += acc
+
+
+def _elementwise_block(
+    op: OperatorSpec,
+    arrays: Arrays,
+    block: Ranges,
+    row_sums: Dict[str, np.ndarray],
+) -> None:
+    src_a = op.reads[0]
+    out_a = op.output
+    src_slices = _region_slices(op, src_a.tensor, block, arrays[src_a.tensor].shape)
+    out_slices = _region_slices(op, out_a.tensor, block, arrays[out_a.tensor].shape)
+    src = arrays[src_a.tensor][src_slices]
+    if op.tag == "relu":
+        arrays[out_a.tensor][out_slices] = np.maximum(src, 0.0)
+    elif op.tag == "bias_add":
+        arrays[out_a.tensor][out_slices] = src + 1.0
+    elif op.tag == "gelu":
+        arrays[out_a.tensor][out_slices] = (
+            0.5 * src * (1.0 + np.tanh(0.7978845608 * (src + 0.044715 * src**3)))
+        )
+    elif op.tag == "softmax":
+        # The fused softmax: exponentiate in place, accumulate the row sum,
+        # and defer the division (it is swapped past the consumer GEMM).
+        exp = np.exp(src)
+        arrays[out_a.tensor][out_slices] = exp
+        sums = row_sums[op.name]
+        sums[out_slices[:-1]] += exp.sum(axis=-1)
+    else:
+        raise NotImplementedError(
+            f"no block executor for memory-intensive op {op.tag!r}"
+        )
+
+
+def execute_program(
+    program: BlockProgram, inputs: Mapping[str, np.ndarray]
+) -> Arrays:
+    """Run a block program numerically.
+
+    Returns:
+        the chain's output tensors, cropped to their declared shapes.
+
+    Raises:
+        NotImplementedError: for operators without a block executor, or for
+            softmax chains whose deferred division cannot be placed (the
+            softmax consumer's output must be a chain output).
+    """
+    chain = program.chain
+    arrays = _allocate(chain, inputs)
+
+    row_sums: Dict[str, np.ndarray] = {}
+    halo_ops: Dict[str, bool] = {}
+    for op in chain.ops:
+        if op.tag == "softmax":
+            out_shape = arrays[op.output.tensor].shape
+            row_sums[op.name] = np.zeros(out_shape[:-1], dtype=np.float64)
+        halo_ops[op.name] = _has_halo_output(op)
+        if halo_ops[op.name] and op.tag == "softmax":
+            raise NotImplementedError(
+                "softmax with overlapping (halo) output regions would "
+                "double-count row sums"
+            )
+
+    # Halo'd producers run their reductions privately per spatial block
+    # (the per-block scratch of a real fused kernel); re-executions of the
+    # same spatial block under split reduction loops are skipped.  The same
+    # memoization also absorbs repeat visits at a coarser hierarchy level.
+    done_halo_blocks: set = set()
+    for op, block in program.iterate_blocks():
+        halo = halo_ops[op.name]
+        if halo:
+            reductions = set(op.reduction_loop_names)
+            key = (
+                op.name,
+                tuple(
+                    (name, rng)
+                    for name, rng in sorted(block.items())
+                    if name not in reductions and op.has_loop(name)
+                ),
+            )
+            if key in done_halo_blocks:
+                continue
+            done_halo_blocks.add(key)
+        if op.tag in ("gemm", "batch_gemm"):
+            _gemm_block(op, arrays, block, full_reduction=halo)
+        elif op.tag == "conv2d":
+            _conv_block(op, arrays, block, full_reduction=halo)
+        elif op.tag == "depthwise_conv2d":
+            _depthwise_block(op, arrays, block, full_reduction=halo)
+        else:
+            _elementwise_block(op, arrays, block, row_sums)
+
+    _apply_deferred_softmax_division(chain, arrays, row_sums)
+
+    outputs: Arrays = {}
+    for name in chain.output_tensors():
+        spec = chain.tensors[name]
+        outputs[name] = arrays[name][tuple(slice(0, s) for s in spec.shape)]
+    return outputs
+
+
+def _apply_deferred_softmax_division(
+    chain: OperatorChain,
+    arrays: Arrays,
+    row_sums: Mapping[str, np.ndarray],
+) -> None:
+    for op in chain.ops:
+        if op.tag != "softmax":
+            continue
+        softmax_out = op.output.tensor
+        consumers = chain.consumers_of(softmax_out)
+        if not consumers:
+            # Standalone softmax: divide its own output.
+            arrays[softmax_out] /= np.maximum(
+                row_sums[op.name][..., None], 1e-300
+            )
+            continue
+        if len(consumers) != 1:
+            raise NotImplementedError(
+                "softmax with multiple consumers is not supported"
+            )
+        consumer = consumers[0]
+        target = consumer.output.tensor
+        if target not in chain.output_tensors():
+            raise NotImplementedError(
+                "deferred softmax division needs the consumer's output to "
+                "be a chain output"
+            )
+        # Broadcast the row sums onto the consumer output: match loop names
+        # of the sum's dims (the softmax output dims minus the reduced one)
+        # against the consumer output dims.
+        sum_loops = [dim.loops[0] for dim in op.output.dims[:-1]]
+        target_dims = consumer.access_of(target).dims
+        index = []
+        for dim in target_dims:
+            loops = dim.loops
+            if len(loops) == 1 and loops[0] in sum_loops:
+                index.append(slice(None))
+            else:
+                index.append(None)
+        sums = row_sums[op.name]
+        arrays[target] /= np.maximum(sums[tuple(index)], 1e-300)
+
+
+def execute_plan(plan, inputs: Mapping[str, np.ndarray]) -> Arrays:
+    """Execute a fusion plan through its full tiling hierarchy."""
+    from .program import lower_plan
+
+    program = lower_plan(plan)
+    return execute_program(program, inputs)
+
+
+# ----------------------------------------------------------------------
+# whole-operator reference
+# ----------------------------------------------------------------------
+def execute_reference(
+    chain: OperatorChain, inputs: Mapping[str, np.ndarray]
+) -> Arrays:
+    """Run the chain operator-by-operator with whole-tensor numpy calls."""
+    arrays = _allocate(chain, inputs)
+    full_block: Ranges = {}
+    for op in chain.ops:
+        if op.tag in ("gemm", "batch_gemm"):
+            _gemm_block(op, arrays, full_block)
+        elif op.tag == "conv2d":
+            _conv_block(op, arrays, full_block)
+        elif op.tag == "depthwise_conv2d":
+            _depthwise_block(op, arrays, full_block)
+        elif op.tag == "softmax":
+            src = arrays[op.reads[0].tensor]
+            exp = np.exp(src)
+            arrays[op.output.tensor] = exp / exp.sum(axis=-1, keepdims=True)
+        elif op.tag == "relu":
+            arrays[op.output.tensor] = np.maximum(
+                arrays[op.reads[0].tensor], 0.0
+            )
+        elif op.tag == "bias_add":
+            arrays[op.output.tensor] = arrays[op.reads[0].tensor] + 1.0
+        elif op.tag == "gelu":
+            src = arrays[op.reads[0].tensor]
+            arrays[op.output.tensor] = 0.5 * src * (
+                1.0 + np.tanh(0.7978845608 * (src + 0.044715 * src**3))
+            )
+        else:
+            raise NotImplementedError(f"no reference for {op.tag!r}")
+    outputs: Arrays = {}
+    for name in chain.output_tensors():
+        spec = chain.tensors[name]
+        outputs[name] = arrays[name][tuple(slice(0, s) for s in spec.shape)]
+    return outputs
+
+
+def random_inputs(
+    chain: OperatorChain, seed: int = 0
+) -> Dict[str, np.ndarray]:
+    """Deterministic random inputs for every chain input tensor."""
+    rng = np.random.default_rng(seed)
+    inputs: Dict[str, np.ndarray] = {}
+    for name in chain.input_tensors():
+        spec = chain.tensors[name]
+        inputs[name] = rng.standard_normal(spec.shape) * 0.1
+    return inputs

@@ -1,0 +1,63 @@
+"""Fused kernel artifacts.
+
+A :class:`FusedKernel` is what ``repro.compile_chain`` hands back: a callable
+object bundling the fusion plan, the lowered block program, the selected
+micro kernel, and the generated source text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..core.plan import FusionPlan
+from ..microkernel.base import LoweredMicroKernel
+from .executor import execute_program
+from .program import BlockProgram, lower_plan
+from .source import emit_source
+
+
+@dataclasses.dataclass(frozen=True)
+class FusedKernel:
+    """An executable fused kernel for one operator chain.
+
+    Attributes:
+        plan: the inter-block optimization result.
+        program: the lowered block nest (outermost-level schedule).
+        micro_kernel: the backend micro kernel implementation, if the
+            target's intra-block pass ran.
+    """
+
+    plan: FusionPlan
+    program: BlockProgram
+    micro_kernel: Optional[LoweredMicroKernel] = None
+
+    @property
+    def chain(self):
+        return self.plan.chain
+
+    @property
+    def source(self) -> str:
+        """Generated pseudo-C for inspection."""
+        return emit_source(self.plan, self.program, self.micro_kernel)
+
+    @property
+    def predicted_time(self) -> float:
+        return self.plan.predicted_time
+
+    def __call__(
+        self, inputs: Mapping[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Execute numerically; returns the chain's output tensors."""
+        return execute_program(self.program, inputs)
+
+
+def build_kernel(
+    plan: FusionPlan,
+    micro_kernel: Optional[LoweredMicroKernel] = None,
+) -> FusedKernel:
+    """Lower a plan's full tiling hierarchy and wrap it as a kernel."""
+    program = lower_plan(plan)
+    return FusedKernel(plan=plan, program=program, micro_kernel=micro_kernel)

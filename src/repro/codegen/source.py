@@ -1,0 +1,103 @@
+"""Pseudo low-level source emission.
+
+Chimera's real backends emit C-with-intrinsics / CUDA / pragma DSL.  Here
+the generated kernel text serves inspection and testing: the emitted source
+shows the distributed loop nest, the on-chip buffer declarations (with the
+loop-distribution buffer sizes), and the micro-kernel call sites where the
+replaceable micro kernel was lowered to the backend implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.movement import MovementModel
+from ..core.plan import FusionPlan
+from ..microkernel.base import LoweredMicroKernel
+from .program import BlockProgram, BodyNode, LoopNode, Node
+
+
+def emit_source(
+    plan: FusionPlan,
+    program: BlockProgram,
+    micro_kernel: Optional[LoweredMicroKernel] = None,
+) -> str:
+    """Render a fused kernel as pseudo-C."""
+    chain = plan.chain
+    lines: List[str] = [
+        f"// fused kernel: {chain.name}",
+        f"// target: {plan.hardware.name} ({plan.hardware.backend})",
+        f"// block order: {'/'.join(program.order)}",
+    ]
+    tiles = ", ".join(
+        f"T_{name}={program.tiles.get(name, 1)}" for name in program.order
+    )
+    lines.append(f"// tiles: {tiles}")
+    if micro_kernel is not None:
+        lines.append(
+            f"// micro kernel: {micro_kernel.name} "
+            f"tile {micro_kernel.tile_m}x{micro_kernel.tile_n}"
+            f"x{micro_kernel.tile_k} (AI {micro_kernel.arithmetic_intensity:.2f})"
+        )
+    lines.append(
+        f"void {_identifier(chain.name)}("
+        + ", ".join(f"tensor_t {t}" for t in chain.io_tensors())
+        + ") {"
+    )
+    model = MovementModel(chain, program.order)
+    extents = chain.loop_extents()
+    for tensor in chain.intermediate_tensors():
+        full = set(model.buffered_full_loops(tensor))
+        producer = chain.producers_of(tensor)[0]
+        access = producer.access_of(tensor)
+        eff: Dict[str, float] = dict(program.tiles)
+        for name in full:
+            eff[name] = extents[name]
+        elems = int(access.footprint(eff))
+        lines.append(
+            f"  onchip_t {tensor}_buf[{elems}];  "
+            f"// intermediate, stays in {plan.inner.level}"
+        )
+    _emit_node(program.root, lines, 1, program, micro_kernel)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _identifier(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() else "_")
+    ident = "".join(out)
+    if ident and ident[0].isdigit():
+        ident = "k_" + ident
+    return ident or "kernel"
+
+
+def _emit_node(
+    node: Node,
+    lines: List[str],
+    depth: int,
+    program: BlockProgram,
+    micro_kernel: Optional[LoweredMicroKernel],
+) -> None:
+    pad = "  " * depth
+    if isinstance(node, BodyNode):
+        op = node.op
+        reads = ", ".join(str(a) for a in op.reads)
+        writes = ", ".join(str(a) for a in op.writes)
+        if op.is_compute_intensive and micro_kernel is not None:
+            lines.append(
+                f"{pad}{micro_kernel.name}<{op.tag}>({writes} <- {reads});"
+            )
+        else:
+            lines.append(f"{pad}{op.tag}_block({writes} <- {reads});")
+    elif isinstance(node, LoopNode):
+        lines.append(
+            f"{pad}for (int {node.loop}0 = lo_{node.loop}; "
+            f"{node.loop}0 < hi_{node.loop}; {node.loop}0 += {node.tile}) {{"
+        )
+        _emit_node(node.body, lines, depth + 1, program, micro_kernel)
+        lines.append(f"{pad}}}")
+    else:
+        for part in node.parts:
+            _emit_node(part, lines, depth, program, micro_kernel)

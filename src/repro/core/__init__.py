@@ -1,0 +1,66 @@
+"""Chimera's primary contribution: analytical inter-block optimization.
+
+* :mod:`repro.core.footprint` — ``getFootprint`` of Algorithm 1.
+* :mod:`repro.core.movement` — Algorithm 1 (DV + MU) and executed flops.
+* :mod:`repro.core.reordering` — block order enumeration and dedup.
+* :mod:`repro.core.solver` — constrained tile-size optimization.
+* :mod:`repro.core.multilevel` — Eq. 2/3 multi-level hierarchy costs.
+* :mod:`repro.core.optimizer` — the end-to-end inter-block pass.
+* :mod:`repro.core.fusion` — fuse-or-not profitability decisions.
+* :mod:`repro.core.plan` — :class:`FusionPlan` data model.
+"""
+
+from .footprint import footprint_bytes, footprint_elements, op_footprint_bytes
+from .fusion import FusionDecision, decide_fusion, plan_unfused
+from .movement import MovementModel, algorithm1, executed_flops
+from .multilevel import (
+    boundary_bandwidth,
+    minimax_cost,
+    movement_cost,
+    solve_hierarchy,
+)
+from .optimizer import ChimeraConfig, ChimeraOptimizer, OptimizeStats
+from .plan import FusionPlan, LevelSchedule
+from .reordering import (
+    OrderSpace,
+    chain_reduction_loops,
+    producer_private_reductions,
+    candidate_models,
+    count_orders,
+    enumerate_orders,
+    loop_classes,
+    ordering_loops,
+)
+from .solver import TileSolution, gemm_chain_closed_form, solve_tiles
+
+__all__ = [
+    "footprint_bytes",
+    "footprint_elements",
+    "op_footprint_bytes",
+    "FusionDecision",
+    "decide_fusion",
+    "plan_unfused",
+    "MovementModel",
+    "algorithm1",
+    "executed_flops",
+    "boundary_bandwidth",
+    "minimax_cost",
+    "movement_cost",
+    "solve_hierarchy",
+    "ChimeraConfig",
+    "ChimeraOptimizer",
+    "OptimizeStats",
+    "FusionPlan",
+    "LevelSchedule",
+    "OrderSpace",
+    "chain_reduction_loops",
+    "producer_private_reductions",
+    "candidate_models",
+    "count_orders",
+    "enumerate_orders",
+    "loop_classes",
+    "ordering_loops",
+    "TileSolution",
+    "gemm_chain_closed_form",
+    "solve_tiles",
+]

@@ -1,0 +1,44 @@
+"""Tile footprints (the ``getFootprint`` of Algorithm 1).
+
+A *data tile footprint* (DF) is the number of elements (or bytes) of a
+tensor that one computation block touches, given the decomposition
+parameters ``S`` (tile size per chain loop).  For an affine access it is the
+product over tensor dimensions of ``sum_i coeff_i * (S_i - 1) + 1``, which
+:class:`repro.ir.access.AffineExpr` computes; this module adds byte scaling
+and per-operator aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..ir.access import TensorAccess
+from ..ir.chain import OperatorChain
+from ..ir.operator import OperatorSpec
+
+
+def footprint_elements(
+    access: TensorAccess, tiles: Mapping[str, float]
+) -> float:
+    """Elements of ``access.tensor`` touched by one block."""
+    return access.footprint(tiles)
+
+
+def footprint_bytes(
+    chain: OperatorChain, access: TensorAccess, tiles: Mapping[str, float]
+) -> float:
+    """Bytes of ``access.tensor`` touched by one block."""
+    dtype = chain.tensors[access.tensor].dtype
+    return access.footprint(tiles) * dtype.nbytes
+
+
+def op_footprint_bytes(
+    chain: OperatorChain, op: OperatorSpec, tiles: Mapping[str, float]
+) -> float:
+    """Total on-chip bytes one block of ``op`` needs (``total_DF``).
+
+    This is the per-operator memory usage of Algorithm 1: every tensor the
+    operator touches — inputs, outputs and intermediates — must be resident
+    while the block runs.
+    """
+    return sum(footprint_bytes(chain, access, tiles) for access in op.all_accesses())

@@ -1,0 +1,90 @@
+"""Fusion profitability decisions.
+
+Fusing a compute-intensive chain is only beneficial when the saved
+intermediate round-trips outweigh the costs fusion introduces (recomputation
+for sliding windows, smaller per-operator tiles).  The paper observes this
+directly: point-wise second convolutions fuse profitably, while a
+compute-bound 3x3 second convolution (case C6 on GPU) does not.
+
+:func:`decide_fusion` plans both alternatives with the same analytical
+machinery and keeps the faster one — this is Chimera's graph-partitioning
+step for a single chain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..hardware.spec import HardwareSpec
+from ..ir.chain import OperatorChain, single_op_chain
+from .optimizer import ChimeraConfig, ChimeraOptimizer
+from .plan import FusionPlan
+
+
+@dataclasses.dataclass(frozen=True)
+class FusionDecision:
+    """Outcome of the fuse-or-not comparison for one chain.
+
+    Attributes:
+        fused_plan: the whole-chain fused plan.
+        unfused_plans: one plan per operator, run as separate kernels.
+        use_fusion: whether the fused plan is predicted faster.
+    """
+
+    fused_plan: FusionPlan
+    unfused_plans: Tuple[FusionPlan, ...]
+    use_fusion: bool
+
+    @property
+    def chosen(self) -> Tuple[FusionPlan, ...]:
+        return (self.fused_plan,) if self.use_fusion else self.unfused_plans
+
+    @property
+    def fused_time(self) -> float:
+        return self.fused_plan.predicted_time
+
+    @property
+    def unfused_time(self) -> float:
+        return sum(plan.predicted_time for plan in self.unfused_plans)
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Unfused over fused time (> 1 means fusion wins)."""
+        return self.unfused_time / self.fused_time
+
+
+def plan_unfused(
+    chain: OperatorChain,
+    hardware: HardwareSpec,
+    config: Optional[ChimeraConfig] = None,
+) -> Tuple[FusionPlan, ...]:
+    """Plan every operator of ``chain`` as its own kernel.
+
+    Intermediates become each kernel's IO tensors, so their DRAM round-trip
+    is charged automatically by Algorithm 1.
+    """
+    optimizer = ChimeraOptimizer(hardware, config)
+    plans: List[FusionPlan] = []
+    for op in chain.ops:
+        sub_chain = single_op_chain(op, chain.tensors)
+        plans.append(optimizer.optimize(sub_chain))
+    return tuple(plans)
+
+
+def decide_fusion(
+    chain: OperatorChain,
+    hardware: HardwareSpec,
+    config: Optional[ChimeraConfig] = None,
+) -> FusionDecision:
+    """Plan fused and unfused executions and pick the faster one."""
+    optimizer = ChimeraOptimizer(hardware, config)
+    fused = optimizer.optimize(chain)
+    unfused = plan_unfused(chain, hardware, config)
+    fused_time = fused.predicted_time
+    unfused_time = sum(plan.predicted_time for plan in unfused)
+    return FusionDecision(
+        fused_plan=fused,
+        unfused_plans=unfused,
+        use_fusion=fused_time <= unfused_time,
+    )

@@ -1,0 +1,391 @@
+"""Algorithm 1: analytical data movement volume and memory usage.
+
+Given an operator chain, a block execution order (a permutation of the
+chain's independent loops, outermost first) and decomposition parameters
+``S`` (tile size per loop), this module computes
+
+* **DV** — the total data movement volume between off-chip memory and the
+  on-chip level under consideration, and
+* **MU** — the peak on-chip memory usage of one computation block,
+
+exactly as Algorithm 1 of the paper does, using its three observations:
+
+1. loops whose variables (and whose inner loops' variables) do not index a
+   tensor cause no movement for it;
+2. once some loop causes movement for a tensor, every loop outside it does
+   too;
+3. loops private to a producer operator never cause movement for its
+   consumers' tensors.
+
+Only the chain's IO tensors move — intermediates stay on chip (their DM is
+0).  :class:`MovementModel` precompiles the permutation into per-tensor
+multiplier sets so the tile-size solver can evaluate DV(S) and MU(S) cheaply
+and in either the exact (ceil) or smooth (real-valued) form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..ir.access import TensorAccess
+from ..ir.chain import OperatorChain
+from .footprint import footprint_bytes
+
+
+def algorithm1(
+    chain: OperatorChain,
+    perm: Sequence[str],
+    tiles: Mapping[str, int],
+    *,
+    reuse_intermediates: bool = True,
+) -> Tuple[float, float]:
+    """Literal translation of the paper's Algorithm 1.
+
+    Args:
+        chain: the operator chain ``Ops``.
+        perm: loop permutation, outermost first; blocks execute innermost
+            (right-most) loop first.
+        tiles: decomposition parameters ``S`` (tile size per loop name).
+        reuse_intermediates: when False, intermediate tensors are treated as
+            if they also round-tripped through off-chip memory (the Figure
+            8(f) "no reuse of C" case).
+
+    Returns:
+        ``(DV, MU)`` in bytes.
+    """
+    _check_perm(chain, perm)
+    io_set = set(chain.io_tensors())
+    if not reuse_intermediates:
+        io_set |= set(chain.intermediate_tensors())
+
+    extents = chain.loop_extents()
+    volume = 0.0
+    usage = 0.0
+    active = list(perm)
+    for op in chain.ops:
+        total_df = 0.0
+        for access in op.all_accesses():
+            df = footprint_bytes(chain, access, tiles)
+            total_df += df
+            if access.tensor in io_set:
+                trips_total = 1
+                effective = dict(tiles)
+                keep_reuse = True
+                for loop_name in reversed(active):
+                    if not op.has_loop(loop_name):
+                        continue
+                    if access.uses(loop_name):
+                        keep_reuse = False
+                    if not keep_reuse:
+                        trips = math.ceil(
+                            extents[loop_name] / tiles.get(loop_name, 1)
+                        )
+                        trips_total *= trips
+                        # Edge clamping: across a full sweep the average
+                        # tile is extent/trips, so plain dims sum to the
+                        # exact extent (Table III's MK*ceil(L/T_L) form).
+                        effective[loop_name] = extents[loop_name] / trips
+                dm = footprint_bytes(chain, access, effective) * trips_total
+                volume += dm
+        # Observation 3: producer-private loops do not iterate consumers.
+        active = [n for n in active if not chain.is_private(n, op)]
+        usage = max(usage, total_df)
+    return volume, usage
+
+
+@dataclasses.dataclass(frozen=True)
+class MovementTerm:
+    """One tensor's movement contribution under a fixed permutation.
+
+    ``DM = footprint(access, S) * prod_{l in multipliers} ceil(L_l / S_l)``.
+    """
+
+    op_name: str
+    access: TensorAccess
+    elem_bytes: int
+    multipliers: Tuple[Tuple[str, int], ...]  # (loop name, full extent)
+
+    def movement_bytes(
+        self, tiles: Mapping[str, float], *, exact: bool = True
+    ) -> float:
+        """``DM`` for this tensor under the given tiles.
+
+        Edge tiles are clamped to the loop extent: a multiplier loop ``l``
+        contributes ``ceil(L/T)`` trips whose *average* tile is
+        ``L / ceil(L/T)``, so a full sweep of a plain dimension touches
+        exactly ``L`` elements (this is what makes the result match the
+        paper's closed forms like ``MK * ceil(L/T_L)`` in Table III).
+        """
+        if not exact:
+            dm = self.access.footprint(tiles) * self.elem_bytes
+            for loop_name, extent in self.multipliers:
+                dm *= max(extent / tiles.get(loop_name, 1), 1.0)
+            return dm
+        effective = dict(tiles)
+        dm = float(self.elem_bytes)
+        for loop_name, extent in self.multipliers:
+            trips = math.ceil(extent / tiles.get(loop_name, 1))
+            effective[loop_name] = extent / trips
+            dm *= trips
+        return dm * self.access.footprint(effective)
+
+    @property
+    def tensor(self) -> str:
+        return self.access.tensor
+
+    @property
+    def signature(self) -> Tuple:
+        loops = frozenset(name for name, _ in self.multipliers)
+        return (self.op_name, self.tensor, loops)
+
+
+class MovementModel:
+    """Algorithm 1 pre-compiled for one (chain, permutation) pair.
+
+    The permutation only influences DV through each IO tensor's *multiplier
+    set* — the loops at or outside its innermost accessing loop within the
+    owning operator.  Precomputing those sets turns every DV evaluation into
+    a handful of multiplications, which is what makes enumerating thousands
+    of permutations with a tile-size solve per candidate affordable.
+
+    **Memory usage correction.**  Any permutation is realizable by loop
+    distribution: producer and consumer share the outer loops up to their
+    *divergence point* (the outermost loop belonging to only one of them)
+    and run as sibling sub-nests below it.  The intermediate tensor must
+    then be buffered over the **full extent** of every loop at or below the
+    divergence point — e.g. under order ``k/m/n/l`` the whole ``C`` matrix
+    would have to stay on chip.  The paper's Algorithm 1 uses the plain tile
+    footprint for MU, which under-constrains such orders; this class charges
+    the distributed-buffer footprint instead, so the capacity constraint
+    rules them out instead of letting the optimizer "win" with invalid
+    schedules.  (:func:`algorithm1` stays a literal transcription.)
+    """
+
+    def __init__(
+        self,
+        chain: OperatorChain,
+        perm: Sequence[str],
+        *,
+        reuse_intermediates: bool = True,
+    ) -> None:
+        _check_perm(chain, perm)
+        self.chain = chain
+        self.perm = tuple(perm)
+        self.reuse_intermediates = reuse_intermediates
+        self.terms = self._build_terms()
+        self._buffer_full_loops = self._build_buffer_spec()
+
+    def _build_terms(self) -> Tuple[MovementTerm, ...]:
+        chain = self.chain
+        io_set = set(chain.io_tensors())
+        if not self.reuse_intermediates:
+            io_set |= set(chain.intermediate_tensors())
+        extents = chain.loop_extents()
+
+        terms: List[MovementTerm] = []
+        active = list(self.perm)
+        for op in chain.ops:
+            for access in op.all_accesses():
+                if access.tensor not in io_set:
+                    continue
+                multipliers: List[Tuple[str, int]] = []
+                keep_reuse = True
+                for loop_name in reversed(active):
+                    if not op.has_loop(loop_name):
+                        continue
+                    if access.uses(loop_name):
+                        keep_reuse = False
+                    if not keep_reuse:
+                        multipliers.append((loop_name, extents[loop_name]))
+                terms.append(
+                    MovementTerm(
+                        op_name=op.name,
+                        access=access,
+                        elem_bytes=chain.tensors[access.tensor].dtype.nbytes,
+                        multipliers=tuple(multipliers),
+                    )
+                )
+            active = [n for n in active if not chain.is_private(n, op)]
+        return tuple(terms)
+
+    def _build_buffer_spec(self) -> Dict[str, Tuple[str, ...]]:
+        """Loops buffered at full extent, per intermediate tensor.
+
+        For each intermediate, find the divergence point between its
+        producer and each consumer: the outermost permutation position
+        holding a loop that belongs to one side but not both.  Every loop
+        from the earliest divergence onwards is buffered at full extent.
+        """
+        chain = self.chain
+        spec: Dict[str, Tuple[str, ...]] = {}
+        if not self.reuse_intermediates:
+            # Intermediates round-trip through off-chip memory: no on-chip
+            # distribution buffer is required beyond the plain tile.
+            return spec
+        extents = chain.loop_extents()
+        for tensor in chain.intermediate_tensors():
+            producer = chain.producers_of(tensor)[0]
+            divergence = len(self.perm)
+            for consumer in chain.consumers_of(tensor):
+                shared = set(producer.loop_names) & set(consumer.loop_names)
+                either = set(producer.loop_names) | set(consumer.loop_names)
+                for position, name in enumerate(self.perm):
+                    if name in either and name not in shared:
+                        divergence = min(divergence, position)
+                        break
+            full = tuple(
+                name
+                for name in self.perm[divergence:]
+                if extents[name] > 1
+            )
+            spec[tensor] = full
+        return spec
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def volume(self, tiles: Mapping[str, float], *, exact: bool = True) -> float:
+        """Total data movement volume DV in bytes."""
+        return sum(t.movement_bytes(tiles, exact=exact) for t in self.terms)
+
+    def usage(self, tiles: Mapping[str, float]) -> float:
+        """Peak per-block on-chip memory usage MU in bytes.
+
+        IO tensors count their tile footprint; intermediates count their
+        loop-distribution buffer (full extent below the divergence point).
+        """
+        chain = self.chain
+        extents = chain.loop_extents()
+        peak = 0.0
+        for op in chain.ops:
+            total = 0.0
+            for access in op.all_accesses():
+                full_loops = self._buffer_full_loops.get(access.tensor)
+                if full_loops:
+                    eff = dict(tiles)
+                    for name in full_loops:
+                        eff[name] = extents[name]
+                    footprint = access.footprint(eff)
+                else:
+                    footprint = access.footprint(tiles)
+                total += footprint * chain.tensors[access.tensor].dtype.nbytes
+            peak = max(peak, total)
+        return peak
+
+    def buffered_full_loops(self, tensor: str) -> Tuple[str, ...]:
+        """Loops an intermediate is buffered over at full extent."""
+        return self._buffer_full_loops.get(tensor, ())
+
+    @property
+    def has_enlarged_buffers(self) -> bool:
+        """Whether any intermediate needs more than its plain tile.
+
+        True when the order diverges producer and consumer above a loop
+        that indexes the intermediate — the loop-distribution buffer then
+        spans that loop's full extent.  Such residency is only guaranteed
+        on software-managed memories; hardware LRU levels reject these
+        orders (see :meth:`ChimeraOptimizer.optimize`).
+        """
+        chain = self.chain
+        for tensor, full_loops in self._buffer_full_loops.items():
+            if not full_loops:
+                continue
+            producer = chain.producers_of(tensor)[0]
+            access = producer.access_of(tensor)
+            if any(access.uses(name) for name in full_loops):
+                return True
+        return False
+
+    def per_tensor(
+        self, tiles: Mapping[str, float], *, exact: bool = True
+    ) -> Dict[str, float]:
+        """DV broken down by tensor (bytes); intermediates report 0."""
+        breakdown: Dict[str, float] = {t: 0.0 for t in self.chain.tensors}
+        for term in self.terms:
+            breakdown[term.tensor] += term.movement_bytes(tiles, exact=exact)
+        return breakdown
+
+    @property
+    def signature(self) -> Tuple:
+        """Hashable key identifying the (DV, MU) functions this perm induces.
+
+        Permutations with equal signatures have identical DV *and* identical
+        intermediate-buffer structure for every tile assignment, so the
+        optimizer solves each signature once.
+        """
+        buffers = tuple(sorted(
+            (tensor, frozenset(loops))
+            for tensor, loops in self._buffer_full_loops.items()
+        ))
+        return (tuple(sorted(t.signature for t in self.terms)), buffers)
+
+    def __repr__(self) -> str:
+        return f"MovementModel({self.chain.name}, order={'/'.join(self.perm)})"
+
+
+def executed_flops(
+    chain: OperatorChain,
+    perm: Sequence[str],
+    tiles: Mapping[str, int],
+) -> float:
+    """Floating point operations actually executed under a block schedule.
+
+    Differs from ``chain.total_flops()`` when fusion introduces
+    recomputation: a 3x3 consumer convolution makes overlapping producer
+    output regions, so halo elements are recomputed once per consumer block.
+
+    Per operator: ``flops_per_inner_iteration x write_footprint(S) x
+    reduction_tile_iterations x blocks``, where ``blocks`` multiplies
+    ``ceil(L/S)`` over the operator's own loops present in the order (the
+    operator's body is hoisted out of loops it does not use).
+    """
+    _check_perm(chain, perm)
+    extents = chain.loop_extents()
+    perm_set = set(perm)
+    total = 0.0
+    for op in chain.ops:
+        out = op.output
+        out_elements = chain.tensors[out.tensor].elements
+        reduction_extent = 1
+        for name in op.reduction_loop_names:
+            reduction_extent *= extents[name]
+        flops_per_iter = op.flops / (out_elements * reduction_extent)
+
+        per_block = out.footprint(tiles)
+        for name in op.reduction_loop_names:
+            per_block *= tiles.get(name, 1) if name in perm_set else extents[name]
+
+        blocks = 1.0
+        for name in op.loop_names:
+            if name in perm_set:
+                blocks *= math.ceil(extents[name] / tiles.get(name, 1))
+        total += flops_per_iter * per_block * blocks
+    return total
+
+
+def _check_perm(chain: OperatorChain, perm: Sequence[str]) -> None:
+    """Validate a block order.
+
+    Loops with extent 1 may be omitted — they never cause data replacement
+    (their single iteration cannot evict anything), so the ordering layer
+    drops them.  Every other independent loop must appear exactly once.
+    """
+    got = list(perm)
+    if len(got) != len(set(got)):
+        raise ValueError(f"permutation {got} repeats a loop")
+    independent = set(chain.independent_loops())
+    unknown = set(got) - independent
+    if unknown:
+        raise ValueError(
+            f"permutation names unknown loops {sorted(unknown)}; "
+            f"independent loops are {sorted(independent)}"
+        )
+    extents = chain.loop_extents()
+    required = {n for n in independent if extents[n] > 1}
+    missing = required - set(got)
+    if missing:
+        raise ValueError(
+            f"permutation {got} misses non-degenerate loops {sorted(missing)}"
+        )

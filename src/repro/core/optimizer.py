@@ -1,0 +1,337 @@
+"""The Chimera inter-block optimizer.
+
+Pipeline per chain (Figure 3 of the paper):
+
+1. enumerate candidate block execution orders (deduplicated by DV
+   signature, :mod:`repro.core.reordering`);
+2. rank candidates cheaply at a common probe tiling, then run the full
+   constrained tile-size solve (:mod:`repro.core.solver`) on the best
+   ``top_candidates`` orders against the outermost on-chip level;
+3. solve the remaining memory levels under the winning order
+   (:mod:`repro.core.multilevel`) and assemble a :class:`FusionPlan`.
+
+Intra-block optimization (micro kernel selection) attaches afterwards via
+``FusionPlan.with_micro_kernel`` — see :mod:`repro.runtime.pipeline`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..hardware.spec import HardwareSpec
+from ..ir.chain import OperatorChain
+from .footprint import footprint_bytes
+from .movement import MovementModel, executed_flops
+from .multilevel import solve_hierarchy
+from .plan import FusionPlan, LevelSchedule
+from .reordering import candidate_models, producer_private_reductions
+from .solver import ConstraintFn, solve_tiles
+
+
+@dataclasses.dataclass(frozen=True)
+class ChimeraConfig:
+    """Tunables of the inter-block optimizer.
+
+    Attributes:
+        max_orders: cap on scanned canonical permutations.
+        alpha: default minimum tile size (the paper's lower bound for free
+            variables); individual loops can override via ``min_tiles``.
+        min_tiles: per-loop minimum tile sizes (micro-kernel requirements).
+        quanta: per-loop tile quanta (e.g. 16 for tensor-core dimensions).
+        top_candidates: orders that get the full constrained solve after
+            the cheap probe ranking.
+        starts: SLSQP multi-start count per solve.
+        capacity_utilization: fraction of each level's per-block capacity
+            the MU constraint may use.  Hardware LRU caches need headroom —
+            a working set sized exactly to capacity thrashes — so, like
+            production tensor compilers targeting a fraction of shared
+            memory, the optimizer plans against ``utilization * capacity``.
+    """
+
+    max_orders: Optional[int] = 200_000
+    alpha: int = 8
+    min_tiles: Optional[Mapping[str, int]] = None
+    quanta: Optional[Mapping[str, int]] = None
+    top_candidates: int = 64
+    starts: int = 4
+    capacity_utilization: float = 0.75
+
+
+@dataclasses.dataclass(frozen=True)
+class OptimizeStats:
+    """Diagnostics of one optimizer run (used by the overhead benchmark)."""
+
+    orders_scanned: int
+    unique_signatures: int
+    solves: int
+    elapsed_seconds: float
+
+
+class ChimeraOptimizer:
+    """Analytical inter-block optimizer for one hardware target."""
+
+    def __init__(
+        self, hardware: HardwareSpec, config: Optional[ChimeraConfig] = None
+    ) -> None:
+        self.hardware = hardware
+        self.config = config or ChimeraConfig()
+        self.last_stats: Optional[OptimizeStats] = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def optimize(self, chain: OperatorChain) -> FusionPlan:
+        """Pick the block order and tiles minimizing data movement.
+
+        Returns:
+            a fused :class:`FusionPlan` with one schedule per on-chip level.
+        """
+        started = time.perf_counter()
+        min_tiles = self._min_tiles(chain)
+        constraints = self.extra_constraints(chain)
+        scanned = 0
+        unique = 0
+        total_orders = 0
+
+        # Each memory level picks its own sub-block order (Section IV-C):
+        # within one level-(d+1) block, level-d sub-blocks may traverse in
+        # any order, so every level independently selects the candidate
+        # minimizing its own movement volume, bounded by the parent tiles.
+        on_chip = self.hardware.on_chip_levels
+        extents = chain.loop_extents()
+        schedules_outer_first: List[LevelSchedule] = []
+        chosen_models: List[MovementModel] = []
+        parent_tiles: Optional[Dict[str, int]] = None
+        solves = 0
+        for offset, level in enumerate(reversed(on_chip)):
+            level_index = len(on_chip) - 1 - offset
+            capacity = (
+                float(self.hardware.per_block_capacity(level))
+                * self.config.capacity_utilization
+            )
+            level_min_tiles = dict(min_tiles)
+            level_hard_min: Dict[str, int] = {}
+            if level_index > 0:
+                # A producer's private reduction iterates only at the
+                # innermost level: splitting it at an outer level makes the
+                # partially accumulated intermediate stream through every
+                # inner boundary once per outer trip (CUTLASS B2B / BOLT
+                # keep the first GEMM's K whole inside the block for the
+                # same reason).  Shared reductions (the second operator's)
+                # may split anywhere — their RMW traffic is charged by the
+                # model's multipliers.  These pins are HARD minimums: the
+                # solver may relax micro-kernel alignment under capacity
+                # pressure but never these.
+                for loop_name in producer_private_reductions(chain):
+                    level_hard_min[loop_name] = extents[loop_name]
+            # Hierarchy consistency: a loop an outer level split iterates
+            # *above* every loop of this level, so this level's order must
+            # place all outer-split loops in its outermost positions —
+            # otherwise this level's Algorithm 1 would assume reuse across
+            # iterations that actually happen at a coarser granularity.
+            if parent_tiles is None:
+                prefix: frozenset = frozenset()
+            else:
+                prefix = frozenset(
+                    name
+                    for name, tile in parent_tiles.items()
+                    if tile < extents[name]
+                )
+            # Intermediates are traffic-free only at the outermost on-chip
+            # boundary (that is the fusion benefit: they never reach DRAM).
+            # At inner boundaries the inter-operator data streams between
+            # levels like any other tensor — the paper observes exactly
+            # this as the fused kernel's L1<->L2 traffic increase — so the
+            # inner-level models charge intermediates as IO.
+            outermost = level_index == len(on_chip) - 1
+            space = candidate_models(
+                chain,
+                max_orders=self.config.max_orders,
+                prefix=prefix,
+                reuse_intermediates=outermost,
+            )
+            scanned += space.enumerated
+            unique = max(unique, len(space.models))
+            total_orders = max(total_orders, space.total)
+            # Hardware LRU levels cannot pin enlarged intermediate buffers
+            # (they thrash); only software-managed scratchpads may hold
+            # them (persistent-kernel style).
+            candidates = [
+                model
+                for model in space.models
+                if level.software_managed or not model.has_enlarged_buffers
+            ] or list(space.models)
+            ranked = self._probe_rank(
+                candidates, level_min_tiles, capacity, parent_tiles
+            )
+            top = ranked[: max(1, self.config.top_candidates)]
+            best: Optional[Tuple[MovementModel, object]] = None
+            best_key = (1, math.inf)  # (not-feasible, dv)
+            for model in top:
+                solution = solve_tiles(
+                    model,
+                    capacity,
+                    min_tiles=level_min_tiles,
+                    quanta=self.config.quanta,
+                    constraints=constraints,
+                    max_parent=parent_tiles,
+                    starts=self.config.starts,
+                    hard_min_tiles=level_hard_min,
+                )
+                solves += 1
+                key = (0 if solution.feasible else 1, solution.dv)
+                if key < best_key:
+                    best_key = key
+                    best = (model, solution)
+            assert best is not None
+            model, solution = best
+            bandwidth = self.hardware.levels[level_index + 1].bandwidth
+            schedules_outer_first.append(
+                LevelSchedule(
+                    level=level.name,
+                    order=model.perm,
+                    tiles=solution.tiles,
+                    predicted_dv=solution.dv,
+                    predicted_mu=solution.mu,
+                    capacity=capacity,
+                    bandwidth=bandwidth,
+                )
+            )
+            chosen_models.append(model)
+            parent_tiles = {name: solution.tiles[name] for name in model.perm}
+
+        schedules = tuple(reversed(schedules_outer_first))
+        elapsed = time.perf_counter() - started
+        self.last_stats = OptimizeStats(
+            orders_scanned=scanned,
+            unique_signatures=unique,
+            solves=solves,
+            elapsed_seconds=elapsed,
+        )
+
+        notes = [
+            f"orders: scanned {scanned} (full space {total_orders}), "
+            f"up to {unique} unique signatures per level"
+        ]
+        inner_model = chosen_models[-1]
+        flops = executed_flops(chain, inner_model.perm, schedules[0].tiles)
+        return FusionPlan(
+            chain=chain,
+            hardware=self.hardware,
+            levels=schedules,
+            fused=True,
+            executed_flops=flops,
+            notes=tuple(notes),
+        )
+
+    def plan_for_order(
+        self, chain: OperatorChain, order: Sequence[str]
+    ) -> FusionPlan:
+        """Solve tiles for one explicit block order (ablations, Figure 8)."""
+        model = MovementModel(chain, order)
+        schedules = solve_hierarchy(
+            model,
+            self.hardware,
+            min_tiles=self._min_tiles(chain),
+            quanta=self.config.quanta,
+            constraints=self.extra_constraints(chain),
+            starts=self.config.starts,
+            capacity_utilization=self.config.capacity_utilization,
+        )
+        flops = executed_flops(chain, model.perm, schedules[0].tiles)
+        return FusionPlan(
+            chain=chain,
+            hardware=self.hardware,
+            levels=tuple(schedules),
+            fused=True,
+            executed_flops=flops,
+            notes=(f"fixed order {'/'.join(order)}",),
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _min_tiles(self, chain: OperatorChain) -> Dict[str, int]:
+        extents = chain.loop_extents()
+        minimums = {
+            name: min(self.config.alpha, extent)
+            for name, extent in extents.items()
+        }
+        for name, value in (self.config.min_tiles or {}).items():
+            if name in extents:
+                minimums[name] = min(value, extents[name])
+        return minimums
+
+    def _probe_rank(
+        self,
+        models: Sequence[MovementModel],
+        min_tiles: Mapping[str, int],
+        capacity: float,
+        parent_tiles: Optional[Mapping[str, int]],
+    ) -> List[MovementModel]:
+        """Rank candidate orders by a cheap probe at one memory level.
+
+        The probe assigns every loop the same balanced tile (the square root
+        of the per-loop share of capacity, clipped to bounds), which ranks
+        orders by their multiplier structure without running the solver
+        ``O(signatures)`` times.  Orders whose loop-distribution buffers
+        alone exceed capacity at the probe point sort last (they would force
+        tiny tiles or be infeasible).
+        """
+        if len(models) <= 1:
+            return list(models)
+        chain = models[0].chain
+        extents = chain.loop_extents()
+        elem_bytes = max(
+            spec.dtype.nbytes for spec in chain.tensors.values()
+        )
+        # Budget capacity across the largest operator's tensor tiles,
+        # assuming square-ish 2D tiles: side ~ sqrt(capacity / (3 * bytes)).
+        side = max(2.0, math.sqrt(capacity / (3.0 * elem_bytes)))
+        parent = parent_tiles or {}
+        probe = {}
+        for name in extents:
+            bound = min(extents[name], parent.get(name, extents[name]))
+            probe[name] = float(max(min(min_tiles.get(name, 1), bound),
+                                    min(bound, side)))
+        scored = [
+            (
+                0 if model.usage(probe) <= capacity else 1,
+                model.volume(probe, exact=False),
+                index,
+                model,
+            )
+            for index, model in enumerate(models)
+        ]
+        scored.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [model for _, _, _, model in scored]
+
+    def extra_constraints(self, chain: OperatorChain) -> Tuple[ConstraintFn, ...]:
+        """Hardware-specific feasibility constraints.
+
+        On the Ascend NPU, intermediate tiles between fused operators stage
+        through the Unified Buffer, so their combined footprint must fit it
+        (the bottleneck the paper reports for large GEMMs on NPU).
+        """
+        if self.hardware.unified_buffer is None:
+            return ()
+        intermediates = chain.intermediate_tensors()
+        if not intermediates:
+            return ()
+        producer_writes = []
+        for tensor in intermediates:
+            producer = chain.producers_of(tensor)[0]
+            producer_writes.append(producer.access_of(tensor))
+        buffer_capacity = float(self.hardware.unified_buffer)
+
+        def unified_buffer_usage(tiles: Mapping[str, float]) -> float:
+            usage = sum(
+                footprint_bytes(chain, access, tiles)
+                for access in producer_writes
+            )
+            return usage - buffer_capacity
+
+        return (unified_buffer_usage,)

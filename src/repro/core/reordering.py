@@ -1,0 +1,245 @@
+"""Block execution order enumeration (Section IV-B).
+
+The raw design space for a chain with ``I`` independent loops is ``I!``
+permutations.  Three exact reductions keep enumeration tractable even for
+ten-loop convolution chains:
+
+1. **Degenerate loops** (extent 1) never cause data replacement and are
+   dropped from the ordering entirely.
+2. **Interchangeable loops** — loops with identical extent and identical
+   access profile (same operator membership, same touched-IO-tensor
+   pattern) induce isomorphic optimization problems under exchange, so only
+   one relative order is enumerated (multiset permutations).
+3. **Signature deduplication** — a permutation only influences DV through
+   the multiplier sets it induces (see :class:`MovementModel.signature`);
+   permutations with equal signatures are solved once.
+
+An optional ``max_orders`` cap bounds worst cases; when it triggers the
+enumeration is a deterministic stratified sample and the caller is told via
+:class:`OrderSpace.truncated`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..ir.chain import OperatorChain
+from .movement import MovementModel
+
+
+def chain_reduction_loops(chain: OperatorChain) -> Tuple[str, ...]:
+    """Loops that are a reduction in at least one operator."""
+    names = []
+    for op in chain.ops:
+        for loop_name in op.reduction_loop_names:
+            if loop_name not in names:
+                names.append(loop_name)
+    return tuple(names)
+
+
+def producer_private_reductions(chain: OperatorChain) -> Tuple[str, ...]:
+    """Private reduction loops of intermediate-producing operators.
+
+    These loops iterate only at the innermost tiling level: splitting them
+    at an outer level makes the partially accumulated intermediate stream
+    through every inner boundary once per outer trip — traffic the
+    per-level Algorithm 1 cannot see.  Real fused kernels (CUTLASS B2B,
+    BOLT) keep the first GEMM's K whole inside the block the same way.
+    """
+    intermediates = set(chain.intermediate_tensors())
+    names = []
+    for op in chain.ops:
+        if not any(w.tensor in intermediates for w in op.writes):
+            continue
+        for loop_name in op.reduction_loop_names:
+            if chain.is_private(loop_name, op) and loop_name not in names:
+                names.append(loop_name)
+    return tuple(names)
+
+
+def ordering_loops(chain: OperatorChain) -> Tuple[str, ...]:
+    """Independent loops that participate in ordering (extent > 1)."""
+    extents = chain.loop_extents()
+    return tuple(n for n in chain.independent_loops() if extents[n] > 1)
+
+
+def _access_profile(chain: OperatorChain, loop_name: str) -> Tuple:
+    """Hashable description of how a loop interacts with the chain.
+
+    Two loops with equal profiles *and equal extents* are interchangeable in
+    any block order (swapping them permutes tile variables of identical
+    bounds in both DV and MU).
+    """
+    io_set = set(chain.io_tensors())
+    profile = []
+    for op in chain.ops:
+        uses = tuple(
+            access.uses(loop_name)
+            for access in op.all_accesses()
+            if access.tensor in io_set
+        )
+        profile.append((op.has_loop(loop_name), uses))
+    return tuple(profile)
+
+
+def loop_classes(chain: OperatorChain) -> List[List[str]]:
+    """Partition ordering loops into interchangeability classes."""
+    extents = chain.loop_extents()
+    groups: Dict[Tuple, List[str]] = {}
+    for name in ordering_loops(chain):
+        key = (extents[name], _access_profile(chain, name))
+        groups.setdefault(key, []).append(name)
+    return list(groups.values())
+
+
+def _multiset_permutations(classes: Sequence[Sequence[str]]) -> Iterator[Tuple[str, ...]]:
+    """All orders where each class's members keep their given relative order."""
+    labels: List[int] = []
+    for index, members in enumerate(classes):
+        labels.extend([index] * len(members))
+    total = len(labels)
+    counts = [len(members) for members in classes]
+
+    def recurse(prefix: List[int]) -> Iterator[Tuple[int, ...]]:
+        if len(prefix) == total:
+            yield tuple(prefix)
+            return
+        for index in range(len(classes)):
+            if counts[index] > 0:
+                counts[index] -= 1
+                prefix.append(index)
+                yield from recurse(prefix)
+                prefix.pop()
+                counts[index] += 1
+
+    for label_seq in recurse([]):
+        cursors = [0] * len(classes)
+        order: List[str] = []
+        for label in label_seq:
+            order.append(classes[label][cursors[label]])
+            cursors[label] += 1
+        yield tuple(order)
+
+
+def enumerate_orders(
+    chain: OperatorChain,
+    max_orders: Optional[int] = None,
+    prefix: frozenset = frozenset(),
+) -> Iterator[Tuple[str, ...]]:
+    """Yield canonical block execution orders (outermost loop first).
+
+    Args:
+        chain: the chain to order.
+        max_orders: optional hard cap; a deterministic stride-sample is used
+            beyond it so the whole space stays represented.
+        prefix: loop names that must occupy the outermost positions (in any
+            relative order) — the hierarchy-consistency constraint for
+            inner memory levels (loops split by outer levels iterate above
+            everything at this level).
+    """
+    classes = loop_classes(chain)
+    if prefix:
+        head_classes = []
+        tail_classes = []
+        for members in classes:
+            head = [m for m in members if m in prefix]
+            tail = [m for m in members if m not in prefix]
+            if head:
+                head_classes.append(head)
+            if tail:
+                tail_classes.append(tail)
+
+        def generate() -> Iterator[Tuple[str, ...]]:
+            for head_order in _multiset_permutations(head_classes):
+                for tail_order in _multiset_permutations(tail_classes):
+                    yield head_order + tail_order
+
+        source = generate()
+        total = _count_multiset(head_classes) * _count_multiset(tail_classes)
+    else:
+        source = _multiset_permutations(classes)
+        total = count_orders(chain)
+
+    if max_orders is None or total <= max_orders:
+        yield from source
+        return
+    stride = total / max_orders
+    target = 0.0
+    emitted = 0
+    for index, order in enumerate(source):
+        if index >= target and emitted < max_orders:
+            yield order
+            emitted += 1
+            target += stride
+
+
+def _count_multiset(classes: Sequence[Sequence[str]]) -> int:
+    total = 1
+    produced = 0
+    for members in classes:
+        for _ in members:
+            produced += 1
+            total = total * produced
+        factorial = 1
+        for i in range(2, len(members) + 1):
+            factorial *= i
+        total //= factorial
+    return total
+
+
+def count_orders(chain: OperatorChain) -> int:
+    """Size of the canonical order space (multiset permutation count)."""
+    return _count_multiset(loop_classes(chain))
+
+
+@dataclasses.dataclass
+class OrderSpace:
+    """Deduplicated candidate orders for one chain.
+
+    Attributes:
+        models: one representative :class:`MovementModel` per distinct DV
+            signature.
+        enumerated: how many canonical permutations were scanned.
+        total: full canonical space size.
+        truncated: True when ``max_orders`` clipped the scan.
+    """
+
+    models: List[MovementModel]
+    enumerated: int
+    total: int
+
+    @property
+    def truncated(self) -> bool:
+        return self.enumerated < self.total
+
+
+def candidate_models(
+    chain: OperatorChain,
+    *,
+    max_orders: Optional[int] = 200_000,
+    prefix: frozenset = frozenset(),
+    reuse_intermediates: bool = True,
+) -> OrderSpace:
+    """Build one movement model per distinct DV signature.
+
+    This is the enumeration driver the optimizer uses: scanning is cheap
+    (no solving), and the expensive tile solve afterwards runs once per
+    unique signature rather than once per permutation.  ``prefix``
+    constrains the outermost positions (see :func:`enumerate_orders`);
+    ``reuse_intermediates=False`` charges intermediate tensors like IO
+    (used for inner memory levels, where inter-operator data does move).
+    """
+    seen: Dict[Tuple, MovementModel] = {}
+    enumerated = 0
+    for order in enumerate_orders(chain, max_orders=max_orders, prefix=prefix):
+        enumerated += 1
+        model = MovementModel(
+            chain, order, reuse_intermediates=reuse_intermediates
+        )
+        seen.setdefault(model.signature, model)
+    return OrderSpace(
+        models=list(seen.values()),
+        enumerated=enumerated,
+        total=count_orders(chain),
+    )

@@ -1,0 +1,332 @@
+"""Constrained tile-size optimization (Section IV-B).
+
+For a fixed block execution order the paper minimizes the smooth (real
+valued) data movement volume ``DV(S)`` subject to the memory usage bound
+``MU(S) <= MemoryCapacity``, solves in the reals (Lagrange multipliers),
+then floor-rounds to integers and picks the best feasible integer candidate.
+
+This module implements the same recipe for *arbitrary* chains:
+
+* the continuous problem is solved numerically (SLSQP in log-tile space,
+  multiple deterministic starts) — this is the general-purpose stand-in for
+  the per-shape Lagrange derivation;
+* the closed-form GEMM-chain solution the paper derives analytically is
+  provided separately (:func:`gemm_chain_closed_form`) and used by tests to
+  validate the numeric path;
+* integer refinement evaluates the floor/ceil lattice around the continuous
+  optimum with the *exact* (ceil-based) DV and the exact MU, honouring
+  per-loop minimum tiles and quanta imposed by the micro kernels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from .movement import MovementModel
+
+ConstraintFn = Callable[[Mapping[str, float]], float]
+"""Extra feasibility predicate: returns (usage - capacity); <= 0 is feasible."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TileSolution:
+    """Result of one tile-size solve.
+
+    Attributes:
+        tiles: integer tile per ordering loop (degenerate loops included
+            with tile 1).
+        dv: exact data movement volume at ``tiles``, bytes.
+        mu: exact memory usage at ``tiles``, bytes.
+        feasible: whether ``mu`` (and all extra constraints) fit capacity.
+        continuous: the pre-rounding real-valued solution, for diagnostics.
+    """
+
+    tiles: Dict[str, int]
+    dv: float
+    mu: float
+    feasible: bool
+    continuous: Dict[str, float]
+
+
+def _feasible(
+    model: MovementModel,
+    tiles: Mapping[str, float],
+    capacity: float,
+    constraints: Sequence[ConstraintFn],
+) -> bool:
+    if model.usage(tiles) > capacity:
+        return False
+    return all(fn(tiles) <= 0 for fn in constraints)
+
+
+def _full_tiles(model: MovementModel, tiles: Mapping[str, int]) -> Dict[str, int]:
+    """Extend solved tiles with tile=1 for degenerate (omitted) loops."""
+    extents = model.chain.loop_extents()
+    full = {name: 1 for name in extents}
+    full.update({name: int(t) for name, t in tiles.items()})
+    return full
+
+
+def solve_tiles(
+    model: MovementModel,
+    capacity: float,
+    *,
+    min_tiles: Optional[Mapping[str, int]] = None,
+    quanta: Optional[Mapping[str, int]] = None,
+    constraints: Sequence[ConstraintFn] = (),
+    max_parent: Optional[Mapping[str, int]] = None,
+    starts: int = 4,
+    hard_min_tiles: Optional[Mapping[str, int]] = None,
+) -> TileSolution:
+    """Minimize DV(S) s.t. MU(S) <= capacity for one movement model.
+
+    Args:
+        model: precompiled Algorithm-1 model (chain + order).
+        capacity: per-block memory capacity in bytes.
+        min_tiles: *soft* lower bound per loop (micro-kernel minimums; the
+            paper's ``alpha`` for free variables).  Automatically relaxed
+            when even the minimum point exceeds capacity — an unaligned
+            feasible schedule beats an infeasible aligned one.
+        quanta: tile sizes are rounded to multiples of these (e.g. 16 for
+            tensor-core loops); bounds are respected first.
+        constraints: extra feasibility functions (e.g. the NPU Unified
+            Buffer bound on the intermediate footprint).
+        max_parent: per-loop upper bounds below the loop extent — used for
+            inner memory levels, whose tiles nest inside the parent level's.
+        starts: number of deterministic multi-start points for SLSQP.
+        hard_min_tiles: lower bounds that are never relaxed (the outer-level
+            pins on producer-private reductions).
+
+    Returns:
+        the best feasible integer solution found; ``feasible=False`` with
+        all-ones tiles if even the smallest legal tiles exceed capacity.
+    """
+    chain = model.chain
+    extents = chain.loop_extents()
+    names = [n for n in model.perm]
+    min_tiles = dict(min_tiles or {})
+    hard_min_tiles = dict(hard_min_tiles or {})
+    quanta = dict(quanta or {})
+
+    upper_src = max_parent or {}
+    upper = np.array(
+        [max(1, min(extents[n], upper_src.get(n, extents[n]))) for n in names],
+        dtype=float,
+    )
+
+    def lower_for(softs: Mapping[str, int]) -> np.ndarray:
+        values = []
+        for n in names:
+            low = max(1, softs.get(n, 1), hard_min_tiles.get(n, 1))
+            values.append(min(low, extents[n]))
+        # Parent bounds win over micro-kernel minimums: a child tile can
+        # never exceed its parent tile.
+        return np.minimum(np.array(values, dtype=float), upper)
+
+    lower = lower_for(min_tiles)
+    min_point = {n: float(v) for n, v in zip(names, lower)}
+    min_infeasible = model.usage(min_point) > capacity or any(
+        fn(min_point) > 0 for fn in constraints
+    )
+    if min_infeasible and min_tiles:
+        # Soft minimums don't fit: relax them and keep only the hard pins.
+        lower = lower_for({})
+
+    if not names:
+        tiles = _full_tiles(model, {})
+        dv = model.volume(tiles, exact=True)
+        mu = model.usage(tiles)
+        return TileSolution(
+            tiles, dv, mu, _feasible(model, tiles, capacity, constraints), {}
+        )
+
+    def tiles_of(x: np.ndarray) -> Dict[str, float]:
+        return {n: float(v) for n, v in zip(names, np.exp(x))}
+
+    def objective(x: np.ndarray) -> float:
+        # Log the objective for conditioning: DV spans many decades.
+        return math.log(max(model.volume(tiles_of(x), exact=False), 1.0))
+
+    def capacity_slack(x: np.ndarray) -> float:
+        return capacity - model.usage(tiles_of(x))
+
+    cons = [{"type": "ineq", "fun": capacity_slack}]
+    for fn in constraints:
+        cons.append({"type": "ineq", "fun": lambda x, fn=fn: -fn(tiles_of(x))})
+
+    log_lower, log_upper = np.log(lower), np.log(upper)
+    bounds = list(zip(log_lower, log_upper))
+
+    best_x: Optional[np.ndarray] = None
+    best_val = math.inf
+    for start_idx in range(max(1, starts)):
+        frac = start_idx / max(1, starts - 1) if starts > 1 else 0.5
+        x0 = log_lower + frac * (log_upper - log_lower)
+        x0 = _project_feasible(x0, capacity_slack, log_lower)
+        try:
+            res = optimize.minimize(
+                objective,
+                x0,
+                method="SLSQP",
+                bounds=bounds,
+                constraints=cons,
+                options={"maxiter": 200, "ftol": 1e-9},
+            )
+        except (ValueError, RuntimeError):
+            continue
+        if res.x is None:
+            continue
+        x = np.clip(res.x, log_lower, log_upper)
+        if capacity_slack(x) < -1e-6 * capacity:
+            continue
+        val = objective(x)
+        if val < best_val:
+            best_val, best_x = val, x
+
+    if best_x is None:
+        best_x = _project_feasible(
+            (log_lower + log_upper) / 2, capacity_slack, log_lower
+        )
+
+    continuous = tiles_of(best_x)
+    solution = _integer_refine(
+        model,
+        continuous,
+        capacity,
+        names,
+        lower,
+        upper,
+        quanta,
+        constraints,
+    )
+    return dataclasses.replace(solution, continuous=continuous)
+
+
+def _project_feasible(
+    x: np.ndarray,
+    capacity_slack: Callable[[np.ndarray], float],
+    log_lower: np.ndarray,
+    shrink: float = 0.85,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Shrink tiles geometrically toward the lower bound until MU fits."""
+    for _ in range(max_iter):
+        if capacity_slack(x) >= 0:
+            return x
+        x = log_lower + shrink * (x - log_lower)
+    return log_lower.copy()
+
+
+def _quantize(value: int, quantum: int, lo: int, hi: int) -> int:
+    """Round down to a multiple of ``quantum`` within [lo, hi] if possible."""
+    if quantum <= 1:
+        return max(lo, min(hi, value))
+    snapped = (value // quantum) * quantum
+    if snapped < lo:
+        snapped = ((lo + quantum - 1) // quantum) * quantum
+    if snapped > hi:
+        snapped = (hi // quantum) * quantum
+    if snapped < lo:  # quantum does not fit between the bounds at all
+        return max(lo, min(hi, value))
+    return snapped
+
+
+def _integer_refine(
+    model: MovementModel,
+    continuous: Mapping[str, float],
+    capacity: float,
+    names: Sequence[str],
+    lower: np.ndarray,
+    upper: np.ndarray,
+    quanta: Mapping[str, int],
+    constraints: Sequence[ConstraintFn],
+) -> TileSolution:
+    """Floor/ceil lattice search around the continuous optimum."""
+    candidate_values: List[List[int]] = []
+    for idx, name in enumerate(names):
+        lo, hi = int(lower[idx]), int(upper[idx])
+        quantum = quanta.get(name, 1)
+        raw = continuous[name]
+        options = {
+            _quantize(int(math.floor(raw)), quantum, lo, hi),
+            _quantize(int(math.ceil(raw)), quantum, lo, hi),
+            _quantize(lo, quantum, lo, hi),
+        }
+        candidate_values.append(sorted(options))
+
+    best: Optional[Tuple[float, float, Dict[str, int]]] = None
+    fallback: Optional[Tuple[float, float, Dict[str, int]]] = None
+    for combo in itertools.product(*candidate_values):
+        tiles = _full_tiles(model, dict(zip(names, combo)))
+        mu = model.usage(tiles)
+        dv = model.volume(tiles, exact=True)
+        entry = (dv, mu, tiles)
+        if fallback is None or (mu, dv) < (fallback[1], fallback[0]):
+            fallback = entry
+        if mu <= capacity and all(fn(tiles) <= 0 for fn in constraints):
+            if best is None or dv < best[0]:
+                best = entry
+
+    if best is not None:
+        dv, mu, tiles = best
+        return TileSolution(tiles, dv, mu, True, {})
+
+    # No feasible lattice point: shrink the min-MU candidate geometrically.
+    assert fallback is not None
+    dv, mu, tiles = fallback
+    shrunk = dict(tiles)
+    for _ in range(64):
+        if model.usage(shrunk) <= capacity and all(
+            fn(shrunk) <= 0 for fn in constraints
+        ):
+            dv = model.volume(shrunk, exact=True)
+            return TileSolution(shrunk, dv, model.usage(shrunk), True, {})
+        shrunk = {
+            n: max(1, t // 2) if n in set(names) else t for n, t in shrunk.items()
+        }
+    ones = _full_tiles(model, {n: 1 for n in names})
+    return TileSolution(
+        ones,
+        model.volume(ones, exact=True),
+        model.usage(ones),
+        False,
+        {},
+    )
+
+
+def gemm_chain_closed_form(
+    m: int,
+    n: int,
+    k: int,
+    l: int,
+    capacity_elements: float,
+    alpha: float = 8.0,
+) -> Dict[str, float]:
+    """The paper's Lagrange-multiplier solution for the GEMM chain.
+
+    Under the ``mlkn`` order, ``DV = MK ceil(L/T_L) + (K+N) L ceil(M/T_M) +
+    MN ceil(L/T_L)`` and the optimum (Section IV-B) is::
+
+        T_M* = T_L* = -alpha + sqrt(alpha^2 + MC),   T_N* = T_K* = alpha
+
+    where ``alpha`` is the lower bound for the free variables ``T_N, T_K``
+    and MC is the memory capacity in elements.
+
+    Returns:
+        real-valued tiles keyed by ``m``, ``n``, ``k``, ``l``.
+    """
+    if capacity_elements <= 0:
+        raise ValueError("capacity must be positive")
+    t = -alpha + math.sqrt(alpha * alpha + capacity_elements)
+    return {
+        "m": min(t, m),
+        "l": min(t, l),
+        "n": min(alpha, n),
+        "k": min(alpha, k),
+    }

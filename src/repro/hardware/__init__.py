@@ -1,0 +1,16 @@
+"""Hardware machine models (the substrate standing in for real devices)."""
+
+from .presets import a100, all_presets, ascend_910, preset, xeon_gold_6240
+from .spec import HardwareSpec, MatrixUnit, MemoryLevel, VectorUnit
+
+__all__ = [
+    "HardwareSpec",
+    "MatrixUnit",
+    "MemoryLevel",
+    "VectorUnit",
+    "a100",
+    "all_presets",
+    "ascend_910",
+    "preset",
+    "xeon_gold_6240",
+]

@@ -1,0 +1,115 @@
+"""Machine-model presets mirroring the paper's Table I devices.
+
+Peak FP16 throughput and DRAM bandwidth are taken directly from Table I of
+the paper.  Cache capacities follow the paper's Section VI-A listing.
+On-chip bandwidths are not published in the paper; the values here are
+public microbenchmark estimates for the respective parts and are the knobs
+the simulator exposes — the reproduction's conclusions depend on the *ratio*
+between compute throughput and per-level bandwidth, which these preserve.
+"""
+
+from __future__ import annotations
+
+from .spec import HardwareSpec, MatrixUnit, MemoryLevel, VectorUnit
+
+KB = 1024
+MB = 1024 * KB
+GB_S = 1e9
+TFLOPS = 1e12
+
+
+def xeon_gold_6240() -> HardwareSpec:
+    """Intel Xeon Gold 6240 (Cascade Lake, AVX-512), 18 cores.
+
+    Table I: 12 TFLOP/s FP16, 131 GB/s DRAM.  Section VI-A: 1.125MB L1
+    (18 x 64KB), 18MB L2 (18 x 1MB), 24.75MB shared L3.
+    """
+    return HardwareSpec(
+        name="xeon-gold-6240",
+        backend="cpu",
+        peak_flops=12 * TFLOPS,
+        num_cores=18,
+        levels=(
+            MemoryLevel("L1", 64 * KB, 2000 * GB_S),
+            MemoryLevel("L2", 1 * MB, 1000 * GB_S),
+            MemoryLevel("L3", int(24.75 * MB), 400 * GB_S, shared=True),
+            MemoryLevel("DRAM", None, 131 * GB_S),
+        ),
+        kernel_launch_overhead=2e-6,
+        vector_unit=VectorUnit(
+            num_registers=32, register_bits=512, fma_pipeline_depth=24
+        ),
+    )
+
+
+def a100() -> HardwareSpec:
+    """NVIDIA A100-40GB (Ampere), 108 SMs with tensor cores.
+
+    Table I: 312 TFLOP/s FP16, 1555 GB/s HBM.  Section VI-A: up to 164KB
+    shared memory per SM, 40.96MB L2.
+    """
+    return HardwareSpec(
+        name="a100",
+        backend="gpu",
+        peak_flops=312 * TFLOPS,
+        num_cores=108,
+        levels=(
+            MemoryLevel("SMEM", 164 * KB, 19400 * GB_S, software_managed=True),
+            MemoryLevel("L2", int(40.96 * MB), 7000 * GB_S, shared=True),
+            MemoryLevel("DRAM", None, 1555 * GB_S),
+        ),
+        kernel_launch_overhead=5e-6,
+        matrix_unit=MatrixUnit("tensor_core", 16, 16, 16),
+    )
+
+
+def ascend_910() -> HardwareSpec:
+    """Huawei Ascend 910 (DaVinci), 32 cube cores.
+
+    Table I: 320 TFLOP/s FP16, 1200 GB/s HBM.  Section VI-A: 64KB L0A/L0B,
+    256KB L0C, 1MB L1 buffer, 256KB Unified Buffer per core.  The Unified
+    Buffer stages intermediate tiles between fused operators, which the paper
+    identifies as the NPU's fusion bottleneck for large GEMMs.
+    """
+    return HardwareSpec(
+        name="ascend-910",
+        backend="npu",
+        peak_flops=320 * TFLOPS,
+        num_cores=32,
+        levels=(
+            MemoryLevel("L0", 384 * KB, 12000 * GB_S, software_managed=True),
+            MemoryLevel("L1", 1 * MB, 4000 * GB_S, software_managed=True),
+            MemoryLevel("DRAM", None, 1200 * GB_S),
+        ),
+        kernel_launch_overhead=2.5e-6,
+        matrix_unit=MatrixUnit("cube", 16, 16, 16),
+        unified_buffer=256 * KB,
+        unified_buffer_bandwidth=400 * GB_S,
+    )
+
+
+_PRESETS = {
+    "xeon-gold-6240": xeon_gold_6240,
+    "a100": a100,
+    "ascend-910": ascend_910,
+}
+
+
+def preset(name: str) -> HardwareSpec:
+    """Look up a preset by name.
+
+    Raises:
+        KeyError: for unknown names (message lists the valid ones).
+    """
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hardware preset {name!r}; known: {sorted(_PRESETS)}"
+        ) from None
+    return factory()
+
+
+def all_presets() -> tuple:
+    """All preset specs, one per Table I device."""
+    return tuple(factory() for factory in _PRESETS.values())

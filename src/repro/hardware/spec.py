@@ -1,0 +1,227 @@
+"""Hardware descriptions.
+
+Chimera is hardware-parametric: the inter-block optimizer needs each memory
+level's capacity and bandwidth (Eq. 2/3 of the paper), and the intra-block
+micro-kernel generators need the register file / matrix-unit geometry.  A
+:class:`HardwareSpec` bundles both, and doubles as the configuration of the
+memory-hierarchy simulator that stands in for the paper's real devices.
+
+Conventions:
+
+* ``levels`` are ordered from the level closest to the compute units (L1 /
+  shared memory / L0) outwards to DRAM.  DRAM is always the last level and
+  has unlimited capacity.
+* ``bandwidth`` of level ``d`` is the bandwidth of moving data *into* level
+  ``d`` from level ``d+1`` (bytes/second), matching ``bw_d`` in Eq. 2.
+* capacities of shared levels (e.g. an L3 cache shared by all cores) are
+  divided by the number of concurrently resident blocks when used as a
+  per-block tiling constraint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from ..ir.dtypes import DType
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the on-chip memory hierarchy (or DRAM).
+
+    Attributes:
+        name: e.g. ``"L2"`` or ``"shared_memory"``.
+        capacity: bytes; ``None`` means unbounded (DRAM).
+        bandwidth: bytes/second this level can *deliver inward* — i.e. the
+            boundary between this level and the next one in.  DRAM's value
+            is therefore the device's DRAM bandwidth (Table I); the
+            innermost level's value describes its register feed and is not
+            used by the movement cost model.
+        shared: whether all cores share this level (per-block capacity is
+            then ``capacity / concurrent_blocks``).
+        software_managed: True for scratchpads the kernel addresses
+            explicitly (GPU shared memory, NPU L0/L1 buffers).  Plans may
+            pin large intermediate buffers in software-managed levels
+            (persistent-kernel style); hardware LRU caches cannot guarantee
+            such residency, so the optimizer keeps intermediates at plain
+            tile footprints there.
+    """
+
+    name: str
+    capacity: Optional[int]
+    bandwidth: float
+    shared: bool = False
+    software_managed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity <= 0:
+            raise ValueError(f"level {self.name!r}: capacity must be positive")
+        if self.bandwidth <= 0:
+            raise ValueError(f"level {self.name!r}: bandwidth must be positive")
+
+    @property
+    def is_unbounded(self) -> bool:
+        return self.capacity is None
+
+
+@dataclasses.dataclass(frozen=True)
+class VectorUnit:
+    """SIMD register file description (CPU backends).
+
+    Attributes:
+        num_registers: architectural vector registers (e.g. 32 ZMM).
+        register_bits: width of one register.
+        fma_pipeline_depth: concurrent FMAs needed to keep the pipeline busy
+            (the paper sets 24 for Cascade Lake: 2 ports x 4-cycle latency
+            x ... rounded to MI*NI = 24).
+    """
+
+    num_registers: int
+    register_bits: int
+    fma_pipeline_depth: int
+
+    def lanes(self, dtype: DType) -> int:
+        """Elements of ``dtype`` per register."""
+        return self.register_bits // (8 * dtype.nbytes)
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixUnit:
+    """Dedicated matrix engine (GPU tensor cores / NPU cube units).
+
+    Attributes:
+        m, n, k: the native tile multiplied per instruction
+            (16x16x16 for WMMA and for the Ascend cube unit).
+        name: e.g. ``"tensor_core"``.
+    """
+
+    name: str
+    m: int
+    n: int
+    k: int
+
+
+@dataclasses.dataclass(frozen=True)
+class HardwareSpec:
+    """A complete machine model.
+
+    Attributes:
+        name: preset name.
+        backend: ``"cpu"``, ``"gpu"`` or ``"npu"`` — selects the micro-kernel
+            family during code generation.
+        peak_flops: peak FP16 throughput of the dedicated units, flop/s.
+        num_cores: processing cores (CPU cores / SMs / NPU cube cores); used
+            to split shared-level capacity and to bound block parallelism.
+        levels: memory hierarchy, innermost first, DRAM last.
+        kernel_launch_overhead: seconds of fixed cost per kernel launch.
+        vector_unit: present on CPU backends.
+        matrix_unit: present on GPU/NPU backends.
+        unified_buffer: extra staging buffer for intermediate tiles (Ascend's
+            Unified Buffer); ``None`` elsewhere.  Constrains the intermediate
+            tile footprint on NPU (Section VI-B, NPU discussion).
+        unified_buffer_bandwidth: bytes/second the Unified Buffer sustains
+            when staging fused intermediates; the paper identifies this as
+            the NPU's fusion bottleneck for large GEMMs.
+    """
+
+    name: str
+    backend: str
+    peak_flops: float
+    num_cores: int
+    levels: Tuple[MemoryLevel, ...]
+    kernel_launch_overhead: float = 5e-6
+    vector_unit: Optional[VectorUnit] = None
+    matrix_unit: Optional[MatrixUnit] = None
+    unified_buffer: Optional[int] = None
+    unified_buffer_bandwidth: float = 400e9
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("cpu", "gpu", "npu"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if len(self.levels) < 2:
+            raise ValueError("need at least one on-chip level plus DRAM")
+        if not self.levels[-1].is_unbounded:
+            raise ValueError("outermost level (DRAM) must be unbounded")
+        for level in self.levels[:-1]:
+            if level.is_unbounded:
+                raise ValueError(f"on-chip level {level.name!r} must be bounded")
+
+    # ------------------------------------------------------------------
+    # hierarchy queries
+    # ------------------------------------------------------------------
+    @property
+    def dram(self) -> MemoryLevel:
+        return self.levels[-1]
+
+    @property
+    def on_chip_levels(self) -> Tuple[MemoryLevel, ...]:
+        return self.levels[:-1]
+
+    @property
+    def innermost(self) -> MemoryLevel:
+        return self.levels[0]
+
+    def level(self, name: str) -> MemoryLevel:
+        for level in self.levels:
+            if level.name == name:
+                return level
+        raise KeyError(f"{self.name} has no memory level {name!r}")
+
+    def level_index(self, name: str) -> int:
+        for index, level in enumerate(self.levels):
+            if level.name == name:
+                return index
+        raise KeyError(f"{self.name} has no memory level {name!r}")
+
+    def per_block_capacity(self, level: MemoryLevel) -> Optional[int]:
+        """Capacity one computation block may assume at ``level``.
+
+        Private levels give a block their full capacity; shared levels are
+        split across the blocks resident at once (one per core).
+        """
+        if level.capacity is None:
+            return None
+        if level.shared:
+            return max(1, level.capacity // self.num_cores)
+        return level.capacity
+
+    # ------------------------------------------------------------------
+    # roofline quantities
+    # ------------------------------------------------------------------
+    @property
+    def dram_bandwidth(self) -> float:
+        return self.dram.bandwidth
+
+    @property
+    def machine_balance(self) -> float:
+        """Peak flop per DRAM byte (the "Peak Perf/BW" row of Table I)."""
+        return self.peak_flops / self.dram_bandwidth
+
+    def compute_time(self, flops: float, efficiency: float = 1.0) -> float:
+        """Seconds to execute ``flops`` at ``efficiency`` x peak."""
+        if not 0 < efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        return flops / (self.peak_flops * efficiency)
+
+    def memory_time(self, bytes_moved: float, level_name: str) -> float:
+        """Seconds to move ``bytes_moved`` into ``level_name``."""
+        return bytes_moved / self.level(level_name).bandwidth
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.name} ({self.backend}): "
+            f"{self.peak_flops / 1e12:.1f} TFLOP/s, "
+            f"{self.num_cores} cores, "
+            f"balance {self.machine_balance:.0f} flop/byte"
+        ]
+        for level in self.levels:
+            cap = "inf" if level.is_unbounded else f"{level.capacity / 1024:.0f}KB"
+            share = " shared" if level.shared else ""
+            lines.append(
+                f"  {level.name}: {cap}, {level.bandwidth / 1e9:.0f} GB/s{share}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return f"HardwareSpec({self.name})"

@@ -1,0 +1,234 @@
+"""Affine tensor accesses.
+
+Each tensor dimension is indexed by an affine expression of loop variables,
+``sum_i coeff_i * loop_i + offset``.  This is rich enough to express every
+operator the paper evaluates:
+
+* GEMM / batch GEMM: single-term dimensions, coefficient 1 (``A[b, m, k]``).
+* Convolution: sliding windows, e.g. the input height of a strided conv is
+  ``oh * stride + kh``; after chain fusion, the producer convolution's output
+  loops are substituted by consumer expressions, giving multi-term dims such
+  as ``(oh2 * st2 + kh2) * st1 + kh1``.
+
+The affine form gives closed-form *tile footprints*: for a dimension
+``sum coeff_i * l_i``, a tile assigning ``T_i`` iterations to loop ``l_i``
+touches ``sum coeff_i * (T_i - 1) + 1`` contiguous elements.  That is exactly
+the quantity ``getFootprint`` needs in Algorithm 1, and it automatically
+accounts for convolution halos / recomputation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class AffineExpr:
+    """``sum(coeff * loop) + offset`` over distinct loop names.
+
+    ``terms`` is stored as a sorted tuple of (loop_name, coeff) for hashing
+    and equality.  Coefficients must be positive: the IR builders only create
+    forward strided accesses, which is all the evaluated workloads need.
+    """
+
+    terms: Tuple[Tuple[str, int], ...] = ()
+    offset: int = 0
+
+    @staticmethod
+    def of(*terms: Tuple[str, int], offset: int = 0) -> "AffineExpr":
+        """Build an expression from (loop, coeff) pairs, merging duplicates."""
+        merged: Dict[str, int] = {}
+        for name, coeff in terms:
+            if coeff == 0:
+                continue
+            merged[name] = merged.get(name, 0) + coeff
+        cleaned = tuple(sorted((n, c) for n, c in merged.items() if c != 0))
+        for name, coeff in cleaned:
+            if coeff < 0:
+                raise ValueError(f"negative coefficient {coeff} for {name!r}")
+        return AffineExpr(cleaned, offset)
+
+    @staticmethod
+    def var(name: str) -> "AffineExpr":
+        """A single loop variable with coefficient 1."""
+        return AffineExpr.of((name, 1))
+
+    @property
+    def loops(self) -> Tuple[str, ...]:
+        """Names of the loops appearing in this expression."""
+        return tuple(name for name, _ in self.terms)
+
+    def coeff(self, loop_name: str) -> int:
+        """Coefficient of ``loop_name`` (0 if absent)."""
+        for name, coeff in self.terms:
+            if name == loop_name:
+                return coeff
+        return 0
+
+    def scaled(self, factor: int) -> "AffineExpr":
+        """Multiply every coefficient and the offset by ``factor``."""
+        return AffineExpr.of(
+            *((n, c * factor) for n, c in self.terms),
+            offset=self.offset * factor,
+        )
+
+    def substituted(self, mapping: Mapping[str, "AffineExpr"]) -> "AffineExpr":
+        """Replace loops by affine expressions (used by chain fusion).
+
+        A producer's output loop (say ``oh1``) is replaced by the consumer's
+        access expression (``oh2 * st2 + kh2``); coefficients compose
+        multiplicatively.
+        """
+        terms: list = []
+        offset = self.offset
+        for name, coeff in self.terms:
+            if name in mapping:
+                sub = mapping[name].scaled(coeff)
+                terms.extend(sub.terms)
+                offset += sub.offset
+            else:
+                terms.append((name, coeff))
+        return AffineExpr.of(*terms, offset=offset)
+
+    def footprint(self, tiles: Mapping[str, float]) -> float:
+        """Elements touched along this dimension by one tile.
+
+        Args:
+            tiles: tile size (iterations assigned to a block) per loop name.
+                Loops absent from ``tiles`` contribute a single iteration.
+        """
+        span = 1.0
+        for name, coeff in self.terms:
+            span += coeff * (tiles.get(name, 1) - 1)
+        return span
+
+    def extent(self, extents: Mapping[str, int]) -> int:
+        """Total elements spanned when every loop runs its full extent."""
+        span = 1
+        for name, coeff in self.terms:
+            span += coeff * (extents[name] - 1)
+        return span + self.offset
+
+    def evaluate(self, point: Mapping[str, int]) -> int:
+        """Value of the expression at a concrete iteration point."""
+        value = self.offset
+        for name, coeff in self.terms:
+            value += coeff * point.get(name, 0)
+        return value
+
+    def __str__(self) -> str:
+        parts = [
+            name if coeff == 1 else f"{coeff}*{name}" for name, coeff in self.terms
+        ]
+        if self.offset:
+            parts.append(str(self.offset))
+        return " + ".join(parts) if parts else "0"
+
+
+@dataclasses.dataclass(frozen=True)
+class TensorAccess:
+    """One operator's access pattern for one tensor.
+
+    Attributes:
+        tensor: name of the accessed tensor.
+        dims: one affine expression per tensor dimension, outermost first.
+    """
+
+    tensor: str
+    dims: Tuple[AffineExpr, ...]
+
+    @staticmethod
+    def simple(tensor: str, loop_names: Sequence[str]) -> "TensorAccess":
+        """Access where each dim is a single loop with coefficient 1."""
+        return TensorAccess(tensor, tuple(AffineExpr.var(n) for n in loop_names))
+
+    @property
+    def loops(self) -> Tuple[str, ...]:
+        """Sorted unique loop names used anywhere in the access."""
+        names = {name for dim in self.dims for name in dim.loops}
+        return tuple(sorted(names))
+
+    def uses(self, loop_name: str) -> bool:
+        """Whether ``loop_name`` appears in any dimension's index."""
+        return any(dim.coeff(loop_name) != 0 for dim in self.dims)
+
+    def footprint(self, tiles: Mapping[str, float]) -> float:
+        """Elements of the tensor touched by one tile (product over dims)."""
+        footprint = 1.0
+        for dim in self.dims:
+            footprint *= dim.footprint(tiles)
+        return footprint
+
+    def substituted(self, mapping: Mapping[str, AffineExpr]) -> "TensorAccess":
+        """Apply a loop substitution to every dimension."""
+        return TensorAccess(
+            self.tensor, tuple(dim.substituted(mapping) for dim in self.dims)
+        )
+
+    def region_from_ranges(
+        self,
+        ranges: Mapping[str, Tuple[int, int]],
+        shape: Sequence[int],
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Element range per dimension touched by a block of iteration ranges.
+
+        Args:
+            ranges: half-open iteration range per loop name; loops absent
+                from the mapping contribute their single iteration 0.
+            shape: tensor shape, used to clamp edge regions.
+
+        Returns:
+            per-dimension half-open ``(lo, hi)`` ranges.
+        """
+        out = []
+        for dim, size in zip(self.dims, shape):
+            lo = dim.offset
+            hi = dim.offset
+            for name, coeff in dim.terms:
+                start, stop = ranges.get(name, (0, 1))
+                lo += coeff * start
+                hi += coeff * (stop - 1)
+            hi += 1
+            out.append((min(lo, size), min(hi, size)))
+        return tuple(out)
+
+    def region(
+        self,
+        block: Mapping[str, int],
+        tiles: Mapping[str, int],
+        shape: Sequence[int],
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Element range per dimension touched by one block.
+
+        Args:
+            block: block index per loop name (block ``b`` covers iterations
+                ``[b * T, (b + 1) * T)`` of that loop).
+            tiles: tile size per loop name.
+            shape: tensor shape, used to clamp edge tiles.
+
+        Returns:
+            per-dimension half-open ``(lo, hi)`` ranges.
+        """
+        ranges = []
+        for dim, size in zip(self.dims, shape):
+            lo = dim.offset
+            span = 1
+            for name, coeff in dim.terms:
+                tile = tiles.get(name, 1)
+                lo += coeff * block.get(name, 0) * tile
+                span += coeff * (tile - 1)
+            hi = min(lo + span, size)
+            lo = min(lo, size)
+            ranges.append((lo, hi))
+        return tuple(ranges)
+
+    def __str__(self) -> str:
+        inside = ", ".join(str(d) for d in self.dims)
+        return f"{self.tensor}[{inside}]"
+
+
+def union_loops(accesses: Iterable[TensorAccess]) -> Tuple[str, ...]:
+    """Sorted unique loop names used by a collection of accesses."""
+    names = {name for access in accesses for name in access.loops}
+    return tuple(sorted(names))

@@ -1,0 +1,347 @@
+"""Builders for the standalone operators the paper evaluates.
+
+Every builder returns ``(OperatorSpec, {tensor_name: TensorSpec})`` with
+operator-local loop names (``"<op>.m"`` etc.), so independently built
+operators never collide.  Chain constructors in :mod:`repro.ir.chains` fuse
+them and rename the surviving loops to the paper's friendly names
+(``m, n, k, l`` ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .access import AffineExpr, TensorAccess
+from .dtypes import DType, FP16
+from .loops import Loop, LoopKind
+from .operator import OperatorKind, OperatorSpec
+from .tensor import TensorSpec
+
+BuiltOp = Tuple[OperatorSpec, Dict[str, TensorSpec]]
+
+
+def _loop_name(op_name: str, dim: str) -> str:
+    return f"{op_name}.{dim}"
+
+
+def gemm(
+    name: str,
+    m: int,
+    k: int,
+    n: int,
+    *,
+    lhs: Optional[str] = None,
+    rhs: Optional[str] = None,
+    out: Optional[str] = None,
+    dtype: DType = FP16,
+) -> BuiltOp:
+    """``out[m, n] = sum_k lhs[m, k] * rhs[k, n]``."""
+    lhs = lhs or f"{name}.A"
+    rhs = rhs or f"{name}.B"
+    out = out or f"{name}.C"
+    lm, lk, ln = (_loop_name(name, d) for d in ("m", "k", "n"))
+    op = OperatorSpec(
+        name=name,
+        kind=OperatorKind.COMPUTE_INTENSIVE,
+        tag="gemm",
+        loops=(
+            Loop(lm, m),
+            Loop(ln, n),
+            Loop(lk, k, LoopKind.REDUCTION),
+        ),
+        reads=(
+            TensorAccess.simple(lhs, (lm, lk)),
+            TensorAccess.simple(rhs, (lk, ln)),
+        ),
+        writes=(TensorAccess.simple(out, (lm, ln)),),
+        flops=2 * m * k * n,
+    )
+    tensors = {
+        lhs: TensorSpec(lhs, (m, k), dtype),
+        rhs: TensorSpec(rhs, (k, n), dtype),
+        out: TensorSpec(out, (m, n), dtype),
+    }
+    return op, tensors
+
+
+def batch_gemm(
+    name: str,
+    batch: int,
+    m: int,
+    k: int,
+    n: int,
+    *,
+    lhs: Optional[str] = None,
+    rhs: Optional[str] = None,
+    out: Optional[str] = None,
+    transpose_b: bool = False,
+    dtype: DType = FP16,
+) -> BuiltOp:
+    """``out[b, m, n] = sum_k lhs[b, m, k] * rhs[b, k, n]``.
+
+    With ``transpose_b`` the right operand is stored ``[b, n, k]`` and read
+    transposed — the attention score GEMM ``Q x K^T`` layout.
+    """
+    lhs = lhs or f"{name}.A"
+    rhs = rhs or f"{name}.B"
+    out = out or f"{name}.C"
+    lb, lm, lk, ln = (_loop_name(name, d) for d in ("b", "m", "k", "n"))
+    rhs_dims = (lb, ln, lk) if transpose_b else (lb, lk, ln)
+    rhs_shape = (batch, n, k) if transpose_b else (batch, k, n)
+    op = OperatorSpec(
+        name=name,
+        kind=OperatorKind.COMPUTE_INTENSIVE,
+        tag="batch_gemm",
+        loops=(
+            Loop(lb, batch),
+            Loop(lm, m),
+            Loop(ln, n),
+            Loop(lk, k, LoopKind.REDUCTION),
+        ),
+        reads=(
+            TensorAccess.simple(lhs, (lb, lm, lk)),
+            TensorAccess.simple(rhs, rhs_dims),
+        ),
+        writes=(TensorAccess.simple(out, (lb, lm, ln)),),
+        flops=2 * batch * m * k * n,
+        attrs={"transpose_b": int(transpose_b)},
+    )
+    tensors = {
+        lhs: TensorSpec(lhs, (batch, m, k), dtype),
+        rhs: TensorSpec(rhs, rhs_shape, dtype),
+        out: TensorSpec(out, (batch, m, n), dtype),
+    }
+    return op, tensors
+
+
+def conv2d(
+    name: str,
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    *,
+    data: Optional[str] = None,
+    weight: Optional[str] = None,
+    out: Optional[str] = None,
+    dtype: DType = FP16,
+) -> BuiltOp:
+    """NCHW convolution with "same"-style padding.
+
+    Output spatial size follows the paper's Table V convention,
+    ``OH = floor(H / stride)``; padding is implicit (edge accesses are
+    clamped by the simulator and zero-padded by the executor).
+    """
+    data = data or f"{name}.X"
+    weight = weight or f"{name}.W"
+    out = out or f"{name}.Y"
+    oh, ow = height // stride, width // stride
+    ln, lc, loh, low, loc, lrh, lrw = (
+        _loop_name(name, d) for d in ("n", "ic", "oh", "ow", "oc", "rh", "rw")
+    )
+    data_access = TensorAccess(
+        data,
+        (
+            AffineExpr.var(ln),
+            AffineExpr.var(lc),
+            AffineExpr.of((loh, stride), (lrh, 1)),
+            AffineExpr.of((low, stride), (lrw, 1)),
+        ),
+    )
+    op = OperatorSpec(
+        name=name,
+        kind=OperatorKind.COMPUTE_INTENSIVE,
+        tag="conv2d",
+        loops=(
+            Loop(ln, batch),
+            Loop(loc, out_channels),
+            Loop(loh, oh),
+            Loop(low, ow),
+            Loop(lc, in_channels, LoopKind.REDUCTION),
+            Loop(lrh, kernel, LoopKind.REDUCTION),
+            Loop(lrw, kernel, LoopKind.REDUCTION),
+        ),
+        reads=(
+            data_access,
+            TensorAccess.simple(weight, (loc, lc, lrh, lrw)),
+        ),
+        writes=(TensorAccess.simple(out, (ln, loc, loh, low)),),
+        flops=2 * batch * out_channels * oh * ow * in_channels * kernel * kernel,
+        attrs={"stride": stride, "kernel": kernel},
+    )
+    tensors = {
+        data: TensorSpec(data, (batch, in_channels, height, width), dtype),
+        weight: TensorSpec(
+            weight, (out_channels, in_channels, kernel, kernel), dtype
+        ),
+        out: TensorSpec(out, (batch, out_channels, oh, ow), dtype),
+    }
+    return op, tensors
+
+
+def depthwise_conv2d(
+    name: str,
+    batch: int,
+    channels: int,
+    height: int,
+    width: int,
+    kernel: int,
+    stride: int = 1,
+    *,
+    data: Optional[str] = None,
+    weight: Optional[str] = None,
+    out: Optional[str] = None,
+    dtype: DType = FP16,
+) -> BuiltOp:
+    """Depthwise NCHW convolution (one filter per channel, no mixing).
+
+    The channel loop is *spatial* here — it indexes both input and output —
+    unlike a dense convolution where input channels reduce.  Paired with a
+    1x1 convolution this forms the depthwise-separable block of MobileNet
+    family CNNs (see :func:`repro.ir.chains.separable_chain`).
+    """
+    data = data or f"{name}.X"
+    weight = weight or f"{name}.W"
+    out = out or f"{name}.Y"
+    oh, ow = height // stride, width // stride
+    ln, lc, loh, low, lrh, lrw = (
+        _loop_name(name, d) for d in ("n", "c", "oh", "ow", "rh", "rw")
+    )
+    data_access = TensorAccess(
+        data,
+        (
+            AffineExpr.var(ln),
+            AffineExpr.var(lc),
+            AffineExpr.of((loh, stride), (lrh, 1)),
+            AffineExpr.of((low, stride), (lrw, 1)),
+        ),
+    )
+    op = OperatorSpec(
+        name=name,
+        kind=OperatorKind.COMPUTE_INTENSIVE,
+        tag="depthwise_conv2d",
+        loops=(
+            Loop(ln, batch),
+            Loop(lc, channels),
+            Loop(loh, oh),
+            Loop(low, ow),
+            Loop(lrh, kernel, LoopKind.REDUCTION),
+            Loop(lrw, kernel, LoopKind.REDUCTION),
+        ),
+        reads=(
+            data_access,
+            TensorAccess.simple(weight, (lc, lrh, lrw)),
+        ),
+        writes=(TensorAccess.simple(out, (ln, lc, loh, low)),),
+        flops=2 * batch * channels * oh * ow * kernel * kernel,
+        attrs={"stride": stride, "kernel": kernel},
+    )
+    tensors = {
+        data: TensorSpec(data, (batch, channels, height, width), dtype),
+        weight: TensorSpec(weight, (channels, kernel, kernel), dtype),
+        out: TensorSpec(out, (batch, channels, oh, ow), dtype),
+    }
+    return op, tensors
+
+
+def _elementwise(
+    name: str,
+    tag: str,
+    shape: Tuple[int, ...],
+    flops_per_elem: int,
+    *,
+    src: Optional[str] = None,
+    out: Optional[str] = None,
+    dtype: DType = FP16,
+) -> BuiltOp:
+    src = src or f"{name}.X"
+    out = out or f"{name}.Y"
+    loop_names = tuple(_loop_name(name, f"d{i}") for i in range(len(shape)))
+    loops = tuple(Loop(n, e) for n, e in zip(loop_names, shape))
+    elements = 1
+    for extent in shape:
+        elements *= extent
+    op = OperatorSpec(
+        name=name,
+        kind=OperatorKind.MEMORY_INTENSIVE,
+        tag=tag,
+        loops=loops,
+        reads=(TensorAccess.simple(src, loop_names),),
+        writes=(TensorAccess.simple(out, loop_names),),
+        flops=flops_per_elem * elements,
+    )
+    tensors = {
+        src: TensorSpec(src, shape, dtype),
+        out: TensorSpec(out, shape, dtype),
+    }
+    return op, tensors
+
+
+def relu(
+    name: str,
+    shape: Tuple[int, ...],
+    *,
+    src: Optional[str] = None,
+    out: Optional[str] = None,
+    dtype: DType = FP16,
+) -> BuiltOp:
+    """Element-wise ``max(x, 0)``."""
+    return _elementwise(name, "relu", shape, 1, src=src, out=out, dtype=dtype)
+
+
+def bias_add(
+    name: str,
+    shape: Tuple[int, ...],
+    *,
+    src: Optional[str] = None,
+    out: Optional[str] = None,
+    dtype: DType = FP16,
+) -> BuiltOp:
+    """Element-wise add of a broadcast bias (modelled as 1 flop/element)."""
+    return _elementwise(name, "bias_add", shape, 1, src=src, out=out, dtype=dtype)
+
+
+def gelu(
+    name: str,
+    shape: Tuple[int, ...],
+    *,
+    src: Optional[str] = None,
+    out: Optional[str] = None,
+    dtype: DType = FP16,
+) -> BuiltOp:
+    """Element-wise GELU (modelled as 8 flops/element)."""
+    return _elementwise(name, "gelu", shape, 8, src=src, out=out, dtype=dtype)
+
+
+def softmax(
+    name: str,
+    shape: Tuple[int, ...],
+    *,
+    src: Optional[str] = None,
+    out: Optional[str] = None,
+    dtype: DType = FP16,
+) -> BuiltOp:
+    """Softmax along the last dimension.
+
+    Softmax is memory-intensive: three dependent passes (exp, sum, div).
+    In a fused chain Chimera merges the ``sum`` into the following GEMM and
+    swaps ``div`` past it (Section VI-B), so the fused form adds no traffic;
+    the builder models it as a single element-indexed operator and the
+    executor implements the real three-pass numerics.
+    """
+    return _elementwise(name, "softmax", shape, 5, src=src, out=out, dtype=dtype)
+
+
+def layer_norm(
+    name: str,
+    shape: Tuple[int, ...],
+    *,
+    src: Optional[str] = None,
+    out: Optional[str] = None,
+    dtype: DType = FP16,
+) -> BuiltOp:
+    """LayerNorm along the last dimension (modelled as 8 flops/element)."""
+    return _elementwise(name, "layer_norm", shape, 8, src=src, out=out, dtype=dtype)

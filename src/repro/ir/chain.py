@@ -1,0 +1,201 @@
+"""Operator chains.
+
+An :class:`OperatorChain` is the unit Chimera fuses: an ordered list of
+operators (producers before consumers) over a shared loop namespace, plus the
+tensors they touch.  The chain knows which tensors are chain inputs/outputs
+("IO tensors" in Algorithm 1 — the only ones whose movement is counted) and
+which loops are private to a single operator (observation 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Tuple
+
+from .operator import OperatorSpec
+from .tensor import TensorSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatorChain:
+    """A dependence chain of operators sharing a loop namespace.
+
+    Attributes:
+        name: chain name used in reports.
+        ops: operators in topological (producer-to-consumer) order.
+        tensors: every tensor touched by the chain, by name.
+    """
+
+    name: str
+    ops: Tuple[OperatorSpec, ...]
+    tensors: Mapping[str, TensorSpec]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError(f"chain {self.name!r} has no operators")
+        self._validate_tensors()
+        self._validate_loops()
+
+    def _validate_tensors(self) -> None:
+        for op in self.ops:
+            for access in op.all_accesses():
+                if access.tensor not in self.tensors:
+                    raise ValueError(
+                        f"chain {self.name!r}: operator {op.name!r} touches "
+                        f"undeclared tensor {access.tensor!r}"
+                    )
+                spec = self.tensors[access.tensor]
+                if len(access.dims) != spec.ndim:
+                    raise ValueError(
+                        f"chain {self.name!r}: access {access} has "
+                        f"{len(access.dims)} dims but tensor has {spec.ndim}"
+                    )
+
+    def _validate_loops(self) -> None:
+        extents: Dict[str, int] = {}
+        for op in self.ops:
+            for loop in op.loops:
+                seen = extents.setdefault(loop.name, loop.extent)
+                if seen != loop.extent:
+                    raise ValueError(
+                        f"chain {self.name!r}: loop {loop.name!r} has extent "
+                        f"{loop.extent} in {op.name!r} but {seen} elsewhere"
+                    )
+
+    # ------------------------------------------------------------------
+    # tensor classification
+    # ------------------------------------------------------------------
+    def producers_of(self, tensor: str) -> Tuple[OperatorSpec, ...]:
+        return tuple(
+            op for op in self.ops if any(w.tensor == tensor for w in op.writes)
+        )
+
+    def consumers_of(self, tensor: str) -> Tuple[OperatorSpec, ...]:
+        return tuple(
+            op for op in self.ops if any(r.tensor == tensor for r in op.reads)
+        )
+
+    def intermediate_tensors(self) -> Tuple[str, ...]:
+        """Tensors produced by one op and consumed by another in the chain.
+
+        These live in on-chip memory in a fused kernel and contribute no
+        off-chip data movement (their DM is 0 in Algorithm 1).
+        """
+        names = []
+        for tensor in self.tensors:
+            if self.producers_of(tensor) and self.consumers_of(tensor):
+                names.append(tensor)
+        return tuple(names)
+
+    def io_tensors(self) -> Tuple[str, ...]:
+        """Chain inputs plus final outputs — the tensors Algorithm 1 counts."""
+        intermediates = set(self.intermediate_tensors())
+        ordered: List[str] = []
+        for op in self.ops:
+            for access in op.all_accesses():
+                if access.tensor in intermediates:
+                    continue
+                if access.tensor not in ordered:
+                    ordered.append(access.tensor)
+        return tuple(ordered)
+
+    def input_tensors(self) -> Tuple[str, ...]:
+        """IO tensors that are read but never written by the chain."""
+        written = {w.tensor for op in self.ops for w in op.writes}
+        return tuple(t for t in self.io_tensors() if t not in written)
+
+    def output_tensors(self) -> Tuple[str, ...]:
+        """IO tensors the chain writes."""
+        written = {w.tensor for op in self.ops for w in op.writes}
+        return tuple(t for t in self.io_tensors() if t in written)
+
+    # ------------------------------------------------------------------
+    # loop queries
+    # ------------------------------------------------------------------
+    def loop_extents(self) -> Dict[str, int]:
+        """Extent of every chain-level loop."""
+        extents: Dict[str, int] = {}
+        for op in self.ops:
+            for loop in op.loops:
+                extents[loop.name] = loop.extent
+        return extents
+
+    def independent_loops(self) -> Tuple[str, ...]:
+        """Chain-level loop names in first-appearance order.
+
+        Loops shared by several operators appear once: ordering shared loops
+        is what lets Chimera's design space shrink from ``(P+Q)!`` to ``I!``
+        (Section IV-B of the paper).
+        """
+        ordered: List[str] = []
+        for op in self.ops:
+            for loop in op.loops:
+                if loop.name not in ordered:
+                    ordered.append(loop.name)
+        return tuple(ordered)
+
+    def ops_with_loop(self, loop_name: str) -> Tuple[OperatorSpec, ...]:
+        return tuple(op for op in self.ops if op.has_loop(loop_name))
+
+    def is_private(self, loop_name: str, op: OperatorSpec) -> bool:
+        """Whether ``loop_name`` appears only in ``op`` (observation 3)."""
+        owners = self.ops_with_loop(loop_name)
+        return len(owners) == 1 and owners[0].name == op.name
+
+    def private_loops(self, op: OperatorSpec) -> Tuple[str, ...]:
+        return tuple(n for n in op.loop_names if self.is_private(n, op))
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    def compute_intensive_ops(self) -> Tuple[OperatorSpec, ...]:
+        return tuple(op for op in self.ops if op.is_compute_intensive)
+
+    def memory_intensive_ops(self) -> Tuple[OperatorSpec, ...]:
+        return tuple(op for op in self.ops if not op.is_compute_intensive)
+
+    def total_flops(self) -> int:
+        return sum(op.flops for op in self.ops)
+
+    def io_bytes(self) -> int:
+        """Compulsory traffic: every IO tensor moved exactly once."""
+        return sum(self.tensors[t].nbytes for t in self.io_tensors())
+
+    def arithmetic_intensity(self) -> float:
+        """Flop per compulsory byte — the chain's roofline upper bound."""
+        return self.total_flops() / self.io_bytes()
+
+    def op(self, name: str) -> OperatorSpec:
+        for op in self.ops:
+            if op.name == name:
+                return op
+        raise KeyError(f"chain {self.name!r} has no operator {name!r}")
+
+    def with_name(self, name: str) -> "OperatorChain":
+        return dataclasses.replace(self, name=name)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [f"chain {self.name}:"]
+        for op in self.ops:
+            lines.append(f"  {op}")
+        lines.append(f"  io: {', '.join(self.io_tensors())}")
+        inter = self.intermediate_tensors()
+        if inter:
+            lines.append(f"  intermediate: {', '.join(inter)}")
+        lines.append(
+            "  loops: "
+            + ", ".join(
+                f"{n}={e}" for n, e in sorted(self.loop_extents().items())
+            )
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return f"OperatorChain({self.name}, {len(self.ops)} ops)"
+
+
+def single_op_chain(op: OperatorSpec, tensors: Mapping[str, TensorSpec]) -> OperatorChain:
+    """Wrap one operator as a chain (used by unfused baselines)."""
+    touched = {a.tensor: tensors[a.tensor] for a in op.all_accesses()}
+    return OperatorChain(name=op.name, ops=(op,), tensors=touched)

@@ -1,0 +1,463 @@
+"""Chain construction by producer-into-consumer fusion.
+
+The core trick: when operator ``P`` feeds operator ``Q`` through tensor
+``T``, every output loop of ``P`` can be *substituted* by ``Q``'s affine
+access expression of the corresponding dimension of ``T``.  After the
+substitution the two operators live in one loop namespace — exactly the
+"independent loops" view of Section IV-B — and sliding-window recomputation
+(3x3 convolutions) falls out automatically because the substituted
+expressions carry the consumer's strides and kernel offsets.
+
+Folding happens back-to-front so that each producer is substituted exactly
+once with expressions already written in the final loop names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from . import builders
+from .access import AffineExpr
+from .builders import BuiltOp
+from .chain import OperatorChain
+from .dtypes import DType, FP16
+from .loops import Loop, LoopKind
+from .operator import OperatorSpec
+from .tensor import TensorSpec
+
+
+def fuse_sequence(name: str, stages: Sequence[BuiltOp]) -> OperatorChain:
+    """Fuse a linear sequence of operators into one chain.
+
+    Args:
+        name: chain name.
+        stages: ``(op, tensors)`` pairs in producer-to-consumer order.  Each
+            operator after the first must read the previous operator's output
+            tensor (builders take explicit tensor names to arrange this).
+
+    Returns:
+        a chain whose operators share the final consumer's loop namespace.
+
+    Raises:
+        ValueError: if the stages do not form a chain or tensor declarations
+            disagree.
+    """
+    if not stages:
+        raise ValueError("fuse_sequence needs at least one stage")
+
+    tensors: Dict[str, TensorSpec] = {}
+    for _, stage_tensors in stages:
+        for tname, spec in stage_tensors.items():
+            known = tensors.get(tname)
+            if known is not None and known != spec:
+                raise ValueError(
+                    f"tensor {tname!r} declared twice with different specs: "
+                    f"{known} vs {spec}"
+                )
+            tensors[tname] = spec
+
+    ops = [op for op, _ in stages]
+    folded: List[OperatorSpec] = [ops[-1]]
+    for producer in reversed(ops[:-1]):
+        consumer = folded[0]
+        intermediate = producer.output.tensor
+        try:
+            consumer_access = consumer.access_of(intermediate)
+        except KeyError:
+            raise ValueError(
+                f"operator {consumer.name!r} does not read the output "
+                f"{intermediate!r} of {producer.name!r}; stages must chain"
+            ) from None
+
+        mapping: Dict[str, AffineExpr] = {}
+        for dim_idx, dim in enumerate(producer.output.dims):
+            if len(dim.terms) != 1 or dim.terms[0][1] != 1 or dim.offset != 0:
+                raise ValueError(
+                    f"producer {producer.name!r} output dim {dim_idx} is not "
+                    f"a plain loop ({dim}); cannot fuse"
+                )
+            mapping[dim.terms[0][0]] = consumer_access.dims[dim_idx]
+
+        # Loops introduced into the producer are spatial from its point of
+        # view (they index the region of the intermediate it must produce).
+        downstream_loops: Dict[str, Loop] = {}
+        for op in folded:
+            for loop in op.loops:
+                downstream_loops[loop.name] = Loop(
+                    loop.name, loop.extent, LoopKind.SPATIAL
+                )
+        folded.insert(0, producer.substituted(mapping, downstream_loops))
+
+    return OperatorChain(name=name, ops=tuple(folded), tensors=tensors)
+
+
+def rename_chain_loops(
+    chain: OperatorChain, mapping: Mapping[str, str]
+) -> OperatorChain:
+    """Rename chain loops to friendly names (``m``, ``n``, ``k``, ``l`` ...).
+
+    Raises:
+        ValueError: if the new names collide with each other or with loops
+            that are not being renamed.
+    """
+    values = list(mapping.values())
+    if len(set(values)) != len(values):
+        raise ValueError(f"rename targets collide: {sorted(values)}")
+    untouched = set(chain.independent_loops()) - set(mapping)
+    collisions = untouched & set(values)
+    if collisions:
+        raise ValueError(f"rename targets shadow existing loops: {collisions}")
+    ops = tuple(op.renamed_loops(mapping) for op in chain.ops)
+    return OperatorChain(name=chain.name, ops=ops, tensors=chain.tensors)
+
+
+# ----------------------------------------------------------------------
+# the two chain families of the paper's evaluation
+# ----------------------------------------------------------------------
+def batch_gemm_chain(
+    batch: int,
+    m: int,
+    n: int,
+    k: int,
+    l: int,
+    *,
+    with_softmax: bool = False,
+    qkt_layout: bool = False,
+    dtype: DType = FP16,
+    name: Optional[str] = None,
+) -> OperatorChain:
+    """The attention-style batch GEMM chain of Figure 2 / Table IV.
+
+    ``C[b,M,L] = A[b,M,K] x B[b,K,L]``, optionally ``S = softmax(C)``, then
+    ``E[b,M,N] = C_or_S[b,M,L] x D[b,L,N]``.  Independent loops after fusion
+    are ``(b, m, n, k, l)``.  With ``qkt_layout`` the first GEMM reads its
+    right operand transposed (``B`` stored ``[b, L, K]``), the actual
+    ``Q x K^T`` memory layout of attention.
+    """
+    if name is None:
+        suffix = "+softmax" if with_softmax else ""
+        name = f"bmm_chain{suffix}_b{batch}_m{m}_n{n}_k{k}_l{l}"
+    gemm1 = builders.batch_gemm(
+        "gemm1", batch, m, k, l, lhs="A", rhs="B", out="C",
+        transpose_b=qkt_layout, dtype=dtype,
+    )
+    stages: List[BuiltOp] = [gemm1]
+    second_lhs = "C"
+    if with_softmax:
+        stages.append(
+            builders.softmax("softmax", (batch, m, l), src="C", out="S", dtype=dtype)
+        )
+        second_lhs = "S"
+    stages.append(
+        builders.batch_gemm(
+            "gemm2", batch, m, l, n, lhs=second_lhs, rhs="D", out="E", dtype=dtype
+        )
+    )
+    chain = fuse_sequence(name, stages)
+    rename = {
+        "gemm2.b": "b",
+        "gemm2.m": "m",
+        "gemm2.n": "n",
+        "gemm2.k": "l",
+        "gemm1.k": "k",
+    }
+    return rename_chain_loops(chain, rename)
+
+
+def attention_chain(
+    batch: int,
+    seq: int,
+    head_dim: int,
+    *,
+    dtype: DType = FP16,
+    name: Optional[str] = None,
+) -> OperatorChain:
+    """Self-attention score/value chain: ``softmax(Q K^T) V`` shapes.
+
+    This is :func:`batch_gemm_chain` with ``M = L = seq`` and
+    ``N = K = head_dim``, softmax included.
+    """
+    return batch_gemm_chain(
+        batch,
+        seq,
+        head_dim,
+        head_dim,
+        seq,
+        with_softmax=True,
+        dtype=dtype,
+        name=name,
+    )
+
+
+def conv_chain(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    oc1: int,
+    oc2: int,
+    st1: int = 1,
+    st2: int = 1,
+    k1: int = 3,
+    k2: int = 1,
+    *,
+    with_relu: bool = False,
+    dtype: DType = FP16,
+    name: Optional[str] = None,
+) -> OperatorChain:
+    """The CNN convolution chain of Figure 1(b) / Table V.
+
+    ``conv1`` is ``(OC1, IC, k1, k1)`` with stride ``st1``; ``conv2`` is
+    ``(OC2, OC1, k2, k2)`` with stride ``st2`` reading conv1's output.  With
+    ``with_relu`` a ReLU follows each convolution (the paper's chain has two
+    ReLU layers).  Up to ten independent loops after fusion.
+    """
+    if name is None:
+        suffix = "+relu" if with_relu else ""
+        name = (
+            f"conv_chain{suffix}_n{batch}_ic{in_channels}_h{height}_w{width}"
+            f"_oc1{oc1}_oc2{oc2}"
+        )
+    conv1 = builders.conv2d(
+        "conv1", batch, in_channels, height, width, oc1, k1, st1,
+        data="X", weight="W1", out="Y1", dtype=dtype,
+    )
+    stages: List[BuiltOp] = [conv1]
+    h1, w1 = height // st1, width // st1
+    second_in = "Y1"
+    if with_relu:
+        stages.append(
+            builders.relu(
+                "relu1", (batch, oc1, h1, w1), src="Y1", out="R1", dtype=dtype
+            )
+        )
+        second_in = "R1"
+    stages.append(
+        builders.conv2d(
+            "conv2", batch, oc1, h1, w1, oc2, k2, st2,
+            data=second_in, weight="W2", out="Y2", dtype=dtype,
+        )
+    )
+    if with_relu:
+        h2, w2 = h1 // st2, w1 // st2
+        stages.append(
+            builders.relu(
+                "relu2", (batch, oc2, h2, w2), src="Y2", out="R2", dtype=dtype
+            )
+        )
+    chain = fuse_sequence(name, stages)
+    if with_relu:
+        rename = {
+            "relu2.d0": "n",
+            "relu2.d1": "oc2",
+            "relu2.d2": "oh",
+            "relu2.d3": "ow",
+        }
+    else:
+        rename = {
+            "conv2.n": "n",
+            "conv2.oc": "oc2",
+            "conv2.oh": "oh",
+            "conv2.ow": "ow",
+        }
+    rename.update(
+        {
+            "conv2.ic": "oc1",
+            "conv2.rh": "rh2",
+            "conv2.rw": "rw2",
+            "conv1.ic": "ic",
+            "conv1.rh": "rh1",
+            "conv1.rw": "rw1",
+        }
+    )
+    return rename_chain_loops(chain, rename)
+
+
+def separable_chain(
+    batch: int,
+    channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int = 3,
+    stride: int = 1,
+    *,
+    with_relu: bool = False,
+    dtype: DType = FP16,
+    name: Optional[str] = None,
+) -> OperatorChain:
+    """A depthwise-separable block: depthwise kxk then pointwise 1x1.
+
+    The MobileNet building block.  The depthwise stage's channel loop is
+    shared with the pointwise stage's reduction (it becomes ``c``), while
+    its kernel taps stay private — a different reuse structure from the
+    paper's dense chains, handled by the same Algorithm 1 machinery.
+    """
+    if name is None:
+        suffix = "+relu" if with_relu else ""
+        name = (
+            f"separable{suffix}_n{batch}_c{channels}_h{height}_w{width}"
+            f"_oc{out_channels}"
+        )
+    dw = builders.depthwise_conv2d(
+        "dw", batch, channels, height, width, kernel, stride,
+        data="X", weight="Wd", out="T", dtype=dtype,
+    )
+    stages: List[BuiltOp] = [dw]
+    h, w = height // stride, width // stride
+    pw_input = "T"
+    if with_relu:
+        stages.append(
+            builders.relu("relu_dw", (batch, channels, h, w),
+                          src="T", out="R", dtype=dtype)
+        )
+        pw_input = "R"
+    stages.append(
+        builders.conv2d(
+            "pw", batch, channels, h, w, out_channels, 1, 1,
+            data=pw_input, weight="Wp", out="Y", dtype=dtype,
+        )
+    )
+    chain = fuse_sequence(name, stages)
+    rename = {
+        "pw.n": "n",
+        "pw.oc": "oc",
+        "pw.oh": "oh",
+        "pw.ow": "ow",
+        "pw.ic": "c",
+        "dw.rh": "rh",
+        "dw.rw": "rw",
+    }
+    return rename_chain_loops(chain, rename)
+
+
+def conv_tower(
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: Sequence[int],
+    kernels: Sequence[int],
+    strides: Optional[Sequence[int]] = None,
+    *,
+    dtype: DType = FP16,
+    name: Optional[str] = None,
+) -> OperatorChain:
+    """A tower of ``len(out_channels)`` directly chained convolutions.
+
+    The paper's analysis "remains similar for more compute-intensive
+    operators" (Section IV-B); this constructor exercises that: halo
+    expressions compose through every stage, and each producer's private
+    reductions stay private.
+
+    Loop names: stage ``i`` keeps ``ic{i}``/``rh{i}``/``rw{i}`` for its
+    reductions; the final output's loops are ``n, oc, oh, ow``.
+    """
+    if len(out_channels) != len(kernels):
+        raise ValueError("out_channels and kernels must have equal length")
+    if len(out_channels) < 2:
+        raise ValueError("a tower needs at least two convolutions")
+    if strides is None:
+        strides = [1] * len(out_channels)
+    if len(strides) != len(out_channels):
+        raise ValueError("strides must match out_channels")
+    if name is None:
+        chans = "-".join(str(c) for c in out_channels)
+        name = f"conv_tower_n{batch}_ic{in_channels}_{chans}"
+
+    stages: List[BuiltOp] = []
+    channels = in_channels
+    h, w = height, width
+    for index, (oc, kk, st) in enumerate(zip(out_channels, kernels, strides)):
+        data = "X" if index == 0 else f"T{index - 1}"
+        stages.append(
+            builders.conv2d(
+                f"conv{index}", batch, channels, h, w, oc, kk, st,
+                data=data, weight=f"W{index}", out=f"T{index}", dtype=dtype,
+            )
+        )
+        channels = oc
+        h, w = h // st, w // st
+    chain = fuse_sequence(name, stages)
+
+    last = len(out_channels) - 1
+    rename = {
+        f"conv{last}.n": "n",
+        f"conv{last}.oc": "oc",
+        f"conv{last}.oh": "oh",
+        f"conv{last}.ow": "ow",
+    }
+    for index in range(len(out_channels)):
+        rename[f"conv{index}.ic"] = f"ic{index}"
+        rename[f"conv{index}.rh"] = f"rh{index}"
+        rename[f"conv{index}.rw"] = f"rw{index}"
+    # The last conv's spatial loops were renamed above; its reductions got
+    # stage-indexed names like every other stage.
+    return rename_chain_loops(chain, rename)
+
+
+def mlp_chain(
+    m: int,
+    k: int,
+    hidden: int,
+    n: int,
+    *,
+    with_gelu: bool = True,
+    dtype: DType = FP16,
+    name: Optional[str] = None,
+) -> OperatorChain:
+    """A feed-forward block: ``Y = gelu(X x W1) x W2``.
+
+    Two dependent GEMMs with an element-wise activation between — the
+    other ubiquitous compute-intensive chain in Transformers (the paper's
+    MLP-Mixer rows G10-G12 are this pattern with ``batch = 1``).
+    Independent loops after fusion: ``(m, h, k, n)``.
+    """
+    if name is None:
+        suffix = "+gelu" if with_gelu else ""
+        name = f"mlp_chain{suffix}_m{m}_k{k}_h{hidden}_n{n}"
+    gemm1 = builders.gemm("fc1", m, k, hidden, lhs="X", rhs="W1", out="H",
+                          dtype=dtype)
+    stages: List[BuiltOp] = [gemm1]
+    second_lhs = "H"
+    if with_gelu:
+        stages.append(
+            builders.gelu("act", (m, hidden), src="H", out="A", dtype=dtype)
+        )
+        second_lhs = "A"
+    stages.append(
+        builders.gemm("fc2", m, hidden, n, lhs=second_lhs, rhs="W2", out="Y",
+                      dtype=dtype)
+    )
+    chain = fuse_sequence(name, stages)
+    rename = {
+        "fc2.m": "m",
+        "fc2.n": "n",
+        "fc2.k": "h",
+        "fc1.k": "k",
+    }
+    return rename_chain_loops(chain, rename)
+
+
+def gemm_chain(
+    m: int,
+    n: int,
+    k: int,
+    l: int,
+    *,
+    dtype: DType = FP16,
+    name: Optional[str] = None,
+) -> OperatorChain:
+    """Unbatched GEMM chain ``E = (A x B) x D`` (Figure 2's running example)."""
+    if name is None:
+        name = f"gemm_chain_m{m}_n{n}_k{k}_l{l}"
+    gemm1 = builders.gemm("gemm1", m, k, l, lhs="A", rhs="B", out="C", dtype=dtype)
+    gemm2 = builders.gemm("gemm2", m, l, n, lhs="C", rhs="D", out="E", dtype=dtype)
+    chain = fuse_sequence(name, [gemm1, gemm2])
+    rename = {
+        "gemm2.m": "m",
+        "gemm2.n": "n",
+        "gemm2.k": "l",
+        "gemm1.k": "k",
+    }
+    return rename_chain_loops(chain, rename)

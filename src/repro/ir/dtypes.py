@@ -1,0 +1,60 @@
+"""Element data types for tensors.
+
+Chimera's analytical model reasons about *bytes moved*, so the only property
+of a data type that matters to the optimizer is its width.  The executor also
+uses the numpy mapping to run kernels numerically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class DType:
+    """An element type with a fixed byte width.
+
+    Attributes:
+        name: canonical short name, e.g. ``"fp16"``.
+        nbytes: storage size of one element in bytes.
+        np_dtype: numpy dtype string used by the executor.  Accumulation
+            always happens in fp32 regardless of the storage type, mirroring
+            what tensor cores / cube units do.
+    """
+
+    name: str
+    nbytes: int
+    np_dtype: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def numpy(self) -> np.dtype:
+        """The numpy dtype object for this element type."""
+        return np.dtype(self.np_dtype)
+
+
+FP16 = DType("fp16", 2, "float16")
+FP32 = DType("fp32", 4, "float32")
+FP64 = DType("fp64", 8, "float64")
+INT8 = DType("int8", 1, "int8")
+INT32 = DType("int32", 4, "int32")
+
+_BY_NAME = {t.name: t for t in (FP16, FP32, FP64, INT8, INT32)}
+
+
+def dtype(name: str) -> DType:
+    """Look up a :class:`DType` by name.
+
+    Raises:
+        KeyError: if the name is not a known dtype.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dtype {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,113 @@
+"""Compute DAGs for whole networks.
+
+End-to-end evaluation (Figure 9) runs full Transformer/Bert/ViT graphs.  A
+:class:`ComputeDAG` is a thin topological container whose nodes are either
+fusable operator chains or standalone operators; the runtime times each node
+independently and sums (single-stream execution, as on the paper's devices).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from .chain import OperatorChain, single_op_chain
+from .operator import OperatorSpec
+from .tensor import TensorSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphNode:
+    """One schedulable unit of a network graph.
+
+    Attributes:
+        name: unique node name.
+        chain: the operator chain this node executes (single-op chains wrap
+            standalone operators).
+        deps: names of nodes that must run first.
+        repeat: how many times this node executes in the network (e.g. one
+            attention chain per layer); timing multiplies by this.
+    """
+
+    name: str
+    chain: OperatorChain
+    deps: Tuple[str, ...] = ()
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeat < 1:
+            raise ValueError(f"node {self.name!r} repeat must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeDAG:
+    """A topologically ordered network graph."""
+
+    name: str
+    nodes: Tuple[GraphNode, ...]
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        for node in self.nodes:
+            missing = set(node.deps) - seen
+            if missing:
+                raise ValueError(
+                    f"graph {self.name!r}: node {node.name!r} depends on "
+                    f"{sorted(missing)} which do not precede it"
+                )
+            if node.name in seen:
+                raise ValueError(
+                    f"graph {self.name!r}: duplicate node {node.name!r}"
+                )
+            seen.add(node.name)
+
+    def node(self, name: str) -> GraphNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"graph {self.name!r} has no node {name!r}")
+
+    def total_flops(self) -> int:
+        return sum(n.chain.total_flops() * n.repeat for n in self.nodes)
+
+    def chains(self) -> Tuple[OperatorChain, ...]:
+        return tuple(n.chain for n in self.nodes)
+
+    def __str__(self) -> str:
+        return f"ComputeDAG({self.name}, {len(self.nodes)} nodes)"
+
+
+class GraphBuilder:
+    """Incremental builder enforcing topological insertion order."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._nodes: List[GraphNode] = []
+
+    def add_chain(
+        self,
+        chain: OperatorChain,
+        deps: Sequence[str] = (),
+        repeat: int = 1,
+        name: Optional[str] = None,
+    ) -> str:
+        node_name = name or chain.name
+        self._nodes.append(
+            GraphNode(node_name, chain, tuple(deps), repeat)
+        )
+        return node_name
+
+    def add_op(
+        self,
+        op: OperatorSpec,
+        tensors: Mapping[str, TensorSpec],
+        deps: Sequence[str] = (),
+        repeat: int = 1,
+        name: Optional[str] = None,
+    ) -> str:
+        return self.add_chain(
+            single_op_chain(op, tensors), deps=deps, repeat=repeat, name=name
+        )
+
+    def build(self) -> ComputeDAG:
+        return ComputeDAG(self._name, tuple(self._nodes))

@@ -1,0 +1,57 @@
+"""Loop descriptions.
+
+A compute-intensive operator is a (possibly imperfect) loop nest.  Chimera
+decomposes the nest into *computation blocks* by tiling every loop; the block
+execution order is then a permutation of the loops.  This module defines the
+loop objects shared by the IR and the analytical model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class LoopKind(enum.Enum):
+    """Role of a loop inside one operator.
+
+    SPATIAL loops index the operator's output; REDUCTION loops are summed
+    over.  The same loop name may be SPATIAL in a producer and REDUCTION in
+    its consumer (e.g. the channel dimension ``oc1`` of a convolution chain).
+    """
+
+    SPATIAL = "spatial"
+    REDUCTION = "reduction"
+
+
+@dataclasses.dataclass(frozen=True)
+class Loop:
+    """One iteration dimension of an operator.
+
+    Attributes:
+        name: globally unique name within an operator chain.  Operators that
+            share a loop use the same name (this is how the chain expresses
+            "dimension ``m`` is common to both GEMMs").
+        extent: the trip count of the full (untiled) loop.
+        kind: spatial or reduction, relative to the owning operator.
+    """
+
+    name: str
+    extent: int
+    kind: LoopKind = LoopKind.SPATIAL
+
+    def __post_init__(self) -> None:
+        if self.extent < 1:
+            raise ValueError(f"loop {self.name!r} has extent {self.extent} < 1")
+
+    @property
+    def is_reduction(self) -> bool:
+        return self.kind is LoopKind.REDUCTION
+
+    def with_kind(self, kind: LoopKind) -> "Loop":
+        """Return a copy of this loop with a different kind."""
+        return Loop(self.name, self.extent, kind)
+
+    def __str__(self) -> str:
+        tag = "r" if self.is_reduction else "s"
+        return f"{self.name}[{self.extent}]{tag}"

@@ -1,0 +1,188 @@
+"""Operator specifications.
+
+An :class:`OperatorSpec` is a perfect loop nest annotated with affine tensor
+accesses.  It is deliberately *not* an AST: Chimera's inter-block analysis
+(Algorithm 1 of the paper) only needs to know which loops exist, their
+extents and kinds, and which loops index which tensors.  The executor
+dispatches on :attr:`OperatorSpec.tag` to run the actual numerics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Mapping, Tuple
+
+from .access import AffineExpr, TensorAccess
+from .loops import Loop, LoopKind
+
+
+class OperatorKind:
+    """Coarse operator classes used by the fusion planner."""
+
+    COMPUTE_INTENSIVE = "compute-intensive"
+    MEMORY_INTENSIVE = "memory-intensive"
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatorSpec:
+    """A single tensor operator expressed as an affine loop nest.
+
+    Attributes:
+        name: unique name within a chain (e.g. ``"gemm1"``).
+        kind: compute-intensive or memory-intensive.
+        tag: semantic tag used by the executor / micro-kernel selection,
+            e.g. ``"gemm"``, ``"conv2d"``, ``"softmax"``, ``"relu"``.
+        loops: the iteration space; names shared with other operators in a
+            chain denote the *same* chain-level loop.
+        reads: accesses to input tensors.
+        writes: accesses to output tensors (exactly one for all built-ins).
+        flops: algorithmic floating point operations of the *standalone*
+            operator.  Stored explicitly because fusing a producer into a
+            consumer rewrites its loop space (recomputation), which must not
+            change the algorithmic flop count.
+        attrs: free-form attributes (e.g. convolution strides) consumed by
+            code generation and the executor.
+    """
+
+    name: str
+    kind: str
+    tag: str
+    loops: Tuple[Loop, ...]
+    reads: Tuple[TensorAccess, ...]
+    writes: Tuple[TensorAccess, ...]
+    flops: int
+    attrs: Mapping[str, int] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [loop.name for loop in self.loops]
+        if len(set(names)) != len(names):
+            raise ValueError(f"operator {self.name!r} has duplicate loops: {names}")
+        loop_set = set(names)
+        for access in self.reads + self.writes:
+            missing = set(access.loops) - loop_set
+            if missing:
+                raise ValueError(
+                    f"operator {self.name!r} access {access} uses undeclared "
+                    f"loops {sorted(missing)}"
+                )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def loop_names(self) -> Tuple[str, ...]:
+        return tuple(loop.name for loop in self.loops)
+
+    @property
+    def is_compute_intensive(self) -> bool:
+        return self.kind == OperatorKind.COMPUTE_INTENSIVE
+
+    def loop(self, name: str) -> Loop:
+        for loop in self.loops:
+            if loop.name == name:
+                return loop
+        raise KeyError(f"operator {self.name!r} has no loop {name!r}")
+
+    def has_loop(self, name: str) -> bool:
+        return any(loop.name == name for loop in self.loops)
+
+    @property
+    def reduction_loop_names(self) -> Tuple[str, ...]:
+        return tuple(l.name for l in self.loops if l.is_reduction)
+
+    @property
+    def spatial_loop_names(self) -> Tuple[str, ...]:
+        return tuple(l.name for l in self.loops if not l.is_reduction)
+
+    def all_accesses(self) -> Tuple[TensorAccess, ...]:
+        return self.reads + self.writes
+
+    def tensor_names(self) -> Tuple[str, ...]:
+        return tuple(a.tensor for a in self.all_accesses())
+
+    def access_of(self, tensor: str) -> TensorAccess:
+        """The (unique) access of ``tensor`` by this operator."""
+        found = [a for a in self.all_accesses() if a.tensor == tensor]
+        if not found:
+            raise KeyError(f"operator {self.name!r} does not access {tensor!r}")
+        if len(found) > 1:
+            raise KeyError(f"operator {self.name!r} accesses {tensor!r} twice")
+        return found[0]
+
+    @property
+    def output(self) -> TensorAccess:
+        if len(self.writes) != 1:
+            raise ValueError(f"operator {self.name!r} has {len(self.writes)} outputs")
+        return self.writes[0]
+
+    def iteration_space(self) -> int:
+        """Product of all loop extents (reflects recomputation when fused)."""
+        return math.prod(loop.extent for loop in self.loops)
+
+    def extents(self) -> Dict[str, int]:
+        return {loop.name: loop.extent for loop in self.loops}
+
+    # ------------------------------------------------------------------
+    # rewriting (chain fusion)
+    # ------------------------------------------------------------------
+    def substituted(
+        self,
+        mapping: Mapping[str, AffineExpr],
+        new_loops: Mapping[str, Loop],
+    ) -> "OperatorSpec":
+        """Rewrite this operator by substituting some of its loops.
+
+        Used when fusing a producer into a consumer: the producer's output
+        loops are replaced by the consumer's access expressions of the
+        intermediate tensor (see :func:`repro.ir.chains.fuse_into_chain`).
+
+        Args:
+            mapping: producer loop name -> affine expression over consumer
+                loops.
+            new_loops: definitions (extent, kind) of every loop that may be
+                introduced by the substitution.
+
+        Returns:
+            a new operator whose loop set contains the surviving original
+            loops plus the introduced consumer loops.
+        """
+        surviving = [loop for loop in self.loops if loop.name not in mapping]
+        introduced_names: list = []
+        for expr in mapping.values():
+            for name in expr.loops:
+                if name not in introduced_names:
+                    introduced_names.append(name)
+        kept = {loop.name for loop in surviving}
+        introduced = [new_loops[n] for n in introduced_names if n not in kept]
+        reads = tuple(a.substituted(mapping) for a in self.reads)
+        writes = tuple(a.substituted(mapping) for a in self.writes)
+        return dataclasses.replace(
+            self,
+            loops=tuple(surviving) + tuple(introduced),
+            reads=reads,
+            writes=writes,
+        )
+
+    def renamed_loops(self, mapping: Mapping[str, str]) -> "OperatorSpec":
+        """Rename loops (a special case of substitution with coefficient 1)."""
+        expr_map = {old: AffineExpr.var(new) for old, new in mapping.items()}
+        loops = tuple(
+            Loop(mapping.get(l.name, l.name), l.extent, l.kind) for l in self.loops
+        )
+        reads = tuple(a.substituted(expr_map) for a in self.reads)
+        writes = tuple(a.substituted(expr_map) for a in self.writes)
+        return dataclasses.replace(self, loops=loops, reads=reads, writes=writes)
+
+    def __str__(self) -> str:
+        loops = ", ".join(str(l) for l in self.loops)
+        reads = ", ".join(str(a) for a in self.reads)
+        writes = ", ".join(str(a) for a in self.writes)
+        return f"{self.name}({self.tag}): [{loops}] {writes} <- {reads}"
+
+
+def make_loop(
+    name: str, extent: int, kind: LoopKind = LoopKind.SPATIAL
+) -> Loop:
+    """Convenience constructor re-exported for builders."""
+    return Loop(name, extent, kind)

@@ -1,0 +1,45 @@
+"""Tensor declarations."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+from .dtypes import DType, FP16
+
+
+@dataclasses.dataclass(frozen=True)
+class TensorSpec:
+    """A dense tensor with a static shape.
+
+    Whether a tensor is a chain input, chain output, or an on-chip
+    intermediate is a property of the *chain*, not of the tensor itself, so
+    it is not stored here (see :meth:`OperatorChain.io_tensors`).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType = FP16
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError(f"tensor {self.name!r} must have at least 1 dim")
+        if any(s < 1 for s in self.shape):
+            raise ValueError(f"tensor {self.name!r} has bad shape {self.shape}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def elements(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return self.elements * self.dtype.nbytes
+
+    def __str__(self) -> str:
+        dims = "x".join(str(s) for s in self.shape)
+        return f"{self.name}<{dims}, {self.dtype}>"

@@ -1,0 +1,117 @@
+"""GPU (Tensor Core) micro kernel generation (Section V-B).
+
+A single WMMA ``mma_sync`` computes a 16x16x16 matmul but, used naively,
+pairs every compute intrinsic with a fragment load and store — the
+arithmetic intensity is too low and the kernel is bound by shared-memory
+traffic.  The paper's kernel instead unrolls a **2x2 tile outer product**:
+it loads two 16x16 fragments of each operand and updates a 2x2 grid of
+accumulator fragments, reusing every loaded fragment twice.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hardware.spec import HardwareSpec
+from ..ir.dtypes import DType, FP16
+from .base import LoweredMicroKernel, get_micro_kernel
+
+
+def fragment_reuse_ai(tiles_m: int, tiles_n: int) -> float:
+    """Compute intrinsics per fragment load for a tiles_m x tiles_n grid.
+
+    Per k-step: ``tiles_m * tiles_n`` mma intrinsics consume
+    ``tiles_m + tiles_n`` loaded fragments.
+    """
+    return (tiles_m * tiles_n) / (tiles_m + tiles_n)
+
+
+def generate_source(tiles_m: int, tiles_n: int, frag: int) -> str:
+    """Emit the CUDA-like WMMA kernel body."""
+    lines: List[str] = [
+        f"// tensor-core micro kernel: {tiles_m}x{tiles_n} grid of "
+        f"{frag}x{frag}x{frag} wmma fragments",
+        f"wmma::fragment<accumulator, {frag}, {frag}, {frag}, half> "
+        f"acc[{tiles_m}][{tiles_n}];",
+        f"wmma::fragment<matrix_a, {frag}, {frag}, {frag}, half, row_major> "
+        f"a_frag[{tiles_m}];",
+        f"wmma::fragment<matrix_b, {frag}, {frag}, {frag}, half, row_major> "
+        f"b_frag[{tiles_n}];",
+        "for (int kk = 0; kk < TK; kk += %d) {" % frag,
+    ]
+    for i in range(tiles_m):
+        lines.append(
+            f"  wmma::load_matrix_sync(a_frag[{i}], "
+            f"&smemA[(tm + {i * frag}) * lda + kk], lda);"
+        )
+    for j in range(tiles_n):
+        lines.append(
+            f"  wmma::load_matrix_sync(b_frag[{j}], "
+            f"&smemB[kk * ldb + tn + {j * frag}], ldb);"
+        )
+    for i in range(tiles_m):
+        for j in range(tiles_n):
+            lines.append(
+                f"  wmma::mma_sync(acc[{i}][{j}], a_frag[{i}], "
+                f"b_frag[{j}], acc[{i}][{j}]);"
+            )
+    lines.append("}")
+    for i in range(tiles_m):
+        for j in range(tiles_n):
+            lines.append(
+                f"wmma::store_matrix_sync(&smemC[(tm + {i * frag}) * ldc "
+                f"+ tn + {j * frag}], acc[{i}][{j}], ldc, mem_row_major);"
+            )
+    return "\n".join(lines)
+
+
+def build_gpu_micro_kernel(
+    hardware: HardwareSpec, dtype: DType = FP16, **hints: int
+) -> LoweredMicroKernel:
+    """Generate the 2x2-tiled WMMA micro kernel for ``hardware``.
+
+    ``m_extent``/``n_extent`` hints shrink the fragment grid when the
+    workload cannot fill two fragments along a dimension.
+
+    Raises:
+        ValueError: if the hardware has no matrix unit description.
+    """
+    if hardware.matrix_unit is None:
+        raise ValueError(f"{hardware.name} declares no matrix unit")
+    unit = hardware.matrix_unit
+    tiles_m = tiles_n = 2  # the paper's 2x2 fragment grid
+    m_extent = hints.get("m_extent")
+    if m_extent is not None and m_extent < tiles_m * unit.m:
+        tiles_m = 1
+    n_extent = hints.get("n_extent")
+    if n_extent is not None and n_extent < tiles_n * unit.n:
+        tiles_n = 1
+    ai = fragment_reuse_ai(tiles_m, tiles_n)
+    # A lone mma_sync reuses each fragment once (AI = 0.5); the 2x2 grid
+    # doubles reuse.  Sustained efficiency reflects tensor-core utilization
+    # with double-buffered shared-memory staging.
+    efficiency = 0.90 * min(1.0, ai / 1.0)
+    source = generate_source(tiles_m, tiles_n, unit.m)
+    return LoweredMicroKernel(
+        name="tensorcore-wmma-2x2",
+        backend="gpu",
+        tile_m=tiles_m * unit.m,
+        tile_n=tiles_n * unit.n,
+        tile_k=unit.k,
+        arithmetic_intensity=ai,
+        efficiency=efficiency,
+        source=source,
+        params={
+            "tiles_m": tiles_m,
+            "tiles_n": tiles_n,
+            "fragment_m": unit.m,
+            "fragment_n": unit.n,
+            "fragment_k": unit.k,
+        },
+        granule_m=unit.m,
+        granule_n=unit.n,
+        granule_k=unit.k,
+    )
+
+
+get_micro_kernel("matmul").register("gpu", build_gpu_micro_kernel)

@@ -1,0 +1,110 @@
+"""NPU (Ascend cube unit) micro kernel generation (Section V-B).
+
+The Ascend toolchain exposes a Python DSL where pragmas map loop nests onto
+the cube and vector units.  The matmul micro kernel uses the ``mad`` pragma,
+which expects six nested loops computing::
+
+    C[m1, n1, m2, n2] += A[m1, k1, m2, k2] * B[k1, n1, n2, k2]
+
+Inputs are packed into contiguous fractal layout in on-chip memory by DMA
+before the ``mad``.  The kernel's arithmetic intensity is::
+
+    AI = (M1*M2 * N1*N2) / (M1*M2 + N1*N2)
+
+maximized by ``M2 = N2 = cube lane count`` and ``M1 = N1`` as large as the
+L0 buffers allow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..hardware.spec import HardwareSpec
+from ..ir.dtypes import DType, FP16
+from .base import LoweredMicroKernel, get_micro_kernel
+
+
+def cube_ai(m1: int, m2: int, n1: int, n2: int) -> float:
+    """The paper's AI formula for the cube-unit kernel."""
+    return (m1 * m2 * n1 * n2) / (m1 * m2 + n1 * n2)
+
+
+def solve_m1(l0_bytes: int, lanes: int, elem_bytes: int) -> int:
+    """Largest ``M1 = N1`` whose packed operands fit the L0 buffer.
+
+    The A and B fractal tiles occupy ``2 * M1 * lanes * K2-panel`` bytes; a
+    square split of the L0 capacity gives ``M1``.
+    """
+    per_fractal = lanes * lanes * elem_bytes
+    budget = l0_bytes // (2 * per_fractal)
+    return max(1, int(math.isqrt(max(budget, 1))))
+
+
+def generate_source(m1: int, n1: int, k1: int, lanes: int) -> str:
+    """Emit the pragma-annotated DSL loop nest for the mad kernel."""
+    lines: List[str] = [
+        f"# cube-unit mad micro kernel M1={m1} N1={n1} K1={k1} lane={lanes}",
+        "with tik.dma_copy(A_l0, A_l1):  # pack A to fractal layout",
+        "    pass",
+        "with tik.dma_copy(B_l0, B_l1):  # pack B to fractal layout",
+        "    pass",
+        f"for m1 in range({m1}):  # pragma: emit_insn mad",
+        f"    for n1 in range({n1}):",
+        f"        for k1 in range({k1}):",
+        f"            for m2 in range({lanes}):",
+        f"                for n2 in range({lanes}):",
+        f"                    for k2 in range({lanes}):",
+        "                        C[m1, n1, m2, n2] += "
+        "A[m1, k1, m2, k2] * B[k1, n1, n2, k2]",
+    ]
+    return "\n".join(lines)
+
+
+def build_npu_micro_kernel(
+    hardware: HardwareSpec, dtype: DType = FP16, **hints: int
+) -> LoweredMicroKernel:
+    """Generate the cube-unit mad micro kernel for ``hardware``.
+
+    ``m_extent``/``n_extent`` hints cap ``M1``/``N1`` so small workloads do
+    not pad to the full L0-derived fractal grid.
+
+    Raises:
+        ValueError: if the hardware has no matrix unit description.
+    """
+    if hardware.matrix_unit is None:
+        raise ValueError(f"{hardware.name} declares no matrix unit")
+    lanes = hardware.matrix_unit.m
+    # The combined L0 capacity splits roughly 1/6 A, 1/6 B, 2/3 accumulator
+    # (matching the Ascend 910's 64KB + 64KB + 256KB L0A/L0B/L0C split), so
+    # the A+B operand budget passed to the solver is capacity / 3.
+    m1 = n1 = solve_m1((hardware.innermost.capacity or 0) // 3, lanes, dtype.nbytes)
+    m_extent = hints.get("m_extent")
+    if m_extent is not None:
+        m1 = max(1, min(m1, math.ceil(m_extent / lanes)))
+    n_extent = hints.get("n_extent")
+    if n_extent is not None:
+        n1 = max(1, min(n1, math.ceil(n_extent / lanes)))
+    k1 = 2
+    ai = cube_ai(m1, lanes, n1, lanes)
+    # The mad pipeline overlaps DMA packing with cube compute; sustained
+    # efficiency saturates once AI covers the cube's operand feed rate.
+    efficiency = 0.88 * min(1.0, ai / (2 * lanes))
+    source = generate_source(m1, n1, k1, lanes)
+    return LoweredMicroKernel(
+        name="cube-mad",
+        backend="npu",
+        tile_m=m1 * lanes,
+        tile_n=n1 * lanes,
+        tile_k=k1 * lanes,
+        arithmetic_intensity=ai,
+        efficiency=efficiency,
+        source=source,
+        params={"M1": m1, "N1": n1, "K1": k1, "M2": lanes, "N2": lanes},
+        granule_m=lanes,
+        granule_n=lanes,
+        granule_k=lanes,
+    )
+
+
+get_micro_kernel("matmul").register("npu", build_npu_micro_kernel)

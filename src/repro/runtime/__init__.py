@@ -1,0 +1,47 @@
+"""User-facing compilation pipeline and comparison harness."""
+
+from .ablation import (
+    VARIANTS,
+    AblationVariant,
+    ablation_study,
+    run_variant,
+)
+from .comparison import Comparison, ComparisonRow, compare
+from .pipeline import (
+    CompileResult,
+    chimera_config,
+    compile_chain,
+    optimize_chain,
+)
+from .serialization import (
+    chain_from_dict,
+    chain_to_dict,
+    hardware_from_dict,
+    hardware_to_dict,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+
+__all__ = [
+    "VARIANTS",
+    "AblationVariant",
+    "ablation_study",
+    "run_variant",
+    "Comparison",
+    "ComparisonRow",
+    "compare",
+    "CompileResult",
+    "chimera_config",
+    "compile_chain",
+    "optimize_chain",
+    "chain_from_dict",
+    "chain_to_dict",
+    "hardware_from_dict",
+    "hardware_to_dict",
+    "load_plan",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_plan",
+]

@@ -1,0 +1,112 @@
+"""Cross-system comparison harness.
+
+Runs a set of workload chains through every requested system on one
+hardware model, using the shared simulator as the measurement substrate,
+and reports normalized performance — the exact structure of the paper's
+Figures 5, 6 and 7 (bars normalized to a reference system, typically
+PyTorch or TBE).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..baselines.base import SystemResult
+from ..baselines.systems import systems_for
+from ..hardware.spec import HardwareSpec
+from ..ir.chain import OperatorChain
+from ..sim.hierarchy import SimConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonRow:
+    """Results for one workload across systems."""
+
+    workload: str
+    times: Mapping[str, float]  # system name -> seconds
+    results: Mapping[str, SystemResult]
+
+    def normalized(self, reference: str) -> Dict[str, float]:
+        """Relative performance (higher is better), normalized to one system."""
+        base = self.times[reference]
+        return {name: base / value for name, value in self.times.items()}
+
+    def speedup(self, system: str, over: str) -> float:
+        return self.times[over] / self.times[system]
+
+
+@dataclasses.dataclass(frozen=True)
+class Comparison:
+    """A full figure's worth of rows."""
+
+    hardware: HardwareSpec
+    rows: Tuple[ComparisonRow, ...]
+    systems: Tuple[str, ...]
+
+    def geomean_speedup(self, system: str, over: str) -> float:
+        """Geometric-mean speedup of ``system`` over ``over`` across rows."""
+        product = 1.0
+        for row in self.rows:
+            product *= row.speedup(system, over)
+        return product ** (1.0 / len(self.rows))
+
+    def max_speedup(self, system: str, over: str) -> float:
+        return max(row.speedup(system, over) for row in self.rows)
+
+    def table(self, reference: str) -> str:
+        """Render the normalized-performance table (paper bar charts)."""
+        headers = ["workload"] + list(self.systems)
+        body = []
+        for row in self.rows:
+            normalized = row.normalized(reference)
+            body.append(
+                [row.workload]
+                + [f"{normalized[name]:.2f}" for name in self.systems]
+            )
+        widths = [len(h) for h in headers]
+        for cells in body:
+            for index, cell in enumerate(cells):
+                widths[index] = max(widths[index], len(cell))
+        widths = [w + 2 for w in widths]
+        lines = ["".join(h.ljust(w) for h, w in zip(headers, widths))]
+        for cells in body:
+            lines.append("".join(c.ljust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+
+def compare(
+    chains: Sequence[OperatorChain],
+    hardware: HardwareSpec,
+    system_keys: Tuple[str, ...] = (),
+    *,
+    sim_config: Optional[SimConfig] = None,
+    workload_names: Optional[Sequence[str]] = None,
+) -> Comparison:
+    """Run every chain through every system.
+
+    Args:
+        chains: workloads (e.g. Table IV batch GEMM chains).
+        hardware: target machine model.
+        system_keys: registry keys; empty = all systems for the backend.
+        sim_config: simulator overrides.
+        workload_names: display names (defaults to chain names).
+    """
+    systems = systems_for(hardware, system_keys)
+    if not systems:
+        raise ValueError(f"no systems available for {hardware.backend!r}")
+    names = list(workload_names or [c.name for c in chains])
+    rows: List[ComparisonRow] = []
+    for chain, label in zip(chains, names):
+        times: Dict[str, float] = {}
+        results: Dict[str, SystemResult] = {}
+        for system in systems:
+            result = system.run(chain, hardware, sim_config=sim_config)
+            times[system.name] = result.time
+            results[system.name] = result
+        rows.append(ComparisonRow(workload=label, times=times, results=results))
+    return Comparison(
+        hardware=hardware,
+        rows=tuple(rows),
+        systems=tuple(system.name for system in systems),
+    )

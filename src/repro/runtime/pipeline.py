@@ -1,0 +1,117 @@
+"""The end-to-end Chimera compilation pipeline (Figure 3).
+
+``compile_chain`` is the one-stop user API: block decomposition,
+inter-block reordering (analytical model), intra-block scheduling
+(replaceable micro kernels), and code generation — returning an executable
+:class:`FusedKernel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from .. import microkernel
+from ..codegen.kernel import FusedKernel, build_kernel
+from ..core.fusion import FusionDecision, decide_fusion
+from ..core.optimizer import ChimeraConfig, ChimeraOptimizer
+from ..core.plan import FusionPlan
+from ..hardware.spec import HardwareSpec
+from ..ir.chain import OperatorChain
+
+
+@dataclasses.dataclass(frozen=True)
+class CompileResult:
+    """Everything ``compile_chain`` produced.
+
+    Attributes:
+        kernels: executable kernels in launch order (one when fused).
+        decision: the fuse-or-not comparison, for inspection.
+    """
+
+    kernels: Tuple[FusedKernel, ...]
+    decision: FusionDecision
+
+    @property
+    def fused(self) -> bool:
+        return self.decision.use_fusion
+
+    @property
+    def predicted_time(self) -> float:
+        return sum(kernel.predicted_time for kernel in self.kernels)
+
+
+def chimera_config(
+    chain: OperatorChain,
+    hardware: HardwareSpec,
+    base: Optional[ChimeraConfig] = None,
+) -> ChimeraConfig:
+    """A config with micro-kernel tile minimums wired in for ``chain``."""
+    micro = microkernel.lower_for_chain(hardware, chain)
+    min_tiles = microkernel.chain_min_tiles(chain, micro)
+    quanta = microkernel.chain_quanta(chain, micro)
+    if base is None:
+        return ChimeraConfig(min_tiles=min_tiles, quanta=quanta)
+    merged = dict(base.min_tiles or {})
+    for name, value in min_tiles.items():
+        merged[name] = max(merged.get(name, 1), value)
+    merged_quanta = dict(base.quanta or {})
+    for name, value in quanta.items():
+        merged_quanta[name] = max(merged_quanta.get(name, 1), value)
+    return dataclasses.replace(base, min_tiles=merged, quanta=merged_quanta)
+
+
+def optimize_chain(
+    chain: OperatorChain,
+    hardware: HardwareSpec,
+    config: Optional[ChimeraConfig] = None,
+) -> FusionPlan:
+    """Run only the inter-block pass (always fusing) and attach the kernel."""
+    cfg = chimera_config(chain, hardware, config)
+    plan = ChimeraOptimizer(hardware, cfg).optimize(chain)
+    return _attach_micro_kernel(plan, hardware)
+
+
+def compile_chain(
+    chain: OperatorChain,
+    hardware: HardwareSpec,
+    config: Optional[ChimeraConfig] = None,
+    *,
+    force_fusion: Optional[bool] = None,
+) -> CompileResult:
+    """Compile an operator chain for a hardware target.
+
+    Args:
+        chain: the compute DAG segment to compile.
+        hardware: machine model (selects the micro-kernel backend and the
+            memory-hierarchy parameters).
+        config: optimizer overrides.
+        force_fusion: bypass the fuse-or-not profitability decision.
+
+    Returns:
+        executable kernels plus the planning decision.
+    """
+    cfg = chimera_config(chain, hardware, config)
+    decision = decide_fusion(chain, hardware, cfg)
+    use_fusion = decision.use_fusion if force_fusion is None else force_fusion
+    if force_fusion is not None:
+        decision = dataclasses.replace(decision, use_fusion=force_fusion)
+    chosen = (
+        (decision.fused_plan,) if use_fusion else decision.unfused_plans
+    )
+    kernels = []
+    for plan in chosen:
+        plan = _attach_micro_kernel(plan, hardware)
+        micro = microkernel.lower_for_chain(hardware, plan.chain)
+        kernels.append(build_kernel(plan, micro))
+    return CompileResult(kernels=tuple(kernels), decision=decision)
+
+
+def _attach_micro_kernel(
+    plan: FusionPlan, hardware: HardwareSpec
+) -> FusionPlan:
+    micro = microkernel.lower_for_chain(hardware, plan.chain)
+    efficiency = microkernel.chain_efficiency(
+        plan.chain, micro, dict(plan.inner.tiles)
+    )
+    return plan.with_micro_kernel(micro.name, max(efficiency, 1e-3))

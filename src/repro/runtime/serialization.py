@@ -1,0 +1,259 @@
+"""JSON serialization for chains, hardware and fusion plans.
+
+Optimizing a chain costs seconds (order enumeration plus constrained
+solves); production deployments cache the result.  This module round-trips
+the full planning state — chain IR, machine model, per-level schedules —
+through plain JSON, so plans can be persisted, diffed, and reloaded without
+re-running the optimizer.
+
+``save_plan`` / ``load_plan`` are the high-level entry points::
+
+    plan = repro.optimize_chain(chain, hw)
+    save_plan(plan, "g1.plan.json")
+    ...
+    plan = load_plan("g1.plan.json")
+    kernel = build_kernel(plan)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+from ..core.plan import FusionPlan, LevelSchedule
+from ..hardware.spec import HardwareSpec, MatrixUnit, MemoryLevel, VectorUnit
+from ..ir.access import AffineExpr, TensorAccess
+from ..ir.chain import OperatorChain
+from ..ir.dtypes import dtype as dtype_by_name
+from ..ir.loops import Loop, LoopKind
+from ..ir.operator import OperatorSpec
+from ..ir.tensor import TensorSpec
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+# ----------------------------------------------------------------------
+# IR encoding
+# ----------------------------------------------------------------------
+def _encode_expr(expr: AffineExpr) -> Dict[str, Any]:
+    return {"terms": [list(t) for t in expr.terms], "offset": expr.offset}
+
+
+def _decode_expr(data: Dict[str, Any]) -> AffineExpr:
+    return AffineExpr.of(
+        *[(name, coeff) for name, coeff in data["terms"]],
+        offset=data["offset"],
+    )
+
+
+def _encode_access(access: TensorAccess) -> Dict[str, Any]:
+    return {
+        "tensor": access.tensor,
+        "dims": [_encode_expr(d) for d in access.dims],
+    }
+
+
+def _decode_access(data: Dict[str, Any]) -> TensorAccess:
+    return TensorAccess(
+        data["tensor"], tuple(_decode_expr(d) for d in data["dims"])
+    )
+
+
+def _encode_op(op: OperatorSpec) -> Dict[str, Any]:
+    return {
+        "name": op.name,
+        "kind": op.kind,
+        "tag": op.tag,
+        "loops": [[l.name, l.extent, l.kind.value] for l in op.loops],
+        "reads": [_encode_access(a) for a in op.reads],
+        "writes": [_encode_access(a) for a in op.writes],
+        "flops": op.flops,
+        "attrs": dict(op.attrs),
+    }
+
+
+def _decode_op(data: Dict[str, Any]) -> OperatorSpec:
+    return OperatorSpec(
+        name=data["name"],
+        kind=data["kind"],
+        tag=data["tag"],
+        loops=tuple(
+            Loop(name, extent, LoopKind(kind))
+            for name, extent, kind in data["loops"]
+        ),
+        reads=tuple(_decode_access(a) for a in data["reads"]),
+        writes=tuple(_decode_access(a) for a in data["writes"]),
+        flops=data["flops"],
+        attrs=data["attrs"],
+    )
+
+
+def chain_to_dict(chain: OperatorChain) -> Dict[str, Any]:
+    """Encode a chain (operators, tensors) as JSON-ready data."""
+    return {
+        "name": chain.name,
+        "ops": [_encode_op(op) for op in chain.ops],
+        "tensors": {
+            name: {"shape": list(spec.shape), "dtype": spec.dtype.name}
+            for name, spec in chain.tensors.items()
+        },
+    }
+
+
+def chain_from_dict(data: Dict[str, Any]) -> OperatorChain:
+    """Rebuild a chain; validation re-runs on construction."""
+    tensors = {
+        name: TensorSpec(name, tuple(td["shape"]), dtype_by_name(td["dtype"]))
+        for name, td in data["tensors"].items()
+    }
+    return OperatorChain(
+        name=data["name"],
+        ops=tuple(_decode_op(od) for od in data["ops"]),
+        tensors=tensors,
+    )
+
+
+# ----------------------------------------------------------------------
+# hardware encoding
+# ----------------------------------------------------------------------
+def hardware_to_dict(hw: HardwareSpec) -> Dict[str, Any]:
+    """Encode a machine model as JSON-ready data."""
+    return {
+        "name": hw.name,
+        "backend": hw.backend,
+        "peak_flops": hw.peak_flops,
+        "num_cores": hw.num_cores,
+        "levels": [
+            {
+                "name": level.name,
+                "capacity": level.capacity,
+                "bandwidth": level.bandwidth,
+                "shared": level.shared,
+                "software_managed": level.software_managed,
+            }
+            for level in hw.levels
+        ],
+        "kernel_launch_overhead": hw.kernel_launch_overhead,
+        "vector_unit": (
+            None
+            if hw.vector_unit is None
+            else {
+                "num_registers": hw.vector_unit.num_registers,
+                "register_bits": hw.vector_unit.register_bits,
+                "fma_pipeline_depth": hw.vector_unit.fma_pipeline_depth,
+            }
+        ),
+        "matrix_unit": (
+            None
+            if hw.matrix_unit is None
+            else {
+                "name": hw.matrix_unit.name,
+                "m": hw.matrix_unit.m,
+                "n": hw.matrix_unit.n,
+                "k": hw.matrix_unit.k,
+            }
+        ),
+        "unified_buffer": hw.unified_buffer,
+        "unified_buffer_bandwidth": hw.unified_buffer_bandwidth,
+    }
+
+
+def hardware_from_dict(data: Dict[str, Any]) -> HardwareSpec:
+    """Rebuild a machine model from :func:`hardware_to_dict` output."""
+    vector_unit = data.get("vector_unit")
+    matrix_unit = data.get("matrix_unit")
+    return HardwareSpec(
+        name=data["name"],
+        backend=data["backend"],
+        peak_flops=data["peak_flops"],
+        num_cores=data["num_cores"],
+        levels=tuple(
+            MemoryLevel(
+                ld["name"], ld["capacity"], ld["bandwidth"],
+                ld["shared"], ld["software_managed"],
+            )
+            for ld in data["levels"]
+        ),
+        kernel_launch_overhead=data["kernel_launch_overhead"],
+        vector_unit=None if vector_unit is None else VectorUnit(**vector_unit),
+        matrix_unit=None if matrix_unit is None else MatrixUnit(**matrix_unit),
+        unified_buffer=data["unified_buffer"],
+        unified_buffer_bandwidth=data["unified_buffer_bandwidth"],
+    )
+
+
+# ----------------------------------------------------------------------
+# plan encoding
+# ----------------------------------------------------------------------
+def plan_to_dict(plan: FusionPlan) -> Dict[str, Any]:
+    """Encode a full fusion plan as JSON-ready data."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "chain": chain_to_dict(plan.chain),
+        "hardware": hardware_to_dict(plan.hardware),
+        "levels": [
+            {
+                "level": sched.level,
+                "order": list(sched.order),
+                "tiles": dict(sched.tiles),
+                "predicted_dv": sched.predicted_dv,
+                "predicted_mu": sched.predicted_mu,
+                "capacity": sched.capacity,
+                "bandwidth": sched.bandwidth,
+            }
+            for sched in plan.levels
+        ],
+        "fused": plan.fused,
+        "micro_kernel": plan.micro_kernel,
+        "compute_efficiency": plan.compute_efficiency,
+        "executed_flops": plan.executed_flops,
+        "notes": list(plan.notes),
+    }
+
+
+def plan_from_dict(data: Dict[str, Any]) -> FusionPlan:
+    """Rebuild a fusion plan.
+
+    Raises:
+        ValueError: for unknown format versions.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported plan format version {version!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    return FusionPlan(
+        chain=chain_from_dict(data["chain"]),
+        hardware=hardware_from_dict(data["hardware"]),
+        levels=tuple(
+            LevelSchedule(
+                level=ld["level"],
+                order=tuple(ld["order"]),
+                tiles=ld["tiles"],
+                predicted_dv=ld["predicted_dv"],
+                predicted_mu=ld["predicted_mu"],
+                capacity=ld["capacity"],
+                bandwidth=ld["bandwidth"],
+            )
+            for ld in data["levels"]
+        ),
+        fused=data["fused"],
+        micro_kernel=data["micro_kernel"],
+        compute_efficiency=data["compute_efficiency"],
+        executed_flops=data["executed_flops"],
+        notes=tuple(data["notes"]),
+    )
+
+
+def save_plan(plan: FusionPlan, path: PathLike) -> None:
+    """Serialize a plan to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(plan_to_dict(plan), indent=2))
+
+
+def load_plan(path: PathLike) -> FusionPlan:
+    """Load a plan saved by :func:`save_plan`."""
+    return plan_from_dict(json.loads(pathlib.Path(path).read_text()))

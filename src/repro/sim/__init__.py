@@ -1,0 +1,40 @@
+"""Memory-hierarchy simulator: the measurement substrate.
+
+Stands in for the paper's real devices and hardware profilers — the
+quantities Chimera optimizes (per-boundary data movement) are measured
+directly by replaying block schedules through stacked LRU region caches.
+"""
+
+from .cache import CacheStats, RegionCache
+from .hierarchy import MemoryHierarchySim, SimConfig
+from .linecache import (
+    LineHierarchySim,
+    SetAssociativeCache,
+    measure_movement_lines,
+)
+from .profiler import (
+    SimReport,
+    simulate_plan,
+    simulate_program,
+    simulate_sequence,
+)
+from .timing import movement_times, roofline_time
+from .trace import RegionAccess, trace_program
+
+__all__ = [
+    "CacheStats",
+    "RegionCache",
+    "MemoryHierarchySim",
+    "SimConfig",
+    "LineHierarchySim",
+    "SetAssociativeCache",
+    "measure_movement_lines",
+    "SimReport",
+    "simulate_plan",
+    "simulate_program",
+    "simulate_sequence",
+    "movement_times",
+    "roofline_time",
+    "RegionAccess",
+    "trace_program",
+]

@@ -1,0 +1,159 @@
+"""Region-granularity LRU cache.
+
+The simulator tracks *tile regions* (the unit the block schedule moves) as
+cache entries rather than individual lines: schedules access regions on a
+regular block grid, so reuse shows up as repeated region keys, and halo
+overlap between neighbouring regions is charged as movement — matching how
+the analytical model accounts for it (footprint x trips counts overlap
+bytes too).
+
+Write policy is write-back / write-allocate-without-fetch: a write miss
+allocates the region dirty without inbound traffic, and dirty evictions
+produce write-back traffic toward the next level out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional
+
+EvictionCallback = Callable[[Hashable, int, bool], None]
+"""Called with (key, nbytes, dirty) when an entry leaves the cache."""
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one cache level."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    fill_bytes: int = 0
+    writeback_bytes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return (
+            self.read_hits + self.read_misses
+            + self.write_hits + self.write_misses
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        if total == 0:
+            return 0.0
+        return (self.read_hits + self.write_hits) / total
+
+    @property
+    def read_hit_rate(self) -> float:
+        total = self.read_hits + self.read_misses
+        if total == 0:
+            return 0.0
+        return self.read_hits / total
+
+
+class RegionCache:
+    """An LRU cache over arbitrary hashable region keys.
+
+    Attributes:
+        name: level name for reporting.
+        capacity: bytes; ``None`` = unbounded (models DRAM: everything hits).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: Optional[int],
+        on_evict: Optional[EvictionCallback] = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"cache {name!r}: capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Tuple[int, bool]]" = OrderedDict()
+        self._used = 0
+        self._on_evict = on_evict
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def access(self, key: Hashable, nbytes: int, *, write: bool = False) -> bool:
+        """Touch a region; returns True on hit.
+
+        A miss inserts the region (dirty if writing) and evicts LRU entries
+        until the capacity holds.  A region larger than the whole cache is
+        counted as a miss and streamed through (not cached).
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            size, dirty = entry
+            self._entries.move_to_end(key)
+            if write and not dirty:
+                self._entries[key] = (size, True)
+            if write:
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+            return True
+
+        if write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+            self.stats.fill_bytes += nbytes
+        if self.capacity is not None and nbytes > self.capacity:
+            # Streaming access: too large to retain.
+            if write and self._on_evict is not None:
+                self._on_evict(key, nbytes, True)
+                self.stats.writeback_bytes += nbytes
+            return False
+        self._entries[key] = (nbytes, write)
+        self._used += nbytes
+        self._shrink()
+        return False
+
+    def _shrink(self) -> None:
+        if self.capacity is None:
+            return
+        while self._used > self.capacity and self._entries:
+            key, (size, dirty) = self._entries.popitem(last=False)
+            self._used -= size
+            if dirty:
+                self.stats.writeback_bytes += size
+            if self._on_evict is not None:
+                self._on_evict(key, size, dirty)
+
+    def flush(self, discard=None) -> None:
+        """Evict everything (end of run); dirty entries write back.
+
+        Args:
+            discard: optional predicate on keys; matching entries are
+                dropped without a write-back (dead data — e.g. a fused
+                kernel's intermediate tensors, which no one will read).
+        """
+        while self._entries:
+            key, (size, dirty) = self._entries.popitem(last=False)
+            self._used -= size
+            if discard is not None and discard(key):
+                continue
+            if dirty:
+                self.stats.writeback_bytes += size
+            if self._on_evict is not None:
+                self._on_evict(key, size, dirty)
+
+    def invalidate_clean(self) -> None:
+        """Drop clean entries without write-backs (kernel boundary on GPU)."""
+        dirty_entries = OrderedDict(
+            (k, v) for k, v in self._entries.items() if v[1]
+        )
+        self._used = sum(size for size, _ in dirty_entries.values())
+        self._entries = dirty_entries

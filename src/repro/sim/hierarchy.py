@@ -1,0 +1,116 @@
+"""Stacked multi-level cache hierarchy.
+
+On-chip levels are inclusive LRU region caches; DRAM is the implicit
+backing store.  Reads walk inward-out until they hit, filling every missed
+level on the way; writes land in the innermost level and dirty evictions
+ripple outward.  The traffic crossing boundary ``d`` (between level ``d``
+and level ``d+1``, DRAM being the outermost) is::
+
+    traffic[d] = fills into level d + write-backs out of level d
+
+which is exactly the quantity the analytical ``DV_d`` predicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, List, Optional
+
+from ..hardware.spec import HardwareSpec
+from .cache import CacheStats, RegionCache
+
+
+@dataclasses.dataclass(frozen=True)
+class SimConfig:
+    """Simulator knobs.
+
+    Attributes:
+        shared_capacity_per_core: when True (default), shared levels expose
+            ``capacity / num_cores`` to the sequentially simulated block
+            stream — modelling the contention of one block per core, and
+            matching the per-block capacity the optimizer constrains
+            against.  When False the stream sees full capacities.
+    """
+
+    shared_capacity_per_core: bool = True
+
+
+class MemoryHierarchySim:
+    """Simulates one device's cache hierarchy over a region access stream."""
+
+    def __init__(
+        self, hardware: HardwareSpec, config: Optional[SimConfig] = None
+    ) -> None:
+        self.hardware = hardware
+        self.config = config or SimConfig()
+        self.caches: List[RegionCache] = []
+        for level in hardware.on_chip_levels:
+            capacity = level.capacity
+            if level.shared and self.config.shared_capacity_per_core:
+                capacity = hardware.per_block_capacity(level)
+            self.caches.append(RegionCache(level.name, capacity))
+        # Chain dirty evictions outward: an eviction from level d becomes a
+        # write into level d+1 (no fill — write-allocate-without-fetch).
+        for index in range(len(self.caches) - 1):
+            outer = self.caches[index + 1]
+            self.caches[index]._on_evict = _make_spill(outer)
+
+    # ------------------------------------------------------------------
+    def read(self, key: Hashable, nbytes: int) -> None:
+        """Read a region: walk inward-out, filling every missed level."""
+        for cache in self.caches:
+            if cache.access(key, nbytes, write=False):
+                return
+        # Missed everywhere: satisfied by DRAM (fills already counted).
+
+    def write(self, key: Hashable, nbytes: int) -> None:
+        """Write a region into the innermost level (write-back policy)."""
+        self.caches[0].access(key, nbytes, write=True)
+
+    def flush(self, discard_tensors: frozenset = frozenset()) -> None:
+        """Drain all dirty data to DRAM (end of measurement).
+
+        Args:
+            discard_tensors: names of tensors whose dirty regions are dead
+                (a fused kernel's on-chip intermediates) — dropped instead
+                of written back.
+        """
+        if discard_tensors:
+            def discard(key) -> bool:
+                return (
+                    isinstance(key, tuple)
+                    and bool(key)
+                    and key[0] in discard_tensors
+                )
+        else:
+            discard = None
+        for cache in self.caches:
+            cache.flush(discard)
+
+    # ------------------------------------------------------------------
+    def boundary_traffic(self) -> Dict[str, float]:
+        """Bytes crossing each level's outer boundary, by level name."""
+        return {
+            cache.name: float(cache.stats.fill_bytes + cache.stats.writeback_bytes)
+            for cache in self.caches
+        }
+
+    def dram_traffic(self) -> float:
+        """Bytes that crossed the chip boundary (outermost level's total)."""
+        outer = self.caches[-1]
+        return float(outer.stats.fill_bytes + outer.stats.writeback_bytes)
+
+    def stats(self) -> Dict[str, CacheStats]:
+        """Per-level hit/miss counters, keyed by level name."""
+        return {cache.name: cache.stats for cache in self.caches}
+
+
+def _make_spill(outer: RegionCache):
+    def spill(key: Hashable, nbytes: int, dirty: bool) -> None:
+        if dirty:
+            # The written-back region lands in the outer level under its own
+            # key (write-allocate-without-fetch): inclusive copies turn this
+            # into a write hit, so no spurious fill traffic is charged.
+            outer.access(key, nbytes, write=True)
+
+    return spill

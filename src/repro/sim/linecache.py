@@ -1,0 +1,219 @@
+"""Line-granularity set-associative cache simulation.
+
+The primary measurement substrate (:mod:`repro.sim.cache`) tracks *tile
+regions* — fast, and faithful to how block schedules move data.  This
+module provides the ground-truth cross-check: a classic set-associative
+LRU cache over 64-byte lines, with tensors laid out row-major in a flat
+address space, exactly what the paper's hardware profilers measured.
+
+It is orders of magnitude slower (every element row becomes line touches),
+so it is used on scaled-down problems to validate that the region
+simulator and Algorithm 1 agree with real-cache behaviour
+(``tests/test_linecache.py``, Figure 8's credibility check).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..codegen.executor import virtual_shapes
+from ..codegen.program import BlockProgram
+from ..hardware.spec import HardwareSpec
+from .cache import CacheStats
+from .trace import trace_program
+
+
+class SetAssociativeCache:
+    """An N-way set-associative LRU cache over fixed-size lines."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        line_bytes: int = 64,
+        ways: int = 8,
+    ) -> None:
+        if capacity < line_bytes * ways:
+            ways = max(1, capacity // line_bytes)
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = max(1, capacity // (line_bytes * ways))
+        self.stats = CacheStats()
+        # Per set: list of (tag, dirty), most recently used last.
+        self._sets: List[List[Tuple[int, bool]]] = [
+            [] for _ in range(self.num_sets)
+        ]
+
+    def access(self, line: int, *, write: bool = False) -> bool:
+        """Touch one line number; returns True on hit.
+
+        Misses fill the line (counted in ``fill_bytes`` for reads) and may
+        evict the set's LRU way (dirty evictions count as write-backs).
+        """
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        ways = self._sets[index]
+        for position, (resident, dirty) in enumerate(ways):
+            if resident == tag:
+                ways.pop(position)
+                ways.append((tag, dirty or write))
+                if write:
+                    self.stats.write_hits += 1
+                else:
+                    self.stats.read_hits += 1
+                return True
+        if write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+            self.stats.fill_bytes += self.line_bytes
+        ways.append((tag, write))
+        if len(ways) > self.ways:
+            _, dirty = ways.pop(0)
+            if dirty:
+                self.stats.writeback_bytes += self.line_bytes
+        return False
+
+    def flush(self) -> None:
+        """Write back all dirty lines."""
+        for ways in self._sets:
+            for _, dirty in ways:
+                if dirty:
+                    self.stats.writeback_bytes += self.line_bytes
+            ways.clear()
+
+    @property
+    def traffic(self) -> float:
+        return float(self.stats.fill_bytes + self.stats.writeback_bytes)
+
+
+@dataclasses.dataclass(frozen=True)
+class TensorLayout:
+    """Row-major placement of one tensor in the flat address space."""
+
+    base: int
+    shape: Tuple[int, ...]
+    strides: Tuple[int, ...]  # in elements
+    elem_bytes: int
+
+
+def build_layouts(chain) -> Dict[str, TensorLayout]:
+    """Assign every tensor a line-aligned row-major address range."""
+    layouts: Dict[str, TensorLayout] = {}
+    cursor = 0
+    shapes = virtual_shapes(chain)
+    for name, spec in chain.tensors.items():
+        shape = shapes[name]
+        strides = [1] * len(shape)
+        for axis in range(len(shape) - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * shape[axis + 1]
+        layouts[name] = TensorLayout(
+            base=cursor,
+            shape=tuple(shape),
+            strides=tuple(strides),
+            elem_bytes=spec.dtype.nbytes,
+        )
+        nbytes = strides[0] * shape[0] * spec.dtype.nbytes
+        cursor += (nbytes + 4095) // 4096 * 4096  # page-align tensors
+    return layouts
+
+
+def region_lines(
+    layout: TensorLayout,
+    region: Tuple[Tuple[int, int], ...],
+    line_bytes: int = 64,
+) -> Iterator[Tuple[int, int]]:
+    """Yield (first_line, last_line) spans covering a rectangular region.
+
+    One span per contiguous row of the region (the innermost dimension is
+    contiguous in row-major layout).
+    """
+    lo_last, hi_last = region[-1]
+    if hi_last <= lo_last:
+        return
+    outer_ranges = region[:-1]
+
+    def recurse(axis: int, offset: int) -> Iterator[Tuple[int, int]]:
+        if axis == len(outer_ranges):
+            start = (offset + lo_last * layout.strides[-1]) * layout.elem_bytes
+            stop = (offset + (hi_last - 1) * layout.strides[-1] + 1) * layout.elem_bytes
+            yield (
+                (layout.base * layout.elem_bytes + start) // line_bytes,
+                (layout.base * layout.elem_bytes + stop - 1) // line_bytes,
+            )
+            return
+        lo, hi = outer_ranges[axis]
+        for index in range(lo, hi):
+            yield from recurse(axis + 1, offset + index * layout.strides[axis])
+
+    yield from recurse(0, 0)
+
+
+class LineHierarchySim:
+    """Stacked set-associative line caches (the ground-truth model)."""
+
+    def __init__(
+        self,
+        hardware: HardwareSpec,
+        *,
+        line_bytes: int = 64,
+        ways: int = 8,
+        shared_capacity_per_core: bool = True,
+    ) -> None:
+        self.hardware = hardware
+        self.line_bytes = line_bytes
+        self.caches: List[SetAssociativeCache] = []
+        for level in hardware.on_chip_levels:
+            capacity = level.capacity
+            if level.shared and shared_capacity_per_core:
+                capacity = hardware.per_block_capacity(level)
+            self.caches.append(
+                SetAssociativeCache(level.name, int(capacity), line_bytes, ways)
+            )
+
+    def access_line(self, line: int, *, write: bool = False) -> None:
+        if write:
+            self.caches[0].access(line, write=True)
+            return
+        for cache in self.caches:
+            if cache.access(line):
+                return
+
+    def access_span(self, first: int, last: int, *, write: bool = False) -> None:
+        for line in range(first, last + 1):
+            self.access_line(line, write=write)
+
+    def flush(self) -> None:
+        for cache in self.caches:
+            cache.flush()
+
+    def boundary_traffic(self) -> Dict[str, float]:
+        """Bytes crossing each level's outer boundary (fills + write-backs)."""
+        return {cache.name: cache.traffic for cache in self.caches}
+
+
+def measure_movement_lines(
+    chain,
+    hardware: HardwareSpec,
+    program: BlockProgram,
+    level: Optional[str] = None,
+    *,
+    line_bytes: int = 64,
+    ways: int = 8,
+) -> float:
+    """Line-granularity measured traffic at one boundary for a schedule.
+
+    Slow (element-row expansion); intended for small validation problems.
+    """
+    if level is None:
+        level = hardware.innermost.name
+    layouts = build_layouts(chain)
+    sim = LineHierarchySim(hardware, line_bytes=line_bytes, ways=ways)
+    for access in trace_program(program):
+        layout = layouts[access.tensor]
+        for first, last in region_lines(layout, access.region, line_bytes):
+            sim.access_span(first, last, write=access.write)
+    sim.flush()
+    return sim.boundary_traffic()[level]

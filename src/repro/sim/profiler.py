@@ -1,0 +1,224 @@
+"""Profiling fusion plans on the simulated memory hierarchy.
+
+This is the reproduction's stand-in for the paper's hardware profiling
+(VTune / nvprof / NPU profilers): it executes a plan's block schedule
+against :class:`MemoryHierarchySim` and reports measured per-boundary
+traffic, cache hit rates and roofline time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..codegen.program import BlockProgram, lower_plan
+from ..core.movement import executed_flops
+from ..core.plan import FusionPlan
+from ..hardware.spec import HardwareSpec
+from .cache import CacheStats
+from .hierarchy import MemoryHierarchySim, SimConfig
+from .timing import movement_times, roofline_time
+
+
+@dataclasses.dataclass(frozen=True)
+class SimReport:
+    """Measured execution profile of one kernel (or kernel sequence).
+
+    Attributes:
+        name: workload name.
+        hardware: machine model simulated.
+        boundary_traffic: bytes crossing each on-chip level's outer
+            boundary (the outermost entry is DRAM traffic).
+        level_stats: per-level hit/miss counters.
+        flops: floating point operations executed (includes recomputation).
+        efficiency: sustained compute efficiency used for timing.
+        launches: kernel launches in the sequence.
+        blocks: computation blocks executed.
+        launch_overhead_factor: per-system multiplier on the hardware's
+            launch overhead (framework dispatch costs, graph runtimes).
+        extra_stage_time: additional pipeline-stage time that bounds the
+            kernel (the NPU Unified Buffer staging fused intermediates).
+    """
+
+    name: str
+    hardware: HardwareSpec
+    boundary_traffic: Mapping[str, float]
+    level_stats: Mapping[str, CacheStats]
+    flops: float
+    efficiency: float
+    launches: int
+    blocks: int
+    launch_overhead_factor: float = 1.0
+    extra_stage_time: float = 0.0
+
+    @property
+    def dram_traffic(self) -> float:
+        outer = self.hardware.on_chip_levels[-1].name
+        return self.boundary_traffic[outer]
+
+    def traffic(self, level_name: str) -> float:
+        return self.boundary_traffic[level_name]
+
+    def hit_rate(self, level_name: str) -> float:
+        return self.level_stats[level_name].hit_rate
+
+    @property
+    def movement_times(self) -> Dict[str, float]:
+        return movement_times(self.hardware, self.boundary_traffic)
+
+    @property
+    def compute_time(self) -> float:
+        return self.hardware.compute_time(self.flops, self.efficiency)
+
+    @property
+    def time(self) -> float:
+        base = roofline_time(
+            self.hardware,
+            self.flops,
+            self.efficiency,
+            self.boundary_traffic,
+            launches=0,
+        )
+        overhead = (
+            self.launches
+            * self.hardware.kernel_launch_overhead
+            * self.launch_overhead_factor
+        )
+        return max(base, self.extra_stage_time) + overhead
+
+    def describe(self) -> str:
+        lines = [
+            f"sim report {self.name} on {self.hardware.name}: "
+            f"{self.time * 1e6:.1f}us "
+            f"({self.launches} launches, {self.blocks} blocks)"
+        ]
+        lines.append(
+            f"  compute: {self.compute_time * 1e6:.1f}us "
+            f"({self.flops / 1e9:.2f} GFLOP @ eff {self.efficiency:.2f})"
+        )
+        for level, traffic in self.boundary_traffic.items():
+            t = self.movement_times[level]
+            hit = self.hit_rate(level)
+            lines.append(
+                f"  {level}: traffic {traffic / 1e6:.2f}MB "
+                f"({t * 1e6:.1f}us), hit rate {hit:.3f}"
+            )
+        if self.extra_stage_time > 0:
+            lines.append(
+                f"  unified buffer stage: {self.extra_stage_time * 1e6:.1f}us"
+            )
+        return "\n".join(lines)
+
+
+def _run_trace(
+    sim: MemoryHierarchySim, program: BlockProgram
+) -> int:
+    from .trace import trace_program
+
+    for access in trace_program(program):
+        if access.write:
+            sim.write(access.key, access.nbytes)
+        else:
+            sim.read(access.key, access.nbytes)
+    return program.block_count()
+
+
+def simulate_program(
+    program: BlockProgram,
+    hardware: HardwareSpec,
+    *,
+    efficiency: float = 1.0,
+    launches: int = 1,
+    name: Optional[str] = None,
+    config: Optional[SimConfig] = None,
+) -> SimReport:
+    """Measure one block program on a fresh hierarchy.
+
+    Dirty regions of the program's intermediate tensors are dead at kernel
+    end (their consumers already ran inside the fused kernel) and are
+    discarded rather than written back.
+    """
+    sim = MemoryHierarchySim(hardware, config)
+    blocks = _run_trace(sim, program)
+    sim.flush(frozenset(program.chain.intermediate_tensors()))
+    flops = executed_flops(program.chain, program.order, program.tiles)
+    return SimReport(
+        name=name or program.chain.name,
+        hardware=hardware,
+        boundary_traffic=sim.boundary_traffic(),
+        level_stats=sim.stats(),
+        flops=flops,
+        efficiency=efficiency,
+        launches=launches,
+        blocks=blocks,
+    )
+
+
+def simulate_plan(
+    plan: FusionPlan,
+    *,
+    config: Optional[SimConfig] = None,
+    name: Optional[str] = None,
+) -> SimReport:
+    """Measure a fusion plan through its full tiling hierarchy."""
+    program = lower_plan(plan)
+    launches = 1 if plan.fused else len(plan.chain.ops)
+    report = simulate_program(
+        program,
+        plan.hardware,
+        efficiency=plan.compute_efficiency,
+        launches=launches,
+        name=name or plan.chain.name,
+        config=config,
+    )
+    return dataclasses.replace(
+        report, extra_stage_time=plan.unified_buffer_cost
+    )
+
+
+def simulate_sequence(
+    plans: Sequence[FusionPlan],
+    *,
+    name: str,
+    config: Optional[SimConfig] = None,
+    launch_overhead_factor: float = 1.0,
+) -> SimReport:
+    """Measure a sequence of kernels sharing one (warm) cache hierarchy.
+
+    This models a library/compiler baseline running the chain as separate
+    kernel launches: intermediates may still be resident in outer caches
+    when the next kernel starts, but every kernel pays its launch overhead
+    and its own inner-level traffic.
+    """
+    if not plans:
+        raise ValueError("simulate_sequence needs at least one plan")
+    hardware = plans[0].hardware
+    sim = MemoryHierarchySim(hardware, config)
+    blocks = 0
+    flops = 0.0
+    worst_efficiency = 1.0
+    dead: set = set()
+    for plan in plans:
+        program = lower_plan(plan)
+        blocks += _run_trace(sim, program)
+        inner = plan.inner
+        flops += executed_flops(plan.chain, inner.order, inner.tiles)
+        worst_efficiency = min(worst_efficiency, plan.compute_efficiency)
+        # Intermediates *within* one kernel are dead once it retires;
+        # tensors passed between kernels of the sequence are not.
+        dead.update(plan.chain.intermediate_tensors())
+    sim.flush(frozenset(dead))
+    return SimReport(
+        name=name,
+        hardware=hardware,
+        boundary_traffic=sim.boundary_traffic(),
+        level_stats=sim.stats(),
+        flops=flops,
+        efficiency=worst_efficiency,
+        launches=len(plans),
+        blocks=blocks,
+        launch_overhead_factor=launch_overhead_factor,
+        extra_stage_time=max(
+            (plan.unified_buffer_cost for plan in plans), default=0.0
+        ),
+    )

@@ -1,0 +1,47 @@
+"""Roofline timing from simulated traffic.
+
+Execution time of a kernel is the slowest pipeline stage — compute at the
+micro kernel's sustained efficiency, or any memory boundary's traffic at its
+bandwidth (Eq. 2/3 applied to *measured* traffic) — plus fixed launch
+overhead per kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..hardware.spec import HardwareSpec
+
+
+def movement_times(
+    hardware: HardwareSpec, boundary_traffic: Mapping[str, float]
+) -> dict:
+    """Seconds per memory boundary, keyed by the inner level's name."""
+    times = {}
+    for index, level in enumerate(hardware.on_chip_levels):
+        traffic = boundary_traffic.get(level.name, 0.0)
+        bandwidth = hardware.levels[index + 1].bandwidth
+        times[level.name] = traffic / bandwidth
+    return times
+
+
+def roofline_time(
+    hardware: HardwareSpec,
+    flops: float,
+    efficiency: float,
+    boundary_traffic: Mapping[str, float],
+    launches: int = 1,
+) -> float:
+    """Total kernel-sequence time under the roofline model.
+
+    Args:
+        hardware: machine model.
+        flops: floating point operations actually executed.
+        efficiency: sustained fraction of peak compute.
+        boundary_traffic: bytes crossing each level's outer boundary.
+        launches: number of kernel launches in the sequence.
+    """
+    compute = hardware.compute_time(flops, efficiency)
+    movement = movement_times(hardware, boundary_traffic)
+    slowest = max(movement.values()) if movement else 0.0
+    return max(compute, slowest) + launches * hardware.kernel_launch_overhead

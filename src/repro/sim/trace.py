@@ -1,0 +1,76 @@
+"""Region access traces from block programs.
+
+Each computation block reads tiles of its input tensors and writes a tile
+of its output; the trace is the resulting stream of (tensor, region) touches
+in execution order.  Region keys are derived from clamped element ranges, so
+edge blocks and halo overlap behave exactly like on the device.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Tuple
+
+from ..codegen.executor import virtual_shapes
+from ..codegen.program import BlockProgram, Ranges
+from ..ir.operator import OperatorSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionAccess:
+    """One tile touch.
+
+    Attributes:
+        tensor: tensor name.
+        region: per-dimension half-open (lo, hi) ranges — the region key.
+        nbytes: region size in bytes (clamped).
+        write: True for output-tile stores.
+    """
+
+    tensor: str
+    region: Tuple[Tuple[int, int], ...]
+    nbytes: int
+    write: bool
+
+    @property
+    def key(self) -> Tuple:
+        return (self.tensor, self.region)
+
+
+def _op_ranges(op: OperatorSpec, block: Ranges) -> Ranges:
+    ranges: Ranges = {}
+    for loop in op.loops:
+        ranges[loop.name] = block.get(loop.name, (0, loop.extent))
+    return ranges
+
+
+def trace_program(program: BlockProgram) -> Iterator[RegionAccess]:
+    """Yield the region access stream of a block program."""
+    chain = program.chain
+    shapes = virtual_shapes(chain)
+    dtype_bytes = {
+        name: spec.dtype.nbytes for name, spec in chain.tensors.items()
+    }
+    for op, block in program.iterate_blocks():
+        ranges = _op_ranges(op, block)
+        for access in op.reads:
+            region = access.region_from_ranges(ranges, shapes[access.tensor])
+            nbytes = _region_bytes(region, dtype_bytes[access.tensor])
+            if nbytes:
+                yield RegionAccess(access.tensor, region, nbytes, write=False)
+        for access in op.writes:
+            region = access.region_from_ranges(ranges, shapes[access.tensor])
+            nbytes = _region_bytes(region, dtype_bytes[access.tensor])
+            if nbytes:
+                yield RegionAccess(access.tensor, region, nbytes, write=True)
+
+
+def _region_bytes(
+    region: Tuple[Tuple[int, int], ...], elem_bytes: int
+) -> int:
+    elems = 1
+    for lo, hi in region:
+        if hi <= lo:
+            return 0
+        elems *= hi - lo
+    return elems * elem_bytes

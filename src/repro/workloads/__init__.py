@@ -1,0 +1,44 @@
+"""Evaluation workloads: Tables I, IV, V and the Figure 9 networks."""
+
+from .breakdown import Breakdown, model_breakdown
+from .conv_chains import (
+    TABLE_V,
+    ConvChainConfig,
+    all_conv_chains,
+    conv_chain_config,
+)
+from .gemm_chains import (
+    TABLE_IV,
+    GemmChainConfig,
+    all_gemm_chains,
+    gemm_chain_config,
+)
+from .networks import (
+    NETWORKS,
+    NetworkConfig,
+    NetworkTiming,
+    build_network,
+    is_fusable_chain,
+    network_config,
+    network_time,
+)
+
+__all__ = [
+    "Breakdown",
+    "model_breakdown",
+    "TABLE_V",
+    "ConvChainConfig",
+    "all_conv_chains",
+    "conv_chain_config",
+    "TABLE_IV",
+    "GemmChainConfig",
+    "all_gemm_chains",
+    "gemm_chain_config",
+    "NETWORKS",
+    "NetworkConfig",
+    "NetworkTiming",
+    "build_network",
+    "is_fusable_chain",
+    "network_config",
+    "network_time",
+]

@@ -1,0 +1,70 @@
+"""Table I: execution-time breakdown of ML models.
+
+The paper motivates Chimera by showing that memory-bound attention batch
+GEMMs take 26-40% of model time under a library runtime.  The breakdown
+here times every operator of a network as its own library kernel
+(PyTorch-style) and buckets the time:
+
+* ``%BMM`` — the attention batch GEMMs (memory-bound),
+* ``%CI``  — all other compute-intensive operators,
+* ``%MI``  — memory-intensive operators (softmax, LayerNorm, GELU, ...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..baselines.systems import get_system
+from ..hardware.spec import HardwareSpec
+from ..ir.chain import single_op_chain
+from .networks import NetworkConfig, build_network
+
+
+@dataclasses.dataclass(frozen=True)
+class Breakdown:
+    """One row of Table I."""
+
+    network: str
+    mi_fraction: float
+    ci_fraction: float
+    bmm_fraction: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.network}: %MI={self.mi_fraction * 100:.2f} "
+            f"%CI={self.ci_fraction * 100:.2f} "
+            f"%BMM={self.bmm_fraction * 100:.2f}"
+        )
+
+
+def _bucket(tag: str) -> str:
+    if tag == "batch_gemm":
+        return "bmm"
+    if tag in ("gemm", "conv2d"):
+        return "ci"
+    return "mi"
+
+
+def model_breakdown(
+    config: NetworkConfig,
+    hardware: HardwareSpec,
+    *,
+    system: str = "pytorch",
+) -> Breakdown:
+    """Time every operator as a separate kernel and bucket the shares."""
+    dag = build_network(config)
+    runner = get_system(system)
+    totals: Dict[str, float] = {"mi": 0.0, "ci": 0.0, "bmm": 0.0}
+    for node in dag.nodes:
+        for op in node.chain.ops:
+            sub = single_op_chain(op, node.chain.tensors)
+            result = runner.run(sub, hardware)
+            totals[_bucket(op.tag)] += result.time * node.repeat
+    grand = sum(totals.values())
+    return Breakdown(
+        network=config.name,
+        mi_fraction=totals["mi"] / grand,
+        ci_fraction=totals["ci"] / grand,
+        bmm_fraction=totals["bmm"] / grand,
+    )

@@ -1,0 +1,94 @@
+"""Table V: the convolution chain configurations C1-C8.
+
+The first convolution is ``(batch, IC, H, W) x (OC1, IC, k1, k1)`` with
+stride ``st1``; the second reads its output with ``(OC2, OC1, k2, k2)`` and
+stride ``st2``.  The layers come from SqueezeNet, Yolo, ResNet and
+Inception-style CNNs; C6 (1x1 then 3x3 from ResNet) is the paper's example
+of a compute-bound second convolution where fusion does not pay off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from ..ir.chain import OperatorChain
+from ..ir.chains import conv_chain
+from ..ir.dtypes import DType, FP16
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvChainConfig:
+    """One row of Table V."""
+
+    name: str
+    ic: int
+    h: int
+    w: int
+    oc1: int
+    oc2: int
+    st1: int
+    st2: int
+    k1: int
+    k2: int
+
+    def build(
+        self,
+        *,
+        batch: int = 1,
+        with_relu: bool = False,
+        dtype: DType = FP16,
+    ) -> OperatorChain:
+        chain = conv_chain(
+            batch,
+            self.ic,
+            self.h,
+            self.w,
+            self.oc1,
+            self.oc2,
+            self.st1,
+            self.st2,
+            self.k1,
+            self.k2,
+            with_relu=with_relu,
+            dtype=dtype,
+        )
+        suffix = "+relu" if with_relu else ""
+        return chain.with_name(f"{self.name}{suffix}")
+
+
+TABLE_V: Tuple[ConvChainConfig, ...] = (
+    ConvChainConfig("C1", 64, 112, 112, 192, 128, 2, 1, 3, 1),
+    ConvChainConfig("C2", 32, 147, 147, 64, 80, 2, 1, 3, 1),
+    ConvChainConfig("C3", 64, 56, 56, 128, 64, 1, 1, 3, 1),
+    ConvChainConfig("C4", 128, 28, 28, 256, 128, 1, 1, 3, 1),
+    ConvChainConfig("C5", 16, 227, 227, 64, 16, 4, 1, 3, 1),
+    ConvChainConfig("C6", 64, 56, 56, 64, 64, 1, 1, 1, 3),
+    ConvChainConfig("C7", 64, 56, 56, 64, 64, 1, 1, 1, 1),
+    ConvChainConfig("C8", 256, 56, 56, 256, 64, 1, 1, 1, 1),
+)
+
+_BY_NAME: Dict[str, ConvChainConfig] = {c.name: c for c in TABLE_V}
+
+
+def conv_chain_config(name: str) -> ConvChainConfig:
+    """Look up a Table V row by name (``"C1"`` .. ``"C8"``).
+
+    Raises:
+        KeyError: listing the known names.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown conv chain {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def all_conv_chains(
+    *, batch: int = 1, with_relu: bool = False
+) -> Tuple[OperatorChain, ...]:
+    """All of C1-C8 as chains."""
+    return tuple(
+        config.build(batch=batch, with_relu=with_relu) for config in TABLE_V
+    )

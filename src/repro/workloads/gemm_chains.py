@@ -1,0 +1,93 @@
+"""Table IV: the batch GEMM chain configurations G1-G12.
+
+``(batch, M, K) x (batch, K, L)`` is the first batch GEMM;
+``(batch, M, L) x (batch, L, N)`` is the second.  G1-G9 come from
+Bert/ViT attention layers, G10-G12 from MLP-Mixer token mixing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..ir.chain import OperatorChain
+from ..ir.chains import batch_gemm_chain
+from ..ir.dtypes import DType, FP16
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmChainConfig:
+    """One row of Table IV."""
+
+    name: str
+    batch: int
+    m: int
+    n: int
+    k: int
+    l: int
+    network: str
+
+    def build(
+        self,
+        *,
+        with_softmax: bool = False,
+        batch_override: Optional[int] = None,
+        dtype: DType = FP16,
+    ) -> OperatorChain:
+        """Instantiate the chain (``batch_override=1`` for the NPU runs)."""
+        batch = batch_override if batch_override is not None else self.batch
+        chain = batch_gemm_chain(
+            batch,
+            self.m,
+            self.n,
+            self.k,
+            self.l,
+            with_softmax=with_softmax,
+            dtype=dtype,
+        )
+        suffix = "+softmax" if with_softmax else ""
+        return chain.with_name(f"{self.name}{suffix}")
+
+
+TABLE_IV: Tuple[GemmChainConfig, ...] = (
+    GemmChainConfig("G1", 8, 512, 64, 64, 512, "Bert-Small"),
+    GemmChainConfig("G2", 12, 512, 64, 64, 512, "Bert-Base"),
+    GemmChainConfig("G3", 16, 512, 64, 64, 512, "Bert-Large"),
+    GemmChainConfig("G4", 12, 256, 64, 64, 256, "ViT-Base/14"),
+    GemmChainConfig("G5", 16, 256, 64, 64, 256, "ViT-Large/14"),
+    GemmChainConfig("G6", 16, 256, 80, 80, 256, "ViT-Huge/14"),
+    GemmChainConfig("G7", 12, 208, 64, 64, 208, "ViT-Base/16"),
+    GemmChainConfig("G8", 16, 208, 64, 64, 208, "ViT-Large/16"),
+    GemmChainConfig("G9", 16, 208, 80, 80, 208, "ViT-Huge/16"),
+    GemmChainConfig("G10", 1, 512, 64, 64, 256, "MLP-Mixer"),
+    GemmChainConfig("G11", 1, 768, 64, 64, 384, "MLP-Mixer"),
+    GemmChainConfig("G12", 1, 1024, 64, 64, 512, "MLP-Mixer"),
+)
+
+_BY_NAME: Dict[str, GemmChainConfig] = {c.name: c for c in TABLE_IV}
+
+
+def gemm_chain_config(name: str) -> GemmChainConfig:
+    """Look up a Table IV row by name (``"G1"`` .. ``"G12"``).
+
+    Raises:
+        KeyError: listing the known names.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GEMM chain {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def all_gemm_chains(
+    *,
+    with_softmax: bool = False,
+    batch_override: Optional[int] = None,
+) -> Tuple[OperatorChain, ...]:
+    """All of G1-G12 as chains."""
+    return tuple(
+        config.build(with_softmax=with_softmax, batch_override=batch_override)
+        for config in TABLE_IV
+    )

@@ -1,0 +1,166 @@
+"""Whole-network graphs: Transformer, Bert, ViT (Figure 9 / Table I).
+
+Each encoder layer contributes:
+
+* the QKV projection and output projection (compute-intensive GEMMs),
+* the attention batch GEMM chain with softmax (the fusable target),
+* the two FFN GEMMs with a GELU between,
+* residual LayerNorms (memory-intensive).
+
+Only the attention batch GEMM chain is replaced by Chimera in the paper's
+end-to-end runs (Relay+Chimera); everything else runs under the host
+compiler, which :func:`network_time` models by timing chain nodes and
+non-chain nodes with independently chosen systems.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping
+
+from ..baselines.systems import get_system
+from ..hardware.spec import HardwareSpec
+from ..ir import builders
+from ..ir.chains import batch_gemm_chain
+from ..ir.dtypes import FP16
+from ..ir.graph import ComputeDAG, GraphBuilder, GraphNode
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkConfig:
+    """Transformer-family network hyperparameters.
+
+    Attributes:
+        name: display name (e.g. ``"Bert-Base"``).
+        layers: encoder layer count.
+        heads: attention heads (the batch of the BMM chain).
+        seq: sequence length (tokens or patches).
+        head_dim: per-head dimension.
+        ffn_mult: FFN expansion factor.
+    """
+
+    name: str
+    layers: int
+    heads: int
+    seq: int
+    head_dim: int
+    ffn_mult: int = 4
+
+    @property
+    def hidden(self) -> int:
+        return self.heads * self.head_dim
+
+
+NETWORKS: Dict[str, NetworkConfig] = {
+    "TF-Small": NetworkConfig("TF-Small", 6, 8, 512, 64),
+    "TF-Base": NetworkConfig("TF-Base", 12, 12, 512, 64),
+    "TF-Large": NetworkConfig("TF-Large", 24, 16, 512, 64),
+    "Bert-Small": NetworkConfig("Bert-Small", 4, 8, 512, 64),
+    "Bert-Base": NetworkConfig("Bert-Base", 12, 12, 512, 64),
+    "Bert-Large": NetworkConfig("Bert-Large", 24, 16, 512, 64),
+    "ViT-Base/14": NetworkConfig("ViT-Base/14", 12, 12, 256, 64),
+    "ViT-Large/14": NetworkConfig("ViT-Large/14", 24, 16, 256, 64),
+    "ViT-Huge/14": NetworkConfig("ViT-Huge/14", 32, 16, 256, 80),
+}
+
+
+def network_config(name: str) -> NetworkConfig:
+    """Look up a network preset.
+
+    Raises:
+        KeyError: listing known names.
+    """
+    try:
+        return NETWORKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; known: {sorted(NETWORKS)}"
+        ) from None
+
+
+def build_network(config: NetworkConfig) -> ComputeDAG:
+    """One encoder layer's graph, with ``repeat=layers`` on every node."""
+    builder = GraphBuilder(config.name)
+    seq, hidden = config.seq, config.hidden
+    repeat = config.layers
+
+    qkv_op, qkv_tensors = builders.gemm(
+        "qkv_proj", seq, hidden, 3 * hidden, dtype=FP16
+    )
+    qkv = builder.add_op(qkv_op, qkv_tensors, repeat=repeat)
+
+    attention = batch_gemm_chain(
+        config.heads,
+        seq,
+        config.head_dim,
+        config.head_dim,
+        seq,
+        with_softmax=True,
+    ).with_name(f"{config.name}-attention")
+    attn = builder.add_chain(attention, deps=[qkv], repeat=repeat)
+
+    out_op, out_tensors = builders.gemm("out_proj", seq, hidden, hidden)
+    out = builder.add_op(out_op, out_tensors, deps=[attn], repeat=repeat)
+
+    ln1_op, ln1_tensors = builders.layer_norm("ln1", (seq, hidden))
+    ln1 = builder.add_op(ln1_op, ln1_tensors, deps=[out], repeat=repeat)
+
+    ffn1_op, ffn1_tensors = builders.gemm(
+        "ffn1", seq, hidden, config.ffn_mult * hidden
+    )
+    ffn1 = builder.add_op(ffn1_op, ffn1_tensors, deps=[ln1], repeat=repeat)
+
+    gelu_op, gelu_tensors = builders.gelu(
+        "ffn_gelu", (seq, config.ffn_mult * hidden)
+    )
+    act = builder.add_op(gelu_op, gelu_tensors, deps=[ffn1], repeat=repeat)
+
+    ffn2_op, ffn2_tensors = builders.gemm(
+        "ffn2", seq, config.ffn_mult * hidden, hidden
+    )
+    ffn2 = builder.add_op(ffn2_op, ffn2_tensors, deps=[act], repeat=repeat)
+
+    ln2_op, ln2_tensors = builders.layer_norm("ln2", (seq, hidden))
+    builder.add_op(ln2_op, ln2_tensors, deps=[ffn2], repeat=repeat)
+
+    return builder.build()
+
+
+def is_fusable_chain(node: GraphNode) -> bool:
+    """Whether a node is a compute-intensive chain (Chimera's target)."""
+    return len(node.chain.compute_intensive_ops()) >= 2
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkTiming:
+    """Per-node measured times for one (network, system pairing) run."""
+
+    network: str
+    node_times: Mapping[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.node_times.values())
+
+
+def network_time(
+    dag: ComputeDAG,
+    hardware: HardwareSpec,
+    *,
+    base_system: str,
+    chain_system: str,
+) -> "NetworkTiming":
+    """Time a network with one system for chains and one for the rest.
+
+    This mirrors the paper's Figure 9 setup, where Relay hosts the graph
+    and the attention batch GEMM chain kernels come from TensorRT, cuDNN,
+    Ansor or Chimera.
+    """
+    base = get_system(base_system)
+    chain_sys = get_system(chain_system)
+    node_times: Dict[str, float] = {}
+    for node in dag.nodes:
+        system = chain_sys if is_fusable_chain(node) else base
+        result = system.run(node.chain, hardware)
+        node_times[node.name] = result.time * node.repeat
+    return NetworkTiming(network=dag.name, node_times=node_times)

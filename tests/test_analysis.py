@@ -1,0 +1,146 @@
+"""Tests for validation, reporting, comparison, and ablation."""
+
+import pytest
+
+from repro.analysis import (
+    TABLE_II,
+    geomean,
+    render_series,
+    render_table,
+    render_table_ii,
+    validate_model,
+)
+from repro.hardware import xeon_gold_6240
+from repro.ir.chains import batch_gemm_chain, gemm_chain
+from repro.runtime import ablation_study, compare
+from repro.runtime.ablation import VARIANTS
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return xeon_gold_6240()
+
+
+class TestValidation:
+    @pytest.mark.slow
+    def test_high_r_squared_with_reuse(self, cpu):
+        chain = gemm_chain(512, 512, 512, 512)
+        result = validate_model(
+            chain, cpu, ("m", "l", "k", "n"), samples=25, seed=3
+        )
+        assert len(result.points) >= 20
+        assert result.r_squared > 0.95
+        assert result.mean_relative_error < 0.10
+
+    @pytest.mark.slow
+    def test_no_reuse_variant_moves_more(self, cpu):
+        chain = gemm_chain(512, 512, 512, 512)
+        with_reuse = validate_model(
+            chain, cpu, ("m", "l", "k", "n"), samples=20, seed=3
+        )
+        without = validate_model(
+            chain, cpu, ("m", "l", "k", "n"), samples=20, seed=3,
+            reuse_intermediates=False,
+        )
+        assert without.r_squared > 0.95
+        assert (
+            without.best_measured().measured
+            > with_reuse.best_measured().measured
+        )
+
+    @pytest.mark.slow
+    def test_predicted_optimum_near_measured_optimum(self, cpu):
+        chain = gemm_chain(512, 512, 512, 512)
+        result = validate_model(
+            chain, cpu, ("m", "l", "k", "n"), samples=30, seed=1
+        )
+        best_pred = result.best_predicted()
+        best_meas = result.best_measured()
+        assert best_pred.measured <= best_meas.measured * 1.1
+
+    def test_r_squared_degenerate_cases(self):
+        from repro.analysis.validation import ValidationPoint, ValidationResult
+
+        empty = ValidationResult("x", ("m",), "L1", ())
+        assert empty.r_squared == 0.0
+        flat = ValidationResult(
+            "x", ("m",), "L1",
+            tuple(ValidationPoint({}, 1.0, float(i)) for i in range(3)),
+        )
+        assert flat.r_squared == 0.0  # zero predictor variance
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_series(self):
+        text = render_series({"x": [1.0, 2.5]})
+        assert text == "x: 1.00 2.50"
+
+    def test_table_ii_rows(self):
+        names = [row["name"] for row in TABLE_II]
+        assert names[-1] == "Chimera"
+        assert "BOLT" in names and "Ansor" in names
+        text = render_table_ii()
+        assert "Replaceable Micro Kernel" in text
+        assert "Minimize Data Movement" in text
+
+    def test_chimera_only_system_supporting_all_backends(self):
+        full_support = [
+            row["name"]
+            for row in TABLE_II
+            if (row["cpu"], row["gpu"], row["npu"]) == ("Yes", "Yes", "Yes")
+            and row["codegen"] == "Yes"
+            and "Micro Kernel" in row["intra"]
+        ]
+        assert full_support == ["Chimera"]
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
+
+
+class TestComparison:
+    @pytest.mark.slow
+    def test_compare_structure(self, cpu):
+        chains = [batch_gemm_chain(2, 128, 64, 64, 128)]
+        comp = compare(
+            chains, cpu, ("relay", "chimera"), workload_names=["W"]
+        )
+        assert comp.systems == ("Relay", "Chimera")
+        row = comp.rows[0]
+        assert row.workload == "W"
+        normalized = row.normalized("Relay")
+        assert normalized["Relay"] == pytest.approx(1.0)
+        assert comp.geomean_speedup("Chimera", "Relay") == pytest.approx(
+            row.speedup("Chimera", "Relay")
+        )
+        assert "Chimera" in comp.table("Relay")
+
+    def test_no_systems_raises(self, cpu):
+        with pytest.raises(ValueError):
+            compare([gemm_chain(8, 8, 8, 8)], cpu, ("tensorrt",))
+
+
+class TestAblation:
+    def test_variant_definitions(self):
+        names = [v.name for v in VARIANTS]
+        assert names == ["baseline", "v-C", "v-F", "v-M", "Chimera"]
+        full = VARIANTS[-1]
+        assert full.cost_model and full.fusion and full.micro_kernel
+
+    @pytest.mark.slow
+    def test_all_components_on_wins(self, cpu):
+        chain = batch_gemm_chain(8, 512, 64, 64, 512)
+        times = ablation_study(chain, cpu)
+        assert set(times) == {"baseline", "v-C", "v-F", "v-M", "Chimera"}
+        assert times["Chimera"] <= min(
+            times["baseline"], times["v-C"], times["v-F"], times["v-M"]
+        )

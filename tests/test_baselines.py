@@ -1,0 +1,169 @@
+"""Tests for the baseline system machinery."""
+
+import pytest
+
+from repro.baselines import (
+    PROFILES,
+    SystemProfile,
+    default_order,
+    get_system,
+    segment_chain,
+    subchain,
+    systems_for,
+    template_plan,
+    tuned_plan,
+)
+from repro.hardware import a100, ascend_910, xeon_gold_6240
+from repro.ir.chains import batch_gemm_chain, conv_chain, gemm_chain
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return xeon_gold_6240()
+
+
+class TestSegmentation:
+    def test_none_splits_every_op(self):
+        chain = batch_gemm_chain(2, 32, 16, 16, 32, with_softmax=True)
+        kernels = segment_chain(chain, "none")
+        assert [len(k.ops) for k in kernels] == [1, 1, 1]
+
+    def test_epilogue_folds_elementwise(self):
+        chain = conv_chain(1, 8, 16, 16, 12, 10, with_relu=True)
+        kernels = segment_chain(chain, "epilogue")
+        assert [tuple(op.tag for op in k.ops) for k in kernels] == [
+            ("conv2d", "relu"),
+            ("conv2d", "relu"),
+        ]
+
+    def test_epilogue_keeps_softmax_separate(self):
+        chain = batch_gemm_chain(2, 32, 16, 16, 32, with_softmax=True)
+        kernels = segment_chain(chain, "epilogue")
+        assert [tuple(op.tag for op in k.ops) for k in kernels] == [
+            ("batch_gemm",),
+            ("softmax",),
+            ("batch_gemm",),
+        ]
+
+    def test_fused_modes_keep_chain_whole(self):
+        chain = batch_gemm_chain(2, 32, 16, 16, 32)
+        assert len(segment_chain(chain, "fixed-order")) == 1
+        assert len(segment_chain(chain, "chimera")) == 1
+
+    def test_subchain_io_classification(self):
+        chain = batch_gemm_chain(2, 32, 16, 16, 32)
+        sub = subchain(chain, [chain.op("gemm2")])
+        assert "C" in sub.io_tensors()  # intermediate becomes IO
+
+
+class TestDefaultOrder:
+    def test_pure_reductions_last(self):
+        # k is a reduction everywhere; l is spatial in gemm1 (appears as a
+        # spatial loop first), so only k must trail the spatial loops.
+        chain = gemm_chain(32, 32, 32, 32)
+        order = default_order(chain)
+        assert order.index("k") > order.index("m")
+        assert order.index("k") > order.index("n")
+        assert order.index("k") > order.index("l")
+
+    def test_degenerate_loops_excluded(self):
+        chain = batch_gemm_chain(1, 32, 16, 16, 32)
+        assert "b" not in default_order(chain)
+
+
+class TestTemplatePlan:
+    def test_fits_capacity(self, cpu):
+        chain = gemm_chain(512, 512, 512, 512)
+        plan = template_plan(chain, cpu, base_tile=64)
+        for sched in plan.levels:
+            assert sched.predicted_mu <= sched.capacity
+
+    def test_producer_reduction_whole_at_outer_levels(self, cpu):
+        # k (the first GEMM's private reduction) stays whole above the
+        # innermost level; l (shared) may tile anywhere.
+        chain = batch_gemm_chain(2, 128, 64, 64, 128)
+        plan = template_plan(chain, cpu, base_tile=64)
+        extents = chain.loop_extents()
+        for sched in plan.levels[1:]:
+            assert sched.tiles["k"] == extents["k"]
+
+    def test_smaller_template_more_movement(self, cpu):
+        chain = gemm_chain(512, 512, 512, 512)
+        small = template_plan(chain, cpu, base_tile=16)
+        large = template_plan(chain, cpu, base_tile=128)
+        assert small.outer.predicted_dv >= large.outer.predicted_dv
+
+
+class TestTunedPlan:
+    def test_deterministic(self, cpu):
+        chain = gemm_chain(256, 256, 256, 256)
+        plan_a, _ = tuned_plan(chain, cpu, trials=30, seed=5)
+        plan_b, _ = tuned_plan(chain, cpu, trials=30, seed=5)
+        assert dict(plan_a.inner.tiles) == dict(plan_b.inner.tiles)
+
+    def test_more_trials_never_worse(self, cpu):
+        chain = gemm_chain(512, 512, 512, 512)
+        few, _ = tuned_plan(chain, cpu, trials=6, seed=1)
+        many, _ = tuned_plan(chain, cpu, trials=300, seed=1)
+        assert many.outer.predicted_dv <= few.outer.predicted_dv * 1.001
+
+    def test_trials_reported(self, cpu):
+        chain = gemm_chain(64, 64, 64, 64)
+        _, used = tuned_plan(chain, cpu, trials=42)
+        assert used == 42
+
+    def test_randomized_order_changes_with_seed(self, cpu):
+        chain = gemm_chain(256, 256, 256, 256)
+        orders = {
+            tuned_plan(chain, cpu, trials=5, seed=s, randomize_order=True)[0]
+            .outer.order
+            for s in range(6)
+        }
+        assert len(orders) > 1
+
+
+class TestSystems:
+    def test_registry_lookup(self):
+        assert get_system("chimera").name == "Chimera"
+        with pytest.raises(KeyError, match="chimera"):
+            get_system("tvm")
+
+    def test_backend_filtering(self):
+        cpu_systems = {s.name for s in systems_for(xeon_gold_6240())}
+        assert "TensorRT" not in cpu_systems and "PyTorch" in cpu_systems
+        npu_systems = {s.name for s in systems_for(ascend_910())}
+        assert npu_systems == {"TBE", "AKG", "Chimera"}
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            SystemProfile("x", "magic", "optimal")
+        with pytest.raises(ValueError):
+            SystemProfile("x", "none", "oracle")
+
+    def test_unsupported_backend_raises(self):
+        chain = gemm_chain(64, 64, 64, 64)
+        with pytest.raises(ValueError, match="backend"):
+            get_system("tensorrt").run(chain, xeon_gold_6240())
+
+    def test_run_produces_result(self, cpu):
+        chain = batch_gemm_chain(2, 64, 32, 32, 64)
+        result = get_system("relay").run(chain, cpu)
+        assert result.time > 0
+        assert result.report.launches == 2  # two unfused GEMM kernels
+        assert result.system == "Relay"
+
+    def test_ansor_counts_tune_trials(self, cpu):
+        chain = batch_gemm_chain(2, 64, 32, 32, 64)
+        result = get_system("ansor").run(chain, cpu)
+        assert result.tune_trials == 2 * PROFILES["ansor"].tune_trials
+
+    def test_chimera_beats_template_baselines(self, cpu):
+        chain = batch_gemm_chain(8, 512, 64, 64, 512)
+        chimera = get_system("chimera").run(chain, cpu)
+        relay = get_system("relay").run(chain, cpu)
+        assert chimera.time < relay.time
+
+    def test_fixed_order_fuses_but_one_kernel(self):
+        chain = batch_gemm_chain(2, 64, 32, 32, 64)
+        result = get_system("tvm-cutlass").run(chain, a100())
+        assert result.report.launches == 1

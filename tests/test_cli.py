@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "G12" in out and "C8" in out and "chimera" in out
+
+    def test_plan_gemm_chain(self, capsys):
+        assert main(["plan", "G10", "--hw", "xeon-gold-6240"]) == 0
+        out = capsys.readouterr().out
+        assert "FusionPlan" in out and "sim report" in out
+
+    def test_plan_with_source(self, capsys):
+        assert main(["plan", "G10", "--source"]) == 0
+        out = capsys.readouterr().out
+        assert "fused kernel" in out
+
+    @pytest.mark.slow
+    def test_plan_conv_chain(self, capsys):
+        assert main(["plan", "C7", "--hw", "a100", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out
+
+    @pytest.mark.slow
+    def test_compare_subset(self, capsys):
+        assert main([
+            "compare", "G10", "--systems", "relay,chimera",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Chimera" in out and "Relay" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--size", "256", "--samples", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "R^2" in out
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["plan", "X9"])

@@ -1,0 +1,92 @@
+"""Tests for source emission and the FusedKernel artifact."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import build_kernel, emit_source, lower_schedule
+from repro.codegen.program import lower_plan
+from repro.core.optimizer import ChimeraOptimizer
+from repro.hardware import a100, ascend_910, xeon_gold_6240
+from repro.ir.chains import batch_gemm_chain, conv_chain, gemm_chain
+from repro.microkernel import lower_for_chain
+from repro.runtime import compile_chain
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return xeon_gold_6240()
+
+
+@pytest.fixture(scope="module")
+def plan(cpu):
+    chain = batch_gemm_chain(2, 64, 32, 32, 64)
+    return ChimeraOptimizer(cpu).optimize(chain)
+
+
+class TestSourceEmission:
+    def test_header_metadata(self, plan):
+        program = lower_plan(plan)
+        source = emit_source(plan, program)
+        assert f"// target: {plan.hardware.name}" in source
+        assert "// block order:" in source
+        assert "// tiles:" in source
+
+    def test_intermediate_buffer_declared(self, plan):
+        program = lower_plan(plan)
+        source = emit_source(plan, program)
+        assert "C_buf[" in source
+        assert "onchip_t" in source
+
+    def test_micro_kernel_call_sites(self, plan, cpu):
+        kernel = lower_for_chain(cpu, plan.chain)
+        program = lower_plan(plan)
+        source = emit_source(plan, program, kernel)
+        assert "avx512-outer-product<batch_gemm>" in source
+
+    def test_function_signature_lists_io_tensors(self, plan):
+        program = lower_plan(plan)
+        source = emit_source(plan, program)
+        for tensor in plan.chain.io_tensors():
+            assert f"tensor_t {tensor}" in source
+
+    def test_loop_nest_emitted(self, plan):
+        program = lower_plan(plan)
+        source = emit_source(plan, program)
+        assert source.count("for (") >= len(plan.outer.order)
+
+    def test_identifier_sanitization(self, cpu):
+        chain = gemm_chain(32, 32, 32, 32, name="weird-name+1")
+        plan = ChimeraOptimizer(cpu).optimize(chain)
+        source = emit_source(plan, lower_plan(plan))
+        assert "void weird_name_1(" in source
+
+
+class TestFusedKernel:
+    def test_build_and_call(self, plan):
+        kernel = build_kernel(plan)
+        inputs = {
+            name: np.random.default_rng(0).standard_normal(
+                plan.chain.tensors[name].shape
+            )
+            for name in plan.chain.input_tensors()
+        }
+        outputs = kernel(inputs)
+        assert set(outputs) == set(plan.chain.output_tensors())
+
+    def test_predicted_time_passthrough(self, plan):
+        kernel = build_kernel(plan)
+        assert kernel.predicted_time == plan.predicted_time
+        assert kernel.chain is plan.chain
+
+    def test_source_property(self, plan):
+        kernel = build_kernel(plan)
+        assert "fused kernel" in kernel.source
+
+    def test_backend_specific_kernel_names(self):
+        chain = batch_gemm_chain(2, 64, 32, 32, 64)
+        for hw, expected in (
+            (a100(), "tensorcore-wmma-2x2"),
+            (ascend_910(), "cube-mad"),
+        ):
+            result = compile_chain(chain, hw, force_fusion=True)
+            assert result.kernels[0].plan.micro_kernel == expected

@@ -1,0 +1,39 @@
+"""Reproducibility: planning and measurement must be deterministic."""
+
+import pytest
+
+from repro.core.optimizer import ChimeraOptimizer
+from repro.hardware import a100, xeon_gold_6240
+from repro.ir.chains import batch_gemm_chain, conv_chain
+from repro.sim import simulate_plan
+
+
+class TestDeterminism:
+    def test_optimizer_is_deterministic(self):
+        chain = batch_gemm_chain(4, 256, 64, 64, 256)
+        hw = xeon_gold_6240()
+        plan_a = ChimeraOptimizer(hw).optimize(chain)
+        plan_b = ChimeraOptimizer(hw).optimize(chain)
+        for sched_a, sched_b in zip(plan_a.levels, plan_b.levels):
+            assert sched_a.order == sched_b.order
+            assert dict(sched_a.tiles) == dict(sched_b.tiles)
+        assert plan_a.predicted_time == plan_b.predicted_time
+
+    def test_simulation_is_deterministic(self):
+        chain = batch_gemm_chain(2, 128, 64, 64, 128)
+        hw = a100()
+        plan = ChimeraOptimizer(hw).optimize(chain)
+        report_a = simulate_plan(plan)
+        report_b = simulate_plan(plan)
+        assert report_a.boundary_traffic == report_b.boundary_traffic
+        assert report_a.time == report_b.time
+
+    @pytest.mark.slow
+    def test_conv_planning_deterministic(self):
+        chain = conv_chain(1, 32, 28, 28, 64, 32, 1, 1, 3, 1)
+        hw = a100()
+        orders = {
+            ChimeraOptimizer(hw).optimize(chain).outer.order
+            for _ in range(3)
+        }
+        assert len(orders) == 1

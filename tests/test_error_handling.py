@@ -1,0 +1,65 @@
+"""Error paths: the library must fail loudly and helpfully."""
+
+import pytest
+
+from repro.baselines import get_system
+from repro.core.movement import MovementModel
+from repro.hardware import xeon_gold_6240
+from repro.ir import builders
+from repro.ir.chains import fuse_sequence, gemm_chain
+from repro.runtime.serialization import plan_from_dict
+
+
+class TestHelpfulErrors:
+    def test_unknown_system_lists_candidates(self):
+        with pytest.raises(KeyError) as err:
+            get_system("tvm")
+        assert "chimera" in str(err.value)
+
+    def test_unknown_preset_lists_candidates(self):
+        from repro.hardware import preset
+
+        with pytest.raises(KeyError) as err:
+            preset("h100")
+        assert "a100" in str(err.value)
+
+    def test_bad_permutation_names_the_loops(self):
+        chain = gemm_chain(8, 8, 8, 8)
+        with pytest.raises(ValueError) as err:
+            MovementModel(chain, ("m", "l", "k", "q"))
+        assert "q" in str(err.value)
+
+    def test_chain_access_to_missing_tensor(self):
+        chain = gemm_chain(8, 8, 8, 8)
+        with pytest.raises(KeyError):
+            chain.op("gemm1").access_of("Z")
+        with pytest.raises(KeyError):
+            chain.op("nope")
+
+    def test_fuse_non_plain_output_rejected(self):
+        # A producer whose output index is already an affine halo
+        # expression (it was fused under a 3x3 consumer) cannot be fused
+        # again through the plain-loop mapping.
+        from repro.ir.chains import conv_chain
+
+        fused = conv_chain(1, 4, 8, 8, 4, 4, 1, 1, 1, 3)
+        conv1 = fused.op("conv1")  # output dims are (oh + rh2, ...)
+        downstream = builders.relu(
+            "r2", (1, 4, 8, 8), src="Y1", out="R2"
+        )
+        with pytest.raises(ValueError, match="plain loop"):
+            fuse_sequence(
+                "bad", [(conv1, dict(fused.tensors)), downstream]
+            )
+
+    def test_plan_format_error_message(self):
+        with pytest.raises(ValueError, match="format version"):
+            plan_from_dict({"format_version": None})
+
+    def test_comparison_requires_known_reference(self):
+        from repro.runtime import compare
+
+        chain = gemm_chain(32, 32, 32, 32)
+        comp = compare([chain], xeon_gold_6240(), ("relay", "chimera"))
+        with pytest.raises(KeyError):
+            comp.rows[0].normalized("PyTorch")

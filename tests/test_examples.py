@@ -1,0 +1,45 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "numerical check" in out
+        assert "generated kernel" in out
+
+    def test_plan_caching(self, capsys):
+        out = _run("plan_caching.py", capsys)
+        assert "fully self-contained" in out
+
+    def test_attention_fusion(self, capsys):
+        out = _run("attention_fusion.py", capsys)
+        assert "fused softmax numerics: OK" in out
+        assert "Chimera" in out
+
+    def test_multi_backend(self, capsys):
+        out = _run("multi_backend.py", capsys)
+        for kernel in ("avx512-outer-product", "tensorcore-wmma-2x2",
+                       "cube-mad"):
+            assert kernel in out
+
+    def test_model_validation(self, capsys):
+        out = _run("model_validation.py", capsys)
+        assert "R^2" in out
+
+    def test_conv_chain_fusion(self, capsys):
+        out = _run("conv_chain_fusion.py", capsys)
+        assert "halo recomputation factor" in out

@@ -1,0 +1,124 @@
+"""Tests for the extension chains: QK^T layout and conv towers.
+
+The paper's Section IV-B notes the analysis generalizes beyond two
+compute-intensive operators; these tests exercise exactly that.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.codegen import (
+    execute_program,
+    execute_reference,
+    lower_schedule,
+    random_inputs,
+)
+from repro.core.movement import MovementModel, algorithm1
+from repro.core.optimizer import ChimeraOptimizer
+from repro.hardware import a100, xeon_gold_6240
+from repro.ir.chains import batch_gemm_chain, conv_tower
+
+
+def _order(chain):
+    extents = chain.loop_extents()
+    return tuple(n for n in chain.independent_loops() if extents[n] > 1)
+
+
+class TestQktLayout:
+    def test_transposed_operand_shape(self):
+        chain = batch_gemm_chain(2, 32, 16, 16, 32, qkt_layout=True)
+        assert chain.tensors["B"].shape == (2, 32, 16)  # [b, L, K]
+
+    def test_numerics(self):
+        chain = batch_gemm_chain(
+            2, 32, 16, 16, 32, with_softmax=True, qkt_layout=True
+        )
+        program = lower_schedule(
+            chain, ("b", "m", "l", "k", "n"),
+            {"b": 1, "m": 8, "l": 8, "k": 8, "n": 8},
+        )
+        inputs = random_inputs(chain, 0)
+        got = execute_program(program, inputs)
+        ref = execute_reference(chain, inputs)
+        np.testing.assert_allclose(got["E"], ref["E"], rtol=1e-9, atol=1e-11)
+
+    def test_movement_model_sees_transposed_access(self):
+        # Under mlkn, B[b, l, k] flips at k just like B[b, k, l] — the DV
+        # total is layout-independent, only the footprint axes swap.
+        plain = batch_gemm_chain(2, 64, 32, 32, 64)
+        qkt = batch_gemm_chain(2, 64, 32, 32, 64, qkt_layout=True)
+        tiles = {"b": 2, "m": 16, "l": 16, "k": 8, "n": 8}
+        order = ("b", "m", "l", "k", "n")
+        dv_plain, _ = algorithm1(plain, order, tiles)
+        dv_qkt, _ = algorithm1(qkt, order, tiles)
+        assert dv_plain == pytest.approx(dv_qkt)
+
+    @pytest.mark.slow
+    def test_pipeline_on_gpu(self):
+        chain = batch_gemm_chain(
+            4, 128, 64, 64, 128, with_softmax=True, qkt_layout=True
+        )
+        result = repro.compile_chain(chain, a100(), force_fusion=True)
+        inputs = random_inputs(chain, 1)
+        outputs = result.kernels[0](inputs)
+        ref = execute_reference(chain, inputs)
+        np.testing.assert_allclose(outputs["E"], ref["E"], rtol=1e-9)
+
+
+class TestConvTower:
+    def test_structure_three_stages(self):
+        chain = conv_tower(1, 4, 16, 16, [6, 8, 5], [3, 1, 3])
+        assert [op.name for op in chain.ops] == ["conv0", "conv1", "conv2"]
+        assert chain.intermediate_tensors() == ("T0", "T1")
+        assert chain.io_tensors() == ("X", "W0", "W1", "W2", "T2")
+
+    def test_halo_composes_through_stages(self):
+        chain = conv_tower(1, 4, 16, 16, [6, 8, 5], [3, 1, 3])
+        x_access = chain.op("conv0").access_of("X")
+        h_dim = x_access.dims[2]
+        # All three kernel offsets appear in the first conv's input index.
+        assert h_dim.coeff("rh0") == 1
+        assert h_dim.coeff("rh2") == 1
+
+    def test_private_reductions_per_stage(self):
+        chain = conv_tower(1, 4, 16, 16, [6, 8, 5], [3, 1, 3])
+        conv0_private = set(chain.private_loops(chain.op("conv0")))
+        assert {"ic0", "rh0", "rw0"} == conv0_private
+
+    def test_numerics_with_strides(self):
+        chain = conv_tower(2, 4, 12, 12, [6, 5], [3, 3], [2, 1])
+        order = _order(chain)
+        program = lower_schedule(chain, order, {n: 3 for n in order})
+        inputs = random_inputs(chain, 5)
+        got = execute_program(program, inputs)
+        ref = execute_reference(chain, inputs)
+        out = chain.output_tensors()[0]
+        np.testing.assert_allclose(got[out], ref[out], rtol=1e-9, atol=1e-11)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            conv_tower(1, 4, 16, 16, [6, 8], [3])
+        with pytest.raises(ValueError, match="at least two"):
+            conv_tower(1, 4, 16, 16, [6], [3])
+        with pytest.raises(ValueError, match="strides"):
+            conv_tower(1, 4, 16, 16, [6, 8], [3, 3], [1])
+
+    @pytest.mark.slow
+    def test_optimizer_handles_three_op_chain(self):
+        chain = conv_tower(1, 16, 28, 28, [32, 32, 16], [1, 3, 1])
+        plan = ChimeraOptimizer(xeon_gold_6240()).optimize(chain)
+        assert plan.fused
+        assert plan.executed_flops >= chain.total_flops() * 0.99
+        # Algorithm 1 must still find a feasible multi-level schedule.
+        for sched in plan.levels:
+            assert sched.predicted_mu <= sched.capacity * 1.0001
+
+    @pytest.mark.slow
+    def test_three_op_movement_model_consistency(self):
+        chain = conv_tower(1, 8, 16, 16, [8, 8, 8], [1, 3, 1])
+        order = _order(chain)
+        tiles = {n: 4 for n in chain.loop_extents()}
+        dv_ref, mu_ref = algorithm1(chain, order, tiles)
+        model = MovementModel(chain, order)
+        assert model.volume(tiles) == pytest.approx(dv_ref)

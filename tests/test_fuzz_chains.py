@@ -1,0 +1,153 @@
+"""Fuzzing: random linear chains must plan, execute and model correctly.
+
+A generator assembles random chains — GEMM / batch GEMM / conv / depthwise
+stages with random shapes, interleaved with random element-wise operators —
+then three properties are checked under random block orders and tilings:
+
+1. the block-structured execution matches the whole-operator reference;
+2. ``algorithm1`` (the paper's literal transcription) agrees with the
+   optimizer's compiled :class:`MovementModel` on DV;
+3. the full optimizer produces feasible schedules at every memory level.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    execute_program,
+    execute_reference,
+    lower_schedule,
+    random_inputs,
+)
+from repro.core.movement import MovementModel, algorithm1
+from repro.core.optimizer import ChimeraOptimizer
+from repro.hardware import xeon_gold_6240
+from repro.ir import builders
+from repro.ir.chains import fuse_sequence
+
+
+def _random_chain(rng: random.Random):
+    """A random 2-4 stage linear chain with compatible shapes."""
+    kind = rng.choice(["gemm", "conv"])
+    stages = []
+    if kind == "gemm":
+        batch = rng.choice([1, 2, 3])
+        m = rng.choice([12, 16, 24])
+        size = rng.choice([8, 12, 16])
+        stages.append(
+            builders.batch_gemm(
+                "s0", batch, m, rng.choice([8, 12]), size,
+                lhs="A", rhs="B0", out="T0",
+            )
+        )
+        current = ("T0", (batch, m, size))
+        extra = rng.randint(0, 2)
+        for index in range(1, 1 + extra):
+            if rng.random() < 0.4:
+                op = rng.choice([builders.relu, builders.gelu])
+                stages.append(
+                    op(f"e{index}", current[1],
+                       src=current[0], out=f"T{index}")
+                )
+                current = (f"T{index}", current[1])
+            else:
+                new_size = rng.choice([8, 12, 16])
+                stages.append(
+                    builders.batch_gemm(
+                        f"s{index}", batch, m, current[1][2], new_size,
+                        lhs=current[0], rhs=f"B{index}", out=f"T{index}",
+                    )
+                )
+                current = (f"T{index}", (batch, m, new_size))
+        # Always end on a compute stage so the chain is CI-terminated.
+        stages.append(
+            builders.batch_gemm(
+                "sf", batch, m, current[1][2], rng.choice([8, 16]),
+                lhs=current[0], rhs="Bf", out="Y",
+            )
+        )
+    else:
+        batch = 1
+        channels = rng.choice([3, 4, 6])
+        h = w = rng.choice([8, 10, 12])
+        k1 = rng.choice([1, 3])
+        st1 = rng.choice([1, 2])
+        oc1 = rng.choice([4, 6])
+        stages.append(
+            builders.conv2d(
+                "c0", batch, channels, h, w, oc1, k1, st1,
+                data="X", weight="W0", out="T0",
+            )
+        )
+        h, w = h // st1, w // st1
+        current = ("T0", (batch, oc1, h, w))
+        if rng.random() < 0.5:
+            stages.append(
+                builders.relu("e1", current[1], src=current[0], out="T1")
+            )
+            current = ("T1", current[1])
+        k2 = rng.choice([1, 3])
+        stages.append(
+            builders.conv2d(
+                "cf", batch, oc1, h, w, rng.choice([4, 5]), k2, 1,
+                data=current[0], weight="Wf", out="Y",
+            )
+        )
+    return fuse_sequence(f"fuzz_{kind}", stages)
+
+
+def _random_order_and_tiles(rng: random.Random, chain):
+    extents = chain.loop_extents()
+    order = [n for n in chain.independent_loops() if extents[n] > 1]
+    rng.shuffle(order)
+    tiles = {
+        n: rng.choice([t for t in (2, 3, 4, 8) if t <= extents[n]] or [1])
+        for n in extents
+    }
+    return tuple(order), tiles
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzzed_chain_execution_matches_reference(seed):
+    rng = random.Random(seed)
+    chain = _random_chain(rng)
+    order, tiles = _random_order_and_tiles(rng, chain)
+    program = lower_schedule(chain, order, tiles)
+    inputs = random_inputs(chain, seed)
+    got = execute_program(program, inputs)
+    reference = execute_reference(chain, inputs)
+    for name, expected in reference.items():
+        np.testing.assert_allclose(
+            got[name], expected, rtol=1e-9, atol=1e-11,
+            err_msg=f"seed {seed} chain {chain.describe()}",
+        )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzzed_chain_model_consistency(seed):
+    rng = random.Random(100 + seed)
+    chain = _random_chain(rng)
+    order, tiles = _random_order_and_tiles(rng, chain)
+    dv_literal, _ = algorithm1(chain, order, tiles)
+    model = MovementModel(chain, order)
+    assert model.volume(tiles) == pytest.approx(dv_literal)
+    assert model.volume(tiles) >= chain.io_bytes() * (1 - 1e-9)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(6))
+def test_fuzzed_chain_plans_feasibly(seed):
+    rng = random.Random(200 + seed)
+    chain = _random_chain(rng)
+    plan = ChimeraOptimizer(xeon_gold_6240()).optimize(chain)
+    for sched in plan.levels:
+        assert sched.predicted_mu <= sched.capacity * 1.0001, chain.describe()
+    inputs = random_inputs(chain, seed)
+    from repro.codegen import execute_plan
+
+    got = execute_plan(plan, inputs)
+    reference = execute_reference(chain, inputs)
+    for name, expected in reference.items():
+        np.testing.assert_allclose(got[name], expected, rtol=1e-9, atol=1e-11)

@@ -1,0 +1,51 @@
+"""Tests for compute DAGs."""
+
+import pytest
+
+from repro.ir import builders
+from repro.ir.chains import batch_gemm_chain
+from repro.ir.graph import ComputeDAG, GraphBuilder, GraphNode
+
+
+class TestGraphBuilder:
+    def test_add_ops_and_chains(self):
+        builder = GraphBuilder("net")
+        op, tensors = builders.gemm("proj", 64, 64, 64)
+        a = builder.add_op(op, tensors, repeat=3)
+        chain = batch_gemm_chain(2, 64, 32, 32, 64)
+        b = builder.add_chain(chain, deps=[a])
+        dag = builder.build()
+        assert dag.node(a).repeat == 3
+        assert dag.node(b).deps == (a,)
+        assert len(dag.nodes) == 2
+
+    def test_total_flops_scales_with_repeat(self):
+        builder = GraphBuilder("net")
+        op, tensors = builders.gemm("proj", 64, 64, 64)
+        builder.add_op(op, tensors, repeat=5)
+        dag = builder.build()
+        assert dag.total_flops() == 5 * op.flops
+
+    def test_unknown_node_raises(self):
+        dag = GraphBuilder("net").build()
+        with pytest.raises(KeyError):
+            dag.node("missing")
+
+
+class TestValidation:
+    def test_forward_dependency_rejected(self):
+        chain = batch_gemm_chain(1, 16, 16, 16, 16)
+        node_a = GraphNode("a", chain, deps=("b",))
+        node_b = GraphNode("b", chain)
+        with pytest.raises(ValueError, match="precede"):
+            ComputeDAG("bad", (node_a, node_b))
+
+    def test_duplicate_names_rejected(self):
+        chain = batch_gemm_chain(1, 16, 16, 16, 16)
+        with pytest.raises(ValueError, match="duplicate"):
+            ComputeDAG("bad", (GraphNode("x", chain), GraphNode("x", chain)))
+
+    def test_bad_repeat_rejected(self):
+        chain = batch_gemm_chain(1, 16, 16, 16, 16)
+        with pytest.raises(ValueError, match="repeat"):
+            GraphNode("x", chain, repeat=0)

@@ -1,0 +1,125 @@
+"""Tests for hardware machine models."""
+
+import pytest
+
+from repro.hardware import (
+    HardwareSpec,
+    MemoryLevel,
+    a100,
+    all_presets,
+    ascend_910,
+    preset,
+    xeon_gold_6240,
+)
+
+
+class TestPresets:
+    def test_table_i_peak_performance(self):
+        assert xeon_gold_6240().peak_flops == 12e12
+        assert a100().peak_flops == 312e12
+        assert ascend_910().peak_flops == 320e12
+
+    def test_table_i_dram_bandwidth(self):
+        assert xeon_gold_6240().dram_bandwidth == 131e9
+        assert a100().dram_bandwidth == 1555e9
+        assert ascend_910().dram_bandwidth == 1200e9
+
+    def test_table_i_machine_balance(self):
+        # Flop/byte rows of Table I: 92, ~200, ~267.
+        assert round(xeon_gold_6240().machine_balance) == 92
+        assert round(a100().machine_balance) == 201
+        assert round(ascend_910().machine_balance) == 267
+
+    def test_backends(self):
+        assert xeon_gold_6240().backend == "cpu"
+        assert a100().backend == "gpu"
+        assert ascend_910().backend == "npu"
+
+    def test_preset_lookup(self):
+        assert preset("a100").name == "a100"
+        with pytest.raises(KeyError, match="a100"):
+            preset("h100")
+
+    def test_all_presets(self):
+        names = {hw.name for hw in all_presets()}
+        assert names == {"xeon-gold-6240", "a100", "ascend-910"}
+
+    def test_npu_unified_buffer(self):
+        assert ascend_910().unified_buffer == 256 * 1024
+        assert a100().unified_buffer is None
+
+    def test_software_managed_levels(self):
+        assert a100().level("SMEM").software_managed
+        assert not a100().level("L2").software_managed
+        assert ascend_910().level("L0").software_managed
+        assert not xeon_gold_6240().level("L2").software_managed
+
+
+class TestHardwareSpec:
+    def test_dram_is_unbounded_last(self):
+        hw = xeon_gold_6240()
+        assert hw.dram.is_unbounded
+        assert hw.levels[-1] is hw.dram
+
+    def test_per_block_capacity_shared_split(self):
+        hw = xeon_gold_6240()
+        l3 = hw.level("L3")
+        assert hw.per_block_capacity(l3) == l3.capacity // hw.num_cores
+        l2 = hw.level("L2")
+        assert hw.per_block_capacity(l2) == l2.capacity
+
+    def test_level_lookup_raises(self):
+        with pytest.raises(KeyError):
+            xeon_gold_6240().level("L4")
+        with pytest.raises(KeyError):
+            xeon_gold_6240().level_index("L9")
+
+    def test_compute_time(self):
+        hw = xeon_gold_6240()
+        assert hw.compute_time(12e12) == pytest.approx(1.0)
+        assert hw.compute_time(12e12, efficiency=0.5) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            hw.compute_time(1.0, efficiency=0.0)
+
+    def test_validation_rejects_bounded_dram(self):
+        with pytest.raises(ValueError, match="unbounded"):
+            HardwareSpec(
+                name="bad",
+                backend="cpu",
+                peak_flops=1e12,
+                num_cores=1,
+                levels=(
+                    MemoryLevel("L1", 1024, 1e9),
+                    MemoryLevel("DRAM", 1024, 1e9),
+                ),
+            )
+
+    def test_validation_rejects_unbounded_onchip(self):
+        with pytest.raises(ValueError, match="bounded"):
+            HardwareSpec(
+                name="bad",
+                backend="cpu",
+                peak_flops=1e12,
+                num_cores=1,
+                levels=(
+                    MemoryLevel("L1", None, 1e9),
+                    MemoryLevel("DRAM", None, 1e9),
+                ),
+            )
+
+    def test_validation_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            HardwareSpec(
+                name="bad",
+                backend="tpu",
+                peak_flops=1e12,
+                num_cores=1,
+                levels=(
+                    MemoryLevel("L1", 1024, 1e9),
+                    MemoryLevel("DRAM", None, 1e9),
+                ),
+            )
+
+    def test_describe(self):
+        text = xeon_gold_6240().describe()
+        assert "L2" in text and "DRAM" in text

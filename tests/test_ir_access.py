@@ -1,0 +1,98 @@
+"""Tests for affine expressions and tensor accesses."""
+
+import pytest
+
+from repro.ir.access import AffineExpr, TensorAccess, union_loops
+
+
+class TestAffineExpr:
+    def test_var(self):
+        expr = AffineExpr.var("m")
+        assert expr.loops == ("m",)
+        assert expr.coeff("m") == 1
+        assert expr.coeff("n") == 0
+
+    def test_merge_duplicates(self):
+        expr = AffineExpr.of(("m", 1), ("m", 2))
+        assert expr.coeff("m") == 3
+
+    def test_zero_coeff_dropped(self):
+        expr = AffineExpr.of(("m", 0), ("n", 1))
+        assert expr.loops == ("n",)
+
+    def test_negative_coeff_rejected(self):
+        with pytest.raises(ValueError):
+            AffineExpr.of(("m", -1))
+
+    def test_scaled(self):
+        expr = AffineExpr.of(("oh", 2), ("kh", 1), offset=1).scaled(3)
+        assert expr.coeff("oh") == 6
+        assert expr.coeff("kh") == 3
+        assert expr.offset == 3
+
+    def test_substituted_composes_strides(self):
+        # oh1 -> oh2*st2 + kh2 inside oh1*st1 + kh1
+        inner = AffineExpr.of(("oh1", 2), ("kh1", 1))
+        sub = {"oh1": AffineExpr.of(("oh2", 2), ("kh2", 1))}
+        composed = inner.substituted(sub)
+        assert composed.coeff("oh2") == 4
+        assert composed.coeff("kh2") == 2
+        assert composed.coeff("kh1") == 1
+
+    def test_footprint_plain(self):
+        expr = AffineExpr.var("m")
+        assert expr.footprint({"m": 16}) == 16
+
+    def test_footprint_halo(self):
+        # (T_oh - 1) * stride + (T_kh - 1) + 1 for oh*2 + kh
+        expr = AffineExpr.of(("oh", 2), ("kh", 1))
+        assert expr.footprint({"oh": 4, "kh": 3}) == (4 - 1) * 2 + (3 - 1) + 1
+
+    def test_footprint_missing_loop_is_one_iteration(self):
+        expr = AffineExpr.of(("oh", 2), ("kh", 1))
+        assert expr.footprint({"oh": 4}) == (4 - 1) * 2 + 1
+
+    def test_extent(self):
+        expr = AffineExpr.of(("oh", 2), ("kh", 1))
+        assert expr.extent({"oh": 10, "kh": 3}) == (10 - 1) * 2 + (3 - 1) + 1
+
+    def test_evaluate(self):
+        expr = AffineExpr.of(("a", 2), ("b", 3), offset=1)
+        assert expr.evaluate({"a": 5, "b": 2}) == 2 * 5 + 3 * 2 + 1
+
+    def test_str(self):
+        assert str(AffineExpr.of(("oh", 2), ("kh", 1))) == "kh + 2*oh"
+
+
+class TestTensorAccess:
+    def test_simple(self):
+        access = TensorAccess.simple("A", ("m", "k"))
+        assert access.loops == ("k", "m")
+        assert access.uses("m") and access.uses("k")
+        assert not access.uses("n")
+
+    def test_footprint_product(self):
+        access = TensorAccess.simple("A", ("m", "k"))
+        assert access.footprint({"m": 8, "k": 4}) == 32
+
+    def test_region_clamps_to_shape(self):
+        access = TensorAccess.simple("A", ("m", "k"))
+        region = access.region({"m": 3, "k": 0}, {"m": 10, "k": 64}, (32, 64))
+        assert region == ((30, 32), (0, 64))
+
+    def test_region_from_ranges(self):
+        access = TensorAccess(
+            "X", (AffineExpr.of(("oh", 2), ("kh", 1)),)
+        )
+        region = access.region_from_ranges({"oh": (3, 5), "kh": (0, 3)}, (100,))
+        # lo = 3*2 + 0, hi = 4*2 + 2 + 1
+        assert region == ((6, 11),)
+
+    def test_region_from_ranges_missing_loop(self):
+        access = TensorAccess.simple("A", ("m",))
+        assert access.region_from_ranges({}, (8,)) == ((0, 1),)
+
+    def test_union_loops(self):
+        a = TensorAccess.simple("A", ("m", "k"))
+        b = TensorAccess.simple("B", ("k", "n"))
+        assert union_loops([a, b]) == ("k", "m", "n")

@@ -1,0 +1,160 @@
+"""Tests for chain construction, fusion and queries."""
+
+import pytest
+
+from repro.ir.chain import OperatorChain, single_op_chain
+from repro.ir.chains import (
+    attention_chain,
+    batch_gemm_chain,
+    conv_chain,
+    fuse_sequence,
+    gemm_chain,
+    rename_chain_loops,
+)
+from repro.ir import builders
+
+
+class TestGemmChain:
+    def test_independent_loops(self):
+        chain = gemm_chain(32, 16, 8, 24)
+        assert set(chain.independent_loops()) == {"m", "n", "k", "l"}
+
+    def test_io_and_intermediate(self):
+        chain = gemm_chain(32, 16, 8, 24)
+        assert chain.io_tensors() == ("A", "B", "D", "E")
+        assert chain.intermediate_tensors() == ("C",)
+        assert chain.input_tensors() == ("A", "B", "D")
+        assert chain.output_tensors() == ("E",)
+
+    def test_private_loops(self):
+        chain = gemm_chain(32, 16, 8, 24)
+        assert chain.private_loops(chain.op("gemm1")) == ("k",)
+        assert chain.private_loops(chain.op("gemm2")) == ("n",)
+
+    def test_loop_extents(self):
+        chain = gemm_chain(32, 16, 8, 24)
+        assert chain.loop_extents() == {"m": 32, "n": 16, "k": 8, "l": 24}
+
+    def test_total_flops(self):
+        chain = gemm_chain(32, 16, 8, 24)
+        assert chain.total_flops() == 2 * 32 * 8 * 24 + 2 * 32 * 24 * 16
+
+    def test_arithmetic_intensity_positive(self):
+        chain = gemm_chain(32, 16, 8, 24)
+        assert chain.arithmetic_intensity() > 0
+
+
+class TestBatchGemmChain:
+    def test_loops(self):
+        chain = batch_gemm_chain(2, 32, 16, 8, 24)
+        assert set(chain.independent_loops()) == {"b", "m", "n", "k", "l"}
+
+    def test_softmax_in_the_middle(self):
+        chain = batch_gemm_chain(2, 32, 16, 8, 24, with_softmax=True)
+        tags = [op.tag for op in chain.ops]
+        assert tags == ["batch_gemm", "softmax", "batch_gemm"]
+        assert set(chain.intermediate_tensors()) == {"C", "S"}
+        assert chain.io_tensors() == ("A", "B", "D", "E")
+
+    def test_attention_chain_shapes(self):
+        chain = attention_chain(4, 128, 64)
+        extents = chain.loop_extents()
+        assert extents["m"] == 128 and extents["l"] == 128
+        assert extents["n"] == 64 and extents["k"] == 64
+
+
+class TestConvChain:
+    def test_ten_independent_loops(self):
+        chain = conv_chain(2, 8, 16, 16, 12, 10, 2, 1, 3, 3)
+        assert len(chain.independent_loops()) == 10
+
+    def test_halo_in_producer_access(self):
+        chain = conv_chain(1, 8, 16, 16, 12, 10, 2, 1, 3, 3)
+        conv1 = chain.op("conv1")
+        h_dim = conv1.access_of("X").dims[2]
+        # (oh*st2 + rh2)*st1 + rh1 with st1=2, st2=1
+        assert h_dim.coeff("oh") == 2
+        assert h_dim.coeff("rh2") == 2
+        assert h_dim.coeff("rh1") == 1
+
+    def test_oc1_is_shared(self):
+        chain = conv_chain(1, 8, 16, 16, 12, 10)
+        owners = chain.ops_with_loop("oc1")
+        assert {op.name for op in owners} == {"conv1", "conv2"}
+
+    def test_with_relu_has_four_ops(self):
+        chain = conv_chain(1, 8, 16, 16, 12, 10, with_relu=True)
+        assert [op.tag for op in chain.ops] == [
+            "conv2d", "relu", "conv2d", "relu",
+        ]
+        assert chain.output_tensors() == ("R2",)
+
+    def test_conv1_private_reductions(self):
+        chain = conv_chain(1, 8, 16, 16, 12, 10)
+        assert set(chain.private_loops(chain.op("conv1"))) == {
+            "ic", "rh1", "rw1",
+        }
+
+
+class TestFuseSequence:
+    def test_non_chaining_stages_rejected(self):
+        g1 = builders.gemm("g1", 4, 4, 4, out="X")
+        g2 = builders.gemm("g2", 4, 4, 4)  # does not read X
+        with pytest.raises(ValueError, match="must chain"):
+            fuse_sequence("bad", [g1, g2])
+
+    def test_conflicting_tensor_decls_rejected(self):
+        g1 = builders.gemm("g1", 4, 4, 4, out="C")
+        g2 = builders.gemm("g2", 8, 4, 4, lhs="C")  # C shape mismatch
+        with pytest.raises(ValueError, match="different specs"):
+            fuse_sequence("bad", [g1, g2])
+
+    def test_single_stage(self):
+        chain = fuse_sequence("solo", [builders.gemm("g", 4, 4, 4)])
+        assert len(chain.ops) == 1
+
+
+class TestRenameChainLoops:
+    def test_collision_rejected(self):
+        chain = gemm_chain(4, 4, 4, 4)
+        with pytest.raises(ValueError, match="collide"):
+            rename_chain_loops(chain, {"m": "x", "n": "x"})
+
+    def test_shadowing_rejected(self):
+        chain = gemm_chain(4, 4, 4, 4)
+        with pytest.raises(ValueError, match="shadow"):
+            rename_chain_loops(chain, {"m": "n"})
+
+
+class TestChainValidation:
+    def test_extent_mismatch_rejected(self):
+        from repro.ir.loops import Loop
+        from repro.ir.access import TensorAccess
+        from repro.ir.operator import OperatorKind, OperatorSpec
+        from repro.ir.tensor import TensorSpec
+
+        op1 = OperatorSpec(
+            "a", OperatorKind.COMPUTE_INTENSIVE, "gemm",
+            (Loop("m", 4),), (), (TensorAccess.simple("T", ("m",)),), 1,
+        )
+        op2 = OperatorSpec(
+            "b", OperatorKind.COMPUTE_INTENSIVE, "gemm",
+            (Loop("m", 8),), (TensorAccess.simple("T", ("m",)),),
+            (TensorAccess.simple("U", ("m",)),), 1,
+        )
+        with pytest.raises(ValueError, match="extent"):
+            OperatorChain(
+                "bad", (op1, op2),
+                {"T": TensorSpec("T", (8,)), "U": TensorSpec("U", (8,))},
+            )
+
+    def test_single_op_chain(self):
+        op, tensors = builders.gemm("g", 4, 4, 4)
+        chain = single_op_chain(op, tensors)
+        assert chain.io_tensors() == ("g.A", "g.B", "g.C")
+        assert chain.intermediate_tensors() == ()
+
+    def test_describe_mentions_all_ops(self):
+        chain = batch_gemm_chain(2, 8, 8, 8, 8, with_softmax=True)
+        text = chain.describe()
+        assert "gemm1" in text and "softmax" in text and "gemm2" in text

@@ -1,0 +1,35 @@
+"""Tests for repro.ir.dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.ir.dtypes import FP16, FP32, FP64, INT8, INT32, dtype
+
+
+class TestDType:
+    def test_byte_widths(self):
+        assert FP16.nbytes == 2
+        assert FP32.nbytes == 4
+        assert FP64.nbytes == 8
+        assert INT8.nbytes == 1
+        assert INT32.nbytes == 4
+
+    def test_numpy_mapping(self):
+        assert FP16.numpy == np.dtype("float16")
+        assert FP32.numpy == np.dtype("float32")
+        assert INT32.numpy == np.dtype("int32")
+
+    def test_str(self):
+        assert str(FP16) == "fp16"
+
+    def test_lookup_by_name(self):
+        assert dtype("fp16") is FP16
+        assert dtype("int8") is INT8
+
+    def test_lookup_unknown_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="fp16"):
+            dtype("bf16")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            FP16.nbytes = 4

@@ -1,0 +1,144 @@
+"""Tests for loops, tensors and operator specs."""
+
+import pytest
+
+from repro.ir.access import AffineExpr, TensorAccess
+from repro.ir.builders import batch_gemm, conv2d, gemm, relu, softmax
+from repro.ir.loops import Loop, LoopKind
+from repro.ir.tensor import TensorSpec
+
+
+class TestLoop:
+    def test_reduction_flag(self):
+        assert Loop("k", 8, LoopKind.REDUCTION).is_reduction
+        assert not Loop("m", 8).is_reduction
+
+    def test_bad_extent(self):
+        with pytest.raises(ValueError):
+            Loop("m", 0)
+
+    def test_with_kind(self):
+        loop = Loop("k", 8).with_kind(LoopKind.REDUCTION)
+        assert loop.is_reduction and loop.extent == 8
+
+
+class TestTensorSpec:
+    def test_sizes(self):
+        spec = TensorSpec("A", (4, 8))
+        assert spec.elements == 32
+        assert spec.nbytes == 64  # fp16 default
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            TensorSpec("A", (0, 3))
+        with pytest.raises(ValueError):
+            TensorSpec("A", ())
+
+
+class TestGemmBuilder:
+    def test_loops_and_flops(self):
+        op, tensors = gemm("g", 32, 16, 8)
+        assert op.flops == 2 * 32 * 16 * 8
+        assert set(op.loop_names) == {"g.m", "g.k", "g.n"}
+        assert op.reduction_loop_names == ("g.k",)
+        assert tensors["g.A"].shape == (32, 16)
+        assert tensors["g.C"].shape == (32, 8)
+
+    def test_access_of(self):
+        op, _ = gemm("g", 4, 4, 4)
+        assert op.access_of("g.A").loops == ("g.k", "g.m")
+        with pytest.raises(KeyError):
+            op.access_of("missing")
+
+    def test_output(self):
+        op, _ = gemm("g", 4, 4, 4)
+        assert op.output.tensor == "g.C"
+
+    def test_iteration_space(self):
+        op, _ = gemm("g", 4, 5, 6)
+        assert op.iteration_space() == 4 * 5 * 6
+
+
+class TestBatchGemmBuilder:
+    def test_shapes(self):
+        op, tensors = batch_gemm("bg", 2, 8, 4, 16)
+        assert tensors["bg.A"].shape == (2, 8, 4)
+        assert tensors["bg.B"].shape == (2, 4, 16)
+        assert tensors["bg.C"].shape == (2, 8, 16)
+        assert op.flops == 2 * 2 * 8 * 4 * 16
+
+
+class TestConvBuilder:
+    def test_output_size_convention(self):
+        op, tensors = conv2d("c", 1, 8, 28, 28, 16, 3, stride=2)
+        assert tensors["c.Y"].shape == (1, 16, 14, 14)
+
+    def test_strided_access(self):
+        op, _ = conv2d("c", 1, 8, 28, 28, 16, 3, stride=2)
+        data = op.access_of("c.X")
+        h_dim = data.dims[2]
+        assert h_dim.coeff("c.oh") == 2
+        assert h_dim.coeff("c.rh") == 1
+
+    def test_reduction_order_is_ic_rh_rw(self):
+        op, _ = conv2d("c", 1, 8, 28, 28, 16, 3)
+        names = op.reduction_loop_names
+        assert names == ("c.ic", "c.rh", "c.rw")
+
+
+class TestMemoryIntensiveBuilders:
+    def test_softmax_is_memory_intensive(self):
+        op, _ = softmax("s", (2, 4, 8))
+        assert not op.is_compute_intensive
+        assert op.tag == "softmax"
+
+    def test_relu_flops(self):
+        op, _ = relu("r", (4, 4))
+        assert op.flops == 16
+
+
+class TestOperatorValidation:
+    def test_duplicate_loops_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            from repro.ir.operator import OperatorKind, OperatorSpec
+
+            OperatorSpec(
+                name="bad",
+                kind=OperatorKind.COMPUTE_INTENSIVE,
+                tag="gemm",
+                loops=(Loop("m", 2), Loop("m", 2)),
+                reads=(),
+                writes=(TensorAccess.simple("C", ("m",)),),
+                flops=1,
+            )
+
+    def test_undeclared_loop_in_access_rejected(self):
+        from repro.ir.operator import OperatorKind, OperatorSpec
+
+        with pytest.raises(ValueError, match="undeclared"):
+            OperatorSpec(
+                name="bad",
+                kind=OperatorKind.COMPUTE_INTENSIVE,
+                tag="gemm",
+                loops=(Loop("m", 2),),
+                reads=(TensorAccess.simple("A", ("m", "k")),),
+                writes=(TensorAccess.simple("C", ("m",)),),
+                flops=1,
+            )
+
+    def test_renamed_loops(self):
+        op, _ = gemm("g", 4, 4, 4)
+        renamed = op.renamed_loops({"g.m": "m", "g.k": "k", "g.n": "n"})
+        assert set(renamed.loop_names) == {"m", "k", "n"}
+        assert renamed.access_of("g.A").loops == ("k", "m")
+
+    def test_substituted_introduces_consumer_loops(self):
+        op, _ = gemm("g", 4, 4, 4)
+        mapping = {
+            "g.m": AffineExpr.var("m"),
+            "g.n": AffineExpr.var("l"),
+        }
+        new_loops = {"m": Loop("m", 4), "l": Loop("l", 4)}
+        rewritten = op.substituted(mapping, new_loops)
+        assert set(rewritten.loop_names) == {"g.k", "m", "l"}
+        assert rewritten.access_of("g.C").loops == ("l", "m")

@@ -1,0 +1,125 @@
+"""Tests for the line-granularity ground-truth cache model."""
+
+import pytest
+
+from repro.codegen.program import lower_schedule
+from repro.hardware import xeon_gold_6240
+from repro.hardware.spec import HardwareSpec, MemoryLevel
+from repro.ir.chains import gemm_chain
+from repro.sim.linecache import (
+    LineHierarchySim,
+    SetAssociativeCache,
+    build_layouts,
+    measure_movement_lines,
+    region_lines,
+)
+
+
+class TestSetAssociativeCache:
+    def test_hit_after_fill(self):
+        cache = SetAssociativeCache("L1", 1024, line_bytes=64, ways=2)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.stats.fill_bytes == 64
+
+    def test_way_conflict_eviction(self):
+        # 2 ways, 4 sets: three lines mapping to set 0 conflict.
+        cache = SetAssociativeCache("L1", 512, line_bytes=64, ways=2)
+        assert cache.num_sets == 4
+        cache.access(0)
+        cache.access(4)
+        cache.access(8)  # evicts line 0 (LRU within set 0)
+        assert not cache.access(0)
+
+    def test_dirty_eviction_writes_back(self):
+        cache = SetAssociativeCache("L1", 128, line_bytes=64, ways=1)
+        cache.access(0, write=True)
+        cache.access(2)  # same set (2 sets: lines 0 and 2 map to set 0)
+        assert cache.stats.writeback_bytes == 64
+
+    def test_flush_writes_back_dirty(self):
+        cache = SetAssociativeCache("L1", 1024)
+        cache.access(3, write=True)
+        cache.access(5)
+        cache.flush()
+        assert cache.stats.writeback_bytes == 64
+
+    def test_tiny_capacity_degrades_ways(self):
+        cache = SetAssociativeCache("L1", 64, line_bytes=64, ways=8)
+        assert cache.ways == 1
+
+
+class TestLayouts:
+    def test_row_major_strides(self):
+        chain = gemm_chain(16, 16, 16, 16)
+        layouts = build_layouts(chain)
+        a = layouts["A"]
+        assert a.strides == (16, 1)
+
+    def test_tensors_do_not_overlap(self):
+        chain = gemm_chain(16, 16, 16, 16)
+        layouts = build_layouts(chain)
+        spans = []
+        for name, layout in layouts.items():
+            nbytes = layout.strides[0] * layout.shape[0] * layout.elem_bytes
+            spans.append((layout.base * layout.elem_bytes, nbytes, name))
+        spans.sort()
+        for (start_a, len_a, _), (start_b, _, _) in zip(spans, spans[1:]):
+            assert start_a + len_a <= start_b
+
+    def test_region_lines_cover_rows(self):
+        chain = gemm_chain(16, 16, 16, 16)
+        layout = build_layouts(chain)["A"]
+        spans = list(region_lines(layout, ((2, 4), (0, 16))))
+        assert len(spans) == 2  # one contiguous span per row
+        for first, last in spans:
+            assert last >= first
+
+
+class TestCrossValidation:
+    def test_line_sim_confirms_region_sim_ranking(self):
+        """The ground-truth line model must rank schedules the same way as
+        the fast region model (and as Algorithm 1)."""
+        from repro.analysis.validation import measure_movement
+        from repro.core.movement import MovementModel
+
+        chain = gemm_chain(64, 64, 64, 64)
+        hw = xeon_gold_6240()
+        order = ("m", "l", "k", "n")
+        model = MovementModel(chain, order)
+
+        candidates = [
+            {"m": 32, "l": 32, "k": 16, "n": 16},
+            {"m": 8, "l": 8, "k": 8, "n": 8},
+            {"m": 16, "l": 64, "k": 8, "n": 32},
+        ]
+        predicted, region_measured, line_measured = [], [], []
+        for tiles in candidates:
+            program = lower_schedule(chain, order, tiles)
+            predicted.append(model.volume(tiles))
+            region_measured.append(
+                measure_movement(chain, hw, order, tiles, "L1")
+            )
+            line_measured.append(
+                measure_movement_lines(chain, hw, program, "L1")
+            )
+        # All three orderings agree on which candidate moves the least.
+        assert (
+            predicted.index(min(predicted))
+            == region_measured.index(min(region_measured))
+            == line_measured.index(min(line_measured))
+        )
+
+    def test_line_traffic_within_factor_of_region_traffic(self):
+        from repro.analysis.validation import measure_movement
+
+        chain = gemm_chain(64, 64, 64, 64)
+        hw = xeon_gold_6240()
+        order = ("m", "l", "k", "n")
+        tiles = {"m": 16, "l": 16, "k": 16, "n": 16}
+        program = lower_schedule(chain, order, tiles)
+        region = measure_movement(chain, hw, order, tiles, "L1")
+        lines = measure_movement_lines(chain, hw, program, "L1")
+        # Line granularity rounds regions up to 64B lines; agreement within
+        # 2x validates the fast model's accounting.
+        assert 0.5 <= lines / region <= 2.0

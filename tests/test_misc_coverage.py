@@ -1,0 +1,79 @@
+"""Coverage for small utilities not exercised elsewhere."""
+
+import pytest
+
+from repro.hardware import xeon_gold_6240
+from repro.ir.access import AffineExpr
+from repro.ir.chains import gemm_chain
+from repro.ir.dtypes import FP16
+from repro.ir.loops import Loop
+from repro.sim.cache import RegionCache
+
+
+class TestCacheExtras:
+    def test_invalidate_clean_keeps_dirty(self):
+        cache = RegionCache("L1", 1024)
+        cache.access("clean", 100)
+        cache.access("dirty", 100, write=True)
+        cache.invalidate_clean()
+        assert "dirty" in cache and "clean" not in cache
+        assert cache.used_bytes == 100
+
+    def test_write_upgrade_marks_dirty(self):
+        spills = []
+        cache = RegionCache(
+            "L1", 150, on_evict=lambda k, n, d: spills.append((k, d))
+        )
+        cache.access("a", 100)              # clean
+        cache.access("a", 100, write=True)  # upgraded to dirty
+        cache.access("b", 100)              # evicts a
+        assert spills == [("a", True)]
+
+
+class TestHardwareExtras:
+    def test_memory_time(self):
+        hw = xeon_gold_6240()
+        seconds = hw.memory_time(131e9, "DRAM")
+        assert seconds == pytest.approx(1.0)
+
+    def test_vector_unit_lanes(self):
+        hw = xeon_gold_6240()
+        assert hw.vector_unit.lanes(FP16) == 32
+
+
+class TestIrExtras:
+    def test_affine_str_with_offset(self):
+        expr = AffineExpr.of(("m", 2), offset=3)
+        assert str(expr) == "2*m + 3"
+        assert str(AffineExpr.of()) == "0"
+
+    def test_loop_str(self):
+        from repro.ir.loops import LoopKind
+
+        assert str(Loop("k", 8, LoopKind.REDUCTION)) == "k[8]r"
+        assert str(Loop("m", 8)) == "m[8]s"
+
+    def test_tensor_str(self):
+        chain = gemm_chain(8, 8, 8, 8)
+        assert "A<8x8, fp16>" in str(chain.tensors["A"])
+
+    def test_chain_str(self):
+        chain = gemm_chain(8, 8, 8, 8)
+        assert "2 ops" in str(chain)
+
+    def test_operator_str_shows_accesses(self):
+        chain = gemm_chain(8, 8, 8, 8)
+        text = str(chain.op("gemm1"))
+        assert "C[m, l]" in text and "A[m, k]" in text
+
+
+class TestPlanExtras:
+    def test_with_micro_kernel_returns_new_plan(self):
+        from repro.core.optimizer import ChimeraOptimizer
+
+        chain = gemm_chain(64, 64, 64, 64)
+        plan = ChimeraOptimizer(xeon_gold_6240()).optimize(chain)
+        tagged = plan.with_micro_kernel("x", 0.5)
+        assert tagged is not plan
+        assert tagged.micro_kernel == "x"
+        assert plan.micro_kernel is None

@@ -1,0 +1,59 @@
+"""Tests for the MLP chain (GEMM -> GELU -> GEMM)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import execute_program, execute_reference, random_inputs
+from repro.codegen.program import lower_schedule
+from repro.core.fusion import decide_fusion
+from repro.hardware import xeon_gold_6240
+from repro.ir.chains import mlp_chain
+
+
+class TestMlpChain:
+    def test_structure(self):
+        chain = mlp_chain(128, 64, 256, 64)
+        assert [op.tag for op in chain.ops] == ["gemm", "gelu", "gemm"]
+        assert set(chain.independent_loops()) == {"m", "h", "k", "n"}
+        assert chain.io_tensors() == ("X", "W1", "W2", "Y")
+        assert set(chain.intermediate_tensors()) == {"H", "A"}
+
+    def test_without_gelu(self):
+        chain = mlp_chain(64, 32, 128, 32, with_gelu=False)
+        assert [op.tag for op in chain.ops] == ["gemm", "gemm"]
+
+    def test_private_loops(self):
+        chain = mlp_chain(128, 64, 256, 64)
+        assert chain.private_loops(chain.op("fc1")) == ("k",)
+        assert chain.private_loops(chain.op("fc2")) == ("n",)
+
+    def test_numerical_correctness(self):
+        chain = mlp_chain(32, 16, 48, 16)
+        order = ("m", "h", "k", "n")
+        program = lower_schedule(
+            chain, order, {"m": 8, "h": 16, "k": 8, "n": 8}
+        )
+        inputs = random_inputs(chain, 4)
+        got = execute_program(program, inputs)
+        ref = execute_reference(chain, inputs)
+        np.testing.assert_allclose(got["Y"], ref["Y"], rtol=1e-9, atol=1e-11)
+
+    def test_gelu_not_idempotent_still_correct_under_split_h(self):
+        # h (the intermediate's column dim) split across blocks: gelu runs
+        # once per region, never twice.
+        chain = mlp_chain(16, 16, 64, 16)
+        program = lower_schedule(
+            chain, ("m", "h", "k", "n"), {"m": 8, "h": 8, "k": 16, "n": 16}
+        )
+        inputs = random_inputs(chain, 2)
+        got = execute_program(program, inputs)
+        ref = execute_reference(chain, inputs)
+        np.testing.assert_allclose(got["Y"], ref["Y"], rtol=1e-9, atol=1e-11)
+
+    @pytest.mark.slow
+    def test_fusion_profitable_for_memory_bound_mlp(self):
+        # Thin MLP (small n/k) is memory-bound: fusing saves the hidden
+        # activation round trip.
+        chain = mlp_chain(2048, 64, 2048, 64)
+        decision = decide_fusion(chain, xeon_gold_6240())
+        assert decision.predicted_speedup > 1.0

@@ -1,0 +1,184 @@
+"""Tests for Algorithm 1 (data movement volume and memory usage)."""
+
+import math
+
+import pytest
+
+from repro.core.movement import MovementModel, algorithm1, executed_flops
+from repro.ir.chains import batch_gemm_chain, conv_chain, gemm_chain
+
+
+@pytest.fixture
+def square_chain():
+    return gemm_chain(2048, 2048, 2048, 2048)
+
+
+class TestTableIII:
+    """The paper's Table III closed forms under the mlkn order."""
+
+    def test_dv_matches_closed_form(self, square_chain):
+        m = n = k = l = 2048
+        tm, tn, tk, tl = 64, 32, 32, 64
+        tiles = {"m": tm, "n": tn, "k": tk, "l": tl}
+        dv, _ = algorithm1(square_chain, ("m", "l", "k", "n"), tiles)
+        expected_elements = (
+            m * k * math.ceil(l / tl)
+            + k * l * math.ceil(m / tm)
+            + n * l * math.ceil(m / tm)
+            + m * n * math.ceil(l / tl)
+        )
+        assert dv == pytest.approx(expected_elements * 2)  # fp16 bytes
+
+    def test_mu_matches_closed_form(self, square_chain):
+        tiles = {"m": 64, "n": 32, "k": 32, "l": 64}
+        _, mu = algorithm1(square_chain, ("m", "l", "k", "n"), tiles)
+        gemm1 = 64 * 32 + 32 * 64 + 64 * 64
+        gemm2 = 64 * 64 + 64 * 32 + 64 * 32
+        assert mu == pytest.approx(max(gemm1, gemm2) * 2)
+
+    def test_intermediate_moves_nothing(self, square_chain):
+        model = MovementModel(square_chain, ("m", "l", "k", "n"))
+        per_tensor = model.per_tensor({"m": 64, "n": 32, "k": 32, "l": 64})
+        assert per_tensor["C"] == 0.0
+
+    def test_model_agrees_with_algorithm1(self, square_chain):
+        tiles = {"m": 128, "n": 16, "k": 64, "l": 256}
+        for perm in [("m", "l", "k", "n"), ("m", "n", "k", "l"), ("l", "m", "n", "k")]:
+            dv_ref, _ = algorithm1(square_chain, perm, tiles)
+            model = MovementModel(square_chain, perm)
+            assert model.volume(tiles) == pytest.approx(dv_ref)
+
+
+class TestObservations:
+    """The paper's three observations about data movement."""
+
+    def test_obs1_non_accessing_inner_loops_free(self, square_chain):
+        # Under mknl, loops n, l are innermost and do not access A.
+        model = MovementModel(square_chain, ("m", "k", "n", "l"))
+        a_terms = [t for t in model.terms if t.tensor == "A"]
+        multiplier_loops = {n for t in a_terms for n, _ in t.multipliers}
+        assert "l" not in multiplier_loops and "n" not in multiplier_loops
+
+    def test_obs2_outer_loops_multiply_once_flipped(self, square_chain):
+        # Under mnlk, k flips reuse for A; l and m are outside, n is not
+        # a gemm1 loop.
+        model = MovementModel(square_chain, ("m", "n", "l", "k"))
+        a_term = next(t for t in model.terms if t.tensor == "A")
+        assert {n for n, _ in a_term.multipliers} == {"k", "l", "m"}
+
+    def test_obs3_producer_private_loop_free_for_consumer(self, square_chain):
+        # k is private to gemm1; D and E never multiply by k's trip count.
+        for perm in [("k", "m", "l", "n"), ("m", "k", "l", "n")]:
+            model = MovementModel(square_chain, perm)
+            for tensor in ("D", "E"):
+                term = next(t for t in model.terms if t.tensor == tensor)
+                assert "k" not in {n for n, _ in term.multipliers}
+
+
+class TestEdgeClamping:
+    def test_full_sweep_touches_exact_extent(self):
+        chain = gemm_chain(100, 100, 100, 100)
+        # Non-dividing tile: 100/48 -> 3 trips averaging 33.3 wide.
+        model = MovementModel(chain, ("m", "l", "k", "n"))
+        tiles = {"m": 48, "l": 100, "k": 100, "n": 100}
+        per = model.per_tensor(tiles)
+        # B is swept fully once per m trip: exactly K*L*3 elements.
+        assert per["B"] == pytest.approx(100 * 100 * 3 * 2)
+
+
+class TestDistributionBuffers:
+    def test_late_divergence_keeps_plain_tile(self, square_chain):
+        model = MovementModel(square_chain, ("m", "l", "k", "n"))
+        # The loops below the divergence (k, n) do not index C, so the
+        # buffer stays at the plain tile footprint.
+        producer = square_chain.op("gemm1")
+        c_access = producer.access_of("C")
+        assert not any(
+            c_access.uses(name) for name in model.buffered_full_loops("C")
+        )
+        assert not model.has_enlarged_buffers
+
+    def test_early_divergence_buffers_full_loops(self, square_chain):
+        model = MovementModel(square_chain, ("k", "m", "n", "l"))
+        assert "l" in model.buffered_full_loops("C")
+        assert model.has_enlarged_buffers
+
+    def test_enlarged_buffer_grows_usage(self, square_chain):
+        tiles = {"m": 64, "n": 64, "k": 64, "l": 64}
+        late = MovementModel(square_chain, ("m", "l", "k", "n"))
+        early = MovementModel(square_chain, ("k", "m", "n", "l"))
+        assert early.usage(tiles) > late.usage(tiles)
+
+    def test_no_reuse_mode_has_no_buffers(self, square_chain):
+        model = MovementModel(
+            square_chain, ("k", "m", "n", "l"), reuse_intermediates=False
+        )
+        assert not model.has_enlarged_buffers
+
+    def test_no_reuse_counts_intermediate(self, square_chain):
+        tiles = {"m": 64, "n": 64, "k": 64, "l": 64}
+        with_reuse = MovementModel(square_chain, ("m", "l", "k", "n"))
+        without = MovementModel(
+            square_chain, ("m", "l", "k", "n"), reuse_intermediates=False
+        )
+        assert without.volume(tiles) > with_reuse.volume(tiles)
+        assert without.per_tensor(tiles)["C"] > 0
+
+
+class TestPermValidation:
+    def test_unknown_loop_rejected(self, square_chain):
+        with pytest.raises(ValueError, match="unknown"):
+            MovementModel(square_chain, ("m", "l", "k", "z"))
+
+    def test_repeated_loop_rejected(self, square_chain):
+        with pytest.raises(ValueError, match="repeats"):
+            MovementModel(square_chain, ("m", "m", "k", "n"))
+
+    def test_missing_loop_rejected(self, square_chain):
+        with pytest.raises(ValueError, match="misses"):
+            MovementModel(square_chain, ("m", "l", "k"))
+
+    def test_degenerate_loops_may_be_omitted(self):
+        chain = batch_gemm_chain(1, 16, 16, 16, 16)
+        model = MovementModel(chain, ("m", "l", "k", "n"))  # b omitted
+        assert model.volume({"m": 8, "l": 8, "k": 8, "n": 8}) > 0
+
+
+class TestSignature:
+    def test_equal_signature_equal_dv(self, square_chain):
+        # mlkn and mlnk project identically per operator.
+        a = MovementModel(square_chain, ("m", "l", "k", "n"))
+        b = MovementModel(square_chain, ("m", "l", "n", "k"))
+        assert a.signature == b.signature
+        tiles = {"m": 96, "n": 32, "k": 48, "l": 80}
+        assert a.volume(tiles) == pytest.approx(b.volume(tiles))
+
+    def test_different_orders_different_signature(self, square_chain):
+        a = MovementModel(square_chain, ("m", "l", "k", "n"))
+        b = MovementModel(square_chain, ("m", "n", "k", "l"))
+        assert a.signature != b.signature
+
+
+class TestExecutedFlops:
+    def test_gemm_chain_no_recompute(self, square_chain):
+        tiles = {"m": 64, "n": 64, "k": 64, "l": 64}
+        flops = executed_flops(square_chain, ("m", "l", "k", "n"), tiles)
+        assert flops == pytest.approx(square_chain.total_flops())
+
+    def test_conv_halo_recompute_exceeds_algorithmic(self):
+        chain = conv_chain(1, 8, 32, 32, 16, 8, 1, 1, 1, 3)
+        order = tuple(
+            n for n in chain.independent_loops()
+            if chain.loop_extents()[n] > 1
+        )
+        tiles = {n: 4 for n in order}
+        flops = executed_flops(chain, order, tiles)
+        assert flops > chain.total_flops()
+
+    def test_full_tiles_match_algorithmic_for_conv(self):
+        chain = conv_chain(1, 8, 32, 32, 16, 8, 1, 1, 3, 1)
+        extents = chain.loop_extents()
+        order = tuple(n for n in chain.independent_loops() if extents[n] > 1)
+        tiles = {n: extents[n] for n in order}
+        flops = executed_flops(chain, order, tiles)
+        assert flops == pytest.approx(chain.total_flops(), rel=1e-6)

@@ -1,0 +1,113 @@
+"""Tests for block program lowering (loop distribution, hierarchy)."""
+
+import pytest
+
+from repro.codegen.program import (
+    BodyNode,
+    LevelSpec,
+    LoopNode,
+    SeqNode,
+    lower_levels,
+    lower_plan,
+    lower_schedule,
+)
+from repro.core.optimizer import ChimeraOptimizer
+from repro.hardware import xeon_gold_6240
+from repro.ir.chains import batch_gemm_chain, conv_chain, gemm_chain
+
+
+class TestDistribution:
+    def test_producer_private_loop_distributes(self):
+        chain = gemm_chain(16, 16, 16, 16)
+        program = lower_schedule(
+            chain, ("m", "l", "k", "n"), {"m": 8, "l": 8, "k": 8, "n": 8}
+        )
+        # Under (m, l) the k loop (gemm1) and n loop (gemm2) are siblings.
+        blocks = list(program.iterate_blocks())
+        names = [op.name for op, _ in blocks]
+        # Within one (m, l) block: both k blocks before both n blocks.
+        assert names[:4] == ["gemm1", "gemm1", "gemm2", "gemm2"]
+
+    def test_producer_runs_before_consumer(self):
+        chain = batch_gemm_chain(1, 8, 8, 8, 8, with_softmax=True)
+        order = ("m", "l", "k", "n")
+        program = lower_schedule(chain, order, {n: 4 for n in order})
+        seen_first = {}
+        for op, _ in program.iterate_blocks():
+            seen_first.setdefault(op.name, len(seen_first))
+        assert seen_first["gemm1"] < seen_first["softmax"] < seen_first["gemm2"]
+
+    def test_block_count(self):
+        chain = gemm_chain(16, 16, 16, 16)
+        program = lower_schedule(
+            chain, ("m", "l", "k", "n"), {"m": 8, "l": 8, "k": 8, "n": 8}
+        )
+        # 2 m-blocks x 2 l-blocks x (2 k-blocks + 2 n-blocks) = 16.
+        assert program.block_count() == 16
+        assert program.block_count() == len(list(program.iterate_blocks()))
+
+    def test_unknown_loop_rejected(self):
+        chain = gemm_chain(8, 8, 8, 8)
+        with pytest.raises(ValueError, match="unknown"):
+            lower_schedule(chain, ("m", "z"), {"m": 4})
+
+    def test_ranges_clamped_to_extent(self):
+        chain = gemm_chain(10, 8, 8, 8)
+        program = lower_schedule(
+            chain, ("m", "l", "k", "n"), {"m": 4, "l": 8, "k": 8, "n": 8}
+        )
+        m_ranges = {block["m"] for op, block in program.iterate_blocks()}
+        assert (8, 10) in m_ranges  # the clipped edge block
+
+    def test_describe(self):
+        chain = gemm_chain(8, 8, 8, 8)
+        program = lower_schedule(
+            chain, ("m", "l", "k", "n"), {"m": 4, "l": 4, "k": 4, "n": 4}
+        )
+        text = program.describe()
+        assert "for m" in text and "gemm1 block" in text
+
+
+class TestHierarchy:
+    def test_inner_blocks_clip_to_parent(self):
+        chain = gemm_chain(16, 16, 16, 16)
+        levels = [
+            LevelSpec(("m", "l", "k", "n"), {"m": 10, "l": 16, "k": 16, "n": 16}),
+            LevelSpec(("m", "l", "k", "n"), {"m": 4, "l": 16, "k": 16, "n": 16}),
+        ]
+        program = lower_levels(chain, levels)
+        m_ranges = sorted({b["m"] for _, b in program.iterate_blocks()})
+        # Parent blocks [0,10) and [10,16); children of 4 clip at both.
+        assert (8, 10) in m_ranges and (10, 14) in m_ranges
+
+    def test_order_and_tiles_properties_are_innermost(self):
+        chain = gemm_chain(16, 16, 16, 16)
+        levels = [
+            LevelSpec(("m", "l", "k", "n"), {"m": 16, "l": 16, "k": 16, "n": 16}),
+            LevelSpec(("l", "m", "k", "n"), {"m": 4, "l": 4, "k": 4, "n": 4}),
+        ]
+        program = lower_levels(chain, levels)
+        assert program.order == ("l", "m", "k", "n")
+        assert program.tiles["m"] == 4
+
+    def test_lower_plan_composes_all_levels(self):
+        chain = batch_gemm_chain(2, 64, 32, 32, 64)
+        plan = ChimeraOptimizer(xeon_gold_6240()).optimize(chain)
+        program = lower_plan(plan)
+        assert len(program.levels) == len(plan.levels)
+        assert program.block_count() > 0
+
+    def test_empty_levels_rejected(self):
+        chain = gemm_chain(8, 8, 8, 8)
+        with pytest.raises(ValueError, match="level"):
+            lower_levels(chain, [])
+
+
+class TestConvPrograms:
+    def test_conv_chain_lowering(self):
+        chain = conv_chain(1, 8, 16, 16, 12, 10, 2, 1, 3, 1)
+        extents = chain.loop_extents()
+        order = tuple(n for n in chain.independent_loops() if extents[n] > 1)
+        program = lower_schedule(chain, order, {n: 4 for n in order})
+        ops = {op.name for op, _ in program.iterate_blocks()}
+        assert ops == {"conv1", "conv2"}

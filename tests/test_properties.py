@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.executor import (
+    execute_program,
+    execute_reference,
+    random_inputs,
+)
+from repro.codegen.program import lower_schedule
+from repro.core.movement import MovementModel, algorithm1
+from repro.core.solver import solve_tiles
+from repro.ir.access import AffineExpr
+from repro.ir.chains import batch_gemm_chain, conv_chain, gemm_chain
+from repro.sim.cache import RegionCache
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# affine expressions
+# ----------------------------------------------------------------------
+@given(
+    coeffs=st.lists(st.integers(1, 4), min_size=1, max_size=3),
+    tiles=st.lists(st.integers(1, 64), min_size=3, max_size=3),
+)
+@SETTINGS
+def test_footprint_at_least_one(coeffs, tiles):
+    terms = [(f"l{i}", c) for i, c in enumerate(coeffs)]
+    expr = AffineExpr.of(*terms)
+    mapping = {f"l{i}": t for i, t in enumerate(tiles)}
+    assert expr.footprint(mapping) >= 1
+
+
+@given(
+    coeff=st.integers(1, 4),
+    tile_a=st.integers(1, 64),
+    tile_b=st.integers(1, 64),
+)
+@SETTINGS
+def test_footprint_monotone_in_tiles(coeff, tile_a, tile_b):
+    expr = AffineExpr.of(("x", coeff))
+    lo, hi = sorted((tile_a, tile_b))
+    assert expr.footprint({"x": lo}) <= expr.footprint({"x": hi})
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1
+# ----------------------------------------------------------------------
+_tile_choice = st.sampled_from([1, 2, 4, 8, 16, 32, 64])
+
+
+@given(
+    perm=st.permutations(["m", "n", "k", "l"]),
+    tm=_tile_choice, tn=_tile_choice, tk=_tile_choice, tl=_tile_choice,
+)
+@SETTINGS
+def test_algorithm1_matches_movement_model(perm, tm, tn, tk, tl):
+    chain = gemm_chain(64, 64, 64, 64)
+    tiles = {"m": tm, "n": tn, "k": tk, "l": tl}
+    dv_ref, _ = algorithm1(chain, perm, tiles)
+    model = MovementModel(chain, perm)
+    assert model.volume(tiles) == pytest.approx(dv_ref)
+
+
+@given(
+    perm=st.permutations(["m", "n", "k", "l"]),
+    tiles=st.tuples(_tile_choice, _tile_choice, _tile_choice, _tile_choice),
+    loop=st.sampled_from(["m", "n", "k", "l"]),
+)
+@SETTINGS
+def test_dv_monotone_nonincreasing_in_tiles(perm, tiles, loop):
+    chain = gemm_chain(64, 64, 64, 64)
+    base = dict(zip(("m", "n", "k", "l"), tiles))
+    grown = dict(base)
+    grown[loop] = min(64, base[loop] * 2)
+    model = MovementModel(chain, perm)
+    assert model.volume(grown) <= model.volume(base) * (1 + 1e-9)
+
+
+@given(
+    perm=st.permutations(["m", "n", "k", "l"]),
+    tiles=st.tuples(_tile_choice, _tile_choice, _tile_choice, _tile_choice),
+    loop=st.sampled_from(["m", "n", "k", "l"]),
+)
+@SETTINGS
+def test_mu_monotone_nondecreasing_in_tiles(perm, tiles, loop):
+    chain = gemm_chain(64, 64, 64, 64)
+    base = dict(zip(("m", "n", "k", "l"), tiles))
+    grown = dict(base)
+    grown[loop] = min(64, base[loop] * 2)
+    model = MovementModel(chain, perm)
+    assert model.usage(grown) >= model.usage(base) - 1e-9
+
+
+@given(perm=st.permutations(["m", "n", "k", "l"]))
+@SETTINGS
+def test_dv_never_below_compulsory(perm):
+    # Every IO tensor must move at least once.
+    chain = gemm_chain(64, 64, 64, 64)
+    model = MovementModel(chain, perm)
+    tiles = {"m": 64, "n": 64, "k": 64, "l": 64}
+    assert model.volume(tiles) >= chain.io_bytes() * (1 - 1e-9)
+
+
+# ----------------------------------------------------------------------
+# executor: any valid order and tiling computes the right answer
+# ----------------------------------------------------------------------
+@given(
+    perm=st.permutations(["b", "m", "n", "k", "l"]),
+    tiles=st.tuples(*(st.sampled_from([2, 3, 5, 8, 16]) for _ in range(5))),
+    seed=st.integers(0, 5),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_softmax_chain_correct_under_any_schedule(perm, tiles, seed):
+    chain = batch_gemm_chain(2, 16, 8, 8, 16, with_softmax=True)
+    tile_map = dict(zip(("b", "m", "n", "k", "l"), tiles))
+    tile_map["b"] = min(tile_map["b"], 2)
+    program = lower_schedule(chain, perm, tile_map)
+    inputs = random_inputs(chain, seed)
+    got = execute_program(program, inputs)
+    ref = execute_reference(chain, inputs)
+    np.testing.assert_allclose(got["E"], ref["E"], rtol=1e-9, atol=1e-11)
+
+
+@given(
+    seed=st.integers(0, 3),
+    tiles=st.tuples(*(st.sampled_from([2, 3, 4]) for _ in range(7))),
+)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_conv_chain_correct_under_random_tiling(seed, tiles):
+    chain = conv_chain(1, 4, 10, 10, 6, 5, 1, 1, 3, 3)
+    extents = chain.loop_extents()
+    order = tuple(n for n in chain.independent_loops() if extents[n] > 1)
+    tile_map = {name: tiles[i % len(tiles)] for i, name in enumerate(order)}
+    program = lower_schedule(chain, order, tile_map)
+    inputs = random_inputs(chain, seed)
+    got = execute_program(program, inputs)
+    ref = execute_reference(chain, inputs)
+    np.testing.assert_allclose(got["Y2"], ref["Y2"], rtol=1e-9, atol=1e-11)
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 9), st.booleans(), st.integers(10, 120)),
+        min_size=1,
+        max_size=60,
+    ),
+    capacity=st.integers(100, 500),
+)
+@SETTINGS
+def test_cache_invariants(ops, capacity):
+    cache = RegionCache("L1", capacity)
+    for key, write, nbytes in ops:
+        cache.access(key, nbytes, write=write)
+        assert cache.used_bytes <= max(capacity, 0)
+    stats = cache.stats
+    assert stats.accesses == len(ops)
+    assert 0.0 <= stats.hit_rate <= 1.0
+    cache.flush()
+    assert cache.used_bytes == 0
+
+
+@given(
+    keys=st.lists(st.integers(0, 4), min_size=2, max_size=40),
+)
+@SETTINGS
+def test_unbounded_cache_misses_once_per_key(keys):
+    cache = RegionCache("inf", None)
+    for key in keys:
+        cache.access(key, 8)
+    assert cache.stats.read_misses == len(set(keys))
+
+
+# ----------------------------------------------------------------------
+# solver
+# ----------------------------------------------------------------------
+@given(
+    capacity_kb=st.integers(8, 2048),
+    perm=st.permutations(["m", "n", "k", "l"]),
+)
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_solver_always_feasible_within_bounds(capacity_kb, perm):
+    chain = gemm_chain(256, 256, 256, 256)
+    model = MovementModel(chain, perm)
+    solution = solve_tiles(model, capacity_kb * 1024.0)
+    extents = chain.loop_extents()
+    for name, tile in solution.tiles.items():
+        assert 1 <= tile <= extents[name]
+    if solution.feasible:
+        assert model.usage(solution.tiles) <= capacity_kb * 1024.0 * 1.0001

@@ -1,0 +1,106 @@
+"""Tests for block order enumeration."""
+
+import pytest
+
+from repro.core.reordering import (
+    candidate_models,
+    chain_reduction_loops,
+    count_orders,
+    enumerate_orders,
+    loop_classes,
+    ordering_loops,
+)
+from repro.ir.chains import batch_gemm_chain, conv_chain, gemm_chain
+
+
+class TestOrderingLoops:
+    def test_degenerate_loops_dropped(self):
+        chain = batch_gemm_chain(1, 16, 16, 16, 16)
+        assert "b" not in ordering_loops(chain)
+
+    def test_all_loops_kept_when_nondegenerate(self):
+        chain = gemm_chain(8, 8, 8, 8)
+        assert set(ordering_loops(chain)) == {"m", "n", "k", "l"}
+
+
+class TestLoopClasses:
+    def test_gemm_chain_has_four_singleton_classes(self):
+        chain = gemm_chain(2048, 2048, 2048, 2048)
+        classes = loop_classes(chain)
+        assert sorted(len(c) for c in classes) == [1, 1, 1, 1]
+
+    def test_conv_chain_groups_symmetric_spatials(self):
+        chain = conv_chain(1, 64, 56, 56, 64, 64, 1, 1, 3, 3)
+        classes = {frozenset(c) for c in loop_classes(chain)}
+        assert frozenset({"oh", "ow"}) in classes
+        assert frozenset({"rh1", "rw1"}) in classes
+        assert frozenset({"rh2", "rw2"}) in classes
+
+    def test_different_extents_not_grouped(self):
+        # oh=56 vs ow=28: asymmetric spatial dims stay separate.
+        chain = conv_chain(1, 8, 56, 28, 16, 16, 1, 1, 3, 3)
+        classes = {frozenset(c) for c in loop_classes(chain)}
+        assert frozenset({"oh", "ow"}) not in classes
+
+
+class TestEnumeration:
+    def test_gemm_chain_has_24_orders(self):
+        # Section IV-B: four independent loops -> 4! = 24, not 720.
+        chain = gemm_chain(2048, 2048, 2048, 2048)
+        assert count_orders(chain) == 24
+        assert len(list(enumerate_orders(chain))) == 24
+
+    def test_canonical_count_matches_enumeration(self):
+        chain = conv_chain(1, 64, 56, 56, 64, 64, 1, 1, 1, 3)
+        orders = list(enumerate_orders(chain))
+        assert len(orders) == count_orders(chain)
+        assert len(set(orders)) == len(orders)
+
+    def test_max_orders_samples_deterministically(self):
+        chain = conv_chain(1, 64, 56, 56, 64, 64, 1, 1, 3, 3)
+        sample_a = list(enumerate_orders(chain, max_orders=50))
+        sample_b = list(enumerate_orders(chain, max_orders=50))
+        assert sample_a == sample_b
+        assert len(sample_a) == 50
+
+    def test_prefix_constraint(self):
+        chain = gemm_chain(64, 64, 64, 64)
+        orders = list(enumerate_orders(chain, prefix=frozenset({"m", "l"})))
+        assert orders
+        for order in orders:
+            assert set(order[:2]) == {"m", "l"}
+
+    def test_prefix_reduces_space(self):
+        chain = gemm_chain(64, 64, 64, 64)
+        constrained = list(enumerate_orders(chain, prefix=frozenset({"m", "l"})))
+        assert len(constrained) == 4  # 2! prefix x 2! tail
+
+
+class TestCandidateModels:
+    def test_signatures_deduplicate(self):
+        chain = gemm_chain(2048, 2048, 2048, 2048)
+        space = candidate_models(chain)
+        assert space.enumerated == 24
+        assert len(space.models) < 24
+        assert not space.truncated
+
+    def test_truncation_flag(self):
+        chain = conv_chain(1, 64, 56, 56, 64, 64, 1, 1, 3, 3)
+        space = candidate_models(chain, max_orders=20)
+        assert space.truncated
+
+    def test_no_reuse_flag_propagates(self):
+        chain = gemm_chain(64, 64, 64, 64)
+        space = candidate_models(chain, reuse_intermediates=False)
+        assert all(not m.reuse_intermediates for m in space.models)
+
+
+class TestChainReductionLoops:
+    def test_gemm_chain(self):
+        chain = gemm_chain(8, 8, 8, 8)
+        assert set(chain_reduction_loops(chain)) == {"k", "l"}
+
+    def test_conv_chain(self):
+        chain = conv_chain(1, 8, 16, 16, 8, 8, 1, 1, 3, 3)
+        reductions = set(chain_reduction_loops(chain))
+        assert {"ic", "rh1", "rw1", "oc1", "rh2", "rw2"} == reductions

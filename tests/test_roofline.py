@@ -1,0 +1,67 @@
+"""Tests for the roofline classification (Section II-A / VI-B story)."""
+
+import pytest
+
+from repro.analysis import (
+    chain_roofline,
+    fusion_prognosis,
+    operator_roofline,
+)
+from repro.hardware import a100, xeon_gold_6240
+from repro.workloads import conv_chain_config, gemm_chain_config
+
+
+class TestRoofline:
+    def test_attention_bmms_are_memory_bound_on_a100(self):
+        """Table I's motivation: the attention batch GEMMs cannot reach
+        peak on high-balance machines."""
+        chain = gemm_chain_config("G1").build()
+        _, per_op, promising = fusion_prognosis(chain, a100())
+        assert all(p.memory_bound for p in per_op)
+        assert promising
+
+    def test_fused_chain_clears_the_ridge(self):
+        # Fusing doubles the flops over the same IO bytes: the chain's AI
+        # exceeds each operator's.
+        chain = gemm_chain_config("G1").build()
+        hw = a100()
+        chain_point = chain_roofline(chain, hw)
+        for op in chain.compute_intensive_ops():
+            assert (
+                chain_point.arithmetic_intensity
+                > operator_roofline(op, chain, hw).arithmetic_intensity
+            )
+
+    def test_c6_second_conv_is_compute_bound(self):
+        """Section VI-B: C6's 3x3 consumer is compute-bound — the case
+        where fusion does not pay."""
+        chain = conv_chain_config("C6").build(batch=8)
+        _, per_op, _ = fusion_prognosis(chain, a100())
+        by_name = {p.name: p for p in per_op}
+        assert by_name["conv1"].memory_bound
+        assert not by_name["conv2"].memory_bound
+
+    def test_pointwise_consumers_are_memory_bound(self):
+        # C7/C8: both convs 1x1 — classic fusion targets.
+        chain = conv_chain_config("C7").build(batch=8)
+        _, per_op, promising = fusion_prognosis(chain, a100())
+        assert all(p.memory_bound for p in per_op)
+        assert promising
+
+    def test_machine_balance_ordering(self):
+        # The same kernel is "more memory bound" on higher-balance machines.
+        chain = gemm_chain_config("G1").build()
+        cpu_point = chain_roofline(chain, xeon_gold_6240())
+        gpu_point = chain_roofline(chain, a100())
+        assert cpu_point.machine_balance < gpu_point.machine_balance
+        assert cpu_point.attainable_fraction >= gpu_point.attainable_fraction
+
+    def test_attainable_flops_capped_by_peak(self):
+        chain = gemm_chain_config("G1").build()
+        point = chain_roofline(chain, xeon_gold_6240())
+        assert point.attainable_flops <= xeon_gold_6240().peak_flops
+
+    def test_describe(self):
+        chain = gemm_chain_config("G1").build()
+        text = chain_roofline(chain, a100()).describe()
+        assert "flop/B" in text and "bound" in text

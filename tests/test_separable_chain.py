@@ -1,0 +1,113 @@
+"""Tests for depthwise convolutions and separable chains."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.codegen import (
+    execute_program,
+    execute_reference,
+    lower_schedule,
+    random_inputs,
+)
+from repro.core.fusion import decide_fusion
+from repro.core.movement import MovementModel, algorithm1
+from repro.hardware import a100, xeon_gold_6240
+from repro.ir import builders
+from repro.ir.chain import single_op_chain
+from repro.ir.chains import separable_chain
+
+
+def _order(chain):
+    extents = chain.loop_extents()
+    return tuple(n for n in chain.independent_loops() if extents[n] > 1)
+
+
+class TestDepthwiseBuilder:
+    def test_channel_is_spatial(self):
+        op, tensors = builders.depthwise_conv2d("dw", 1, 8, 16, 16, 3)
+        assert "dw.c" in op.spatial_loop_names
+        assert op.reduction_loop_names == ("dw.rh", "dw.rw")
+        assert tensors["dw.W"].shape == (8, 3, 3)
+
+    def test_flops(self):
+        op, _ = builders.depthwise_conv2d("dw", 2, 8, 16, 16, 3, 2)
+        assert op.flops == 2 * 2 * 8 * 8 * 8 * 9
+
+    def test_standalone_numerics(self):
+        op, tensors = builders.depthwise_conv2d("dw", 1, 4, 10, 10, 3)
+        chain = single_op_chain(op, tensors)
+        order = _order(chain)
+        program = lower_schedule(chain, order, {n: 3 for n in order})
+        inputs = random_inputs(chain, 2)
+        got = execute_program(program, inputs)
+        ref = execute_reference(chain, inputs)
+        np.testing.assert_allclose(
+            got["dw.Y"], ref["dw.Y"], rtol=1e-9, atol=1e-11
+        )
+
+
+class TestSeparableChain:
+    def test_structure(self):
+        chain = separable_chain(1, 16, 28, 28, 32)
+        assert [op.tag for op in chain.ops] == ["depthwise_conv2d", "conv2d"]
+        assert chain.intermediate_tensors() == ("T",)
+        # The depthwise channel becomes the pointwise reduction.
+        assert "c" in chain.op("pw").reduction_loop_names
+
+    def test_depthwise_taps_private(self):
+        chain = separable_chain(1, 16, 28, 28, 32)
+        assert set(chain.private_loops(chain.op("dw"))) == {"rh", "rw"}
+
+    def test_channel_shared(self):
+        chain = separable_chain(1, 16, 28, 28, 32)
+        owners = {op.name for op in chain.ops_with_loop("c")}
+        assert owners == {"dw", "pw"}
+
+    def test_numerics_random_orders(self):
+        import random
+
+        chain = separable_chain(1, 6, 12, 12, 8, 3, 1)
+        rng = random.Random(11)
+        base_order = list(_order(chain))
+        for trial in range(4):
+            order = list(base_order)
+            rng.shuffle(order)
+            program = lower_schedule(
+                chain, tuple(order), {n: 3 for n in chain.loop_extents()}
+            )
+            inputs = random_inputs(chain, trial)
+            got = execute_program(program, inputs)
+            ref = execute_reference(chain, inputs)
+            np.testing.assert_allclose(
+                got["Y"], ref["Y"], rtol=1e-9, atol=1e-11
+            )
+
+    def test_movement_model_consistency(self):
+        chain = separable_chain(1, 8, 16, 16, 12)
+        order = _order(chain)
+        tiles = {n: 4 for n in chain.loop_extents()}
+        dv_ref, _ = algorithm1(chain, order, tiles)
+        model = MovementModel(chain, order)
+        assert model.volume(tiles) == pytest.approx(dv_ref)
+
+    @pytest.mark.slow
+    def test_planner_fuses_memory_bound_separable_block(self):
+        # Depthwise stages are extremely memory-bound (9 flops/point); the
+        # separable block is a prime fusion target.
+        chain = separable_chain(8, 64, 56, 56, 128)
+        decision = decide_fusion(chain, a100())
+        assert decision.predicted_speedup > 1.0
+
+    @pytest.mark.slow
+    def test_pipeline_end_to_end(self):
+        chain = separable_chain(1, 8, 16, 16, 12, with_relu=True)
+        result = repro.compile_chain(
+            chain, xeon_gold_6240(), force_fusion=True
+        )
+        inputs = random_inputs(chain, 9)
+        outputs = result.kernels[0](inputs)
+        ref = execute_reference(chain, inputs)
+        np.testing.assert_allclose(
+            outputs["Y"], ref["Y"], rtol=1e-9, atol=1e-11
+        )

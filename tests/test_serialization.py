@@ -1,0 +1,97 @@
+"""Tests for plan/chain/hardware JSON round-trips."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.codegen import build_kernel, execute_reference, random_inputs
+from repro.hardware import all_presets, xeon_gold_6240
+from repro.ir.chains import batch_gemm_chain, conv_chain
+from repro.runtime.serialization import (
+    chain_from_dict,
+    chain_to_dict,
+    hardware_from_dict,
+    hardware_to_dict,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+
+
+class TestChainRoundTrip:
+    def test_bmm_chain(self):
+        chain = batch_gemm_chain(2, 32, 16, 16, 32, with_softmax=True)
+        rebuilt = chain_from_dict(chain_to_dict(chain))
+        assert rebuilt.name == chain.name
+        assert [op.name for op in rebuilt.ops] == [op.name for op in chain.ops]
+        assert rebuilt.io_tensors() == chain.io_tensors()
+        assert rebuilt.loop_extents() == chain.loop_extents()
+
+    def test_conv_chain_preserves_affine_accesses(self):
+        chain = conv_chain(1, 8, 16, 16, 12, 10, 2, 1, 3, 3)
+        rebuilt = chain_from_dict(chain_to_dict(chain))
+        original = chain.op("conv1").access_of("X")
+        restored = rebuilt.op("conv1").access_of("X")
+        assert original.dims == restored.dims
+
+    def test_attrs_preserved(self):
+        chain = conv_chain(1, 8, 16, 16, 12, 10, 2, 1, 3, 1)
+        rebuilt = chain_from_dict(chain_to_dict(chain))
+        assert rebuilt.op("conv1").attrs["stride"] == 2
+
+    def test_json_compatible(self):
+        import json
+
+        chain = batch_gemm_chain(2, 32, 16, 16, 32)
+        text = json.dumps(chain_to_dict(chain))
+        assert chain_from_dict(json.loads(text)).name == chain.name
+
+
+class TestHardwareRoundTrip:
+    @pytest.mark.parametrize("hw", all_presets(), ids=lambda h: h.name)
+    def test_presets(self, hw):
+        rebuilt = hardware_from_dict(hardware_to_dict(hw))
+        assert rebuilt == hw
+
+
+class TestPlanRoundTrip:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        chain = batch_gemm_chain(2, 64, 32, 32, 64)
+        return repro.optimize_chain(chain, xeon_gold_6240())
+
+    def test_round_trip_equivalence(self, plan):
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert rebuilt.micro_kernel == plan.micro_kernel
+        assert rebuilt.compute_efficiency == plan.compute_efficiency
+        assert rebuilt.predicted_time == pytest.approx(plan.predicted_time)
+        for a, b in zip(rebuilt.levels, plan.levels):
+            assert a.order == b.order
+            assert dict(a.tiles) == dict(b.tiles)
+
+    def test_reloaded_plan_executes_correctly(self, plan, tmp_path):
+        path = tmp_path / "g.plan.json"
+        save_plan(plan, path)
+        reloaded = load_plan(path)
+        kernel = build_kernel(reloaded)
+        inputs = random_inputs(reloaded.chain, 3)
+        outputs = kernel(inputs)
+        reference = execute_reference(reloaded.chain, inputs)
+        np.testing.assert_allclose(
+            outputs["E"], reference["E"], rtol=1e-9, atol=1e-11
+        )
+
+    def test_reloaded_plan_simulates(self, plan, tmp_path):
+        path = tmp_path / "g.plan.json"
+        save_plan(plan, path)
+        reloaded = load_plan(path)
+        original = repro.simulate_plan(plan)
+        again = repro.simulate_plan(reloaded)
+        assert again.dram_traffic == pytest.approx(original.dram_traffic)
+
+    def test_version_check(self, plan):
+        data = plan_to_dict(plan)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            plan_from_dict(data)

@@ -1,0 +1,130 @@
+"""Tests for the constrained tile-size solver."""
+
+import math
+
+import pytest
+
+from repro.core.movement import MovementModel
+from repro.core.solver import gemm_chain_closed_form, solve_tiles
+from repro.ir.chains import batch_gemm_chain, gemm_chain
+
+
+@pytest.fixture
+def chain():
+    return gemm_chain(2048, 2048, 2048, 2048)
+
+
+@pytest.fixture
+def model(chain):
+    return MovementModel(chain, ("m", "l", "k", "n"))
+
+
+class TestClosedForm:
+    def test_paper_solution(self):
+        # T_M* = T_L* = -alpha + sqrt(alpha^2 + MC), T_N* = T_K* = alpha.
+        mc = 1_000_000.0
+        tiles = gemm_chain_closed_form(2048, 2048, 2048, 2048, mc, alpha=8)
+        t = -8 + math.sqrt(64 + mc)
+        assert tiles["m"] == pytest.approx(t)
+        assert tiles["l"] == pytest.approx(t)
+        assert tiles["n"] == 8 and tiles["k"] == 8
+
+    def test_memory_exactly_consumed(self):
+        mc = 500_000.0
+        tiles = gemm_chain_closed_form(4096, 4096, 4096, 4096, mc, alpha=8)
+        t, a = tiles["m"], tiles["n"]
+        # GEMM1 usage: T_M*T_K + T_K*T_L + T_M*T_L = t^2 + 2*alpha*t = MC.
+        assert t * t + 2 * a * t == pytest.approx(mc)
+
+    def test_clipped_to_extents(self):
+        tiles = gemm_chain_closed_form(64, 64, 64, 64, 1e9, alpha=8)
+        assert tiles["m"] == 64 and tiles["l"] == 64
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            gemm_chain_closed_form(64, 64, 64, 64, 0)
+
+
+class TestSolveTiles:
+    def test_matches_closed_form(self, model):
+        capacity = 1024 * 1024.0  # 1MB
+        solution = solve_tiles(
+            model, capacity, min_tiles={"m": 8, "n": 8, "k": 8, "l": 8}
+        )
+        closed = gemm_chain_closed_form(
+            2048, 2048, 2048, 2048, capacity / 2, alpha=8
+        )
+        assert solution.feasible
+        assert solution.tiles["m"] == pytest.approx(closed["m"], abs=2)
+        assert solution.tiles["l"] == pytest.approx(closed["l"], abs=2)
+        assert solution.tiles["n"] == 8 and solution.tiles["k"] == 8
+
+    def test_respects_capacity(self, model):
+        capacity = 200_000.0
+        solution = solve_tiles(model, capacity)
+        assert solution.mu <= capacity
+        assert solution.feasible
+
+    def test_respects_min_tiles(self, model):
+        solution = solve_tiles(
+            model, 1024 * 1024.0, min_tiles={"n": 32, "k": 16}
+        )
+        assert solution.tiles["n"] >= 32
+        assert solution.tiles["k"] >= 16
+
+    def test_respects_parent_bounds(self, model):
+        parent = {"m": 100, "l": 100, "k": 2048, "n": 2048}
+        solution = solve_tiles(model, 1024 * 1024.0, max_parent=parent)
+        assert solution.tiles["m"] <= 100
+        assert solution.tiles["l"] <= 100
+
+    def test_parent_bound_wins_over_min_tile(self, model):
+        solution = solve_tiles(
+            model,
+            1024 * 1024.0,
+            min_tiles={"m": 64},
+            max_parent={"m": 16, "l": 2048, "k": 2048, "n": 2048},
+        )
+        assert solution.tiles["m"] <= 16
+
+    def test_quanta_snapping(self, model):
+        solution = solve_tiles(
+            model, 1024 * 1024.0, quanta={"m": 16, "l": 16}
+        )
+        assert solution.tiles["m"] % 16 == 0
+        assert solution.tiles["l"] % 16 == 0
+
+    def test_extra_constraint(self, model):
+        limit = 5_000.0
+
+        def c_tile_bound(tiles):
+            return tiles["m"] * tiles["l"] * 2 - limit
+
+        solution = solve_tiles(
+            model, 1024 * 1024.0, constraints=[c_tile_bound]
+        )
+        assert solution.tiles["m"] * solution.tiles["l"] * 2 <= limit
+
+    def test_infeasible_shrinks_to_ones(self):
+        chain = gemm_chain(16, 16, 16, 16)
+        model = MovementModel(chain, ("m", "l", "k", "n"))
+        solution = solve_tiles(model, 64.0)  # absurdly small capacity
+        assert solution.mu <= 64.0 or not solution.feasible
+
+    def test_larger_capacity_never_hurts(self, model):
+        small = solve_tiles(model, 128 * 1024.0)
+        large = solve_tiles(model, 2 * 1024 * 1024.0)
+        assert large.dv <= small.dv * 1.01
+
+    def test_solution_dv_consistent_with_model(self, model):
+        solution = solve_tiles(model, 512 * 1024.0)
+        assert solution.dv == pytest.approx(
+            model.volume(solution.tiles, exact=True)
+        )
+
+    def test_batch_chain_solvable(self):
+        chain = batch_gemm_chain(8, 512, 64, 64, 512)
+        model = MovementModel(chain, ("b", "m", "l", "k", "n"))
+        solution = solve_tiles(model, 1024 * 1024.0)
+        assert solution.feasible
+        assert all(t >= 1 for t in solution.tiles.values())

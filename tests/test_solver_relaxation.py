@@ -1,0 +1,81 @@
+"""Tests for solver minimum-tile relaxation and validation measurement."""
+
+import pytest
+
+from repro.analysis.validation import measure_movement
+from repro.core.movement import MovementModel
+from repro.core.solver import solve_tiles
+from repro.hardware import xeon_gold_6240
+from repro.ir.chains import batch_gemm_chain, conv_chain, gemm_chain
+
+
+class TestSoftMinRelaxation:
+    def test_soft_minimums_relax_under_pressure(self):
+        # Capacity too small for the requested minimums: the solver must
+        # drop them rather than return garbage.
+        chain = gemm_chain(256, 256, 256, 256)
+        model = MovementModel(chain, ("m", "l", "k", "n"))
+        solution = solve_tiles(
+            model,
+            16 * 1024.0,  # 16KB: min tiles of 64 cannot fit
+            min_tiles={n: 64 for n in "mnkl"},
+        )
+        assert solution.feasible
+        assert solution.mu <= 16 * 1024.0
+
+    def test_hard_minimums_survive_relaxation(self):
+        chain = gemm_chain(256, 256, 256, 256)
+        model = MovementModel(chain, ("m", "l", "k", "n"))
+        solution = solve_tiles(
+            model,
+            64 * 1024.0,
+            min_tiles={"m": 64, "l": 64},
+            hard_min_tiles={"k": 256},
+        )
+        assert solution.tiles["k"] == 256
+
+    def test_feasible_minimums_kept(self):
+        chain = gemm_chain(256, 256, 256, 256)
+        model = MovementModel(chain, ("m", "l", "k", "n"))
+        solution = solve_tiles(
+            model, 512 * 1024.0, min_tiles={"n": 32, "k": 32}
+        )
+        assert solution.tiles["n"] >= 32 and solution.tiles["k"] >= 32
+
+
+class TestMeasureMovement:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        chain = gemm_chain(128, 128, 128, 128)
+        hw = xeon_gold_6240()
+        order = ("m", "l", "k", "n")
+        tiles = {"m": 32, "l": 32, "k": 32, "n": 32}
+        return chain, hw, order, tiles
+
+    def test_no_reuse_moves_more(self, setup):
+        chain, hw, order, tiles = setup
+        with_reuse = measure_movement(chain, hw, order, tiles, "L1")
+        without = measure_movement(
+            chain, hw, order, tiles, "L1", reuse_intermediates=False
+        )
+        assert without > with_reuse
+
+    def test_outer_boundary_not_above_inner(self, setup):
+        chain, hw, order, tiles = setup
+        inner = measure_movement(chain, hw, order, tiles, "L1")
+        outer = measure_movement(chain, hw, order, tiles, "L3")
+        assert outer <= inner * 1.01
+
+    def test_movement_at_least_io(self, setup):
+        chain, hw, order, tiles = setup
+        measured = measure_movement(chain, hw, order, tiles, "L3")
+        assert measured >= chain.io_bytes() * 0.9
+
+    def test_conv_chain_measurable(self):
+        chain = conv_chain(1, 8, 16, 16, 12, 10, 2, 1, 3, 1)
+        hw = xeon_gold_6240()
+        extents = chain.loop_extents()
+        order = tuple(n for n in chain.independent_loops() if extents[n] > 1)
+        tiles = {n: 4 for n in extents}
+        measured = measure_movement(chain, hw, order, tiles, "L1")
+        assert measured > 0

@@ -1,0 +1,149 @@
+"""Tests for the evaluation workloads (Tables I, IV, V; networks)."""
+
+import pytest
+
+from repro.hardware import a100, xeon_gold_6240
+from repro.workloads import (
+    NETWORKS,
+    TABLE_IV,
+    TABLE_V,
+    all_conv_chains,
+    all_gemm_chains,
+    build_network,
+    conv_chain_config,
+    gemm_chain_config,
+    is_fusable_chain,
+    model_breakdown,
+    network_config,
+    network_time,
+)
+
+
+class TestTableIV:
+    def test_twelve_configs(self):
+        assert len(TABLE_IV) == 12
+        assert [c.name for c in TABLE_IV[:3]] == ["G1", "G2", "G3"]
+
+    def test_g1_row(self):
+        g1 = gemm_chain_config("G1")
+        assert (g1.batch, g1.m, g1.n, g1.k, g1.l) == (8, 512, 64, 64, 512)
+        assert g1.network == "Bert-Small"
+
+    def test_mlp_mixer_batch_one(self):
+        assert gemm_chain_config("G10").batch == 1
+
+    def test_build_shapes(self):
+        chain = gemm_chain_config("G6").build()
+        extents = chain.loop_extents()
+        assert extents == {"b": 16, "m": 256, "n": 80, "k": 80, "l": 256}
+
+    def test_build_with_softmax(self):
+        chain = gemm_chain_config("G1").build(with_softmax=True)
+        assert any(op.tag == "softmax" for op in chain.ops)
+        assert chain.name == "G1+softmax"
+
+    def test_batch_override_for_npu(self):
+        chain = gemm_chain_config("G3").build(batch_override=1)
+        assert chain.loop_extents()["b"] == 1
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="G1"):
+            gemm_chain_config("G13")
+
+    def test_all_gemm_chains(self):
+        chains = all_gemm_chains()
+        assert len(chains) == 12
+        assert chains[0].name == "G1"
+
+
+class TestTableV:
+    def test_eight_configs(self):
+        assert len(TABLE_V) == 8
+
+    def test_c1_row(self):
+        c1 = conv_chain_config("C1")
+        assert (c1.ic, c1.h, c1.w) == (64, 112, 112)
+        assert (c1.oc1, c1.oc2) == (192, 128)
+        assert (c1.st1, c1.k1, c1.k2) == (2, 3, 1)
+
+    def test_c6_is_the_compute_bound_case(self):
+        c6 = conv_chain_config("C6")
+        assert c6.k1 == 1 and c6.k2 == 3  # pointwise then 3x3
+
+    def test_build(self):
+        chain = conv_chain_config("C7").build()
+        assert chain.name == "C7"
+        assert len(chain.compute_intensive_ops()) == 2
+
+    def test_build_with_relu(self):
+        chain = conv_chain_config("C3").build(with_relu=True)
+        assert chain.name == "C3+relu"
+        assert len(chain.ops) == 4
+
+    def test_all_conv_chains(self):
+        assert len(all_conv_chains()) == 8
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            conv_chain_config("C9")
+
+
+class TestNetworks:
+    def test_presets_exist(self):
+        assert "Bert-Base" in NETWORKS and "TF-Large" in NETWORKS
+        with pytest.raises(KeyError):
+            network_config("GPT-3")
+
+    def test_bert_base_hidden(self):
+        config = network_config("Bert-Base")
+        assert config.hidden == 768
+
+    def test_build_network_structure(self):
+        dag = build_network(network_config("Bert-Small"))
+        names = [n.name for n in dag.nodes]
+        assert any("attention" in n for n in names)
+        assert "ffn1" in names and "ln2" in names
+        assert all(n.repeat == 4 for n in dag.nodes)
+
+    def test_only_attention_is_fusable(self):
+        dag = build_network(network_config("Bert-Small"))
+        fusable = [n.name for n in dag.nodes if is_fusable_chain(n)]
+        assert len(fusable) == 1 and "attention" in fusable[0]
+
+    def test_network_flops_scale_with_layers(self):
+        small = build_network(network_config("Bert-Small"))
+        large = build_network(network_config("Bert-Large"))
+        assert large.total_flops() > small.total_flops()
+
+
+class TestNetworkTiming:
+    @pytest.mark.slow
+    def test_chimera_chain_speeds_up_network(self):
+        config = network_config("Bert-Small")
+        dag = build_network(config)
+        hw = a100()
+        with_chimera = network_time(
+            dag, hw, base_system="relay", chain_system="chimera"
+        )
+        with_cudnn = network_time(
+            dag, hw, base_system="relay", chain_system="cudnn"
+        )
+        assert with_chimera.total < with_cudnn.total
+        assert set(with_chimera.node_times) == {n.name for n in dag.nodes}
+
+
+class TestBreakdown:
+    @pytest.mark.slow
+    def test_table_i_shape(self):
+        hw = a100()
+        breakdown = model_breakdown(network_config("Bert-Small"), hw)
+        total = (
+            breakdown.mi_fraction
+            + breakdown.ci_fraction
+            + breakdown.bmm_fraction
+        )
+        assert total == pytest.approx(1.0)
+        # The paper's motivating observation: attention BMMs take a
+        # substantial share (Table I: 26.65%-40.04%).
+        assert breakdown.bmm_fraction > 0.10
+        assert breakdown.ci_fraction > breakdown.mi_fraction
