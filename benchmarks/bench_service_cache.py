@@ -1,0 +1,102 @@
+"""Compilation service: cold vs. warm compiles, serial vs. parallel batch.
+
+Two experiments over the caching service:
+
+1. **cold → warm** on the attention batch-GEMM chain: a cold compile runs
+   the full analytical search; a warm one decodes the cached plan and only
+   replays kernel lowering.  The memory tier and the disk tier (a fresh
+   service instance over the same cache dir) are timed separately; both
+   must be at least 10x faster than cold.
+2. **serial vs. parallel batch** over distinct Table IV-sized chains, cold
+   caches in both runs, reporting the wall-clock ratio.
+"""
+
+import tempfile
+import time
+
+from conftest import emit, run_once
+
+import repro
+from repro.analysis import render_table
+from repro.service import CompileRequest, CompileService
+
+MIN_WARM_SPEEDUP = 10.0
+BATCH_SIZES = [(1, 256 + 64 * i, 64, 64, 256) for i in range(6)]
+
+
+def _batch_requests(hw):
+    return [
+        CompileRequest(repro.batch_gemm_chain(*dims), hw)
+        for dims in BATCH_SIZES
+    ]
+
+
+def test_service_cache(benchmark):
+    hw = repro.a100()
+    chain = repro.attention_chain(batch=8, seq=256, head_dim=64)
+
+    def experiment():
+        rows = []
+        with tempfile.TemporaryDirectory() as tmp:
+            service = CompileService(cache_dir=tmp)
+            started = time.perf_counter()
+            cold = service.compile(chain, hw)
+            cold_s = time.perf_counter() - started
+
+            started = time.perf_counter()
+            warm = service.compile(chain, hw)
+            memory_s = time.perf_counter() - started
+
+            fresh = CompileService(cache_dir=tmp)
+            started = time.perf_counter()
+            disk = fresh.compile(chain, hw)
+            disk_s = time.perf_counter() - started
+
+            assert warm.predicted_time == cold.predicted_time
+            assert disk.predicted_time == cold.predicted_time
+            assert (warm.kernels[0].plan.outer.order
+                    == cold.kernels[0].plan.outer.order)
+            memory_speedup = cold_s / memory_s
+            disk_speedup = cold_s / disk_s
+            assert memory_speedup >= MIN_WARM_SPEEDUP
+            assert disk_speedup >= MIN_WARM_SPEEDUP
+            rows.append(["cold (optimizer)", f"{cold_s * 1e3:.1f} ms", "1.0x"])
+            rows.append([
+                "warm (memory tier)", f"{memory_s * 1e3:.1f} ms",
+                f"{memory_speedup:.0f}x",
+            ])
+            rows.append([
+                "warm (disk tier, new service)", f"{disk_s * 1e3:.1f} ms",
+                f"{disk_speedup:.0f}x",
+            ])
+
+        with tempfile.TemporaryDirectory() as tmp:
+            serial = CompileService(cache_dir=tmp)
+            started = time.perf_counter()
+            report = serial.compile_batch(_batch_requests(hw), max_workers=1)
+            serial_s = time.perf_counter() - started
+            assert report.succeeded
+        with tempfile.TemporaryDirectory() as tmp:
+            parallel = CompileService(cache_dir=tmp)
+            started = time.perf_counter()
+            report = parallel.compile_batch(_batch_requests(hw), max_workers=4)
+            parallel_s = time.perf_counter() - started
+            assert report.succeeded
+        rows.append([
+            f"batch of {len(BATCH_SIZES)}, serial", f"{serial_s * 1e3:.0f} ms",
+            "1.0x",
+        ])
+        rows.append([
+            f"batch of {len(BATCH_SIZES)}, 4 workers",
+            f"{parallel_s * 1e3:.0f} ms",
+            f"{serial_s / parallel_s:.2f}x",
+        ])
+        return rows, memory_speedup, disk_speedup
+
+    rows, memory_speedup, disk_speedup = run_once(benchmark, experiment)
+    emit(
+        "service_cache",
+        render_table(["configuration", "latency", "speedup"], rows)
+        + f"\n\nwarm-cache speedup: {memory_speedup:.0f}x memory, "
+        f"{disk_speedup:.0f}x disk (threshold {MIN_WARM_SPEEDUP:.0f}x)",
+    )

@@ -1,9 +1,15 @@
 """Persisting fusion plans: optimize once, reload anywhere.
 
 The analytical optimizer runs in seconds, but a deployment compiling many
-chains wants to do it exactly once.  Plans serialize to plain JSON —
-including the chain IR and the machine model — and reload into executable
-kernels with no re-optimization.
+chains wants to do it exactly once.  The recommended path is the
+compilation service: a :class:`repro.CompileService` keys every request by
+a content hash of the chain + machine model, keeps results in an in-memory
+LRU over an on-disk JSON store, and rebuilds executable kernels from a hit
+without touching the optimizer — across processes and restarts.
+
+The raw ``save_plan`` / ``load_plan`` functions remain available as the
+low-level alternative when you want to manage plan files yourself (e.g. to
+ship a single named plan as a build artifact).
 
 Run:
     python examples/plan_caching.py
@@ -20,7 +26,44 @@ from repro.codegen import build_kernel
 from repro.runtime import load_plan, save_plan
 
 
-def main() -> None:
+def service_api(cache_dir: pathlib.Path) -> None:
+    """The recommended path: content-addressed caching via the service."""
+    chain = repro.attention_chain(batch=8, seq=256, head_dim=64)
+    hw = repro.a100()
+    service = repro.CompileService(cache_dir=cache_dir)
+
+    started = time.perf_counter()
+    cold = service.compile(chain, hw)
+    cold_seconds = time.perf_counter() - started
+    print(f"cold compile of {chain.name}: {cold_seconds:.2f}s")
+
+    # A second service instance — think "next process" — hits the disk tier.
+    service = repro.CompileService(cache_dir=cache_dir)
+    started = time.perf_counter()
+    warm = service.compile(chain, hw)
+    warm_seconds = time.perf_counter() - started
+    print(f"warm compile (new service, same cache dir): "
+          f"{warm_seconds * 1e3:.1f}ms "
+          f"({cold_seconds / warm_seconds:.0f}x faster, optimizer skipped)")
+    assert warm.predicted_time == cold.predicted_time
+    assert (warm.kernels[0].plan.outer.order
+            == cold.kernels[0].plan.outer.order)
+
+    kernel = warm.kernels[0]
+    inputs = repro.random_inputs(chain, seed=0)
+    outputs = kernel(inputs)
+    reference = repro.execute_reference(chain, inputs)
+    assert np.allclose(outputs["E"], reference["E"], rtol=1e-9, atol=1e-11)
+    print("warm kernel verified against the reference")
+
+    stats = service.stats()
+    print(f"service stats: {stats['hits']} hit(s), "
+          f"{stats['misses']} miss(es), "
+          f"{stats['cache']['disk_entries']} plan(s) on disk")
+
+
+def raw_save_load() -> None:
+    """The low-level alternative: explicit plan files."""
     chain = repro.attention_chain(batch=8, seq=256, head_dim=64)
     hw = repro.a100()
 
@@ -50,6 +93,15 @@ def main() -> None:
           "fully self-contained")
     print()
     print(reloaded.describe())
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        print("== service API (recommended) ==")
+        service_api(pathlib.Path(tmp) / "plans")
+    print()
+    print("== raw save_plan / load_plan (low level) ==")
+    raw_save_load()
 
 
 if __name__ == "__main__":

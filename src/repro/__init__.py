@@ -24,6 +24,7 @@ Subpackages:
 * :mod:`repro.baselines` — the comparator systems of the evaluation.
 * :mod:`repro.workloads` — Tables IV/V chains and Figure 9 networks.
 * :mod:`repro.runtime` — ``compile_chain`` and the comparison harness.
+* :mod:`repro.service` — plan cache, batch compiler, request coalescing.
 * :mod:`repro.analysis` — Figure 8 validation and report rendering.
 """
 
@@ -40,7 +41,21 @@ from .ir import (
     mlp_chain,
     separable_chain,
 )
-from .runtime import CompileResult, compare, compile_chain, optimize_chain
+from .runtime import (
+    CompileResult,
+    PlanFormatError,
+    compare,
+    compile_chain,
+    load_plan,
+    optimize_chain,
+    save_plan,
+)
+from .service import (
+    CompilationFailure,
+    CompileRequest,
+    CompileService,
+    cache_key,
+)
 from .sim import SimReport, simulate_plan, simulate_sequence
 
 __version__ = "1.0.0"
@@ -65,9 +80,16 @@ __all__ = [
     "mlp_chain",
     "separable_chain",
     "CompileResult",
+    "PlanFormatError",
     "compare",
     "compile_chain",
+    "load_plan",
     "optimize_chain",
+    "save_plan",
+    "CompilationFailure",
+    "CompileRequest",
+    "CompileService",
+    "cache_key",
     "SimReport",
     "simulate_plan",
     "simulate_sequence",

@@ -7,6 +7,9 @@ Commands:
 * ``compare`` — run a workload across systems (one Figure 5/6/7 row).
 * ``validate`` — Figure-8 style model validation for a GEMM chain.
 * ``workloads`` — list the Table IV / Table V configurations.
+* ``compile-batch`` — compile several workloads through the caching
+  service, in parallel, and print the per-request report plus stats.
+* ``cache`` — inspect (``stats``, ``list``) or ``clear`` a plan cache dir.
 
 Examples::
 
@@ -15,6 +18,8 @@ Examples::
     python -m repro compare G2 --hw a100
     python -m repro validate --size 512 --order m,l,k,n
     python -m repro workloads
+    python -m repro compile-batch G10 G11 C7 --cache-dir /tmp/plans
+    python -m repro cache stats --cache-dir /tmp/plans
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from .hardware import preset
 from .ir.chain import OperatorChain
 from .ir.chains import gemm_chain
 from .runtime import compare as run_compare
+from .service import CompileRequest, CompileService, PlanCache
 from .workloads import conv_chain_config, gemm_chain_config
 
 
@@ -89,6 +95,83 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     print(f"model's pick: tiles "
           + ", ".join(f"{n}={best.tiles[n]}" for n in order)
           + f" -> measured {best.measured / 1e6:.2f} MB")
+    return 0
+
+
+def _render_stats(stats: dict) -> str:
+    latency = stats["compile_latency"]
+    cache = stats["cache"]
+    lines = [
+        f"requests {stats['requests']}  hits {stats['hits']} "
+        f"(memory {stats['hits_memory']}, disk {stats['hits_disk']})  "
+        f"misses {stats['misses']}  hit rate {stats['hit_rate']:.0%}",
+        f"compiles {stats['compiles']}  coalesced {stats['coalesced']}  "
+        f"failures {stats['failures']}  retries {stats['retries']}  "
+        f"fallbacks {stats['fallbacks']}  timeouts {stats['timeouts']}",
+        f"evictions {stats['evictions']}  corrupt entries "
+        f"{stats['corrupt_entries']}",
+        f"compile latency: p50 {latency['p50']:.2f}s  "
+        f"p90 {latency['p90']:.2f}s  p99 {latency['p99']:.2f}s  "
+        f"({latency['count']} samples)",
+        f"cache: {cache['memory_entries']}/{cache['memory_capacity']} in "
+        f"memory, {cache['disk_entries']} on disk "
+        f"({cache['disk_bytes']} bytes) at {cache['cache_dir'] or '<none>'}",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_compile_batch(args: argparse.Namespace) -> int:
+    hw = preset(args.hw)
+    requests = [
+        CompileRequest(
+            chain=_build_workload(name, args.softmax, args.relu, args.batch),
+            hardware=hw,
+        )
+        for name in args.workloads
+    ]
+    service = CompileService(
+        cache_dir=args.cache_dir, memory_capacity=args.memory_capacity
+    )
+    report = service.compile_batch(
+        requests, max_workers=args.workers, timeout=args.timeout
+    )
+    print(report.table())
+    print()
+    print(_render_stats(service.stats()))
+    return 0 if report.succeeded else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = PlanCache(cache_dir=args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached plan(s) from {args.cache_dir}")
+        return 0
+    keys = cache.disk_keys()
+    if args.action == "stats":
+        print(
+            f"{len(keys)} cached plan(s), {cache.disk_size_bytes()} bytes "
+            f"at {args.cache_dir}"
+        )
+        return 0
+    rows = []
+    for key in keys:
+        entry = cache.get(key)
+        if entry is None:
+            continue  # corrupt entries are evicted by the lookup itself
+        seconds = entry.get("compile_seconds")
+        rows.append(
+            [
+                key[:16],
+                str(entry.get("chain", "?")),
+                str(entry.get("hardware", "?")),
+                "fused" if entry.get("use_fusion") else "unfused",
+                "-" if seconds is None else f"{seconds:.2f}s",
+            ]
+        )
+    print(render_table(
+        ["key", "chain", "hardware", "decision", "compile time"], rows
+    ))
     return 0
 
 
@@ -156,6 +239,31 @@ def main(argv: Optional[list] = None) -> int:
 
     wl = sub.add_parser("workloads", help="list Table IV / Table V configs")
     wl.set_defaults(fn=_cmd_workloads)
+
+    batch = sub.add_parser(
+        "compile-batch",
+        help="compile several workloads through the caching service",
+    )
+    batch.add_argument("workloads", nargs="+", help="G1-G12 and/or C1-C8")
+    batch.add_argument("--hw", default="xeon-gold-6240")
+    batch.add_argument("--softmax", action="store_true")
+    batch.add_argument("--relu", action="store_true")
+    batch.add_argument("--batch", type=int, default=None)
+    batch.add_argument("--cache-dir", default=None,
+                       help="persistent plan cache directory")
+    batch.add_argument("--memory-capacity", type=int, default=128,
+                       help="in-memory LRU size, entries")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="worker pool size (default: one per request, "
+                            "capped at the CPU count)")
+    batch.add_argument("--timeout", type=float, default=None,
+                       help="per-request timeout in seconds")
+    batch.set_defaults(fn=_cmd_compile_batch)
+
+    cache = sub.add_parser("cache", help="inspect or clear a plan cache")
+    cache.add_argument("action", choices=["stats", "list", "clear"])
+    cache.add_argument("--cache-dir", required=True)
+    cache.set_defaults(fn=_cmd_cache)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -11,9 +11,12 @@ from .pipeline import (
     CompileResult,
     chimera_config,
     compile_chain,
+    kernels_for_decision,
     optimize_chain,
 )
 from .serialization import (
+    FORMAT_VERSION,
+    PlanFormatError,
     chain_from_dict,
     chain_to_dict,
     hardware_from_dict,
@@ -35,7 +38,10 @@ __all__ = [
     "CompileResult",
     "chimera_config",
     "compile_chain",
+    "kernels_for_decision",
     "optimize_chain",
+    "FORMAT_VERSION",
+    "PlanFormatError",
     "chain_from_dict",
     "chain_to_dict",
     "hardware_from_dict",

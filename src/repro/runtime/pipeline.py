@@ -9,11 +9,14 @@ inter-block reordering (analytical model), intra-block scheduling
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from .. import microkernel
 from ..codegen.kernel import FusedKernel, build_kernel
 from ..core.fusion import FusionDecision, decide_fusion
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle exists only for typing
+    from ..service import CompileService
 from ..core.optimizer import ChimeraConfig, ChimeraOptimizer
 from ..core.plan import FusionPlan
 from ..hardware.spec import HardwareSpec
@@ -78,6 +81,7 @@ def compile_chain(
     config: Optional[ChimeraConfig] = None,
     *,
     force_fusion: Optional[bool] = None,
+    service: Optional["CompileService"] = None,
 ) -> CompileResult:
     """Compile an operator chain for a hardware target.
 
@@ -87,24 +91,39 @@ def compile_chain(
             memory-hierarchy parameters).
         config: optimizer overrides.
         force_fusion: bypass the fuse-or-not profitability decision.
+        service: a :class:`repro.service.CompileService`; when given, the
+            request is routed through its plan cache (and coalesced with
+            identical concurrent requests) instead of always re-optimizing.
 
     Returns:
         executable kernels plus the planning decision.
     """
+    if service is not None:
+        return service.compile(chain, hardware, config, force_fusion=force_fusion)
     cfg = chimera_config(chain, hardware, config)
     decision = decide_fusion(chain, hardware, cfg)
-    use_fusion = decision.use_fusion if force_fusion is None else force_fusion
     if force_fusion is not None:
         decision = dataclasses.replace(decision, use_fusion=force_fusion)
-    chosen = (
-        (decision.fused_plan,) if use_fusion else decision.unfused_plans
+    return CompileResult(
+        kernels=kernels_for_decision(decision, hardware), decision=decision
     )
+
+
+def kernels_for_decision(
+    decision: FusionDecision, hardware: HardwareSpec
+) -> Tuple[FusedKernel, ...]:
+    """Lower the decision's chosen plans into executable kernels.
+
+    This is the deterministic back half of :func:`compile_chain` — intra-block
+    micro-kernel attachment plus code generation, no analytical search.  The
+    compilation service replays it when rebuilding a result from a cache hit.
+    """
     kernels = []
-    for plan in chosen:
+    for plan in decision.chosen:
         plan = _attach_micro_kernel(plan, hardware)
         micro = microkernel.lower_for_chain(hardware, plan.chain)
         kernels.append(build_kernel(plan, micro))
-    return CompileResult(kernels=tuple(kernels), decision=decision)
+    return tuple(kernels)
 
 
 def _attach_micro_kernel(

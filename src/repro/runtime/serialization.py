@@ -35,6 +35,15 @@ FORMAT_VERSION = 1
 PathLike = Union[str, pathlib.Path]
 
 
+class PlanFormatError(ValueError):
+    """A serialized plan cannot be decoded by this build.
+
+    Raised for unknown ``format_version`` values and for structurally
+    damaged payloads (missing required fields).  Subclasses ``ValueError``
+    so callers that predate the typed error keep working.
+    """
+
+
 # ----------------------------------------------------------------------
 # IR encoding
 # ----------------------------------------------------------------------
@@ -218,35 +227,40 @@ def plan_from_dict(data: Dict[str, Any]) -> FusionPlan:
     """Rebuild a fusion plan.
 
     Raises:
-        ValueError: for unknown format versions.
+        PlanFormatError: for unknown format versions or missing fields.
     """
     version = data.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(
+        raise PlanFormatError(
             f"unsupported plan format version {version!r} "
             f"(this build reads {FORMAT_VERSION})"
         )
-    return FusionPlan(
-        chain=chain_from_dict(data["chain"]),
-        hardware=hardware_from_dict(data["hardware"]),
-        levels=tuple(
-            LevelSchedule(
-                level=ld["level"],
-                order=tuple(ld["order"]),
-                tiles=ld["tiles"],
-                predicted_dv=ld["predicted_dv"],
-                predicted_mu=ld["predicted_mu"],
-                capacity=ld["capacity"],
-                bandwidth=ld["bandwidth"],
-            )
-            for ld in data["levels"]
-        ),
-        fused=data["fused"],
-        micro_kernel=data["micro_kernel"],
-        compute_efficiency=data["compute_efficiency"],
-        executed_flops=data["executed_flops"],
-        notes=tuple(data["notes"]),
-    )
+    try:
+        return FusionPlan(
+            chain=chain_from_dict(data["chain"]),
+            hardware=hardware_from_dict(data["hardware"]),
+            levels=tuple(
+                LevelSchedule(
+                    level=ld["level"],
+                    order=tuple(ld["order"]),
+                    tiles=ld["tiles"],
+                    predicted_dv=ld["predicted_dv"],
+                    predicted_mu=ld["predicted_mu"],
+                    capacity=ld["capacity"],
+                    bandwidth=ld["bandwidth"],
+                )
+                for ld in data["levels"]
+            ),
+            fused=data["fused"],
+            micro_kernel=data["micro_kernel"],
+            compute_efficiency=data["compute_efficiency"],
+            executed_flops=data["executed_flops"],
+            notes=tuple(data["notes"]),
+        )
+    except KeyError as exc:
+        raise PlanFormatError(
+            f"serialized plan is missing required field {exc.args[0]!r}"
+        ) from exc
 
 
 def save_plan(plan: FusionPlan, path: PathLike) -> None:
@@ -255,5 +269,16 @@ def save_plan(plan: FusionPlan, path: PathLike) -> None:
 
 
 def load_plan(path: PathLike) -> FusionPlan:
-    """Load a plan saved by :func:`save_plan`."""
-    return plan_from_dict(json.loads(pathlib.Path(path).read_text()))
+    """Load a plan saved by :func:`save_plan`.
+
+    Raises:
+        PlanFormatError: when the file is not valid JSON, has an unknown
+            ``format_version``, or is missing required fields.
+    """
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise PlanFormatError(f"plan file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise PlanFormatError(f"plan file {path} does not hold a JSON object")
+    return plan_from_dict(data)

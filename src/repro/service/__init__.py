@@ -1,0 +1,79 @@
+"""Compilation-as-a-service layer over the Chimera pipeline.
+
+The optimizer's analytical search costs seconds per chain; a serving
+deployment compiles each distinct (chain, hardware, config) exactly once.
+This package provides that layer:
+
+* :func:`cache_key` / :func:`canonical_request` — content-addressed request
+  hashing (:mod:`repro.service.keys`);
+* :class:`PlanCache` — in-memory LRU over an atomic, corruption-tolerant
+  on-disk JSON store (:mod:`repro.service.cache`);
+* :class:`CompileService` — cached + coalesced + failure-degrading
+  ``compile`` / ``serve`` front end (:mod:`repro.service.service`);
+* :func:`compile_batch` — parallel fan-out with per-request isolation
+  (:mod:`repro.service.batch`);
+* :class:`ServiceMetrics` — thread-safe counters and latency percentiles
+  (:mod:`repro.service.metrics`).
+
+Quickstart::
+
+    from repro.service import CompileService
+
+    service = CompileService(cache_dir="~/.cache/repro-plans")
+    result = service.compile(chain, hw)      # cold: runs the optimizer
+    result = service.compile(chain, hw)      # warm: decoded from cache
+    report = service.compile_batch([(c, hw) for c in chains])
+    print(report.table())
+    print(service.stats())
+"""
+
+from .batch import (
+    STATUS_FAILED,
+    STATUS_FALLBACK,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    BatchItem,
+    BatchReport,
+    compile_batch,
+)
+from .cache import PlanCache, validate_entry
+from .keys import cache_key, canonical_request
+from .metrics import ServiceMetrics, percentile
+from .service import (
+    SOURCE_COALESCED,
+    SOURCE_COMPILED,
+    SOURCE_DISK,
+    SOURCE_FALLBACK,
+    SOURCE_MEMORY,
+    CompilationFailure,
+    CompileRequest,
+    CompileService,
+    ServedCompile,
+    as_request,
+)
+
+__all__ = [
+    "BatchItem",
+    "BatchReport",
+    "compile_batch",
+    "STATUS_OK",
+    "STATUS_FALLBACK",
+    "STATUS_FAILED",
+    "STATUS_TIMEOUT",
+    "PlanCache",
+    "validate_entry",
+    "cache_key",
+    "canonical_request",
+    "ServiceMetrics",
+    "percentile",
+    "CompilationFailure",
+    "CompileRequest",
+    "CompileService",
+    "ServedCompile",
+    "as_request",
+    "SOURCE_MEMORY",
+    "SOURCE_DISK",
+    "SOURCE_COALESCED",
+    "SOURCE_COMPILED",
+    "SOURCE_FALLBACK",
+]

@@ -1,0 +1,223 @@
+"""Parallel batch compilation over a ``concurrent.futures`` worker pool.
+
+Offline deployments compile a model's whole set of fusion chains at once;
+:func:`compile_batch` fans the requests across a thread pool (the optimizer
+spends its time in NumPy/SciPy, which release the GIL during the heavy
+linear algebra) and aggregates per-request outcomes into a
+:class:`BatchReport`.
+
+Per-request isolation is the contract: one request failing, degrading to
+the unfused fallback, or exceeding its timeout never affects its batch
+mates.  Duplicate requests inside one batch coalesce through the service's
+in-flight table, so a batch with repeated chains costs one compile per
+distinct key.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import os
+import time
+from typing import Optional, Sequence, Tuple
+
+from .service import (
+    SOURCE_FALLBACK,
+    CompileService,
+    RequestLike,
+    ServedCompile,
+    as_request,
+)
+
+#: ``BatchItem.status`` values.
+STATUS_OK = "ok"
+STATUS_FALLBACK = "fallback"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchItem:
+    """Outcome of one request in a batch."""
+
+    index: int
+    chain: str
+    hardware: str
+    key: str
+    status: str
+    source: str
+    seconds: float
+    served: Optional[ServedCompile]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_FALLBACK)
+
+    @property
+    def predicted_time(self) -> Optional[float]:
+        if self.served is None or self.served.result is None:
+            return None
+        return self.served.result.predicted_time
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchReport:
+    """All per-request outcomes plus batch-level wall clock."""
+
+    items: Tuple[BatchItem, ...]
+    wall_seconds: float
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for item in self.items if item.status == STATUS_OK)
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(1 for item in self.items if item.status == STATUS_FALLBACK)
+
+    @property
+    def failed(self) -> int:
+        return sum(
+            1
+            for item in self.items
+            if item.status in (STATUS_FAILED, STATUS_TIMEOUT)
+        )
+
+    @property
+    def succeeded(self) -> bool:
+        """True when every request produced an executable result."""
+        return self.failed == 0
+
+    def table(self) -> str:
+        from ..analysis import render_table
+
+        rows = []
+        for item in self.items:
+            predicted = item.predicted_time
+            rows.append(
+                [
+                    str(item.index),
+                    item.chain,
+                    item.hardware,
+                    item.key[:12],
+                    item.status,
+                    item.source or "-",
+                    f"{item.seconds * 1e3:.1f} ms",
+                    "-" if predicted is None else f"{predicted * 1e6:.1f} us",
+                ]
+            )
+        header = [
+            "#", "chain", "hardware", "key", "status", "source",
+            "service time", "predicted",
+        ]
+        summary = (
+            f"{len(self.items)} requests in {self.wall_seconds:.2f}s: "
+            f"{self.ok} ok, {self.fallbacks} fallback, {self.failed} failed"
+        )
+        return render_table(header, rows) + "\n" + summary
+
+
+def _default_workers(n_requests: int) -> int:
+    return max(1, min(n_requests, os.cpu_count() or 1))
+
+
+def compile_batch(
+    service: CompileService,
+    requests: Sequence[RequestLike],
+    *,
+    max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> BatchReport:
+    """Compile every request, in parallel, with per-request isolation.
+
+    Args:
+        service: the cache/coalescing front end each worker goes through.
+        requests: ``CompileRequest`` objects or ``(chain, hardware)`` pairs.
+        max_workers: pool size (default: ``min(len(requests), cpu_count)``).
+        timeout: per-request wall-clock budget in seconds, measured from
+            batch start.  A request that misses it is reported as
+            ``"timeout"``; its worker keeps running in the background and
+            may still populate the cache for the next batch.
+
+    Returns:
+        a :class:`BatchReport`; this function never raises for per-request
+        failures.
+    """
+    normalized = [as_request(request) for request in requests]
+    if not normalized:
+        return BatchReport(items=(), wall_seconds=0.0)
+    workers = (
+        _default_workers(len(normalized)) if max_workers is None else max_workers
+    )
+    started = time.perf_counter()
+    items = []
+    executor = concurrent.futures.ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="repro-compile"
+    )
+    try:
+        futures = [
+            executor.submit(service.serve, request) for request in normalized
+        ]
+        for index, (request, future) in enumerate(zip(normalized, futures)):
+            remaining = None
+            if timeout is not None:
+                remaining = max(0.0, timeout - (time.perf_counter() - started))
+            try:
+                served = future.result(timeout=remaining)
+            except concurrent.futures.TimeoutError:
+                service.metrics.count("timeouts")
+                items.append(
+                    BatchItem(
+                        index=index,
+                        chain=request.chain.name,
+                        hardware=request.hardware.name,
+                        key=request.key,
+                        status=STATUS_TIMEOUT,
+                        source="",
+                        seconds=time.perf_counter() - started,
+                        served=None,
+                        error=f"timed out after {timeout}s",
+                    )
+                )
+                continue
+            except Exception as exc:  # noqa: BLE001 - isolate worker crashes
+                items.append(
+                    BatchItem(
+                        index=index,
+                        chain=request.chain.name,
+                        hardware=request.hardware.name,
+                        key=request.key,
+                        status=STATUS_FAILED,
+                        source="",
+                        seconds=time.perf_counter() - started,
+                        served=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            if served.result is None:
+                status = STATUS_FAILED
+            elif served.source == SOURCE_FALLBACK:
+                status = STATUS_FALLBACK
+            else:
+                status = STATUS_OK
+            items.append(
+                BatchItem(
+                    index=index,
+                    chain=request.chain.name,
+                    hardware=request.hardware.name,
+                    key=served.key,
+                    status=status,
+                    source=served.source,
+                    seconds=served.seconds,
+                    served=served,
+                    error=served.error,
+                )
+            )
+    finally:
+        # Don't block the report on timed-out stragglers.
+        executor.shutdown(wait=timeout is None)
+    return BatchReport(
+        items=tuple(items), wall_seconds=time.perf_counter() - started
+    )

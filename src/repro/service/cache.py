@@ -1,0 +1,234 @@
+"""Two-tier content-addressed store for compiled plan entries.
+
+Front tier: an in-memory LRU keyed by :func:`repro.service.cache_key`, sized
+by ``capacity`` (entries, not bytes — plan entries are a few KB each).  Back
+tier: an optional on-disk directory of ``<key>.plan.json`` files shared
+between processes and service restarts.
+
+Durability rules:
+
+* writes go to a temp file in the cache directory and are published with
+  ``os.replace`` — readers never observe a half-written entry, even if the
+  writer dies mid-``write``;
+* loads are corruption-tolerant: an unreadable, truncated, structurally
+  invalid or version-mismatched file is treated as a miss, counted in
+  ``corrupt_entries``, and deleted so the next compile rewrites it;
+* a disk hit is promoted into the memory tier (LRU insert).
+
+The cache stores plain JSON-ready dict *entries* (produced by the service),
+not live plan objects — decoding back into kernels is the service's job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..runtime.serialization import FORMAT_VERSION
+from .metrics import ServiceMetrics
+
+PathLike = Union[str, pathlib.Path]
+
+#: Fields every cache entry must carry to be considered decodable.
+REQUIRED_ENTRY_FIELDS = (
+    "format_version",
+    "key",
+    "use_fusion",
+    "fused_plan",
+    "unfused_plans",
+)
+
+ENTRY_SUFFIX = ".plan.json"
+
+#: ``cache.get`` tier labels (also used as result sources by the service).
+TIER_MEMORY = "memory"
+TIER_DISK = "disk"
+
+
+def validate_entry(entry: Any) -> bool:
+    """Structural check applied to every entry read back from disk."""
+    if not isinstance(entry, dict):
+        return False
+    if any(field not in entry for field in REQUIRED_ENTRY_FIELDS):
+        return False
+    return entry["format_version"] == FORMAT_VERSION
+
+
+class PlanCache:
+    """LRU memory tier over an optional persistent JSON directory."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[PathLike] = None,
+        capacity: int = 128,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.cache_dir: Optional[pathlib.Path] = None
+        if cache_dir is not None:
+            self.cache_dir = pathlib.Path(cache_dir)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        entry, _ = self.get_with_tier(key)
+        return entry
+
+    def get_with_tier(
+        self, key: str
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        """Look the key up; returns ``(entry, tier)`` or ``(None, None)``."""
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                return entry, TIER_MEMORY
+            entry = self._load_disk(key)
+            if entry is not None:
+                self._insert_memory(key, entry)
+                return entry, TIER_DISK
+        return None, None
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+            path = self._path(key)
+            return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def keys(self) -> List[str]:
+        """All cached keys, memory and disk combined."""
+        with self._lock:
+            known = list(self._memory)
+            seen = set(known)
+            for key in self.disk_keys():
+                if key not in seen:
+                    known.append(key)
+            return known
+
+    def disk_keys(self) -> List[str]:
+        if self.cache_dir is None:
+            return []
+        return sorted(
+            path.name[: -len(ENTRY_SUFFIX)]
+            for path in self.cache_dir.glob(f"*{ENTRY_SUFFIX}")
+        )
+
+    def disk_size_bytes(self) -> int:
+        if self.cache_dir is None:
+            return 0
+        return sum(
+            path.stat().st_size
+            for path in self.cache_dir.glob(f"*{ENTRY_SUFFIX}")
+            if path.exists()
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def put(self, key: str, entry: Dict[str, Any]) -> None:
+        """Insert into the memory tier and persist to disk atomically."""
+        if not validate_entry(entry):
+            raise ValueError(
+                "refusing to cache a structurally invalid entry "
+                f"(required fields: {', '.join(REQUIRED_ENTRY_FIELDS)})"
+            )
+        with self._lock:
+            self._insert_memory(key, entry)
+            self._write_disk(key, entry)
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._memory.pop(key, None)
+            path = self._path(key)
+            if path is not None and path.exists():
+                path.unlink()
+
+    def clear(self) -> int:
+        """Drop both tiers; returns the number of entries removed."""
+        with self._lock:
+            removed = set(self._memory)
+            self._memory.clear()
+            if self.cache_dir is not None:
+                for path in self.cache_dir.glob(f"*{ENTRY_SUFFIX}"):
+                    removed.add(path.name[: -len(ENTRY_SUFFIX)])
+                    path.unlink()
+            return len(removed)
+
+    def clear_memory(self) -> None:
+        """Drop the LRU tier only (disk entries survive)."""
+        with self._lock:
+            self._memory.clear()
+
+    def memory_len(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _insert_memory(self, key: str, entry: Dict[str, Any]) -> None:
+        if self.capacity == 0:
+            return
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.metrics.count("evictions")
+
+    def _path(self, key: str) -> Optional[pathlib.Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}{ENTRY_SUFFIX}"
+
+    def _write_disk(self, key: str, entry: Dict[str, Any]) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}-", suffix=".tmp", dir=str(self.cache_dir)
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _load_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            entry = None
+        if entry is None or not validate_entry(entry):
+            # Corrupt, truncated, or written by an incompatible build: treat
+            # as a miss and evict the file so the next compile replaces it.
+            self.metrics.count("corrupt_entries")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return entry

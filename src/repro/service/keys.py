@@ -1,0 +1,75 @@
+"""Content-addressed cache keys for compilation requests.
+
+A compiled plan is fully determined by the chain IR, the machine model, the
+optimizer configuration, and the plan format the result is serialized in.
+The cache key is therefore the SHA-256 of a *canonical* JSON encoding of
+exactly those inputs: dict keys sorted, no whitespace, mappings inside the
+optimizer config ordered.  Two structurally identical requests — even built
+by different code paths or in different processes — hash to the same key,
+which is what makes the on-disk store shareable across services and runs.
+
+``FORMAT_VERSION`` is folded into the hash so that a format bump silently
+invalidates every stale entry instead of failing to decode it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, Optional
+
+from ..core.optimizer import ChimeraConfig
+from ..hardware.spec import HardwareSpec
+from ..ir.chain import OperatorChain
+from ..runtime.serialization import (
+    FORMAT_VERSION,
+    chain_to_dict,
+    hardware_to_dict,
+)
+
+
+def config_to_dict(config: Optional[ChimeraConfig]) -> Optional[Dict[str, Any]]:
+    """Encode an optimizer config canonically (mapping fields sorted)."""
+    if config is None:
+        return None
+    data = dataclasses.asdict(config)
+    for field in ("min_tiles", "quanta"):
+        if data.get(field) is not None:
+            data[field] = {name: data[field][name] for name in sorted(data[field])}
+    return data
+
+
+def canonical_request(
+    chain: OperatorChain,
+    hardware: HardwareSpec,
+    config: Optional[ChimeraConfig] = None,
+    force_fusion: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """The JSON-ready payload a cache key is hashed from.
+
+    Useful for debugging key mismatches: diff the canonical payloads of two
+    requests that were expected to collide.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "chain": chain_to_dict(chain),
+        "hardware": hardware_to_dict(hardware),
+        "config": config_to_dict(config),
+        "force_fusion": force_fusion,
+    }
+
+
+def cache_key(
+    chain: OperatorChain,
+    hardware: HardwareSpec,
+    config: Optional[ChimeraConfig] = None,
+    force_fusion: Optional[bool] = None,
+) -> str:
+    """Stable content hash identifying one compilation request."""
+    payload = json.dumps(
+        canonical_request(chain, hardware, config, force_fusion),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,90 @@
+"""Thread-safe counters and latency percentiles for the compile service.
+
+One :class:`ServiceMetrics` instance is shared by the cache, the coalescer
+and the batch compiler; every mutation takes the registry lock, so the
+numbers stay consistent under the worker pool.  Latencies are kept in a
+bounded reservoir (most recent ``window`` samples) — enough for stable
+p50/p90/p99 without unbounded growth in a long-lived service.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import threading
+from typing import Any, Deque, Dict, List
+
+#: Counter names the registry pre-seeds so ``snapshot()`` always reports a
+#: complete set, even before the first request.
+COUNTERS = (
+    "requests",
+    "hits_memory",
+    "hits_disk",
+    "misses",
+    "coalesced",
+    "compiles",
+    "evictions",
+    "failures",
+    "retries",
+    "fallbacks",
+    "timeouts",
+    "corrupt_entries",
+)
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of unsorted samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class ServiceMetrics:
+    """Mutable, lock-protected metrics registry."""
+
+    def __init__(self, window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        self._compile_seconds: Deque[float] = collections.deque(maxlen=window)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a counter (created on first use if not pre-seeded)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe_compile(self, seconds: float) -> None:
+        """Record one cold-compile latency sample."""
+        with self._lock:
+            self._compile_seconds.append(seconds)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A consistent point-in-time copy of all counters and latencies."""
+        with self._lock:
+            counters = dict(self._counters)
+            samples = list(self._compile_seconds)
+        hits = counters["hits_memory"] + counters["hits_disk"]
+        lookups = hits + counters["misses"]
+        return {
+            **counters,
+            "hits": hits,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+            "compile_latency": {
+                "count": len(samples),
+                "mean": (sum(samples) / len(samples)) if samples else 0.0,
+                "p50": percentile(samples, 50),
+                "p90": percentile(samples, 90),
+                "p99": percentile(samples, 99),
+                "max": max(samples) if samples else 0.0,
+            },
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters = {name: 0 for name in COUNTERS}
+            self._compile_seconds.clear()

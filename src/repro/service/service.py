@@ -1,0 +1,441 @@
+"""The compilation service: cached, coalesced, failure-tolerant compiles.
+
+:class:`CompileService` wraps :func:`repro.compile_chain` in the serving
+layer a deployment needs:
+
+* **cache** — results are stored under a content hash of the request
+  (:func:`repro.service.cache_key`) in a two-tier :class:`PlanCache`; a hit
+  skips the analytical optimizer entirely and replays only the cheap,
+  deterministic kernel lowering;
+* **coalescing** — concurrent requests for the same key share one
+  compilation: the first caller becomes the leader, later callers block on
+  its result instead of burning duplicate optimizer runs;
+* **degradation** — an optimizer error is retried once, then degraded to
+  the per-operator *unfused* plan (each operator planned as its own
+  kernel), so a single pathological chain yields a slower-but-correct
+  result instead of an exception;
+* **metrics** — hits, misses, evictions, coalesced requests, failures and
+  compile-latency percentiles, via :meth:`CompileService.stats`.
+
+Fallback results are deliberately **not** cached: the failure may be
+transient, and caching the degraded plan would pin the slow path forever.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..core.fusion import FusionDecision, plan_unfused
+from ..core.optimizer import ChimeraConfig
+from ..hardware.spec import HardwareSpec
+from ..ir.chain import OperatorChain
+from ..runtime import pipeline
+from ..runtime.pipeline import CompileResult, kernels_for_decision
+from ..runtime.serialization import (
+    FORMAT_VERSION,
+    PlanFormatError,
+    plan_from_dict,
+    plan_to_dict,
+)
+from .cache import PathLike, PlanCache
+from .keys import cache_key
+from .metrics import ServiceMetrics
+
+#: ``ServedCompile.source`` values, in the order a request tries them.
+SOURCE_MEMORY = "memory"
+SOURCE_DISK = "disk"
+SOURCE_COALESCED = "coalesced"
+SOURCE_COMPILED = "compiled"
+SOURCE_FALLBACK = "fallback"
+
+
+class CompilationFailure(RuntimeError):
+    """Compilation failed even after retry and the unfused fallback."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CompileRequest:
+    """One (chain, hardware) compilation unit submitted to the service."""
+
+    chain: OperatorChain
+    hardware: HardwareSpec
+    config: Optional[ChimeraConfig] = None
+    force_fusion: Optional[bool] = None
+
+    @property
+    def key(self) -> str:
+        return cache_key(
+            self.chain, self.hardware, self.config, self.force_fusion
+        )
+
+    def describe(self) -> str:
+        return f"{self.chain.name} on {self.hardware.name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServedCompile:
+    """Outcome of one request through the service (never an exception).
+
+    Attributes:
+        request: the originating request.
+        key: its content-addressed cache key.
+        result: the compile result, or ``None`` when even the fallback
+            failed.
+        source: where the result came from — ``"memory"``/``"disk"`` cache
+            tiers, ``"coalesced"`` (shared an in-flight compile),
+            ``"compiled"`` (fresh optimizer run), or ``"fallback"``
+            (degraded unfused plan after optimizer errors).
+        seconds: wall-clock service time for this request.
+        error: the final error message when ``result`` is ``None``.
+    """
+
+    request: CompileRequest
+    key: str
+    result: Optional[CompileResult]
+    source: str
+    seconds: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    @property
+    def from_cache(self) -> bool:
+        return self.source in (SOURCE_MEMORY, SOURCE_DISK)
+
+
+class _InFlight:
+    """Rendezvous slot for requests coalesced onto one leader compile."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.entry: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+
+
+RequestLike = Union[CompileRequest, Tuple[OperatorChain, HardwareSpec]]
+
+
+def as_request(request: RequestLike) -> CompileRequest:
+    """Accept ``CompileRequest`` or a bare ``(chain, hardware)`` pair."""
+    if isinstance(request, CompileRequest):
+        return request
+    chain, hardware = request
+    return CompileRequest(chain=chain, hardware=hardware)
+
+
+class CompileService:
+    """A long-lived, thread-safe compilation front end.
+
+    Args:
+        cache_dir: directory for the persistent tier (``None`` keeps the
+            cache memory-only).
+        memory_capacity: LRU front-tier size, in entries.
+        retries: extra optimizer attempts after the first failure.
+        fallback: degrade to the unfused per-operator plan once retries are
+            exhausted (otherwise the error is reported).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[PathLike] = None,
+        memory_capacity: int = 128,
+        retries: int = 1,
+        fallback: bool = True,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.metrics = ServiceMetrics()
+        self.cache = PlanCache(
+            cache_dir=cache_dir, capacity=memory_capacity, metrics=self.metrics
+        )
+        self.retries = retries
+        self.fallback = fallback
+        self._inflight: Dict[str, _InFlight] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        chain: OperatorChain,
+        hardware: HardwareSpec,
+        config: Optional[ChimeraConfig] = None,
+        *,
+        force_fusion: Optional[bool] = None,
+    ) -> CompileResult:
+        """Drop-in, cache-aware :func:`repro.compile_chain`.
+
+        Raises:
+            CompilationFailure: when compilation fails beyond recovery.
+        """
+        served = self.serve(
+            CompileRequest(chain, hardware, config, force_fusion)
+        )
+        if served.result is None:
+            raise CompilationFailure(
+                f"compiling {served.request.describe()} failed: {served.error}"
+            )
+        return served.result
+
+    def serve(self, request: RequestLike) -> ServedCompile:
+        """Serve one request; errors are reported, never raised."""
+        request = as_request(request)
+        started = time.perf_counter()
+        key = request.key
+        self.metrics.count("requests")
+
+        leader = False
+        with self._lock:
+            entry, tier = self.cache.get_with_tier(key)
+            if entry is not None:
+                self.metrics.count(f"hits_{tier}")
+            else:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+
+        if entry is not None:
+            return self._serve_entry(request, key, entry, tier, started)
+
+        if not leader:
+            self.metrics.count("coalesced")
+            flight.done.wait()
+            if flight.entry is None:
+                return ServedCompile(
+                    request=request,
+                    key=key,
+                    result=None,
+                    source=SOURCE_COALESCED,
+                    seconds=time.perf_counter() - started,
+                    error=flight.error,
+                )
+            return self._serve_entry(
+                request, key, flight.entry, SOURCE_COALESCED, started
+            )
+
+        return self._lead_compile(request, key, flight, started)
+
+    def compile_batch(self, requests, **kwargs):
+        """Fan requests across a worker pool; see :func:`compile_batch`."""
+        from .batch import compile_batch
+
+        return compile_batch(self, requests, **kwargs)
+
+    def stats(self) -> Dict[str, Any]:
+        """Metrics snapshot plus cache occupancy."""
+        snap = self.metrics.snapshot()
+        snap["cache"] = {
+            "memory_entries": self.cache.memory_len(),
+            "memory_capacity": self.cache.capacity,
+            "disk_entries": len(self.cache.disk_keys()),
+            "disk_bytes": self.cache.disk_size_bytes(),
+            "cache_dir": (
+                str(self.cache.cache_dir)
+                if self.cache.cache_dir is not None
+                else None
+            ),
+        }
+        return snap
+
+    def clear_cache(self, memory_only: bool = False) -> int:
+        if memory_only:
+            self.cache.clear_memory()
+            return 0
+        return self.cache.clear()
+
+    # ------------------------------------------------------------------
+    # leader path: compile, publish, cache
+    # ------------------------------------------------------------------
+    def _lead_compile(
+        self,
+        request: CompileRequest,
+        key: str,
+        flight: _InFlight,
+        started: float,
+    ) -> ServedCompile:
+        self.metrics.count("misses")
+        entry: Optional[Dict[str, Any]] = None
+        source = SOURCE_COMPILED
+        error: Optional[str] = None
+        try:
+            entry, source, error = self._compile_with_recovery(request, key)
+            if entry is not None and source == SOURCE_COMPILED:
+                self.cache.put(key, entry)
+        finally:
+            flight.entry = entry
+            flight.error = error
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+
+        if entry is None:
+            return ServedCompile(
+                request=request,
+                key=key,
+                result=None,
+                source=source,
+                seconds=time.perf_counter() - started,
+                error=error,
+            )
+        result = self._decode_entry(entry, request.hardware)
+        return ServedCompile(
+            request=request,
+            key=key,
+            result=result,
+            source=source,
+            seconds=time.perf_counter() - started,
+        )
+
+    def _compile_with_recovery(
+        self, request: CompileRequest, key: str
+    ) -> Tuple[Optional[Dict[str, Any]], str, Optional[str]]:
+        """Optimizer run with retry, then the unfused fallback.
+
+        Returns ``(entry, source, error)``; ``entry`` is ``None`` only when
+        every recovery path failed.
+        """
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            try:
+                compile_started = time.perf_counter()
+                result = pipeline.compile_chain(
+                    request.chain,
+                    request.hardware,
+                    request.config,
+                    force_fusion=request.force_fusion,
+                )
+                elapsed = time.perf_counter() - compile_started
+                self.metrics.count("compiles")
+                self.metrics.observe_compile(elapsed)
+                return (
+                    self._encode_result(request, key, result, elapsed),
+                    SOURCE_COMPILED,
+                    None,
+                )
+            except Exception as exc:  # noqa: BLE001 - isolate optimizer bugs
+                last_error = exc
+                self.metrics.count("failures")
+                if attempt < self.retries:
+                    self.metrics.count("retries")
+
+        if self.fallback:
+            try:
+                entry = self._fallback_entry(request, key)
+                self.metrics.count("fallbacks")
+                return entry, SOURCE_FALLBACK, None
+            except Exception as exc:  # noqa: BLE001
+                last_error = exc
+                self.metrics.count("failures")
+        return None, SOURCE_FALLBACK, f"{type(last_error).__name__}: {last_error}"
+
+    def _fallback_entry(
+        self, request: CompileRequest, key: str
+    ) -> Dict[str, Any]:
+        """Plan every operator as its own kernel — no whole-chain search.
+
+        The degraded decision carries ``fused_plan=None`` (there is no
+        trustworthy fused plan to report) and is never persisted.
+        """
+        cfg = pipeline.chimera_config(
+            request.chain, request.hardware, request.config
+        )
+        unfused = plan_unfused(request.chain, request.hardware, cfg)
+        entry = {
+            "format_version": FORMAT_VERSION,
+            "key": key,
+            "chain": request.chain.name,
+            "hardware": request.hardware.name,
+            "use_fusion": False,
+            "force_fusion": request.force_fusion,
+            "fused_plan": None,
+            "unfused_plans": [plan_to_dict(plan) for plan in unfused],
+            "compile_seconds": None,
+            "created_at": time.time(),
+        }
+        return entry
+
+    # ------------------------------------------------------------------
+    # entry encode/decode
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_result(
+        request: CompileRequest,
+        key: str,
+        result: CompileResult,
+        compile_seconds: float,
+    ) -> Dict[str, Any]:
+        decision = result.decision
+        return {
+            "format_version": FORMAT_VERSION,
+            "key": key,
+            "chain": request.chain.name,
+            "hardware": request.hardware.name,
+            "use_fusion": decision.use_fusion,
+            "force_fusion": request.force_fusion,
+            "fused_plan": plan_to_dict(decision.fused_plan),
+            "unfused_plans": [
+                plan_to_dict(plan) for plan in decision.unfused_plans
+            ],
+            "compile_seconds": compile_seconds,
+            "created_at": time.time(),
+        }
+
+    @staticmethod
+    def _decode_entry(
+        entry: Dict[str, Any], hardware: HardwareSpec
+    ) -> CompileResult:
+        """Rebuild a :class:`CompileResult` without running the optimizer."""
+        fused_data = entry["fused_plan"]
+        decision = FusionDecision(
+            fused_plan=(
+                None if fused_data is None else plan_from_dict(fused_data)
+            ),
+            unfused_plans=tuple(
+                plan_from_dict(data) for data in entry["unfused_plans"]
+            ),
+            use_fusion=entry["use_fusion"],
+        )
+        return CompileResult(
+            kernels=kernels_for_decision(decision, hardware),
+            decision=decision,
+        )
+
+    def _serve_entry(
+        self,
+        request: CompileRequest,
+        key: str,
+        entry: Dict[str, Any],
+        source: str,
+        started: float,
+    ) -> ServedCompile:
+        try:
+            result = self._decode_entry(entry, request.hardware)
+        except PlanFormatError as exc:
+            # A cached-but-undecodable entry: evict and recompile once.
+            self.metrics.count("corrupt_entries")
+            self.cache.delete(key)
+            return self.serve(request) if source != SOURCE_COALESCED else (
+                ServedCompile(
+                    request=request,
+                    key=key,
+                    result=None,
+                    source=source,
+                    seconds=time.perf_counter() - started,
+                    error=str(exc),
+                )
+            )
+        return ServedCompile(
+            request=request,
+            key=key,
+            result=result,
+            source=source,
+            seconds=time.perf_counter() - started,
+        )

@@ -43,3 +43,44 @@ class TestCli:
     def test_unknown_workload(self):
         with pytest.raises(KeyError):
             main(["plan", "X9"])
+
+
+class TestServiceCli:
+    def test_compile_batch_cold_then_warm(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "plans")
+        argv = ["compile-batch", "G10", "G11",
+                "--cache-dir", cache_dir, "--workers", "2"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "compiled" in cold and "2 ok" in cold
+        assert "misses 2" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "disk" in warm or "memory" in warm
+        assert "compiled" not in warm.split("\n\n")[0]  # report table
+        assert "hit rate 100%" in warm
+
+    def test_compile_batch_without_cache_dir(self, capsys):
+        assert main(["compile-batch", "G10"]) == 0
+        out = capsys.readouterr().out
+        assert "1 ok, 0 fallback, 0 failed" in out
+        assert "<none>" in out  # no persistent tier configured
+
+    def test_cache_stats_list_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "plans")
+        main(["compile-batch", "G10", "--cache-dir", cache_dir])
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "1 cached plan(s)" in capsys.readouterr().out
+
+        assert main(["cache", "list", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "G10" in out and "xeon-gold-6240" in out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "0 cached plan(s)" in capsys.readouterr().out

@@ -8,6 +8,7 @@ from repro.codegen import build_kernel, execute_reference, random_inputs
 from repro.hardware import all_presets, xeon_gold_6240
 from repro.ir.chains import batch_gemm_chain, conv_chain
 from repro.runtime.serialization import (
+    PlanFormatError,
     chain_from_dict,
     chain_to_dict,
     hardware_from_dict,
@@ -95,3 +96,98 @@ class TestPlanRoundTrip:
         data["format_version"] = 99
         with pytest.raises(ValueError, match="version"):
             plan_from_dict(data)
+
+
+class TestPlanFormatError:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        chain = batch_gemm_chain(2, 64, 32, 32, 64)
+        return repro.optimize_chain(chain, xeon_gold_6240())
+
+    def test_unknown_version_raises_typed_error(self, plan):
+        data = plan_to_dict(plan)
+        data["format_version"] = 99
+        with pytest.raises(PlanFormatError, match="format version"):
+            plan_from_dict(data)
+
+    def test_missing_version_raises_typed_error(self, plan):
+        data = plan_to_dict(plan)
+        del data["format_version"]
+        with pytest.raises(PlanFormatError, match="format version"):
+            plan_from_dict(data)
+
+    @pytest.mark.parametrize(
+        "field", ["chain", "hardware", "levels", "fused", "micro_kernel"]
+    )
+    def test_missing_field_raises_typed_error(self, plan, field):
+        data = plan_to_dict(plan)
+        del data[field]
+        with pytest.raises(PlanFormatError, match="missing required field"):
+            plan_from_dict(data)
+
+    def test_missing_field_is_not_a_key_error(self, plan):
+        data = plan_to_dict(plan)
+        del data["levels"]
+        try:
+            plan_from_dict(data)
+        except KeyError:  # pragma: no cover - the regression being guarded
+            pytest.fail("load surfaced a raw KeyError")
+        except PlanFormatError:
+            pass
+
+    def test_is_a_value_error_for_old_callers(self):
+        assert issubclass(PlanFormatError, ValueError)
+
+    def test_load_plan_rejects_non_json(self, tmp_path):
+        path = tmp_path / "garbage.plan.json"
+        path.write_text("{ not json at all")
+        with pytest.raises(PlanFormatError, match="not valid JSON"):
+            load_plan(path)
+
+    def test_load_plan_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.plan.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(PlanFormatError, match="JSON object"):
+            load_plan(path)
+
+    def test_exported_at_top_level(self):
+        assert repro.PlanFormatError is PlanFormatError
+
+
+class TestRoundTripAcrossPresetsAndFamilies:
+    """save_plan/load_plan equivalence for every Table I device and both
+    chain families (attention batch-GEMM and conv chain)."""
+
+    CHAINS = {
+        "bmm": lambda: batch_gemm_chain(2, 64, 32, 32, 64, with_softmax=True),
+        "conv": lambda: conv_chain(1, 8, 16, 16, 12, 10, 2, 1, 3, 1),
+    }
+
+    @pytest.mark.parametrize("hw", all_presets(), ids=lambda h: h.name)
+    @pytest.mark.parametrize("family", sorted(CHAINS))
+    def test_save_load_round_trip(self, hw, family, tmp_path):
+        plan = repro.optimize_chain(self.CHAINS[family](), hw)
+        path = tmp_path / f"{family}-{hw.name}.plan.json"
+        save_plan(plan, path)
+        reloaded = load_plan(path)
+        assert reloaded.hardware == plan.hardware
+        assert reloaded.predicted_time == pytest.approx(plan.predicted_time)
+        for a, b in zip(reloaded.levels, plan.levels):
+            assert a.order == b.order
+            assert dict(a.tiles) == dict(b.tiles)
+
+    @pytest.mark.parametrize("hw", all_presets(), ids=lambda h: h.name)
+    @pytest.mark.parametrize("family", sorted(CHAINS))
+    def test_cache_key_stable_under_round_trip(self, hw, family, tmp_path):
+        """The content hash survives a serialize/deserialize cycle — a
+        reloaded request hits the same cache slot."""
+        from repro.service import cache_key
+
+        chain = self.CHAINS[family]()
+        plan = repro.optimize_chain(chain, hw)
+        path = tmp_path / "rt.plan.json"
+        save_plan(plan, path)
+        reloaded = load_plan(path)
+        assert cache_key(reloaded.chain, reloaded.hardware) == cache_key(
+            chain, hw
+        )
