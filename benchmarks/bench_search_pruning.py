@@ -1,0 +1,93 @@
+"""Order-search pruning: cold-compile latency with and without the bound.
+
+The inter-block search solves a constrained tile-size problem per candidate
+order; the DV lower bound (``repro.core.search``) skips solves that cannot
+beat the incumbent and the solve memo collapses symmetric orders.  This
+benchmark cold-compiles the attention GEMM chain (G1) on every hardware
+preset under the exhaustive baseline and under pruning + memoization, and
+reports latency plus orders solved vs. pruned.  The two paths must pick
+byte-identical plans; the pruned path must be >= 3x faster where the
+candidate space is large (the NPU preset enumerates the most orders).
+"""
+
+import json
+import time
+
+from conftest import emit, run_once
+
+from repro.analysis import render_table
+from repro.core.optimizer import ChimeraOptimizer
+from repro.core.search import (
+    SearchPolicy,
+    SearchStats,
+    reset_search_stats,
+    solve_memo,
+)
+from repro.hardware import all_presets
+from repro.runtime.serialization import plan_to_dict
+from repro.workloads import gemm_chain_config
+
+#: The preset whose order space is rich enough to demand the >= 3x bar.
+GATED_PRESET = "ascend-910"
+MIN_SPEEDUP = 3.0
+
+
+def cold_optimize(chain, hw, policy):
+    """One cold inter-block pass: empty memo, fresh optimizer."""
+    solve_memo().clear()
+    reset_search_stats()
+    stats = SearchStats()
+    optimizer = ChimeraOptimizer(hw, policy=policy)
+    started = time.perf_counter()
+    plan = optimizer.optimize(chain, stats=stats)
+    elapsed = time.perf_counter() - started
+    return plan, stats, elapsed
+
+
+def test_search_pruning_speedup(benchmark):
+    chain = gemm_chain_config("G1").build()
+
+    def experiment():
+        rows = []
+        speedups = {}
+        for hw in all_presets():
+            base_plan, base_stats, base_s = cold_optimize(
+                chain, hw, SearchPolicy.exhaustive()
+            )
+            fast_plan, fast_stats, fast_s = cold_optimize(
+                chain, hw, SearchPolicy(prune=True, memoize=True, workers=1)
+            )
+            assert json.dumps(plan_to_dict(fast_plan), sort_keys=True) == (
+                json.dumps(plan_to_dict(base_plan), sort_keys=True)
+            ), f"pruned plan diverged from exhaustive on {hw.name}"
+            speedups[hw.name] = base_s / fast_s
+            rows.append(
+                [
+                    hw.name,
+                    f"{base_s * 1e3:.0f} ms ({base_stats.solves} solves)",
+                    f"{fast_s * 1e3:.0f} ms ({fast_stats.solves} solves)",
+                    str(fast_stats.pruned),
+                    str(fast_stats.memo_hits),
+                    f"{base_s / fast_s:.1f}x",
+                ]
+            )
+        assert speedups[GATED_PRESET] >= MIN_SPEEDUP, (
+            f"pruning+memoization speedup on {GATED_PRESET} was "
+            f"{speedups[GATED_PRESET]:.1f}x, expected >= {MIN_SPEEDUP}x"
+        )
+        return rows, speedups
+
+    rows, speedups = run_once(benchmark, experiment)
+    emit(
+        "search_pruning",
+        render_table(
+            [
+                "hardware", "exhaustive", "pruned+memo",
+                "pruned", "memo hits", "speedup",
+            ],
+            rows,
+        )
+        + "\n\nplans byte-identical on every preset; "
+        + f"{GATED_PRESET} speedup {speedups[GATED_PRESET]:.1f}x "
+        + f"(gate: >= {MIN_SPEEDUP:.0f}x)",
+    )

@@ -10,6 +10,8 @@ Commands:
 * ``compile-batch`` — compile several workloads through the caching
   service, in parallel, and print the per-request report plus stats.
 * ``cache`` — inspect (``stats``, ``list``) or ``clear`` a plan cache dir.
+* ``search-stats`` — run workloads and report the order-search counters
+  (orders enumerated / pruned / memo hits / solves, per-stage wall time).
 
 Examples::
 
@@ -20,6 +22,7 @@ Examples::
     python -m repro workloads
     python -m repro compile-batch G10 G11 C7 --cache-dir /tmp/plans
     python -m repro cache stats --cache-dir /tmp/plans
+    python -m repro search-stats G1 C1 --hw ascend-910 --no-prune
 """
 
 from __future__ import annotations
@@ -175,6 +178,49 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_search_stats(stats: dict) -> str:
+    memo = stats.get("memo", {})
+    lines = [
+        f"searches {stats['searches']}  orders enumerated "
+        f"{stats['orders_enumerated']}  candidates {stats['candidates']}",
+        f"bound evals {stats['bound_evals']}  pruned {stats['pruned']}  "
+        f"memo hits {stats['memo_hits']}  solves {stats['solves']}",
+        f"wall time: bounds {stats['bound_seconds']:.3f}s  "
+        f"solves {stats['solve_seconds']:.3f}s",
+    ]
+    if memo:
+        lines.append(
+            f"memo: {memo['entries']}/{memo['capacity']} entries  "
+            f"hits {memo['hits']}  misses {memo['misses']}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_search_stats(args: argparse.Namespace) -> int:
+    from .core.search import (
+        SearchPolicy,
+        reset_search_stats,
+        search_stats_snapshot,
+        solve_memo,
+    )
+
+    hw = preset(args.hw)
+    policy = SearchPolicy(
+        prune=not args.no_prune,
+        memoize=not args.no_memo,
+        workers=max(1, args.workers),
+    )
+    reset_search_stats()
+    solve_memo().clear()
+    for name in args.workloads:
+        chain = _build_workload(name, args.softmax, args.relu, args.batch)
+        compile_chain(chain, hw, policy=policy)
+        print(f"compiled {name.upper()} on {hw.name}")
+    print()
+    print(_render_search_stats(search_stats_snapshot()))
+    return 0
+
+
 def _cmd_workloads(_: argparse.Namespace) -> int:
     from .workloads import TABLE_IV, TABLE_V
 
@@ -264,6 +310,23 @@ def main(argv: Optional[list] = None) -> int:
     cache.add_argument("action", choices=["stats", "list", "clear"])
     cache.add_argument("--cache-dir", required=True)
     cache.set_defaults(fn=_cmd_cache)
+
+    search = sub.add_parser(
+        "search-stats",
+        help="compile workloads and report order-search counters",
+    )
+    search.add_argument("workloads", nargs="+", help="G1-G12 and/or C1-C8")
+    search.add_argument("--hw", default="xeon-gold-6240")
+    search.add_argument("--softmax", action="store_true")
+    search.add_argument("--relu", action="store_true")
+    search.add_argument("--batch", type=int, default=None)
+    search.add_argument("--no-prune", action="store_true",
+                        help="disable the DV lower-bound pruning")
+    search.add_argument("--no-memo", action="store_true",
+                        help="disable solve memoization")
+    search.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for surviving orders")
+    search.set_defaults(fn=_cmd_search_stats)
 
     args = parser.parse_args(argv)
     return args.fn(args)

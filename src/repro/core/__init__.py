@@ -4,6 +4,7 @@
 * :mod:`repro.core.movement` — Algorithm 1 (DV + MU) and executed flops.
 * :mod:`repro.core.reordering` — block order enumeration and dedup.
 * :mod:`repro.core.solver` — constrained tile-size optimization.
+* :mod:`repro.core.search` — pruned/memoized/parallel order search.
 * :mod:`repro.core.multilevel` — Eq. 2/3 multi-level hierarchy costs.
 * :mod:`repro.core.optimizer` — the end-to-end inter-block pass.
 * :mod:`repro.core.fusion` — fuse-or-not profitability decisions.
@@ -29,7 +30,18 @@ from .reordering import (
     count_orders,
     enumerate_orders,
     loop_classes,
+    constrained_count,
     ordering_loops,
+)
+from .search import (
+    SearchPolicy,
+    SearchStats,
+    dv_lower_bound,
+    reset_search_stats,
+    search_stats_snapshot,
+    search_tiles,
+    solve_memo,
+    upper_tile_bounds,
 )
 from .solver import TileSolution, gemm_chain_closed_form, solve_tiles
 
@@ -56,10 +68,19 @@ __all__ = [
     "chain_reduction_loops",
     "producer_private_reductions",
     "candidate_models",
+    "constrained_count",
     "count_orders",
     "enumerate_orders",
     "loop_classes",
     "ordering_loops",
+    "SearchPolicy",
+    "SearchStats",
+    "dv_lower_bound",
+    "reset_search_stats",
+    "search_stats_snapshot",
+    "search_tiles",
+    "solve_memo",
+    "upper_tile_bounds",
     "TileSolution",
     "gemm_chain_closed_form",
     "solve_tiles",

@@ -20,6 +20,7 @@ from ..hardware.spec import HardwareSpec
 from ..ir.chain import OperatorChain, single_op_chain
 from .optimizer import ChimeraConfig, ChimeraOptimizer
 from .plan import FusionPlan
+from .search import SearchPolicy
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,13 +59,14 @@ def plan_unfused(
     chain: OperatorChain,
     hardware: HardwareSpec,
     config: Optional[ChimeraConfig] = None,
+    policy: Optional[SearchPolicy] = None,
 ) -> Tuple[FusionPlan, ...]:
     """Plan every operator of ``chain`` as its own kernel.
 
     Intermediates become each kernel's IO tensors, so their DRAM round-trip
     is charged automatically by Algorithm 1.
     """
-    optimizer = ChimeraOptimizer(hardware, config)
+    optimizer = ChimeraOptimizer(hardware, config, policy=policy)
     plans: List[FusionPlan] = []
     for op in chain.ops:
         sub_chain = single_op_chain(op, chain.tensors)
@@ -76,11 +78,12 @@ def decide_fusion(
     chain: OperatorChain,
     hardware: HardwareSpec,
     config: Optional[ChimeraConfig] = None,
+    policy: Optional[SearchPolicy] = None,
 ) -> FusionDecision:
     """Plan fused and unfused executions and pick the faster one."""
-    optimizer = ChimeraOptimizer(hardware, config)
+    optimizer = ChimeraOptimizer(hardware, config, policy=policy)
     fused = optimizer.optimize(chain)
-    unfused = plan_unfused(chain, hardware, config)
+    unfused = plan_unfused(chain, hardware, config, policy)
     fused_time = fused.predicted_time
     unfused_time = sum(plan.predicted_time for plan in unfused)
     return FusionDecision(

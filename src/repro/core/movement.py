@@ -26,8 +26,9 @@ and in either the exact (ceil) or smooth (real-valued) form.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import math
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir.access import TensorAccess
 from ..ir.chain import OperatorChain
@@ -176,6 +177,7 @@ class MovementModel:
         self.reuse_intermediates = reuse_intermediates
         self.terms = self._build_terms()
         self._buffer_full_loops = self._build_buffer_spec()
+        self._signature_digest: Optional[str] = None
 
     def _build_terms(self) -> Tuple[MovementTerm, ...]:
         chain = self.chain
@@ -199,12 +201,16 @@ class MovementModel:
                         keep_reuse = False
                     if not keep_reuse:
                         multipliers.append((loop_name, extents[loop_name]))
+                # Multipliers are a *set* semantically; storing them sorted
+                # makes permutations with equal signatures evaluate DV/MU in
+                # the same floating-point order, so the solve memo can reuse
+                # one signature's solution for another bit-for-bit.
                 terms.append(
                     MovementTerm(
                         op_name=op.name,
                         access=access,
                         elem_bytes=chain.tensors[access.tensor].dtype.nbytes,
-                        multipliers=tuple(multipliers),
+                        multipliers=tuple(sorted(multipliers)),
                     )
                 )
             active = [n for n in active if not chain.is_private(n, op)]
@@ -320,6 +326,30 @@ class MovementModel:
             for tensor, loops in self._buffer_full_loops.items()
         ))
         return (tuple(sorted(t.signature for t in self.terms)), buffers)
+
+    def signature_digest(self) -> str:
+        """Stable hex digest of :attr:`signature` (solve-memo key part).
+
+        Frozensets have no deterministic iteration order, so the digest
+        hashes a fully sorted rendering of the signature rather than its
+        ``repr``.
+        """
+        if self._signature_digest is None:
+            term_sigs, buffers = self.signature
+            canonical = (
+                tuple(
+                    (op, tensor, tuple(sorted(loops)))
+                    for op, tensor, loops in term_sigs
+                ),
+                tuple(
+                    (tensor, tuple(sorted(loops))) for tensor, loops in buffers
+                ),
+                self.reuse_intermediates,
+            )
+            self._signature_digest = hashlib.sha256(
+                repr(canonical).encode()
+            ).hexdigest()
+        return self._signature_digest
 
     def __repr__(self) -> str:
         return f"MovementModel({self.chain.name}, order={'/'.join(self.perm)})"

@@ -17,12 +17,13 @@ least the parent's compulsory traffic.)
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
 from ..hardware.spec import HardwareSpec
 from .movement import MovementModel
 from .plan import LevelSchedule
-from .solver import ConstraintFn, solve_tiles
+from .search import SearchPolicy, SearchStats, chain_digest, memoized_solve_tiles
+from .solver import ConstraintFn
 
 
 def boundary_bandwidth(hardware: HardwareSpec, level_index: int) -> float:
@@ -51,30 +52,43 @@ def solve_hierarchy(
     min_tiles: Optional[Mapping[str, int]] = None,
     quanta: Optional[Mapping[str, int]] = None,
     constraints: Sequence[ConstraintFn] = (),
+    constraints_token: Optional[Hashable] = None,
     starts: int = 4,
     capacity_utilization: float = 0.75,
+    policy: Optional[SearchPolicy] = None,
+    stats: Optional[SearchStats] = None,
 ) -> List[LevelSchedule]:
     """Solve tile sizes for every on-chip level under one block order.
+
+    Solves are memoized under the exact permutation (ablations comparing
+    symmetric orders still report their own order) when ``policy`` allows;
+    ``constraints_token`` keeps constrained solves memoizable.
 
     Returns:
         schedules innermost-first (matching ``HardwareSpec.on_chip_levels``).
     """
     schedules_outer_first: List[LevelSchedule] = []
     parent_tiles: Optional[Dict[str, int]] = None
+    policy = policy or SearchPolicy.from_env()
+    digest = chain_digest(model.chain) if policy.memoize else None
     on_chip = hardware.on_chip_levels
     for offset, level in enumerate(reversed(on_chip)):
         level_index = len(on_chip) - 1 - offset
         raw_capacity = hardware.per_block_capacity(level)
         assert raw_capacity is not None  # on-chip levels are bounded
         capacity = raw_capacity * capacity_utilization
-        solution = solve_tiles(
+        solution = memoized_solve_tiles(
             model,
             float(capacity),
             min_tiles=min_tiles,
             quanta=quanta,
             constraints=constraints,
+            constraints_token=constraints_token,
             max_parent=parent_tiles,
             starts=starts,
+            policy=policy,
+            digest=digest,
+            stats=stats,
         )
         schedules_outer_first.append(
             LevelSchedule(

@@ -16,19 +16,28 @@ Intra-block optimization (micro kernel selection) attaches afterwards via
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import math
 import time
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from ..hardware.spec import HardwareSpec
 from ..ir.chain import OperatorChain
+from ..ir.access import TensorAccess
 from .footprint import footprint_bytes
 from .movement import MovementModel, executed_flops
 from .multilevel import solve_hierarchy
 from .plan import FusionPlan, LevelSchedule
 from .reordering import candidate_models, producer_private_reductions
-from .solver import ConstraintFn, solve_tiles
+from .search import (
+    SearchPolicy,
+    SearchStats,
+    chain_digest,
+    record_search_stats,
+    search_tiles,
+)
+from .solver import ConstraintFn
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,30 +70,92 @@ class ChimeraConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class UnifiedBufferConstraint:
+    """Unified Buffer footprint constraint as a picklable callable.
+
+    On the Ascend NPU, intermediate tiles between fused operators stage
+    through the Unified Buffer, so their combined footprint must fit it.
+    A frozen dataclass (rather than a closure) so constrained solves can
+    cross a process-pool boundary and carry a stable memo-key token.
+    """
+
+    chain: OperatorChain
+    accesses: Tuple[TensorAccess, ...]
+    capacity: float
+
+    def __call__(self, tiles: Mapping[str, float]) -> float:
+        usage = sum(
+            footprint_bytes(self.chain, access, tiles)
+            for access in self.accesses
+        )
+        return usage - self.capacity
+
+    def token(self) -> Hashable:
+        """Memo-key identity: the constrained tensors and the capacity.
+
+        The chain content itself is already part of every memo key, so the
+        token only needs to pin what *this constraint* adds.
+        """
+        return (
+            "unified_buffer",
+            self.capacity,
+            tuple(access.tensor for access in self.accesses),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class OptimizeStats:
-    """Diagnostics of one optimizer run (used by the overhead benchmark)."""
+    """Diagnostics of one optimizer run (used by the overhead benchmark).
+
+    ``solves`` counts actual SLSQP solves; memo hits and pruned candidates
+    are reported separately, so ``solves + memo_hits + pruned`` accounts
+    for every candidate that reached the solve stage.
+    """
 
     orders_scanned: int
     unique_signatures: int
     solves: int
     elapsed_seconds: float
+    candidates: int = 0
+    bound_evals: int = 0
+    pruned: int = 0
+    memo_hits: int = 0
+    bound_seconds: float = 0.0
+    solve_seconds: float = 0.0
 
 
 class ChimeraOptimizer:
     """Analytical inter-block optimizer for one hardware target."""
 
     def __init__(
-        self, hardware: HardwareSpec, config: Optional[ChimeraConfig] = None
+        self,
+        hardware: HardwareSpec,
+        config: Optional[ChimeraConfig] = None,
+        policy: Optional[SearchPolicy] = None,
     ) -> None:
         self.hardware = hardware
         self.config = config or ChimeraConfig()
+        # The search policy changes how fast optimize() runs, never its
+        # answer, so it lives outside ChimeraConfig (and outside plan-cache
+        # keys).  None defers to the REPRO_SEARCH_* environment.
+        self.policy = policy or SearchPolicy.from_env()
         self.last_stats: Optional[OptimizeStats] = None
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def optimize(self, chain: OperatorChain) -> FusionPlan:
+    def optimize(
+        self,
+        chain: OperatorChain,
+        *,
+        stats: Optional[SearchStats] = None,
+    ) -> FusionPlan:
         """Pick the block order and tiles minimizing data movement.
+
+        Args:
+            stats: optional :class:`SearchStats` accumulator filled with the
+                search counters of this run (also available aggregated via
+                ``repro.core.search.search_stats_snapshot``).
 
         Returns:
             a fused :class:`FusionPlan` with one schedule per on-chip level.
@@ -92,6 +163,9 @@ class ChimeraOptimizer:
         started = time.perf_counter()
         min_tiles = self._min_tiles(chain)
         constraints = self.extra_constraints(chain)
+        constraints_token = self.constraints_token(constraints)
+        digest = chain_digest(chain) if self.policy.memoize else None
+        search_stats = SearchStats()
         scanned = 0
         unique = 0
         total_orders = 0
@@ -105,112 +179,133 @@ class ChimeraOptimizer:
         schedules_outer_first: List[LevelSchedule] = []
         chosen_models: List[MovementModel] = []
         parent_tiles: Optional[Dict[str, int]] = None
-        solves = 0
-        for offset, level in enumerate(reversed(on_chip)):
-            level_index = len(on_chip) - 1 - offset
-            capacity = (
-                float(self.hardware.per_block_capacity(level))
-                * self.config.capacity_utilization
+        # One pool serves every level's search: pool startup dominates the
+        # per-level fan-out cost, so the lifecycle spans the whole run.
+        executor: Optional[concurrent.futures.Executor] = None
+        if self.policy.workers > 1:
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.policy.workers
             )
-            level_min_tiles = dict(min_tiles)
-            level_hard_min: Dict[str, int] = {}
-            if level_index > 0:
-                # A producer's private reduction iterates only at the
-                # innermost level: splitting it at an outer level makes the
-                # partially accumulated intermediate stream through every
-                # inner boundary once per outer trip (CUTLASS B2B / BOLT
-                # keep the first GEMM's K whole inside the block for the
-                # same reason).  Shared reductions (the second operator's)
-                # may split anywhere — their RMW traffic is charged by the
-                # model's multipliers.  These pins are HARD minimums: the
-                # solver may relax micro-kernel alignment under capacity
-                # pressure but never these.
-                for loop_name in producer_private_reductions(chain):
-                    level_hard_min[loop_name] = extents[loop_name]
-            # Hierarchy consistency: a loop an outer level split iterates
-            # *above* every loop of this level, so this level's order must
-            # place all outer-split loops in its outermost positions —
-            # otherwise this level's Algorithm 1 would assume reuse across
-            # iterations that actually happen at a coarser granularity.
-            if parent_tiles is None:
-                prefix: frozenset = frozenset()
-            else:
-                prefix = frozenset(
-                    name
-                    for name, tile in parent_tiles.items()
-                    if tile < extents[name]
+        try:
+            for offset, level in enumerate(reversed(on_chip)):
+                level_index = len(on_chip) - 1 - offset
+                capacity = (
+                    float(self.hardware.per_block_capacity(level))
+                    * self.config.capacity_utilization
                 )
-            # Intermediates are traffic-free only at the outermost on-chip
-            # boundary (that is the fusion benefit: they never reach DRAM).
-            # At inner boundaries the inter-operator data streams between
-            # levels like any other tensor — the paper observes exactly
-            # this as the fused kernel's L1<->L2 traffic increase — so the
-            # inner-level models charge intermediates as IO.
-            outermost = level_index == len(on_chip) - 1
-            space = candidate_models(
-                chain,
-                max_orders=self.config.max_orders,
-                prefix=prefix,
-                reuse_intermediates=outermost,
-            )
-            scanned += space.enumerated
-            unique = max(unique, len(space.models))
-            total_orders = max(total_orders, space.total)
-            # Hardware LRU levels cannot pin enlarged intermediate buffers
-            # (they thrash); only software-managed scratchpads may hold
-            # them (persistent-kernel style).
-            candidates = [
-                model
-                for model in space.models
-                if level.software_managed or not model.has_enlarged_buffers
-            ] or list(space.models)
-            ranked = self._probe_rank(
-                candidates, level_min_tiles, capacity, parent_tiles
-            )
-            top = ranked[: max(1, self.config.top_candidates)]
-            best: Optional[Tuple[MovementModel, object]] = None
-            best_key = (1, math.inf)  # (not-feasible, dv)
-            for model in top:
-                solution = solve_tiles(
-                    model,
+                level_min_tiles = dict(min_tiles)
+                level_hard_min: Dict[str, int] = {}
+                if level_index > 0:
+                    # A producer's private reduction iterates only at the
+                    # innermost level: splitting it at an outer level makes
+                    # the partially accumulated intermediate stream through
+                    # every inner boundary once per outer trip (CUTLASS B2B
+                    # / BOLT keep the first GEMM's K whole inside the block
+                    # for the same reason).  Shared reductions (the second
+                    # operator's) may split anywhere — their RMW traffic is
+                    # charged by the model's multipliers.  These pins are
+                    # HARD minimums: the solver may relax micro-kernel
+                    # alignment under capacity pressure but never these.
+                    for loop_name in producer_private_reductions(chain):
+                        level_hard_min[loop_name] = extents[loop_name]
+                # Hierarchy consistency: a loop an outer level split
+                # iterates *above* every loop of this level, so this
+                # level's order must place all outer-split loops in its
+                # outermost positions — otherwise this level's Algorithm 1
+                # would assume reuse across iterations that actually happen
+                # at a coarser granularity.
+                if parent_tiles is None:
+                    prefix: frozenset = frozenset()
+                else:
+                    prefix = frozenset(
+                        name
+                        for name, tile in parent_tiles.items()
+                        if tile < extents[name]
+                    )
+                # Intermediates are traffic-free only at the outermost
+                # on-chip boundary (that is the fusion benefit: they never
+                # reach DRAM).  At inner boundaries the inter-operator data
+                # streams between levels like any other tensor — the paper
+                # observes exactly this as the fused kernel's L1<->L2
+                # traffic increase — so the inner-level models charge
+                # intermediates as IO.
+                outermost = level_index == len(on_chip) - 1
+                space = candidate_models(
+                    chain,
+                    max_orders=self.config.max_orders,
+                    prefix=prefix,
+                    reuse_intermediates=outermost,
+                )
+                scanned += space.enumerated
+                search_stats.orders_enumerated += space.enumerated
+                unique = max(unique, len(space.models))
+                total_orders = max(total_orders, space.total)
+                # Hardware LRU levels cannot pin enlarged intermediate
+                # buffers (they thrash); only software-managed scratchpads
+                # may hold them (persistent-kernel style).
+                candidates = [
+                    model
+                    for model in space.models
+                    if level.software_managed or not model.has_enlarged_buffers
+                ] or list(space.models)
+                ranked = self._probe_rank(
+                    candidates, level_min_tiles, capacity, parent_tiles
+                )
+                top = ranked[: max(1, self.config.top_candidates)]
+                model, solution = search_tiles(
+                    top,
                     capacity,
                     min_tiles=level_min_tiles,
                     quanta=self.config.quanta,
                     constraints=constraints,
+                    constraints_token=constraints_token,
                     max_parent=parent_tiles,
                     starts=self.config.starts,
                     hard_min_tiles=level_hard_min,
+                    policy=self.policy,
+                    stats=search_stats,
+                    digest=digest,
+                    executor=executor,
                 )
-                solves += 1
-                key = (0 if solution.feasible else 1, solution.dv)
-                if key < best_key:
-                    best_key = key
-                    best = (model, solution)
-            assert best is not None
-            model, solution = best
-            bandwidth = self.hardware.levels[level_index + 1].bandwidth
-            schedules_outer_first.append(
-                LevelSchedule(
-                    level=level.name,
-                    order=model.perm,
-                    tiles=solution.tiles,
-                    predicted_dv=solution.dv,
-                    predicted_mu=solution.mu,
-                    capacity=capacity,
-                    bandwidth=bandwidth,
+                bandwidth = self.hardware.levels[level_index + 1].bandwidth
+                schedules_outer_first.append(
+                    LevelSchedule(
+                        level=level.name,
+                        order=model.perm,
+                        tiles=solution.tiles,
+                        predicted_dv=solution.dv,
+                        predicted_mu=solution.mu,
+                        capacity=capacity,
+                        bandwidth=bandwidth,
+                    )
                 )
-            )
-            chosen_models.append(model)
-            parent_tiles = {name: solution.tiles[name] for name in model.perm}
+                chosen_models.append(model)
+                parent_tiles = {
+                    name: solution.tiles[name] for name in model.perm
+                }
+        finally:
+            if executor is not None:
+                executor.shutdown()
 
         schedules = tuple(reversed(schedules_outer_first))
         elapsed = time.perf_counter() - started
         self.last_stats = OptimizeStats(
             orders_scanned=scanned,
             unique_signatures=unique,
-            solves=solves,
+            solves=search_stats.solves,
             elapsed_seconds=elapsed,
+            candidates=search_stats.candidates,
+            bound_evals=search_stats.bound_evals,
+            pruned=search_stats.pruned,
+            memo_hits=search_stats.memo_hits,
+            bound_seconds=search_stats.bound_seconds,
+            solve_seconds=search_stats.solve_seconds,
         )
+        if stats is not None:
+            stats.merge(search_stats)
+        # search_tiles folded its own counters into the global aggregate;
+        # enumeration happens out here, so account for it separately.
+        record_search_stats(SearchStats(orders_enumerated=scanned))
 
         notes = [
             f"orders: scanned {scanned} (full space {total_orders}), "
@@ -232,14 +327,17 @@ class ChimeraOptimizer:
     ) -> FusionPlan:
         """Solve tiles for one explicit block order (ablations, Figure 8)."""
         model = MovementModel(chain, order)
+        constraints = self.extra_constraints(chain)
         schedules = solve_hierarchy(
             model,
             self.hardware,
             min_tiles=self._min_tiles(chain),
             quanta=self.config.quanta,
-            constraints=self.extra_constraints(chain),
+            constraints=constraints,
+            constraints_token=self.constraints_token(constraints),
             starts=self.config.starts,
             capacity_utilization=self.config.capacity_utilization,
+            policy=self.policy,
         )
         flops = executed_flops(chain, model.perm, schedules[0].tiles)
         return FusionPlan(
@@ -297,14 +395,16 @@ class ChimeraOptimizer:
             bound = min(extents[name], parent.get(name, extents[name]))
             probe[name] = float(max(min(min_tiles.get(name, 1), bound),
                                     min(bound, side)))
+        # Ties break on the canonical order tuple, not the enumeration
+        # index: the index shifts under ``max_orders`` stride sampling.
         scored = [
             (
                 0 if model.usage(probe) <= capacity else 1,
                 model.volume(probe, exact=False),
-                index,
+                model.perm,
                 model,
             )
-            for index, model in enumerate(models)
+            for model in models
         ]
         scored.sort(key=lambda item: (item[0], item[1], item[2]))
         return [model for _, _, _, model in scored]
@@ -325,13 +425,24 @@ class ChimeraOptimizer:
         for tensor in intermediates:
             producer = chain.producers_of(tensor)[0]
             producer_writes.append(producer.access_of(tensor))
-        buffer_capacity = float(self.hardware.unified_buffer)
+        return (
+            UnifiedBufferConstraint(
+                chain=chain,
+                accesses=tuple(producer_writes),
+                capacity=float(self.hardware.unified_buffer),
+            ),
+        )
 
-        def unified_buffer_usage(tiles: Mapping[str, float]) -> float:
-            usage = sum(
-                footprint_bytes(chain, access, tiles)
-                for access in producer_writes
-            )
-            return usage - buffer_capacity
-
-        return (unified_buffer_usage,)
+    @staticmethod
+    def constraints_token(
+        constraints: Sequence[ConstraintFn],
+    ) -> Optional[Hashable]:
+        """Memo-key identity of a constraint tuple; ``None`` (which disables
+        memoization for constrained solves) when any constraint lacks one."""
+        tokens = []
+        for fn in constraints:
+            token = getattr(fn, "token", None)
+            if token is None:
+                return None
+            tokens.append(token())
+        return tuple(tokens)

@@ -140,15 +140,7 @@ def enumerate_orders(
     """
     classes = loop_classes(chain)
     if prefix:
-        head_classes = []
-        tail_classes = []
-        for members in classes:
-            head = [m for m in members if m in prefix]
-            tail = [m for m in members if m not in prefix]
-            if head:
-                head_classes.append(head)
-            if tail:
-                tail_classes.append(tail)
+        head_classes, tail_classes = _split_classes(classes, prefix)
 
         def generate() -> Iterator[Tuple[str, ...]]:
             for head_order in _multiset_permutations(head_classes):
@@ -156,10 +148,9 @@ def enumerate_orders(
                     yield head_order + tail_order
 
         source = generate()
-        total = _count_multiset(head_classes) * _count_multiset(tail_classes)
     else:
         source = _multiset_permutations(classes)
-        total = count_orders(chain)
+    total = constrained_count(chain, prefix)
 
     if max_orders is None or total <= max_orders:
         yield from source
@@ -172,6 +163,36 @@ def enumerate_orders(
             yield order
             emitted += 1
             target += stride
+
+
+def _split_classes(
+    classes: Sequence[Sequence[str]], prefix: frozenset
+) -> Tuple[List[List[str]], List[List[str]]]:
+    """Partition interchangeability classes into prefix and tail groups."""
+    head_classes: List[List[str]] = []
+    tail_classes: List[List[str]] = []
+    for members in classes:
+        head = [m for m in members if m in prefix]
+        tail = [m for m in members if m not in prefix]
+        if head:
+            head_classes.append(head)
+        if tail:
+            tail_classes.append(tail)
+    return head_classes, tail_classes
+
+
+def constrained_count(chain: OperatorChain, prefix: frozenset = frozenset()) -> int:
+    """Size of the canonical order space under a ``prefix`` constraint.
+
+    With a non-empty prefix the space is the product of the head and tail
+    multiset-permutation counts — comparing an enumeration against the
+    *unconstrained* :func:`count_orders` would misreport a complete scan as
+    truncated.
+    """
+    if not prefix:
+        return count_orders(chain)
+    head_classes, tail_classes = _split_classes(loop_classes(chain), prefix)
+    return _count_multiset(head_classes) * _count_multiset(tail_classes)
 
 
 def _count_multiset(classes: Sequence[Sequence[str]]) -> int:
@@ -199,9 +220,11 @@ class OrderSpace:
 
     Attributes:
         models: one representative :class:`MovementModel` per distinct DV
-            signature.
+            signature (the lexicographically smallest enumerated order, so
+            the representative does not depend on enumeration sequence).
         enumerated: how many canonical permutations were scanned.
-        total: full canonical space size.
+        total: size of the canonical space *under the enumeration's prefix
+            constraint* (see :func:`constrained_count`).
         truncated: True when ``max_orders`` clipped the scan.
     """
 
@@ -237,9 +260,15 @@ def candidate_models(
         model = MovementModel(
             chain, order, reuse_intermediates=reuse_intermediates
         )
-        seen.setdefault(model.signature, model)
+        # Canonical representative: the lexicographically smallest order of
+        # each signature class.  First-enumerated would silently change
+        # under ``max_orders`` stride sampling, and with it every DV tie
+        # resolved downstream.
+        known = seen.get(model.signature)
+        if known is None or model.perm < known.perm:
+            seen[model.signature] = model
     return OrderSpace(
         models=list(seen.values()),
         enumerated=enumerated,
-        total=count_orders(chain),
+        total=constrained_count(chain, prefix),
     )

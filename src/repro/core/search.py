@@ -1,0 +1,703 @@
+"""Pruned, memoized, optionally parallel inter-block order search.
+
+The inter-block optimizer enumerates candidate block execution orders and
+runs the constrained tile-size solve (:func:`repro.core.solver.solve_tiles`)
+on each — the dominant cost of a cold compile.  This module makes that
+search fast **without changing its answer**:
+
+* **Pruning** — every candidate gets a cheap *admissible* lower bound on
+  the data movement volume any feasible tile assignment can reach
+  (:func:`dv_lower_bound`).  DV is coordinatewise non-increasing in the
+  tile sizes while MU is non-decreasing, so evaluating DV at each loop's
+  capacity-relaxed maximum tile (the largest tile that fits capacity with
+  every other loop at its minimum — a relaxation of the joint constraint)
+  bounds the solve result from below.  Candidates whose bound cannot beat
+  the incumbent are skipped, exactly as analytical schedulers prune
+  dominated schedules.
+* **Memoization** — solve results are cached under the movement model's
+  :meth:`~repro.core.movement.MovementModel.signature` (plus every other
+  solve input), so symmetric orders with identical movement terms — and
+  repeated compiles of the same chain — are solved once per process.
+* **Parallelism** — surviving candidates can be fanned across a process
+  pool (``REPRO_SEARCH_WORKERS``).  Results are reduced under the total
+  order ``(infeasible, dv, order-tuple)``, so the winner is identical
+  regardless of worker count or completion order.
+* **Observability** — :class:`SearchStats` counts orders enumerated,
+  pruned, memo hits and solves, with per-stage wall time; a process-global
+  aggregate backs ``service.stats()`` and the ``repro search-stats`` CLI.
+
+Determinism guarantee: for a fixed candidate list, the (model, solution)
+pair returned by :func:`search_tiles` is identical for every combination
+of ``prune``/``memoize``/``workers`` — pruning is admissible (a pruned
+candidate provably cannot win the total order), memoized entries are keyed
+on every input that influences the solve, and the parallel reduce is a
+total-order minimum.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import math
+import os
+import pickle
+import threading
+import time
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..ir.chain import OperatorChain
+from .movement import MovementModel
+from .solver import ConstraintFn, TileSolution, solve_tiles
+
+#: Environment knobs honoured by :meth:`SearchPolicy.from_env`.
+ENV_WORKERS = "REPRO_SEARCH_WORKERS"
+ENV_PRUNE = "REPRO_SEARCH_PRUNE"
+ENV_MEMO = "REPRO_SEARCH_MEMO"
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchPolicy:
+    """Execution strategy of the order search.
+
+    The policy changes how fast the search runs, never what it returns —
+    it is deliberately *not* part of the compilation cache key.
+
+    Attributes:
+        prune: skip solves whose DV lower bound cannot beat the incumbent.
+        memoize: reuse solve results through the process-global
+            :class:`SolveMemo`.
+        workers: process-pool width for surviving candidates; ``1`` solves
+            serially (and lets the incumbent tighten after every solve,
+            which prunes the most).
+    """
+
+    prune: bool = True
+    memoize: bool = True
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    @staticmethod
+    def from_env() -> "SearchPolicy":
+        """Policy from ``REPRO_SEARCH_{WORKERS,PRUNE,MEMO}`` (defaults on/1)."""
+        try:
+            workers = int(os.environ.get(ENV_WORKERS, "1"))
+        except ValueError:
+            workers = 1
+        return SearchPolicy(
+            prune=_env_flag(ENV_PRUNE, True),
+            memoize=_env_flag(ENV_MEMO, True),
+            workers=max(1, workers),
+        )
+
+    @staticmethod
+    def exhaustive() -> "SearchPolicy":
+        """The serial solve-everything baseline the search must reproduce."""
+        return SearchPolicy(prune=False, memoize=False, workers=1)
+
+
+@dataclasses.dataclass
+class SearchStats:
+    """Counters and per-stage wall time of one or more order searches."""
+
+    searches: int = 0
+    orders_enumerated: int = 0
+    candidates: int = 0
+    bound_evals: int = 0
+    pruned: int = 0
+    memo_hits: int = 0
+    solves: int = 0
+    bound_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    def merge(self, other: "SearchStats") -> None:
+        for field in dataclasses.fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+_GLOBAL_STATS = SearchStats()
+_GLOBAL_STATS_LOCK = threading.Lock()
+
+
+def record_search_stats(stats: SearchStats) -> None:
+    """Fold one search's stats into the process-global aggregate."""
+    with _GLOBAL_STATS_LOCK:
+        _GLOBAL_STATS.merge(stats)
+
+
+def search_stats_snapshot() -> Dict[str, Any]:
+    """Point-in-time copy of the process-global search counters."""
+    with _GLOBAL_STATS_LOCK:
+        snap = _GLOBAL_STATS.as_dict()
+    snap["memo"] = _GLOBAL_MEMO.stats()
+    return snap
+
+
+def reset_search_stats() -> None:
+    with _GLOBAL_STATS_LOCK:
+        global _GLOBAL_STATS
+        _GLOBAL_STATS = SearchStats()
+
+
+# ----------------------------------------------------------------------
+# admissible DV lower bound
+# ----------------------------------------------------------------------
+def chain_digest(chain: OperatorChain) -> str:
+    """Content fingerprint of a chain for memo keys.
+
+    Hashes the pickled IR: equal chains built by the same code path hash
+    equally; a hash mismatch merely forfeits a memo hit, never correctness.
+    """
+    return hashlib.sha256(pickle.dumps(chain)).hexdigest()
+
+
+def _ones(model: MovementModel) -> Dict[str, float]:
+    return {name: 1.0 for name in model.chain.loop_extents()}
+
+
+def _fits(
+    model: MovementModel,
+    tiles: Mapping[str, float],
+    capacity: float,
+    constraints: Sequence[ConstraintFn],
+) -> bool:
+    if model.usage(tiles) > capacity:
+        return False
+    return all(fn(tiles) <= 0 for fn in constraints)
+
+
+def upper_tile_bounds(
+    model: MovementModel,
+    capacity: float,
+    constraints: Sequence[ConstraintFn] = (),
+    max_parent: Optional[Mapping[str, int]] = None,
+) -> Optional[Dict[str, int]]:
+    """Per-loop capacity-relaxed maximum tiles, or ``None`` if nothing fits.
+
+    For each loop the largest integer tile such that the assignment (that
+    tile, every other loop at 1) satisfies the capacity bound and the extra
+    constraints.  MU and the constraint functions are coordinatewise
+    non-decreasing in the tiles, so for *any* jointly feasible assignment
+    ``T``, ``T_l`` cannot exceed this per-loop bound — the bounds form a
+    box relaxation of the feasible region.  ``None`` means even all-ones
+    tiles violate a constraint: no feasible assignment exists at all.
+    """
+    extents = model.chain.loop_extents()
+    parent = max_parent or {}
+    probe = _ones(model)
+    if not _fits(model, probe, capacity, constraints):
+        return None
+    bounds: Dict[str, int] = {}
+    for name in model.perm:
+        hi = max(1, min(extents[name], parent.get(name, extents[name])))
+        probe[name] = float(hi)
+        if _fits(model, probe, capacity, constraints):
+            bounds[name] = hi
+        else:
+            lo = 1
+            while hi - lo > 1:  # invariant: lo fits, hi does not
+                mid = (lo + hi) // 2
+                probe[name] = float(mid)
+                if _fits(model, probe, capacity, constraints):
+                    lo = mid
+                else:
+                    hi = mid
+            bounds[name] = lo
+        probe[name] = 1.0
+    return bounds
+
+
+def dv_lower_bound(
+    model: MovementModel,
+    capacity: float,
+    constraints: Sequence[ConstraintFn] = (),
+    max_parent: Optional[Mapping[str, int]] = None,
+) -> float:
+    """Admissible lower bound on the DV of any feasible tile assignment.
+
+    DV is coordinatewise non-increasing in the tiles (every multiplier
+    ``ceil(L/T)`` shrinks as ``T`` grows and the edge-clamped footprint
+    factors cancel the growth), so DV evaluated at the coordinatewise
+    upper bounds of the feasible region (:func:`upper_tile_bounds`) is a
+    floor under every solution the solver can return.  ``inf`` when the
+    order admits no feasible tiles — such candidates only lose to a
+    feasible incumbent, so pruning them is exact as well.
+    """
+    bounds = upper_tile_bounds(model, capacity, constraints, max_parent)
+    if bounds is None:
+        return math.inf
+    tiles = _ones(model)
+    tiles.update({name: float(t) for name, t in bounds.items()})
+    return model.volume(tiles, exact=True)
+
+
+# ----------------------------------------------------------------------
+# solve memo
+# ----------------------------------------------------------------------
+class SolveMemo:
+    """Process-global LRU of tile-size solve results.
+
+    Keys cover every input that influences :func:`solve_tiles`: the chain
+    content, the movement-model signature (equal signatures induce
+    bit-identical DV/MU functions — multiplier tuples are stored sorted),
+    capacity, bounds, quanta, start count and a caller-provided token for
+    non-hashable extra constraints.  Entries whose constraints have no
+    token are never cached.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, TileSolution]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> Optional[TileSolution]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: Hashable, solution: TileSolution) -> None:
+        with self._lock:
+            self._entries[key] = solution
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+
+_GLOBAL_MEMO = SolveMemo()
+
+
+def solve_memo() -> SolveMemo:
+    """The process-global solve memo (exposed for tests and tooling)."""
+    return _GLOBAL_MEMO
+
+
+def _sorted_items(mapping: Optional[Mapping[str, int]]) -> Tuple:
+    if not mapping:
+        return ()
+    return tuple(sorted(mapping.items()))
+
+
+def memo_key(
+    digest: str,
+    model: MovementModel,
+    capacity: float,
+    *,
+    min_tiles: Optional[Mapping[str, int]],
+    quanta: Optional[Mapping[str, int]],
+    max_parent: Optional[Mapping[str, int]],
+    hard_min_tiles: Optional[Mapping[str, int]],
+    starts: int,
+    constraints_token: Optional[Hashable],
+    by_signature: bool = True,
+) -> Hashable:
+    """The full solve-input key; ``by_signature=False`` keys on the exact
+    permutation instead (used by fixed-order ablation paths, where the
+    reported order must stay the caller's)."""
+    identity = (
+        ("sig", model.signature_digest())
+        if by_signature
+        else ("perm", model.perm, model.reuse_intermediates)
+    )
+    return (
+        digest,
+        identity,
+        float(capacity),
+        _sorted_items(min_tiles),
+        _sorted_items(quanta),
+        _sorted_items(max_parent),
+        _sorted_items(hard_min_tiles),
+        int(starts),
+        constraints_token,
+    )
+
+
+# ----------------------------------------------------------------------
+# the search driver
+# ----------------------------------------------------------------------
+def _solution_key(
+    solution: TileSolution, perm: Tuple[str, ...]
+) -> Tuple[int, float, Tuple[str, ...]]:
+    """Total order on candidate outcomes: feasible first, best DV, then the
+    canonical order tuple — DV ties between distinct orders are broken
+    deterministically, independent of enumeration or completion order."""
+    return (0 if solution.feasible else 1, solution.dv, perm)
+
+
+def _solve_payload(payload: Tuple) -> TileSolution:
+    """Top-level worker entry (must be picklable for the process pool)."""
+    (model, capacity, min_tiles, quanta, constraints, max_parent, starts,
+     hard_min_tiles) = payload
+    return solve_tiles(
+        model,
+        capacity,
+        min_tiles=min_tiles,
+        quanta=quanta,
+        constraints=constraints,
+        max_parent=max_parent,
+        starts=starts,
+        hard_min_tiles=hard_min_tiles,
+    )
+
+
+class _Solver:
+    """Shared solve-once helper: memo lookup, solve, memo fill, counters."""
+
+    def __init__(
+        self,
+        capacity: float,
+        solve_kwargs: Dict[str, Any],
+        *,
+        policy: SearchPolicy,
+        stats: SearchStats,
+        digest: Optional[str],
+        constraints_token: Optional[Hashable],
+        memo: SolveMemo,
+    ) -> None:
+        self.capacity = capacity
+        self.kwargs = solve_kwargs
+        self.policy = policy
+        self.stats = stats
+        self.memo = memo
+        self.constraints_token = constraints_token
+        self.digest = digest
+        has_constraints = bool(solve_kwargs.get("constraints"))
+        self.memo_usable = (
+            policy.memoize
+            and digest is not None
+            and (not has_constraints or constraints_token is not None)
+        )
+
+    def key_for(self, model: MovementModel) -> Optional[Hashable]:
+        if not self.memo_usable:
+            return None
+        return memo_key(
+            self.digest,
+            model,
+            self.capacity,
+            min_tiles=self.kwargs.get("min_tiles"),
+            quanta=self.kwargs.get("quanta"),
+            max_parent=self.kwargs.get("max_parent"),
+            hard_min_tiles=self.kwargs.get("hard_min_tiles"),
+            starts=self.kwargs.get("starts", 4),
+            constraints_token=self.constraints_token,
+        )
+
+    def cached(self, model: MovementModel) -> Optional[TileSolution]:
+        key = self.key_for(model)
+        if key is None:
+            return None
+        solution = self.memo.get(key)
+        if solution is not None:
+            self.stats.memo_hits += 1
+        return solution
+
+    def payload(self, model: MovementModel) -> Tuple:
+        return (
+            model,
+            self.capacity,
+            self.kwargs.get("min_tiles"),
+            self.kwargs.get("quanta"),
+            tuple(self.kwargs.get("constraints") or ()),
+            self.kwargs.get("max_parent"),
+            self.kwargs.get("starts", 4),
+            self.kwargs.get("hard_min_tiles"),
+        )
+
+    def solve(self, model: MovementModel) -> TileSolution:
+        cached = self.cached(model)
+        if cached is not None:
+            return cached
+        started = time.perf_counter()
+        solution = _solve_payload(self.payload(model))
+        self.stats.solves += 1
+        self.stats.solve_seconds += time.perf_counter() - started
+        self.store(model, solution)
+        return solution
+
+    def store(self, model: MovementModel, solution: TileSolution) -> None:
+        key = self.key_for(model)
+        if key is not None:
+            self.memo.put(key, solution)
+
+
+def _prunable(
+    bound: float,
+    perm: Tuple[str, ...],
+    incumbent: Tuple[MovementModel, TileSolution],
+) -> bool:
+    """True when a candidate provably cannot win the total order.
+
+    The candidate's best conceivable outcome is ``(feasible, bound, perm)``;
+    it loses to a *feasible* incumbent when the bound is strictly worse, or
+    ties the incumbent's DV with a lexicographically larger order tuple.
+    """
+    model, solution = incumbent
+    if not solution.feasible:
+        return False
+    if bound > solution.dv:
+        return True
+    return bound == solution.dv and perm > model.perm
+
+
+def search_tiles(
+    models: Sequence[MovementModel],
+    capacity: float,
+    *,
+    min_tiles: Optional[Mapping[str, int]] = None,
+    quanta: Optional[Mapping[str, int]] = None,
+    constraints: Sequence[ConstraintFn] = (),
+    constraints_token: Optional[Hashable] = None,
+    max_parent: Optional[Mapping[str, int]] = None,
+    starts: int = 4,
+    hard_min_tiles: Optional[Mapping[str, int]] = None,
+    policy: Optional[SearchPolicy] = None,
+    stats: Optional[SearchStats] = None,
+    digest: Optional[str] = None,
+    executor: Optional[concurrent.futures.Executor] = None,
+) -> Tuple[MovementModel, TileSolution]:
+    """Pick the best (model, tile solution) among candidate orders.
+
+    Equivalent to solving every candidate and taking the minimum under
+    ``(infeasible, dv, order)`` — but pruned, memoized and parallelized
+    according to ``policy``.
+
+    Args:
+        models: candidate movement models (one per DV signature).
+        capacity: per-block memory capacity in bytes.
+        constraints_token: hashable identity of ``constraints`` for the
+            memo key; with constraints present but no token, memoization is
+            disabled (safe default).
+        digest: :func:`chain_digest` of the chain (computed if omitted).
+        executor: optional externally managed pool reused across calls;
+            otherwise one is created per call when ``policy.workers > 1``.
+        stats: accumulator to fill (also folded into the process-global
+            aggregate).
+
+    Returns:
+        the winning ``(model, solution)`` pair.
+    """
+    if not models:
+        raise ValueError("search_tiles needs at least one candidate model")
+    policy = policy or SearchPolicy.from_env()
+    local = SearchStats(searches=1, candidates=len(models))
+    if digest is None and policy.memoize:
+        digest = chain_digest(models[0].chain)
+    solve_kwargs = {
+        "min_tiles": min_tiles,
+        "quanta": quanta,
+        "constraints": tuple(constraints),
+        "max_parent": max_parent,
+        "starts": starts,
+        "hard_min_tiles": hard_min_tiles,
+    }
+    solver = _Solver(
+        capacity,
+        solve_kwargs,
+        policy=policy,
+        stats=local,
+        digest=digest,
+        constraints_token=constraints_token,
+        memo=_GLOBAL_MEMO,
+    )
+
+    if policy.prune:
+        started = time.perf_counter()
+        bounded = [
+            (dv_lower_bound(model, capacity, constraints, max_parent), model)
+            for model in models
+        ]
+        local.bound_evals += len(bounded)
+        local.bound_seconds += time.perf_counter() - started
+        bounded.sort(key=lambda item: (item[0], item[1].perm))
+    else:
+        bounded = [(-math.inf, model) for model in models]
+
+    results: List[Tuple[MovementModel, TileSolution]] = []
+    incumbent: Optional[Tuple[MovementModel, TileSolution]] = None
+
+    def push(model: MovementModel, solution: TileSolution) -> None:
+        nonlocal incumbent
+        results.append((model, solution))
+        if incumbent is None or _solution_key(solution, model.perm) < (
+            _solution_key(incumbent[1], incumbent[0].perm)
+        ):
+            incumbent = (model, solution)
+
+    if policy.workers <= 1 or len(bounded) <= 1:
+        for bound, model in bounded:
+            if (
+                policy.prune
+                and incumbent is not None
+                and _prunable(bound, model.perm, incumbent)
+            ):
+                local.pruned += 1
+                continue
+            push(model, solver.solve(model))
+    else:
+        # Parallel: solve the best-bounded candidate serially to seed the
+        # incumbent, prune the rest against it once, then fan the
+        # survivors out.  The pruning decision depends only on the leader's
+        # result and the reduce is a total-order minimum, so the outcome is
+        # independent of worker count and completion order.
+        leader_bound, leader = bounded[0]
+        push(leader, solver.solve(leader))
+        survivors: List[MovementModel] = []
+        for bound, model in bounded[1:]:
+            if policy.prune and _prunable(bound, model.perm, incumbent):
+                local.pruned += 1
+                continue
+            cached = solver.cached(model)
+            if cached is not None:
+                push(model, cached)
+            else:
+                survivors.append(model)
+        if survivors:
+            own_pool = executor is None
+            pool = executor or concurrent.futures.ProcessPoolExecutor(
+                max_workers=policy.workers
+            )
+            try:
+                started = time.perf_counter()
+                futures = [
+                    pool.submit(_solve_payload, solver.payload(model))
+                    for model in survivors
+                ]
+                for model, future in zip(survivors, futures):
+                    solution = future.result()
+                    local.solves += 1
+                    solver.store(model, solution)
+                    push(model, solution)
+                local.solve_seconds += time.perf_counter() - started
+            finally:
+                if own_pool:
+                    pool.shutdown()
+
+    if stats is not None:
+        stats.merge(local)
+    record_search_stats(local)
+    best_model, best_solution = min(
+        results, key=lambda pair: _solution_key(pair[1], pair[0].perm)
+    )
+    return best_model, best_solution
+
+
+def memoized_solve_tiles(
+    model: MovementModel,
+    capacity: float,
+    *,
+    min_tiles: Optional[Mapping[str, int]] = None,
+    quanta: Optional[Mapping[str, int]] = None,
+    constraints: Sequence[ConstraintFn] = (),
+    constraints_token: Optional[Hashable] = None,
+    max_parent: Optional[Mapping[str, int]] = None,
+    starts: int = 4,
+    hard_min_tiles: Optional[Mapping[str, int]] = None,
+    policy: Optional[SearchPolicy] = None,
+    digest: Optional[str] = None,
+    stats: Optional[SearchStats] = None,
+) -> TileSolution:
+    """Memo-aware :func:`solve_tiles` for fixed-order solves.
+
+    Keyed on the exact permutation (not the signature), so ablation paths
+    that deliberately compare symmetric orders still solve under their own
+    order while repeated solves of the same order hit the memo.
+    """
+    policy = policy or SearchPolicy.from_env()
+    local = SearchStats()
+    solution: Optional[TileSolution] = None
+    key: Optional[Hashable] = None
+    if (
+        policy.memoize
+        and (not constraints or constraints_token is not None)
+    ):
+        if digest is None:
+            digest = chain_digest(model.chain)
+        key = memo_key(
+            digest,
+            model,
+            capacity,
+            min_tiles=min_tiles,
+            quanta=quanta,
+            max_parent=max_parent,
+            hard_min_tiles=hard_min_tiles,
+            starts=starts,
+            constraints_token=constraints_token,
+            by_signature=False,
+        )
+        solution = _GLOBAL_MEMO.get(key)
+        if solution is not None:
+            local.memo_hits += 1
+    if solution is None:
+        started = time.perf_counter()
+        solution = solve_tiles(
+            model,
+            capacity,
+            min_tiles=min_tiles,
+            quanta=quanta,
+            constraints=constraints,
+            max_parent=max_parent,
+            starts=starts,
+            hard_min_tiles=hard_min_tiles,
+        )
+        local.solves += 1
+        local.solve_seconds += time.perf_counter() - started
+        if key is not None:
+            _GLOBAL_MEMO.put(key, solution)
+    if stats is not None:
+        stats.merge(local)
+    record_search_stats(local)
+    return solution

@@ -92,7 +92,9 @@ def solve_tiles(
         min_tiles: *soft* lower bound per loop (micro-kernel minimums; the
             paper's ``alpha`` for free variables).  Automatically relaxed
             when even the minimum point exceeds capacity — an unaligned
-            feasible schedule beats an infeasible aligned one.
+            feasible schedule beats an infeasible aligned one.  A minimum
+            above a loop's extent means "take the whole loop": it is
+            clamped to the extent, never treated as infeasible.
         quanta: tile sizes are rounded to multiples of these (e.g. 16 for
             tensor-core loops); bounds are respected first.
         constraints: extra feasibility functions (e.g. the NPU Unified
@@ -224,7 +226,16 @@ def _project_feasible(
 
 
 def _quantize(value: int, quantum: int, lo: int, hi: int) -> int:
-    """Round down to a multiple of ``quantum`` within [lo, hi] if possible."""
+    """Round down to a multiple of ``quantum`` within [lo, hi] if possible.
+
+    Degenerate bounds are resolved toward the *extent* side: an empty range
+    (``lo > hi``, e.g. a micro-kernel minimum above a small loop's extent)
+    yields ``hi`` — the whole loop — rather than a candidate above the
+    extent, and a quantum that cannot fit between the bounds falls back to
+    the clamped unaligned value (a feasible unaligned tile beats none).
+    """
+    if lo > hi:
+        return hi
     if quantum <= 1:
         return max(lo, min(hi, value))
     snapped = (value // quantum) * quantum
@@ -258,7 +269,14 @@ def _integer_refine(
             _quantize(int(math.ceil(raw)), quantum, lo, hi),
             _quantize(lo, quantum, lo, hi),
         }
-        candidate_values.append(sorted(options))
+        if quantum > hi:
+            # No aligned tile exists below the extent: the whole loop is
+            # the canonical choice (remainder handling covers the short
+            # tile either way), so make sure it is on the lattice.
+            options.add(hi)
+        # Never propose a tile outside [lo, hi]: quantized candidates must
+        # not exceed the loop extent (or the parent level's tile).
+        candidate_values.append(sorted({max(lo, min(hi, v)) for v in options}))
 
     best: Optional[Tuple[float, float, Dict[str, int]]] = None
     fallback: Optional[Tuple[float, float, Dict[str, int]]] = None

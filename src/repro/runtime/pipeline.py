@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle exists only for typing
     from ..service import CompileService
 from ..core.optimizer import ChimeraConfig, ChimeraOptimizer
 from ..core.plan import FusionPlan
+from ..core.search import SearchPolicy
 from ..hardware.spec import HardwareSpec
 from ..ir.chain import OperatorChain
 
@@ -68,10 +69,11 @@ def optimize_chain(
     chain: OperatorChain,
     hardware: HardwareSpec,
     config: Optional[ChimeraConfig] = None,
+    policy: Optional[SearchPolicy] = None,
 ) -> FusionPlan:
     """Run only the inter-block pass (always fusing) and attach the kernel."""
     cfg = chimera_config(chain, hardware, config)
-    plan = ChimeraOptimizer(hardware, cfg).optimize(chain)
+    plan = ChimeraOptimizer(hardware, cfg, policy=policy).optimize(chain)
     return _attach_micro_kernel(plan, hardware)
 
 
@@ -82,6 +84,7 @@ def compile_chain(
     *,
     force_fusion: Optional[bool] = None,
     service: Optional["CompileService"] = None,
+    policy: Optional[SearchPolicy] = None,
 ) -> CompileResult:
     """Compile an operator chain for a hardware target.
 
@@ -94,6 +97,10 @@ def compile_chain(
         service: a :class:`repro.service.CompileService`; when given, the
             request is routed through its plan cache (and coalesced with
             identical concurrent requests) instead of always re-optimizing.
+        policy: order-search execution strategy (pruning / memoization /
+            workers).  Affects compile latency only, never the plan, so it
+            is not part of the service cache key; defaults to the
+            ``REPRO_SEARCH_*`` environment.
 
     Returns:
         executable kernels plus the planning decision.
@@ -101,7 +108,7 @@ def compile_chain(
     if service is not None:
         return service.compile(chain, hardware, config, force_fusion=force_fusion)
     cfg = chimera_config(chain, hardware, config)
-    decision = decide_fusion(chain, hardware, cfg)
+    decision = decide_fusion(chain, hardware, cfg, policy)
     if force_fusion is not None:
         decision = dataclasses.replace(decision, use_fusion=force_fusion)
     return CompileResult(

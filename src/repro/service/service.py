@@ -30,6 +30,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from ..core.fusion import FusionDecision, plan_unfused
 from ..core.optimizer import ChimeraConfig
+from ..core.search import search_stats_snapshot
 from ..hardware.spec import HardwareSpec
 from ..ir.chain import OperatorChain
 from ..runtime import pipeline
@@ -189,7 +190,18 @@ class CompileService:
         started = time.perf_counter()
         key = request.key
         self.metrics.count("requests")
+        return self._serve_keyed(request, key, started)
 
+    def _serve_keyed(
+        self, request: CompileRequest, key: str, started: float
+    ) -> ServedCompile:
+        """Lookup/coalesce/compile for an already-counted request.
+
+        Split from :meth:`serve` so internal retries (e.g. after evicting a
+        corrupt cache entry) re-enter the lookup without inflating the
+        ``requests`` counter — keeping the accounting invariant
+        ``requests == hits + misses + coalesced``.
+        """
         leader = False
         with self._lock:
             entry, tier = self.cache.get_with_tier(key)
@@ -230,8 +242,9 @@ class CompileService:
         return compile_batch(self, requests, **kwargs)
 
     def stats(self) -> Dict[str, Any]:
-        """Metrics snapshot plus cache occupancy."""
+        """Metrics snapshot plus cache occupancy and order-search counters."""
         snap = self.metrics.snapshot()
+        snap["search"] = search_stats_snapshot()
         snap["cache"] = {
             "memory_entries": self.cache.memory_len(),
             "memory_capacity": self.cache.capacity,
@@ -422,15 +435,20 @@ class CompileService:
             # A cached-but-undecodable entry: evict and recompile once.
             self.metrics.count("corrupt_entries")
             self.cache.delete(key)
-            return self.serve(request) if source != SOURCE_COALESCED else (
-                ServedCompile(
-                    request=request,
-                    key=key,
-                    result=None,
-                    source=source,
-                    seconds=time.perf_counter() - started,
-                    error=str(exc),
-                )
+            if source in (SOURCE_MEMORY, SOURCE_DISK):
+                # The hit never produced a result: retract it, then re-enter
+                # the lookup without re-counting the request, so the
+                # recompile registers as the miss it really is instead of a
+                # phantom hit plus a double-counted request.
+                self.metrics.count(f"hits_{source}", -1)
+                return self._serve_keyed(request, key, started)
+            return ServedCompile(
+                request=request,
+                key=key,
+                result=None,
+                source=source,
+                seconds=time.perf_counter() - started,
+                error=str(exc),
             )
         return ServedCompile(
             request=request,

@@ -67,6 +67,19 @@ class TestServiceCli:
         assert "1 ok, 0 fallback, 0 failed" in out
         assert "<none>" in out  # no persistent tier configured
 
+    def test_search_stats(self, capsys):
+        assert main(["search-stats", "G10"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled G10" in out
+        assert "orders enumerated" in out
+        assert "pruned" in out and "memo hits" in out and "solves" in out
+
+    def test_search_stats_no_prune(self, capsys):
+        assert main(["search-stats", "G10", "--no-prune", "--no-memo"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 0" in out
+        assert "memo hits 0" in out
+
     def test_cache_stats_list_clear(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "plans")
         main(["compile-batch", "G10", "--cache-dir", cache_dir])

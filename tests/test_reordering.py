@@ -5,6 +5,7 @@ import pytest
 from repro.core.reordering import (
     candidate_models,
     chain_reduction_loops,
+    constrained_count,
     count_orders,
     enumerate_orders,
     loop_classes,
@@ -88,6 +89,43 @@ class TestCandidateModels:
         chain = conv_chain(1, 64, 56, 56, 64, 64, 1, 1, 3, 3)
         space = candidate_models(chain, max_orders=20)
         assert space.truncated
+
+    def test_exact_cap_is_not_truncated(self):
+        """max_orders == count_orders drops nothing and must say so."""
+        chain = gemm_chain(2048, 2048, 2048, 2048)
+        space = candidate_models(chain, max_orders=count_orders(chain))
+        assert space.enumerated == count_orders(chain)
+        assert not space.truncated
+
+    def test_one_below_cap_is_truncated(self):
+        chain = gemm_chain(2048, 2048, 2048, 2048)
+        space = candidate_models(chain, max_orders=count_orders(chain) - 1)
+        assert space.enumerated == count_orders(chain) - 1
+        assert space.truncated
+
+    def test_prefix_space_complete_scan_not_truncated(self):
+        """A fully enumerated prefix-constrained space must compare against
+        the constrained count, not the whole space's."""
+        chain = gemm_chain(64, 64, 64, 64)
+        prefix = frozenset({"m", "l"})
+        space = candidate_models(chain, max_orders=200_000, prefix=prefix)
+        assert space.total == constrained_count(chain, prefix) == 4
+        assert space.enumerated == 4
+        assert not space.truncated
+
+    def test_prefix_space_cap_boundary(self):
+        chain = gemm_chain(64, 64, 64, 64)
+        prefix = frozenset({"m", "l"})
+        exact = candidate_models(
+            chain, max_orders=constrained_count(chain, prefix), prefix=prefix
+        )
+        assert not exact.truncated
+        clipped = candidate_models(chain, max_orders=3, prefix=prefix)
+        assert clipped.truncated
+
+    def test_constrained_count_no_prefix_matches_count_orders(self):
+        chain = conv_chain(1, 64, 56, 56, 64, 64, 1, 1, 3, 3)
+        assert constrained_count(chain) == count_orders(chain)
 
     def test_no_reuse_flag_propagates(self):
         chain = gemm_chain(64, 64, 64, 64)

@@ -1,0 +1,231 @@
+"""Tests for the pruned/memoized/parallel order search layer."""
+
+import math
+
+import pytest
+
+from repro.core.movement import MovementModel
+from repro.core.optimizer import ChimeraOptimizer
+from repro.core.reordering import candidate_models
+from repro.core.search import (
+    SearchPolicy,
+    SearchStats,
+    SolveMemo,
+    chain_digest,
+    dv_lower_bound,
+    memo_key,
+    reset_search_stats,
+    search_stats_snapshot,
+    search_tiles,
+    solve_memo,
+    upper_tile_bounds,
+)
+from repro.core.solver import solve_tiles
+from repro.hardware import ascend_910, xeon_gold_6240
+from repro.ir.chains import batch_gemm_chain, gemm_chain
+
+CAPACITY = 256 * 1024.0
+
+
+@pytest.fixture(autouse=True)
+def clean_search_state():
+    solve_memo().clear()
+    reset_search_stats()
+    yield
+    solve_memo().clear()
+    reset_search_stats()
+
+
+@pytest.fixture
+def chain():
+    return gemm_chain(256, 256, 256, 256)
+
+
+@pytest.fixture
+def models(chain):
+    return candidate_models(chain).models
+
+
+class TestPolicy:
+    def test_defaults(self):
+        policy = SearchPolicy()
+        assert policy.prune and policy.memoize and policy.workers == 1
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SearchPolicy(workers=0)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEARCH_WORKERS", "3")
+        monkeypatch.setenv("REPRO_SEARCH_PRUNE", "0")
+        monkeypatch.setenv("REPRO_SEARCH_MEMO", "false")
+        policy = SearchPolicy.from_env()
+        assert policy.workers == 3
+        assert not policy.prune and not policy.memoize
+
+    def test_from_env_garbage_is_safe(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEARCH_WORKERS", "lots")
+        assert SearchPolicy.from_env().workers == 1
+
+
+class TestBounds:
+    def test_upper_bounds_within_extents(self, chain, models):
+        extents = chain.loop_extents()
+        bounds = upper_tile_bounds(models[0], CAPACITY)
+        for name, value in bounds.items():
+            assert 1 <= value <= extents[name]
+
+    def test_upper_bounds_respect_parent(self, models):
+        bounds = upper_tile_bounds(
+            models[0], CAPACITY, max_parent={"m": 17}
+        )
+        assert bounds["m"] <= 17
+
+    def test_bound_is_admissible(self, models):
+        """The bound never exceeds the solver's DV on the same inputs."""
+        for model in models:
+            bound = dv_lower_bound(model, CAPACITY)
+            solution = solve_tiles(model, CAPACITY)
+            assert bound <= solution.dv * (1 + 1e-9)
+
+    def test_infeasible_order_bounds_to_inf(self, models):
+        tight = dv_lower_bound(models[0], 1.0)
+        assert tight == math.inf
+
+
+class TestMemo:
+    def test_hit_returns_identical_solution(self, chain, models):
+        model = models[0]
+        digest = chain_digest(chain)
+        key = memo_key(
+            digest,
+            model,
+            CAPACITY,
+            min_tiles=None,
+            quanta=None,
+            max_parent=None,
+            hard_min_tiles=None,
+            starts=4,
+            constraints_token=None,
+        )
+        solution = solve_tiles(model, CAPACITY)
+        memo = SolveMemo()
+        memo.put(key, solution)
+        assert memo.get(key) is solution
+
+    def test_symmetric_orders_share_one_entry(self):
+        """Equal-signature models produce equal memo keys."""
+        chain = batch_gemm_chain(1, 64, 64, 64, 64)
+        models = {
+            perm: MovementModel(chain, perm)
+            for perm in [("m", "l", "k", "n"), ("m", "l", "n", "k")]
+        }
+        digests = {
+            perm: model.signature_digest() for perm, model in models.items()
+        }
+        a, b = digests.values()
+        # n and k are symmetric in the GEMM chain's movement terms.
+        assert (a == b) == (
+            models[("m", "l", "k", "n")].signature
+            == models[("m", "l", "n", "k")].signature
+        )
+
+    def test_lru_eviction(self):
+        memo = SolveMemo(capacity=2)
+        memo.put("a", "A")
+        memo.put("b", "B")
+        memo.get("a")
+        memo.put("c", "C")  # evicts b, the least recently used
+        assert memo.get("b") is None
+        assert memo.get("a") == "A" and memo.get("c") == "C"
+
+    def test_search_memo_hits_on_repeat(self, models):
+        policy = SearchPolicy(prune=False, memoize=True, workers=1)
+        stats_cold = SearchStats()
+        search_tiles(models, CAPACITY, policy=policy, stats=stats_cold)
+        stats_warm = SearchStats()
+        search_tiles(models, CAPACITY, policy=policy, stats=stats_warm)
+        assert stats_cold.solves == len(models)
+        assert stats_warm.solves == 0
+        assert stats_warm.memo_hits == len(models)
+
+    def test_constraints_without_token_disable_memo(self, models):
+        policy = SearchPolicy(prune=False, memoize=True, workers=1)
+        constraint = lambda tiles: -1.0  # noqa: E731 - unkeyable on purpose
+        for _ in range(2):
+            stats = SearchStats()
+            search_tiles(
+                models,
+                CAPACITY,
+                constraints=(constraint,),
+                policy=policy,
+                stats=stats,
+            )
+            assert stats.memo_hits == 0
+            assert stats.solves == len(models)
+
+
+class TestStats:
+    def test_counters_add_up(self, models):
+        stats = SearchStats()
+        search_tiles(
+            models,
+            CAPACITY,
+            policy=SearchPolicy(prune=True, memoize=False, workers=1),
+            stats=stats,
+        )
+        assert stats.candidates == len(models)
+        assert stats.bound_evals == len(models)
+        assert stats.pruned + stats.solves + stats.memo_hits == len(models)
+
+    def test_global_snapshot_accumulates(self, models):
+        search_tiles(models, CAPACITY, policy=SearchPolicy.exhaustive())
+        snap = search_stats_snapshot()
+        assert snap["searches"] == 1
+        assert snap["solves"] == len(models)
+        assert "memo" in snap
+
+    def test_optimize_stats_surface(self, chain):
+        optimizer = ChimeraOptimizer(
+            xeon_gold_6240(),
+            policy=SearchPolicy(prune=True, memoize=True, workers=1),
+        )
+        stats = SearchStats()
+        optimizer.optimize(chain, stats=stats)
+        assert stats.orders_enumerated > 0
+        assert stats.solves + stats.memo_hits > 0
+        last = optimizer.last_stats
+        assert last.pruned == stats.pruned
+        assert last.memo_hits == stats.memo_hits
+
+
+class TestPruningExactness:
+    def test_pruned_winner_matches_exhaustive(self):
+        """On the preset where pruning bites hardest, answers must agree."""
+        chain = gemm_chain(512, 512, 512, 512)
+        hw = ascend_910()
+        capacity = float(hw.on_chip_levels[-1].capacity) * 0.75
+        models = candidate_models(chain).models
+        constraints = ChimeraOptimizer(hw).extra_constraints(chain)
+        token = ChimeraOptimizer.constraints_token(constraints)
+        baseline = search_tiles(
+            models,
+            capacity,
+            constraints=constraints,
+            constraints_token=token,
+            policy=SearchPolicy.exhaustive(),
+        )
+        solve_memo().clear()
+        stats = SearchStats()
+        pruned = search_tiles(
+            models,
+            capacity,
+            constraints=constraints,
+            constraints_token=token,
+            policy=SearchPolicy(prune=True, memoize=True, workers=1),
+            stats=stats,
+        )
+        assert pruned[0].perm == baseline[0].perm
+        assert pruned[1].tiles == baseline[1].tiles
+        assert pruned[1].dv == baseline[1].dv
+        assert stats.solves < len(models)  # pruning actually engaged

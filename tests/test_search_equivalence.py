@@ -1,0 +1,98 @@
+"""Search-strategy equivalence: policy changes speed, never the plan.
+
+Every (workload, hardware preset) pair is compiled under the exhaustive
+serial baseline and under pruning + memoization (plus, in the slow suite, a
+two-worker process pool), and the serialized plans must match **byte for
+byte** — the guarantee that lets deployments turn the fast path on without
+revalidating results.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.optimizer import ChimeraOptimizer
+from repro.core.search import SearchPolicy, reset_search_stats, solve_memo
+from repro.hardware import all_presets
+from repro.ir.chains import batch_gemm_chain, conv_chain
+from repro.runtime.serialization import plan_to_dict
+
+PRESETS = all_presets()
+
+
+def gemm_workload():
+    return batch_gemm_chain(1, 128, 64, 64, 128, name="equiv_gemm")
+
+
+def conv_workload():
+    return conv_chain(1, 16, 28, 28, 24, 16, 1, 1, 3, 1, name="equiv_conv")
+
+
+WORKLOADS = [gemm_workload, conv_workload]
+
+
+def serialized_plan(chain, hw, policy):
+    solve_memo().clear()
+    reset_search_stats()
+    plan = ChimeraOptimizer(hw, policy=policy).optimize(chain)
+    return json.dumps(plan_to_dict(plan), sort_keys=True)
+
+
+def env_workers():
+    """The CI smoke step exercises the pool via REPRO_SEARCH_WORKERS."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SEARCH_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+@pytest.mark.parametrize("hw", PRESETS, ids=lambda h: h.name)
+@pytest.mark.parametrize(
+    "build", WORKLOADS, ids=["gemm_chain", "conv_chain"]
+)
+class TestSearchEquivalence:
+    def test_pruned_memoized_plan_is_byte_identical(self, build, hw):
+        chain = build()
+        baseline = serialized_plan(chain, hw, SearchPolicy.exhaustive())
+        fast = serialized_plan(
+            chain, hw, SearchPolicy(prune=True, memoize=True, workers=1)
+        )
+        assert fast == baseline
+
+    def test_warm_memo_replays_identically(self, build, hw):
+        chain = build()
+        policy = SearchPolicy(prune=True, memoize=True, workers=1)
+        solve_memo().clear()
+        reset_search_stats()
+        optimizer = ChimeraOptimizer(hw, policy=policy)
+        cold = json.dumps(plan_to_dict(optimizer.optimize(chain)),
+                          sort_keys=True)
+        warm = json.dumps(plan_to_dict(optimizer.optimize(chain)),
+                          sort_keys=True)
+        assert warm == cold
+
+    def test_parallel_plan_is_byte_identical(self, build, hw):
+        workers = env_workers()
+        if workers <= 1:
+            pytest.skip("set REPRO_SEARCH_WORKERS>=2 to exercise the pool")
+        chain = build()
+        baseline = serialized_plan(chain, hw, SearchPolicy.exhaustive())
+        parallel = serialized_plan(
+            chain,
+            hw,
+            SearchPolicy(prune=True, memoize=True, workers=workers),
+        )
+        assert parallel == baseline
+
+
+@pytest.mark.slow
+def test_parallel_two_workers_matches_exhaustive():
+    """The pool path must agree even without the env opt-in (slow suite)."""
+    chain = gemm_workload()
+    hw = PRESETS[0]
+    baseline = serialized_plan(chain, hw, SearchPolicy.exhaustive())
+    parallel = serialized_plan(
+        chain, hw, SearchPolicy(prune=False, memoize=False, workers=2)
+    )
+    assert parallel == baseline

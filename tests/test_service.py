@@ -366,6 +366,80 @@ class TestCoalescing:
         times = {served.result.predicted_time for served in results}
         assert len(times) == 1
 
+    def test_coalesced_requests_are_not_misses(self, monkeypatch):
+        """Followers sharing an in-flight compile land in the ``coalesced``
+        bucket — never in ``misses`` — and the counters keep the invariant
+        ``requests == hits + misses + coalesced``."""
+        from repro.runtime import pipeline
+
+        original = pipeline.compile_chain
+        barrier = threading.Barrier(4, timeout=10)
+
+        def slow_compile(chain, hardware, config=None, **kwargs):
+            barrier.wait()  # leader blocks until all followers queued up
+            time.sleep(0.05)
+            return original(chain, hardware, config, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.service.service.pipeline.compile_chain", slow_compile
+        )
+        service = CompileService()
+        chain = small_bmm()
+        results = []
+
+        def leader():
+            results.append(service.serve(CompileRequest(chain, HW)))
+
+        def follower():
+            barrier.wait()
+            results.append(service.serve(CompileRequest(chain, HW)))
+
+        threads = [threading.Thread(target=leader)] + [
+            threading.Thread(target=follower) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        stats = service.stats()
+        assert stats["requests"] == 4
+        assert stats["misses"] == 1  # only the leader missed
+        assert stats["coalesced"] == 3
+        assert (
+            stats["requests"]
+            == stats["hits"] + stats["misses"] + stats["coalesced"]
+        )
+        assert all(served.ok for served in results)
+
+    def test_corrupt_memory_entry_counts_one_request_one_miss(self):
+        """Recovering from a corrupt cached entry must not double-count the
+        request or leave a phantom hit behind."""
+        service = CompileService()
+        chain = small_bmm()
+        request = CompileRequest(chain, HW)
+        service.serve(request)  # cold compile populates the cache
+        # Corrupt the cached entry in a way PlanCache's shape validation
+        # accepts but plan decoding rejects.
+        entry, _ = service.cache.get_with_tier(request.key)
+        broken = dict(entry)
+        broken["fused_plan"] = {"not": "a plan"}
+        service.cache.put(request.key, broken)
+        service.metrics.reset()
+
+        served = service.serve(request)
+        assert served.ok
+        assert served.source == SOURCE_COMPILED
+        stats = service.stats()
+        assert stats["requests"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == 0  # the bogus hit was retracted
+        assert stats["corrupt_entries"] == 1
+        assert (
+            stats["requests"]
+            == stats["hits"] + stats["misses"] + stats["coalesced"]
+        )
+
     def test_coalesced_error_propagates(self, monkeypatch):
         def always_boom(chain, hardware, config=None, **kwargs):
             time.sleep(0.05)
@@ -524,3 +598,15 @@ class TestMetrics:
         latency = service.stats()["compile_latency"]
         assert latency["count"] == 3
         assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+
+    def test_stats_include_search_counters(self):
+        from repro.core.search import reset_search_stats
+
+        reset_search_stats()
+        service = CompileService()
+        service.compile(small_bmm(name="search_stats_probe"), HW)
+        search = service.stats()["search"]
+        assert search["searches"] > 0
+        assert search["orders_enumerated"] > 0
+        assert search["solves"] + search["memo_hits"] > 0
+        assert "memo" in search

@@ -128,3 +128,48 @@ class TestSolveTiles:
         solution = solve_tiles(model, 1024 * 1024.0)
         assert solution.feasible
         assert all(t >= 1 for t in solution.tiles.values())
+
+
+class TestDegenerateExtents:
+    """Micro-kernel requirements can exceed a small loop's extent; the whole
+    loop is then the only sensible tile — never a tile above the extent and
+    never an infeasibility verdict."""
+
+    def test_quantum_above_extent_takes_whole_loop(self):
+        # n extent 7 with a 16-wide tensor-core quantum: no aligned tile
+        # exists below the extent.
+        chain = gemm_chain(64, 7, 64, 64)
+        model = MovementModel(chain, ("m", "l", "k", "n"))
+        solution = solve_tiles(
+            model, 1024 * 1024.0, quanta={"n": 16}, min_tiles={"n": 16}
+        )
+        assert solution.feasible
+        assert solution.tiles["n"] == 7
+
+    def test_min_tile_above_extent_clamps_to_extent(self):
+        chain = gemm_chain(64, 64, 5, 64)
+        model = MovementModel(chain, ("m", "l", "k", "n"))
+        solution = solve_tiles(model, 1024 * 1024.0, min_tiles={"k": 16})
+        assert solution.feasible
+        assert solution.tiles["k"] == 5
+
+    def test_no_candidate_exceeds_extent(self):
+        extents = {"m": 64, "n": 7, "k": 5, "l": 3}
+        chain = gemm_chain(extents["m"], extents["n"], extents["k"],
+                           extents["l"])
+        model = MovementModel(chain, ("m", "l", "k", "n"))
+        solution = solve_tiles(
+            model,
+            1024 * 1024.0,
+            quanta={"n": 16, "k": 8, "l": 4},
+            min_tiles={"n": 16, "k": 8, "l": 4},
+        )
+        for name, tile in solution.tiles.items():
+            assert 1 <= tile <= extents[name]
+
+    def test_quantize_handles_inverted_range(self):
+        from repro.core.solver import _quantize
+
+        # lo > hi (quantum-aligned minimum above the extent): resolve to
+        # the extent side instead of proposing an out-of-range tile.
+        assert _quantize(20.0, 16, lo=16, hi=7) == 7
