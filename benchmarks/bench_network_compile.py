@@ -1,0 +1,58 @@
+"""Network compilation: cold serial vs. cold batch vs. warm-cache batch.
+
+Compiles Bert-Base end-to-end three ways through the same service:
+
+1. **cold serial** — no service, one ``compile_chain`` per node;
+2. **cold batch** — empty cache, nodes fanned through ``compile_batch``;
+3. **warm batch** — same service again, every node a cache hit.
+
+All three must produce byte-identical serialized NetworkPlans (the
+determinism contract), the plan's end-to-end time must beat the
+all-unfused baseline, and the warm batch must be at least
+``MIN_WARM_SPEEDUP``x faster than the cold serial compile.
+"""
+
+import tempfile
+
+from conftest import emit, run_once
+
+import repro
+from repro.analysis import render_table
+from repro.runtime.network import benchmark_network_compile
+from repro.workloads import build_network, network_config
+
+MIN_WARM_SPEEDUP = 5.0
+
+
+def test_network_compile(benchmark):
+    dag = build_network(network_config("Bert-Base"))
+    hw = repro.xeon_gold_6240()
+
+    def experiment():
+        with tempfile.TemporaryDirectory() as tmp:
+            service = repro.CompileService(cache_dir=tmp)
+            plan, report = benchmark_network_compile(dag, hw, service)
+        assert plan.total_time <= plan.unfused_total_time
+        assert report.warm_speedup >= MIN_WARM_SPEEDUP
+        return plan, report
+
+    plan, report = run_once(benchmark, experiment)
+    rows = [
+        ["cold serial (no service)",
+         f"{report.cold_serial_seconds * 1e3:.0f} ms", "1.00x"],
+        ["cold batch (empty cache)",
+         f"{report.cold_batch_seconds * 1e3:.0f} ms",
+         f"{report.batch_speedup:.2f}x"],
+        ["warm batch (cache hits)",
+         f"{report.warm_batch_seconds * 1e3:.0f} ms",
+         f"{report.warm_speedup:.2f}x"],
+    ]
+    emit(
+        "network_compile",
+        render_table(["configuration", "wall clock", "vs cold serial"], rows)
+        + f"\n\n{plan.network}: {len(plan.nodes)} nodes, "
+        f"{plan.kernel_count} kernels, "
+        f"{plan.total_time * 1e3:.3f} ms end-to-end predicted "
+        f"({plan.speedup_over_unfused:.3f}x over all-unfused), "
+        f"warm-cache threshold {MIN_WARM_SPEEDUP:.0f}x",
+    )

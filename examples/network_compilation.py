@@ -1,0 +1,90 @@
+"""Compiling a whole network: partition, batch-compile, verify, persist.
+
+The paper's end-to-end evaluation (Figure 9) replaces the attention batch
+GEMM chains of Transformer/Bert/ViT graphs with Chimera kernels while the
+host compiler runs everything else.  :func:`repro.compile_network` is that
+pipeline at network granularity:
+
+1. partition the :class:`ComputeDAG` into fusable compute-intensive chains
+   and the memory-intensive remainder,
+2. fan every node through the compilation service (shared plan cache,
+   parallel batch, request coalescing),
+3. make the fused-vs-unfused call per chain and assemble a serializable
+   :class:`repro.NetworkPlan` with plan-backed end-to-end timings.
+
+Run:
+    python examples/network_compilation.py
+"""
+
+import pathlib
+import tempfile
+import time
+
+import repro
+from repro.runtime.network import benchmark_network_compile
+from repro.runtime.serialization import network_plan_json
+from repro.workloads import build_network, network_config, network_time
+
+
+def main() -> None:
+    config = network_config("Bert-Small")
+    dag = build_network(config)
+    hw = repro.xeon_gold_6240()
+    print(f"{config.name}: {len(dag.nodes)} node(s) per layer, "
+          f"{config.layers} layers, {dag.total_flops() / 1e9:.1f} GFLOPs")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = repro.CompileService(cache_dir=pathlib.Path(tmp) / "plans")
+
+        started = time.perf_counter()
+        plan = repro.compile_network(dag, hw, service=service)
+        cold_seconds = time.perf_counter() - started
+        print(f"cold network compile: {cold_seconds:.2f}s")
+        print()
+        print(plan.describe())
+        print()
+        print(f"end-to-end (predicted): {plan.total_time * 1e3:.3f} ms, "
+              f"{plan.speedup_over_unfused:.3f}x over all-unfused")
+
+        # The same service warm: every node comes back from the plan cache.
+        started = time.perf_counter()
+        warm = repro.compile_network(dag, hw, service=service)
+        warm_seconds = time.perf_counter() - started
+        assert network_plan_json(warm) == network_plan_json(plan)
+        print(f"warm recompile: {warm_seconds * 1e3:.0f} ms "
+              f"({cold_seconds / warm_seconds:.0f}x faster, byte-identical "
+              f"plan)")
+
+        # NetworkPlans persist like chain plans do.
+        path = pathlib.Path(tmp) / "bert-small.network.json"
+        repro.save_network_plan(plan, path)
+        reloaded = repro.load_network_plan(path)
+        assert network_plan_json(reloaded) == network_plan_json(plan)
+        print(f"saved + reloaded network plan: {path.stat().st_size} bytes")
+
+        # Plan-backed chain timings drop into the Figure 9 harness in place
+        # of the analytic chain model.
+        chain_times = {
+            node.name: node.time for node in plan.nodes if node.fusable
+        }
+        timing = network_time(
+            dag, hw, base_system="relay", chain_times=chain_times
+        )
+        print(f"network_time with plan-backed chains: "
+              f"{timing.total * 1e3:.3f} ms")
+
+    # The benchmark helper packages cold-serial vs. cold-batch vs.
+    # warm-batch into one report.
+    with tempfile.TemporaryDirectory() as tmp:
+        service = repro.CompileService(cache_dir=tmp)
+        _, report = benchmark_network_compile(dag, hw, service)
+        print()
+        print(f"cold serial  : {report.cold_serial_seconds:.2f}s")
+        print(f"cold batch   : {report.cold_batch_seconds:.2f}s "
+              f"({report.batch_speedup:.2f}x)")
+        print(f"warm batch   : {report.warm_batch_seconds * 1e3:.0f} ms "
+              f"({report.warm_speedup:.0f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -43,11 +43,16 @@ from .ir import (
 )
 from .runtime import (
     CompileResult,
+    NetworkCompilationError,
+    NetworkPlan,
     PlanFormatError,
     compare,
     compile_chain,
+    compile_network,
+    load_network_plan,
     load_plan,
     optimize_chain,
+    save_network_plan,
     save_plan,
 )
 from .service import (
@@ -80,9 +85,14 @@ __all__ = [
     "mlp_chain",
     "separable_chain",
     "CompileResult",
+    "NetworkCompilationError",
+    "NetworkPlan",
     "PlanFormatError",
     "compare",
     "compile_chain",
+    "compile_network",
+    "load_network_plan",
+    "save_network_plan",
     "load_plan",
     "optimize_chain",
     "save_plan",

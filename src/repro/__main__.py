@@ -9,6 +9,9 @@ Commands:
 * ``workloads`` — list the Table IV / Table V configurations.
 * ``compile-batch`` — compile several workloads through the caching
   service, in parallel, and print the per-request report plus stats.
+* ``compile-network`` — partition a whole network DAG (Bert/ViT/
+  Transformer preset), batch-compile every node through the service, and
+  print the per-node plan report (``--json`` for machine-readable stats).
 * ``cache`` — inspect (``stats``, ``list``) or ``clear`` a plan cache dir.
 * ``search-stats`` — run workloads and report the order-search counters
   (orders enumerated / pruned / memo hits / solves, per-stage wall time).
@@ -21,6 +24,7 @@ Examples::
     python -m repro validate --size 512 --order m,l,k,n
     python -m repro workloads
     python -m repro compile-batch G10 G11 C7 --cache-dir /tmp/plans
+    python -m repro compile-network --network bert-base --hw a100 --json
     python -m repro cache stats --cache-dir /tmp/plans
     python -m repro search-stats G1 C1 --hw ascend-910 --no-prune
 """
@@ -142,6 +146,62 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
     print()
     print(_render_stats(service.stats()))
     return 0 if report.succeeded else 1
+
+
+def _cmd_compile_network(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .runtime.network import compile_network
+    from .runtime.serialization import network_plan_json, save_network_plan
+    from .workloads import build_network, network_config
+
+    hw = preset(args.hw)
+    config = network_config(args.network)
+    dag = build_network(config)
+    service = CompileService(
+        cache_dir=args.cache_dir, memory_capacity=args.memory_capacity
+    )
+    plan = compile_network(
+        dag,
+        hw,
+        service=service,
+        max_workers=args.workers,
+        timeout=args.timeout,
+        timing="simulated" if args.simulate else "predicted",
+    )
+    if args.out:
+        save_network_plan(plan, args.out)
+    if args.json:
+        stats = service.stats()
+        payload = {
+            "network": plan.network,
+            "hardware": hw.name,
+            "timing": plan.timing,
+            "nodes": len(plan.nodes),
+            "kernels": plan.kernel_count,
+            "fused_nodes": list(plan.fused_nodes),
+            "total_time": plan.total_time,
+            "unfused_total_time": plan.unfused_total_time,
+            "speedup_over_unfused": plan.speedup_over_unfused,
+            "plan_bytes": len(network_plan_json(plan)),
+            "service": {
+                "requests": stats["requests"],
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+                "coalesced": stats["coalesced"],
+                "compiles": stats["compiles"],
+                "fallbacks": stats["fallbacks"],
+                "hit_rate": stats["hit_rate"],
+            },
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(plan.describe())
+        print()
+        print(_render_stats(service.stats()))
+        if args.out:
+            print(f"\nplan saved to {args.out}")
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -305,6 +365,33 @@ def main(argv: Optional[list] = None) -> int:
     batch.add_argument("--timeout", type=float, default=None,
                        help="per-request timeout in seconds")
     batch.set_defaults(fn=_cmd_compile_batch)
+
+    network = sub.add_parser(
+        "compile-network",
+        help="partition a whole network DAG and batch-compile its chains",
+    )
+    network.add_argument("--network", required=True,
+                         help="network preset (e.g. Bert-Base; "
+                              "case-insensitive)")
+    network.add_argument("--hw", "--hardware", dest="hw",
+                         default="xeon-gold-6240")
+    network.add_argument("--cache-dir", default=None,
+                         help="persistent plan cache directory")
+    network.add_argument("--memory-capacity", type=int, default=128)
+    network.add_argument("--workers", type=int, default=None,
+                         help="batch pool size")
+    network.add_argument("--timeout", type=float, default=None,
+                         help="per-node compile timeout in seconds")
+    network.add_argument("--simulate", action="store_true",
+                         help="time nodes on the memory-hierarchy "
+                              "simulator (slow) instead of the "
+                              "analytical model")
+    network.add_argument("--out", default=None,
+                         help="write the serialized NetworkPlan here")
+    network.add_argument("--json", action="store_true",
+                         help="print machine-readable stats instead of "
+                              "the table")
+    network.set_defaults(fn=_cmd_compile_network)
 
     cache = sub.add_parser("cache", help="inspect or clear a plan cache")
     cache.add_argument("action", choices=["stats", "list", "clear"])

@@ -9,6 +9,7 @@ from .roofline import (
 from .reporting import (
     TABLE_II,
     geomean,
+    network_plan_table,
     render_series,
     render_table,
     render_table_ii,
@@ -27,6 +28,7 @@ __all__ = [
     "operator_roofline",
     "TABLE_II",
     "geomean",
+    "network_plan_table",
     "render_series",
     "render_table",
     "render_table_ii",

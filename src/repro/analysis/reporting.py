@@ -88,6 +88,42 @@ def render_table_ii() -> str:
     return render_table(headers, rows)
 
 
+def network_plan_table(plan) -> str:
+    """Per-node report for a :class:`repro.runtime.NetworkPlan`.
+
+    Duck-typed (any object with ``nodes`` carrying ``name``/``repeat``/
+    ``fusable``/``fused``/``kernels``/``source``/``time``/``total_time``)
+    so the analysis layer stays import-light.
+    """
+    rows = []
+    for node in plan.nodes:
+        if node.fusable:
+            kind = "chain"
+            decision = "fused" if node.fused else "unfused"
+        else:
+            # Fusion is only a decision for fusable chains; single ops and
+            # memory-intensive glue have nothing to fuse.
+            kind = "ops" if len(node.plans[0].chain.ops) > 1 else "op"
+            decision = "-"
+        rows.append(
+            [
+                node.name,
+                kind,
+                decision,
+                str(node.kernels),
+                str(node.repeat),
+                node.source or "-",
+                f"{node.time * 1e6:.2f} us",
+                f"{node.total_time * 1e6:.2f} us",
+            ]
+        )
+    return render_table(
+        ["node", "kind", "decision", "kernels", "repeat", "source",
+         "per-exec", "total"],
+        rows,
+    )
+
+
 def geomean(values: Sequence[float]) -> float:
     """Geometric mean (the paper's average-speedup statistic)."""
     if not values:

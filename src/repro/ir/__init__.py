@@ -27,7 +27,14 @@ from .chains import (
     separable_chain,
 )
 from .dtypes import DType, FP16, FP32, FP64, INT8, INT32, dtype
-from .graph import ComputeDAG, GraphBuilder, GraphNode
+from .graph import (
+    ComputeDAG,
+    GraphBuilder,
+    GraphNode,
+    GraphPartition,
+    is_fusable,
+    partition_graph,
+)
 from .loops import Loop, LoopKind
 from .operator import OperatorKind, OperatorSpec
 from .tensor import TensorSpec
@@ -56,6 +63,9 @@ __all__ = [
     "ComputeDAG",
     "GraphBuilder",
     "GraphNode",
+    "GraphPartition",
+    "is_fusable",
+    "partition_graph",
     "Loop",
     "LoopKind",
     "OperatorKind",

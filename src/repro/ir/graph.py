@@ -4,12 +4,17 @@ End-to-end evaluation (Figure 9) runs full Transformer/Bert/ViT graphs.  A
 :class:`ComputeDAG` is a thin topological container whose nodes are either
 fusable operator chains or standalone operators; the runtime times each node
 independently and sums (single-stream execution, as on the paper's devices).
+
+:func:`partition_graph` is Chimera's graph-partitioning step at network
+granularity: it splits a DAG into the compute-intensive chains the fusion
+pipeline targets and the memory-intensive / standalone remainder, with the
+partition validated to cover every node exactly once in topological order.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 from .chain import OperatorChain, single_op_chain
 from .operator import OperatorSpec
@@ -75,6 +80,111 @@ class ComputeDAG:
 
     def __str__(self) -> str:
         return f"ComputeDAG({self.name}, {len(self.nodes)} nodes)"
+
+
+def is_fusable(chain: OperatorChain) -> bool:
+    """Whether a chain is a compute-intensive fusion target.
+
+    Chimera fuses chains of two or more compute-intensive operators
+    (Section IV); single operators and memory-intensive glue run under the
+    host compiler in the paper's end-to-end setup.
+    """
+    return len(chain.compute_intensive_ops()) >= 2
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphPartition:
+    """A validated split of a DAG into fusable chains and the remainder.
+
+    Attributes:
+        graph: name of the partitioned :class:`ComputeDAG`.
+        chains: nodes holding compute-intensive fusable chains, in
+            topological order.
+        remainder: every other node (standalone operators and
+            memory-intensive glue), in topological order.
+    """
+
+    graph: str
+    chains: Tuple[GraphNode, ...]
+    remainder: Tuple[GraphNode, ...]
+
+    def all_nodes(self) -> Tuple[GraphNode, ...]:
+        """Every node of the partition (chains first, then remainder)."""
+        return self.chains + self.remainder
+
+    def total_flops(self) -> int:
+        return sum(
+            n.chain.total_flops() * n.repeat for n in self.all_nodes()
+        )
+
+    def validate(self, dag: "ComputeDAG") -> None:
+        """Check the partition is exact for ``dag``.
+
+        Every node must appear in exactly one side, both sides must
+        preserve the DAG's topological order, and no flops may be lost.
+
+        Raises:
+            ValueError: describing the first violation found.
+        """
+        order = {node.name: index for index, node in enumerate(dag.nodes)}
+        seen: set = set()
+        for side, nodes in (("chains", self.chains),
+                            ("remainder", self.remainder)):
+            last = -1
+            for node in nodes:
+                if node.name not in order:
+                    raise ValueError(
+                        f"partition of {self.graph!r}: {side} node "
+                        f"{node.name!r} is not in the graph"
+                    )
+                if node.name in seen:
+                    raise ValueError(
+                        f"partition of {self.graph!r}: node {node.name!r} "
+                        f"appears in more than one partition"
+                    )
+                seen.add(node.name)
+                if order[node.name] < last:
+                    raise ValueError(
+                        f"partition of {self.graph!r}: {side} breaks "
+                        f"topological order at {node.name!r}"
+                    )
+                last = order[node.name]
+        missing = set(order) - seen
+        if missing:
+            raise ValueError(
+                f"partition of {self.graph!r} misses nodes "
+                f"{sorted(missing)}"
+            )
+        if self.total_flops() != dag.total_flops():
+            raise ValueError(
+                f"partition of {self.graph!r} loses flops: "
+                f"{self.total_flops()} != {dag.total_flops()}"
+            )
+
+
+def partition_graph(
+    dag: ComputeDAG,
+    predicate: Optional[Callable[[OperatorChain], bool]] = None,
+) -> GraphPartition:
+    """Split a DAG into fusable chain nodes and the remainder.
+
+    Args:
+        dag: the network graph.
+        predicate: chain classifier (default :func:`is_fusable`).
+
+    Returns:
+        a :class:`GraphPartition` that has been validated against ``dag``.
+    """
+    classify = is_fusable if predicate is None else predicate
+    chains: List[GraphNode] = []
+    remainder: List[GraphNode] = []
+    for node in dag.nodes:
+        (chains if classify(node.chain) else remainder).append(node)
+    partition = GraphPartition(
+        graph=dag.name, chains=tuple(chains), remainder=tuple(remainder)
+    )
+    partition.validate(dag)
+    return partition
 
 
 class GraphBuilder:

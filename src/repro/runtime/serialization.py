@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, Union
+from typing import TYPE_CHECKING, Any, Dict, Union
+
+if TYPE_CHECKING:  # pragma: no cover - circular only for typing
+    from .network import NetworkPlan
 
 from ..core.plan import FusionPlan, LevelSchedule
 from ..hardware.spec import HardwareSpec, MatrixUnit, MemoryLevel, VectorUnit
@@ -261,6 +264,112 @@ def plan_from_dict(data: Dict[str, Any]) -> FusionPlan:
         raise PlanFormatError(
             f"serialized plan is missing required field {exc.args[0]!r}"
         ) from exc
+
+
+# ----------------------------------------------------------------------
+# network plan encoding
+# ----------------------------------------------------------------------
+def network_plan_to_dict(plan: "NetworkPlan") -> Dict[str, Any]:
+    """Encode a network plan as JSON-ready data.
+
+    Volatile fields (cache ``source``) are deliberately excluded so the
+    encoding is byte-identical across cold and warm compiles.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "network": plan.network,
+        "hardware": hardware_to_dict(plan.hardware),
+        "timing": plan.timing,
+        "nodes": [
+            {
+                "name": node.name,
+                "repeat": node.repeat,
+                "fusable": node.fusable,
+                "fused": node.fused,
+                "plans": [plan_to_dict(p) for p in node.plans],
+                "time": node.time,
+                "unfused_time": node.unfused_time,
+            }
+            for node in plan.nodes
+        ],
+    }
+
+
+def network_plan_from_dict(data: Dict[str, Any]) -> "NetworkPlan":
+    """Rebuild a network plan from :func:`network_plan_to_dict` output.
+
+    Raises:
+        PlanFormatError: for unknown format versions or missing fields.
+    """
+    from .network import NetworkPlan, NodePlan
+
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PlanFormatError(
+            f"unsupported network plan format version {version!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    try:
+        return NetworkPlan(
+            network=data["network"],
+            hardware=hardware_from_dict(data["hardware"]),
+            timing=data["timing"],
+            nodes=tuple(
+                NodePlan(
+                    name=nd["name"],
+                    repeat=nd["repeat"],
+                    fusable=nd["fusable"],
+                    fused=nd["fused"],
+                    plans=tuple(plan_from_dict(p) for p in nd["plans"]),
+                    time=nd["time"],
+                    unfused_time=nd["unfused_time"],
+                )
+                for nd in data["nodes"]
+            ),
+        )
+    except KeyError as exc:
+        raise PlanFormatError(
+            f"serialized network plan is missing required field "
+            f"{exc.args[0]!r}"
+        ) from exc
+
+
+def network_plan_json(plan: "NetworkPlan") -> str:
+    """Canonical JSON text for a network plan (sorted keys, no whitespace).
+
+    Two plans compare byte-identical exactly when this string matches —
+    the representation the determinism tests and the cache diff on.
+    """
+    return json.dumps(
+        network_plan_to_dict(plan), sort_keys=True, separators=(",", ":")
+    )
+
+
+def save_network_plan(plan: "NetworkPlan", path: PathLike) -> None:
+    """Serialize a network plan to a JSON file (canonical key order)."""
+    pathlib.Path(path).write_text(
+        json.dumps(network_plan_to_dict(plan), indent=2, sort_keys=True)
+    )
+
+
+def load_network_plan(path: PathLike) -> "NetworkPlan":
+    """Load a plan saved by :func:`save_network_plan`.
+
+    Raises:
+        PlanFormatError: when the file is not valid JSON, has an unknown
+            ``format_version``, or is missing required fields.
+    """
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise PlanFormatError(
+            f"network plan file {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise PlanFormatError(
+            f"network plan file {path} does not hold a JSON object"
+        )
+    return network_plan_from_dict(data)
 
 
 def save_plan(plan: FusionPlan, path: PathLike) -> None:

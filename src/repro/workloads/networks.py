@@ -16,14 +16,14 @@ non-chain nodes with independently chosen systems.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from ..baselines.systems import get_system
 from ..hardware.spec import HardwareSpec
 from ..ir import builders
 from ..ir.chains import batch_gemm_chain
 from ..ir.dtypes import FP16
-from ..ir.graph import ComputeDAG, GraphBuilder, GraphNode
+from ..ir.graph import ComputeDAG, GraphBuilder, GraphNode, is_fusable
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,6 +46,19 @@ class NetworkConfig:
     head_dim: int
     ffn_mult: int = 4
 
+    def __post_init__(self) -> None:
+        # Degenerate configs (layers=1, heads=1, tiny seq) are legitimate —
+        # tests and ablations use them — but non-positive hyperparameters
+        # would otherwise surface as obscure loop-extent errors deep in the
+        # builders.  Fail here, naming the field.
+        for field in ("layers", "heads", "seq", "head_dim", "ffn_mult"):
+            value = getattr(self, field)
+            if value < 1:
+                raise ValueError(
+                    f"network {self.name!r}: {field} must be >= 1, "
+                    f"got {value}"
+                )
+
     @property
     def hidden(self) -> int:
         return self.heads * self.head_dim
@@ -65,17 +78,20 @@ NETWORKS: Dict[str, NetworkConfig] = {
 
 
 def network_config(name: str) -> NetworkConfig:
-    """Look up a network preset.
+    """Look up a network preset (case-insensitive).
 
     Raises:
         KeyError: listing known names.
     """
-    try:
-        return NETWORKS[name]
-    except KeyError:
+    config = NETWORKS.get(name)
+    if config is None:
+        folded = {key.lower(): cfg for key, cfg in NETWORKS.items()}
+        config = folded.get(name.lower())
+    if config is None:
         raise KeyError(
             f"unknown network {name!r}; known: {sorted(NETWORKS)}"
-        ) from None
+        )
+    return config
 
 
 def build_network(config: NetworkConfig) -> ComputeDAG:
@@ -127,8 +143,13 @@ def build_network(config: NetworkConfig) -> ComputeDAG:
 
 
 def is_fusable_chain(node: GraphNode) -> bool:
-    """Whether a node is a compute-intensive chain (Chimera's target)."""
-    return len(node.chain.compute_intensive_ops()) >= 2
+    """Whether a node is a compute-intensive chain (Chimera's target).
+
+    Delegates to :func:`repro.ir.graph.is_fusable`, the predicate the
+    network-level partitioner uses, so the two classifications can never
+    drift apart.
+    """
+    return is_fusable(node.chain)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -148,19 +169,49 @@ def network_time(
     hardware: HardwareSpec,
     *,
     base_system: str,
-    chain_system: str,
+    chain_system: Optional[str] = None,
+    chain_times: Optional[Mapping[str, float]] = None,
 ) -> "NetworkTiming":
     """Time a network with one system for chains and one for the rest.
 
     This mirrors the paper's Figure 9 setup, where Relay hosts the graph
     and the attention batch GEMM chain kernels come from TensorRT, cuDNN,
     Ansor or Chimera.
+
+    Args:
+        dag: the network graph.
+        hardware: machine model to time on.
+        base_system: registry key timing the non-chain nodes.
+        chain_system: registry key timing the fusable chains analytically.
+        chain_times: per-execution chain times by node name — typically
+            ``{n.name: n.time for n in network_plan.nodes}`` from a
+            compiled :class:`repro.runtime.NetworkPlan`, replacing the
+            analytic chain model with plan-backed timings.  Exactly one of
+            ``chain_system`` / ``chain_times`` must be given.
+
+    Raises:
+        ValueError: when neither or both chain sources are given, or when
+            ``chain_times`` misses a fusable chain node.
     """
+    if (chain_system is None) == (chain_times is None):
+        raise ValueError(
+            "pass exactly one of chain_system= or chain_times="
+        )
     base = get_system(base_system)
-    chain_sys = get_system(chain_system)
+    chain_sys = None if chain_system is None else get_system(chain_system)
     node_times: Dict[str, float] = {}
     for node in dag.nodes:
-        system = chain_sys if is_fusable_chain(node) else base
-        result = system.run(node.chain, hardware)
-        node_times[node.name] = result.time * node.repeat
+        if is_fusable_chain(node):
+            if chain_sys is not None:
+                per_exec = chain_sys.run(node.chain, hardware).time
+            else:
+                if node.name not in chain_times:
+                    raise ValueError(
+                        f"chain_times misses fusable chain node "
+                        f"{node.name!r}"
+                    )
+                per_exec = chain_times[node.name]
+        else:
+            per_exec = base.run(node.chain, hardware).time
+        node_times[node.name] = per_exec * node.repeat
     return NetworkTiming(network=dag.name, node_times=node_times)

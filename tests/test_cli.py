@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -97,3 +99,35 @@ class TestServiceCli:
 
         assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
         assert "0 cached plan(s)" in capsys.readouterr().out
+
+
+class TestNetworkCli:
+    def test_compile_network_table_then_warm_json(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "plans")
+        out_path = tmp_path / "bert-small.network.json"
+        assert main([
+            "compile-network", "--network", "bert-small",
+            "--hw", "xeon-gold-6240", "--cache-dir", cache_dir,
+            "--out", str(out_path),
+        ]) == 0
+        cold = capsys.readouterr().out
+        assert "Bert-Small-attention" in cold
+        assert "end-to-end" in cold
+        assert out_path.exists()
+
+        assert main([
+            "compile-network", "--network", "bert-small",
+            "--hw", "xeon-gold-6240", "--cache-dir", cache_dir, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network"] == "Bert-Small"
+        assert payload["service"]["hit_rate"] == 1.0
+        assert payload["total_time"] <= payload["unfused_total_time"]
+        saved = json.loads(out_path.read_text())
+        assert payload["total_time"] == pytest.approx(
+            sum(n["time"] * n["repeat"] for n in saved["nodes"])
+        )
+
+    def test_compile_network_unknown_network(self):
+        with pytest.raises(KeyError):
+            main(["compile-network", "--network", "GPT-3"])

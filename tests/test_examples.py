@@ -44,3 +44,9 @@ class TestExamples:
     def test_conv_chain_fusion(self, capsys):
         out = _run("conv_chain_fusion.py", capsys)
         assert "halo recomputation factor" in out
+
+    def test_network_compilation(self, capsys):
+        out = _run("network_compilation.py", capsys)
+        assert "cold network compile" in out
+        assert "byte-identical" in out
+        assert "plan-backed chains" in out

@@ -5,6 +5,7 @@ import pytest
 from repro.hardware import a100, xeon_gold_6240
 from repro.workloads import (
     NETWORKS,
+    NetworkConfig,
     TABLE_IV,
     TABLE_V,
     all_conv_chains,
@@ -114,6 +115,70 @@ class TestNetworks:
         small = build_network(network_config("Bert-Small"))
         large = build_network(network_config("Bert-Large"))
         assert large.total_flops() > small.total_flops()
+
+    def test_lookup_is_case_insensitive(self):
+        assert network_config("bert-base") is network_config("Bert-Base")
+        assert network_config("VIT-BASE/14").name == "ViT-Base/14"
+
+    def test_unknown_lookup_lists_known_names(self):
+        with pytest.raises(KeyError, match="Bert-Base"):
+            network_config("GPT-3")
+
+
+class TestDegenerateConfigs:
+    """Regression: degenerate-but-legal hyperparameters must build and
+    time cleanly, while non-positive ones must fail naming the field."""
+
+    DEGENERATE = [
+        NetworkConfig("one-layer", layers=1, heads=8, seq=64, head_dim=64),
+        NetworkConfig("one-head", layers=2, heads=1, seq=64, head_dim=64),
+        NetworkConfig("short-seq", layers=2, heads=4, seq=16, head_dim=64),
+        NetworkConfig("minimal", layers=1, heads=1, seq=1, head_dim=1,
+                      ffn_mult=1),
+    ]
+
+    @pytest.mark.parametrize(
+        "config", DEGENERATE, ids=lambda c: c.name
+    )
+    def test_degenerate_configs_time_positive(self, config):
+        dag = build_network(config)
+        assert dag.total_flops() > 0
+        timing = network_time(
+            dag, xeon_gold_6240(), base_system="relay",
+            chain_system="ansor",
+        )
+        assert set(timing.node_times) == {n.name for n in dag.nodes}
+        for name, value in timing.node_times.items():
+            assert value > 0, f"node {name} timed at {value}"
+        assert timing.total > 0
+
+    @pytest.mark.parametrize(
+        "field", ["layers", "heads", "seq", "head_dim", "ffn_mult"]
+    )
+    @pytest.mark.parametrize("value", [0, -3])
+    def test_non_positive_fields_rejected(self, field, value):
+        kwargs = dict(layers=2, heads=2, seq=32, head_dim=16, ffn_mult=2)
+        kwargs[field] = value
+        with pytest.raises(ValueError, match=field):
+            NetworkConfig("bad", **kwargs)
+
+    def test_chain_times_must_cover_fusable_nodes(self):
+        dag = build_network(self.DEGENERATE[0])
+        with pytest.raises(ValueError, match="chain_times misses"):
+            network_time(
+                dag, xeon_gold_6240(), base_system="relay",
+                chain_times={},
+            )
+
+    def test_exactly_one_chain_source_required(self):
+        dag = build_network(self.DEGENERATE[0])
+        with pytest.raises(ValueError, match="exactly one"):
+            network_time(dag, xeon_gold_6240(), base_system="relay")
+        with pytest.raises(ValueError, match="exactly one"):
+            network_time(
+                dag, xeon_gold_6240(), base_system="relay",
+                chain_system="ansor", chain_times={},
+            )
 
 
 class TestNetworkTiming:
