@@ -19,7 +19,7 @@ from ..core.movement import MovementModel
 from ..hardware.spec import HardwareSpec
 from ..ir.chain import OperatorChain
 from ..sim.hierarchy import MemoryHierarchySim, SimConfig
-from ..sim.trace import trace_program
+from ..sim.trace import materialize_trace
 
 
 @dataclasses.dataclass(frozen=True)
@@ -116,7 +116,9 @@ def measure_movement(
         set() if reuse_intermediates else set(chain.intermediate_tensors())
     )
     sim = MemoryHierarchySim(hardware, config)
-    for access in trace_program(program):
+    # The materialized trace is cached on the program's compiled schedule,
+    # so sweeping several boundaries/configs replays one list.
+    for access in materialize_trace(program):
         key = access.key
         if access.tensor in split:
             key = (access.tensor, "w" if access.write else "r", access.region)

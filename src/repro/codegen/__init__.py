@@ -9,6 +9,14 @@ from .executor import (
 )
 from .kernel import FusedKernel, build_kernel
 from .program import BlockProgram, BodyNode, LoopNode, SeqNode, lower_schedule
+from .schedule import (
+    CompiledSchedule,
+    OpBlockTable,
+    clear_schedule_memo,
+    compile_schedule,
+    program_digest,
+    schedule_memo_stats,
+)
 from .source import emit_source
 
 __all__ = [
@@ -24,5 +32,11 @@ __all__ = [
     "LoopNode",
     "SeqNode",
     "lower_schedule",
+    "CompiledSchedule",
+    "OpBlockTable",
+    "clear_schedule_memo",
+    "compile_schedule",
+    "program_digest",
+    "schedule_memo_stats",
     "emit_source",
 ]

@@ -2,18 +2,28 @@
 
 Two interpreters prove a fusion plan computes the right answer:
 
-* :func:`execute_program` walks the distributed block nest and executes one
-  numpy kernel per computation block — the faithful analogue of the
-  generated fused kernel, including partial-reduction accumulation,
-  sliding-window recomputation (halo'd producers run their reductions
-  privately per spatial block, like the per-block scratch of a real fused
-  kernel), and the paper's softmax trick (the row sum is accumulated on the
-  fly and the division is swapped past the second GEMM, Section VI-B);
+* :func:`execute_program` executes one numpy kernel per computation block —
+  the faithful analogue of the generated fused kernel, including
+  partial-reduction accumulation, sliding-window recomputation (halo'd
+  producers run their reductions privately per spatial block, like the
+  per-block scratch of a real fused kernel), and the paper's softmax trick
+  (the row sum is accumulated on the fly and the division is swapped past
+  the second GEMM, Section VI-B);
 * :func:`execute_reference` runs the chain operator-by-operator with plain
   whole-tensor numpy calls.
 
-Tests assert the two agree for every chain family and for randomly chosen
-orders/tiles (the dependency-preservation property the paper claims).
+:func:`execute_program` has two engines.  The default ``"compiled"`` engine
+replays the program's :class:`~repro.codegen.schedule.CompiledSchedule`:
+block slices are precomputed tables, per-block dispatch is a prebuilt
+closure per operator, and batch GEMM blocks go through BLAS-backed
+``matmul`` instead of ``einsum``.  The ``"legacy"`` engine re-walks the
+loop tree and re-derives every region per block; it is kept as the
+independent reference the equivalence suite compares against
+(``tests/test_compiled_schedule.py``).
+
+Tests assert the engines and the reference agree for every chain family and
+for randomly chosen orders/tiles (the dependency-preservation property the
+paper claims).
 
 Convention: convolutions use trailing zero padding — the output grid is
 ``OH = H // stride`` and windows may read up to ``(OH-1)*stride + k - 1``,
@@ -22,7 +32,7 @@ past the declared input; arrays are padded with zeros on the high side.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -271,22 +281,10 @@ def _elementwise_block(
         )
 
 
-def execute_program(
-    program: BlockProgram, inputs: Mapping[str, np.ndarray]
-) -> Arrays:
-    """Run a block program numerically.
-
-    Returns:
-        the chain's output tensors, cropped to their declared shapes.
-
-    Raises:
-        NotImplementedError: for operators without a block executor, or for
-            softmax chains whose deferred division cannot be placed (the
-            softmax consumer's output must be a chain output).
-    """
-    chain = program.chain
-    arrays = _allocate(chain, inputs)
-
+def _prepare_state(
+    chain: OperatorChain, arrays: Arrays
+) -> Tuple[Dict[str, np.ndarray], Dict[str, bool]]:
+    """Softmax row-sum accumulators and halo-output flags (both engines)."""
     row_sums: Dict[str, np.ndarray] = {}
     halo_ops: Dict[str, bool] = {}
     for op in chain.ops:
@@ -299,6 +297,56 @@ def execute_program(
                 "softmax with overlapping (halo) output regions would "
                 "double-count row sums"
             )
+    return row_sums, halo_ops
+
+
+def _crop_outputs(chain: OperatorChain, arrays: Arrays) -> Arrays:
+    outputs: Arrays = {}
+    for name in chain.output_tensors():
+        spec = chain.tensors[name]
+        outputs[name] = arrays[name][tuple(slice(0, s) for s in spec.shape)]
+    return outputs
+
+
+def execute_program(
+    program: BlockProgram,
+    inputs: Mapping[str, np.ndarray],
+    *,
+    engine: str = "compiled",
+) -> Arrays:
+    """Run a block program numerically.
+
+    Args:
+        program: the lowered block schedule.
+        inputs: chain input tensors.
+        engine: ``"compiled"`` (default — replay the compiled schedule's
+            precomputed block tables) or ``"legacy"`` (re-interpret the
+            loop tree per block; the equivalence reference).
+
+    Returns:
+        the chain's output tensors, cropped to their declared shapes.
+
+    Raises:
+        NotImplementedError: for operators without a block executor, or for
+            softmax chains whose deferred division cannot be placed (the
+            softmax consumer's output must be a chain output).
+        ValueError: for an unknown ``engine``.
+    """
+    if engine == "compiled":
+        return _execute_program_compiled(program, inputs)
+    if engine == "legacy":
+        return _execute_program_legacy(program, inputs)
+    raise ValueError(
+        f"unknown executor engine {engine!r} (use 'compiled' or 'legacy')"
+    )
+
+
+def _execute_program_legacy(
+    program: BlockProgram, inputs: Mapping[str, np.ndarray]
+) -> Arrays:
+    chain = program.chain
+    arrays = _allocate(chain, inputs)
+    row_sums, halo_ops = _prepare_state(chain, arrays)
 
     # Halo'd producers run their reductions privately per spatial block
     # (the per-block scratch of a real fused kernel); re-executions of the
@@ -330,12 +378,246 @@ def execute_program(
             _elementwise_block(op, arrays, block, row_sums)
 
     _apply_deferred_softmax_division(chain, arrays, row_sums)
+    return _crop_outputs(chain, arrays)
 
-    outputs: Arrays = {}
-    for name in chain.output_tensors():
-        spec = chain.tensors[name]
-        outputs[name] = arrays[name][tuple(slice(0, s) for s in spec.shape)]
-    return outputs
+
+# ----------------------------------------------------------------------
+# compiled engine
+# ----------------------------------------------------------------------
+def _effective_ranges(table, halo: bool) -> np.ndarray:
+    """The table's iteration ranges, reductions widened for halo'd ops.
+
+    A halo'd producer runs its reduction privately per spatial block
+    (``full_reduction``), which the legacy engine expressed by dropping the
+    reduction loops from the block dict — equivalent to their full extent.
+    """
+    if not halo:
+        return table.ranges
+    ranges = table.ranges.copy()
+    index = table.loop_index
+    for loop in table.op.loops:
+        if loop.is_reduction:
+            ranges[:, index[loop.name], 0] = 0
+            ranges[:, index[loop.name], 1] = loop.extent
+    return ranges
+
+
+def _site_slices(schedule, table, site, ranges: np.ndarray):
+    """Per-block slice tuples for one access under the given ranges."""
+    from .schedule import compute_regions, slices_from_regions
+
+    if ranges is table.ranges:
+        return site.slice_tuples()
+    regions = compute_regions(
+        site.dims, table.loop_index, ranges, schedule.shapes[site.tensor]
+    )
+    return slices_from_regions(regions)
+
+
+def _halo_skip_mask(table) -> List[bool]:
+    """True for re-executions of an already-run spatial block."""
+    reductions = set(table.op.reduction_loop_names)
+    spatial = [
+        i for i, name in enumerate(table.loop_names) if name not in reductions
+    ]
+    keys = table.ranges[:, spatial, :].reshape(table.blocks, -1).tolist()
+    seen: set = set()
+    skip: List[bool] = []
+    for row in keys:
+        key = tuple(row)
+        skip.append(key in seen)
+        seen.add(key)
+    return skip
+
+
+def _build_gemm_runner(schedule, table, arrays: Arrays, halo: bool):
+    op = table.op
+    ranges = _effective_ranges(table, halo)
+    lhs_site, rhs_site = table.read_sites()
+    out_site = table.write_sites()[0]
+    lhs_sl = _site_slices(schedule, table, lhs_site, ranges)
+    rhs_sl = _site_slices(schedule, table, rhs_site, ranges)
+    out_sl = _site_slices(schedule, table, out_site, ranges)
+    lhs_arr = arrays[lhs_site.tensor]
+    rhs_arr = arrays[rhs_site.tensor]
+    out_arr = arrays[out_site.tensor]
+    # ``matmul`` hits BLAS where ``einsum`` does not; the contraction is
+    # identical (bmk,bkn->bmn / bmk,bnk->bmn), so results stay allclose.
+    transpose_b = op.tag == "batch_gemm" and bool(op.attrs.get("transpose_b"))
+
+    if halo:
+        def run(row: int) -> None:
+            rhs = rhs_arr[rhs_sl[row]]
+            if transpose_b:
+                rhs = rhs.swapaxes(-1, -2)
+            out_arr[out_sl[row]] = np.matmul(lhs_arr[lhs_sl[row]], rhs)
+    else:
+        def run(row: int) -> None:
+            rhs = rhs_arr[rhs_sl[row]]
+            if transpose_b:
+                rhs = rhs.swapaxes(-1, -2)
+            out_arr[out_sl[row]] += np.matmul(lhs_arr[lhs_sl[row]], rhs)
+
+    return run
+
+
+def _build_conv_runner(schedule, table, arrays: Arrays, halo: bool):
+    op = table.op
+    depthwise = op.tag == "depthwise_conv2d"
+    stride = int(op.attrs["stride"])
+    ranges = _effective_ranges(table, halo)
+    data_site, weight_site = table.read_sites()
+    out_site = table.write_sites()[0]
+    out_sl = _site_slices(schedule, table, out_site, ranges)
+    data = arrays[data_site.tensor]
+    weight = arrays[weight_site.tensor]
+    out = arrays[out_site.tensor]
+    if depthwise:
+        rh_name, rw_name = op.reduction_loop_names
+        ic_bounds = None
+    else:
+        ic_name, rh_name, rw_name = op.reduction_loop_names
+        ic_bounds = (
+            ((0, op.loop(ic_name).extent),) * table.blocks
+            if halo
+            else list(zip(*table.loop_bounds(ic_name)))
+        )
+    rh_bounds = (
+        ((0, op.loop(rh_name).extent),) * table.blocks
+        if halo
+        else list(zip(*table.loop_bounds(rh_name)))
+    )
+    rw_bounds = (
+        ((0, op.loop(rw_name).extent),) * table.blocks
+        if halo
+        else list(zip(*table.loop_bounds(rw_name)))
+    )
+
+    def run(row: int) -> None:
+        n_sl, c_sl, y_sl, x_sl = out_sl[row]
+        if y_sl.start >= y_sl.stop or x_sl.start >= x_sl.stop:
+            return
+        rh0, rh1 = rh_bounds[row]
+        rw0, rw1 = rw_bounds[row]
+        acc = np.zeros(
+            (
+                n_sl.stop - n_sl.start,
+                c_sl.stop - c_sl.start,
+                y_sl.stop - y_sl.start,
+                x_sl.stop - x_sl.start,
+            ),
+            dtype=np.float64,
+        )
+        if depthwise:
+            for kh in range(rh0, rh1):
+                for kw in range(rw0, rw1):
+                    patch = data[
+                        n_sl,
+                        c_sl,
+                        y_sl.start * stride + kh
+                        : (y_sl.stop - 1) * stride + kh + 1 : stride,
+                        x_sl.start * stride + kw
+                        : (x_sl.stop - 1) * stride + kw + 1 : stride,
+                    ]
+                    acc += patch * weight[c_sl, kh, kw][None, :, None, None]
+        else:
+            ic0, ic1 = ic_bounds[row]
+            for kh in range(rh0, rh1):
+                for kw in range(rw0, rw1):
+                    patch = data[
+                        n_sl,
+                        ic0:ic1,
+                        y_sl.start * stride + kh
+                        : (y_sl.stop - 1) * stride + kh + 1 : stride,
+                        x_sl.start * stride + kw
+                        : (x_sl.stop - 1) * stride + kw + 1 : stride,
+                    ]
+                    w = weight[c_sl, ic0:ic1, kh, kw]
+                    acc += np.einsum("nchw,oc->nohw", patch, w)
+        if halo:
+            out[n_sl, c_sl, y_sl, x_sl] = acc
+        else:
+            out[n_sl, c_sl, y_sl, x_sl] += acc
+
+    return run
+
+
+def _build_elementwise_runner(
+    schedule, table, arrays: Arrays, row_sums: Dict[str, np.ndarray]
+):
+    op = table.op
+    src_site = table.read_sites()[0]
+    out_site = table.write_sites()[0]
+    src_sl = src_site.slice_tuples()
+    out_sl = out_site.slice_tuples()
+    src_arr = arrays[src_site.tensor]
+    out_arr = arrays[out_site.tensor]
+
+    if op.tag == "relu":
+        def run(row: int) -> None:
+            out_arr[out_sl[row]] = np.maximum(src_arr[src_sl[row]], 0.0)
+    elif op.tag == "bias_add":
+        def run(row: int) -> None:
+            out_arr[out_sl[row]] = src_arr[src_sl[row]] + 1.0
+    elif op.tag == "gelu":
+        def run(row: int) -> None:
+            src = src_arr[src_sl[row]]
+            out_arr[out_sl[row]] = (
+                0.5
+                * src
+                * (1.0 + np.tanh(0.7978845608 * (src + 0.044715 * src**3)))
+            )
+    elif op.tag == "softmax":
+        sums = row_sums[op.name]
+        sum_sl = [sl[:-1] for sl in out_sl]
+
+        def run(row: int) -> None:
+            exp = np.exp(src_arr[src_sl[row]])
+            out_arr[out_sl[row]] = exp
+            sums[sum_sl[row]] += exp.sum(axis=-1)
+    else:
+        raise NotImplementedError(
+            f"no block executor for memory-intensive op {op.tag!r}"
+        )
+    return run
+
+
+def _execute_program_compiled(
+    program: BlockProgram, inputs: Mapping[str, np.ndarray]
+) -> Arrays:
+    from .schedule import compile_schedule
+
+    chain = program.chain
+    schedule = compile_schedule(program)
+    arrays = _allocate(chain, inputs)
+    row_sums, halo_ops = _prepare_state(chain, arrays)
+
+    runners = []
+    skips: List[Optional[List[bool]]] = []
+    for table in schedule.tables:
+        op = table.op
+        halo = halo_ops[op.name]
+        if op.tag in ("gemm", "batch_gemm"):
+            runner = _build_gemm_runner(schedule, table, arrays, halo)
+        elif op.tag in ("conv2d", "depthwise_conv2d"):
+            runner = _build_conv_runner(schedule, table, arrays, halo)
+        else:
+            runner = _build_elementwise_runner(
+                schedule, table, arrays, row_sums
+            )
+        runners.append(runner)
+        skips.append(_halo_skip_mask(table) if halo else None)
+
+    for index, row in zip(
+        schedule.block_table.tolist(), schedule.block_row.tolist()
+    ):
+        skip = skips[index]
+        if skip is not None and skip[row]:
+            continue
+        runners[index](row)
+
+    _apply_deferred_softmax_division(chain, arrays, row_sums)
+    return _crop_outputs(chain, arrays)
 
 
 def _apply_deferred_softmax_division(

@@ -14,8 +14,10 @@ sub-blocks clipped to the parent's iteration range, down to the innermost
 level.  Bodies therefore receive half-open *iteration ranges* per loop
 rather than flat block indices — tile sizes need not divide their parents.
 
-The same :class:`BlockProgram` tree has two interpreters: the numpy executor
-(numerical correctness) and the cache simulator (measured data movement).
+The same :class:`BlockProgram` tree feeds two consumers: the numpy executor
+(numerical correctness) and the cache simulators (measured data movement).
+Both replay the tree through its flattened :class:`~repro.codegen.schedule.
+CompiledSchedule` rather than re-interpreting it per run.
 """
 
 from __future__ import annotations
@@ -94,14 +96,23 @@ class BlockProgram:
         ``ranges`` maps every loop appearing in any level's order to the
         half-open iteration range of the current innermost block; loops not
         mentioned default to their full extent at interpretation time.
+
+        This traversal (:func:`_walk`) is the single source of truth for
+        execution order; the compiled schedule and ``block_count`` both
+        derive from it.
         """
         extents = self.chain.loop_extents()
         yield from _walk(self.root, {}, extents)
 
     def block_count(self) -> int:
-        """Total number of body executions (without materializing them)."""
-        extents = self.chain.loop_extents()
-        return _count(self.root, {}, extents)
+        """Total number of body executions.
+
+        Derived from the compiled schedule (memoized), so the count and the
+        materialized block tables can never drift apart.
+        """
+        from .schedule import compile_schedule
+
+        return compile_schedule(self).n_blocks
 
     def describe(self) -> str:
         lines: List[str] = [
@@ -138,26 +149,6 @@ def _walk(
     else:
         for part in node.parts:
             yield from _walk(part, ranges, extents)
-
-
-def _count(node: Node, ranges: Ranges, extents: Mapping[str, int]) -> int:
-    if isinstance(node, BodyNode):
-        return 1
-    if isinstance(node, LoopNode):
-        start, stop = _span(node.loop, ranges, extents)
-        total = 0
-        outer = ranges.get(node.loop)
-        position = start
-        while position < stop:
-            ranges[node.loop] = (position, min(position + node.tile, stop))
-            total += _count(node.body, ranges, extents)
-            position += node.tile
-        if outer is None:
-            del ranges[node.loop]
-        else:
-            ranges[node.loop] = outer
-        return total
-    return sum(_count(part, ranges, extents) for part in node.parts)
 
 
 def _describe(node: Node, lines: List[str], depth: int) -> None:

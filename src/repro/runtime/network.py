@@ -172,7 +172,13 @@ class NetworkPlan:
 def _plan_sequence_time(
     plans: Tuple[FusionPlan, ...], simulate: bool
 ) -> float:
-    """Per-execution time of a kernel sequence, by the selected mode."""
+    """Per-execution time of a kernel sequence, by the selected mode.
+
+    Simulated timing lowers each plan per query, but the region trace is
+    memoized on the plan's compiled schedule (keyed by content digest), so
+    repeated nodes of a network — and the fused-vs-unfused pair of one
+    node — replay materialized traces instead of re-walking loop trees.
+    """
     if simulate:
         from ..sim.profiler import simulate_sequence
 

@@ -11,6 +11,7 @@ from .linecache import (
     LineHierarchySim,
     SetAssociativeCache,
     measure_movement_lines,
+    simulate_movement_lines,
 )
 from .profiler import (
     SimReport,
@@ -19,7 +20,12 @@ from .profiler import (
     simulate_sequence,
 )
 from .timing import movement_times, roofline_time
-from .trace import RegionAccess, trace_program
+from .trace import (
+    RegionAccess,
+    materialize_trace,
+    trace_program,
+    trace_program_interpreted,
+)
 
 __all__ = [
     "CacheStats",
@@ -29,6 +35,7 @@ __all__ = [
     "LineHierarchySim",
     "SetAssociativeCache",
     "measure_movement_lines",
+    "simulate_movement_lines",
     "SimReport",
     "simulate_plan",
     "simulate_program",
@@ -36,5 +43,7 @@ __all__ = [
     "movement_times",
     "roofline_time",
     "RegionAccess",
+    "materialize_trace",
     "trace_program",
+    "trace_program_interpreted",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import OrderedDict
-from typing import Callable, Hashable, Optional
+from typing import Callable, Hashable, Optional, Tuple
 
 EvictionCallback = Callable[[Hashable, int, bool], None]
 """Called with (key, nbytes, dirty) when an entry leaves the cache."""
@@ -79,6 +79,20 @@ class RegionCache:
         self._on_evict = on_evict
 
     # ------------------------------------------------------------------
+    @property
+    def on_evict(self) -> Optional[EvictionCallback]:
+        """Callback invoked with (key, nbytes, dirty) on every eviction.
+
+        Public so hierarchy builders can chain levels (spill dirty
+        evictions into the next level out) without reaching into private
+        state.
+        """
+        return self._on_evict
+
+    @on_evict.setter
+    def on_evict(self, callback: Optional[EvictionCallback]) -> None:
+        self._on_evict = callback
+
     @property
     def used_bytes(self) -> int:
         return self._used

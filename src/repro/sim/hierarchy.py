@@ -43,17 +43,23 @@ class MemoryHierarchySim:
     ) -> None:
         self.hardware = hardware
         self.config = config or SimConfig()
-        self.caches: List[RegionCache] = []
-        for level in hardware.on_chip_levels:
+        # Built outermost-first so each level's spill target exists when the
+        # level is constructed: an eviction from level d becomes a write
+        # into level d+1 (no fill — write-allocate-without-fetch).
+        caches: List[RegionCache] = []
+        outer: Optional[RegionCache] = None
+        for level in reversed(hardware.on_chip_levels):
             capacity = level.capacity
             if level.shared and self.config.shared_capacity_per_core:
                 capacity = hardware.per_block_capacity(level)
-            self.caches.append(RegionCache(level.name, capacity))
-        # Chain dirty evictions outward: an eviction from level d becomes a
-        # write into level d+1 (no fill — write-allocate-without-fetch).
-        for index in range(len(self.caches) - 1):
-            outer = self.caches[index + 1]
-            self.caches[index]._on_evict = _make_spill(outer)
+            cache = RegionCache(
+                level.name,
+                capacity,
+                on_evict=_make_spill(outer) if outer is not None else None,
+            )
+            caches.append(cache)
+            outer = cache
+        self.caches: List[RegionCache] = list(reversed(caches))
 
     # ------------------------------------------------------------------
     def read(self, key: Hashable, nbytes: int) -> None:

@@ -6,22 +6,57 @@ module provides the ground-truth cross-check: a classic set-associative
 LRU cache over 64-byte lines, with tensors laid out row-major in a flat
 address space, exactly what the paper's hardware profilers measured.
 
-It is orders of magnitude slower (every element row becomes line touches),
-so it is used on scaled-down problems to validate that the region
-simulator and Algorithm 1 agree with real-cache behaviour
-(``tests/test_linecache.py``, Figure 8's credibility check).
+Two engines produce **identical counters**:
+
+* ``"scalar"`` — the original model: every element row of every region
+  becomes per-line :meth:`SetAssociativeCache.access` calls through
+  :class:`LineHierarchySim`.  Kept as the independent reference.
+* ``"fast"`` (default) — the compiled path: the program's line-access
+  stream is generated once with numpy (span arrays per region row,
+  expanded and run-length coalesced) and memoized on the compiled
+  schedule, then replayed through a batched LRU update.  Three exact
+  equivalences make this lossless:
+
+  - consecutive accesses to the same line with the same read/write kind
+    are, after the first, guaranteed MRU hits in the innermost level and
+    touch nothing else — so a run of length ``n`` contributes ``n - 1``
+    straight to that level's hit counter;
+  - reads walk inward-out and writes touch only the innermost level, so
+    level ``k+1``'s input stream is exactly level ``k``'s read-miss
+    stream — levels can be simulated one at a time;
+  - a boundary query therefore needs only the levels up to the requested
+    one (lazy simulation), because a level's counters depend only on its
+    own input stream.
+
+The equivalence suite (``tests/test_compiled_schedule.py``) asserts
+field-by-field equal :class:`CacheStats` between the engines.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..codegen.executor import virtual_shapes
 from ..codegen.program import BlockProgram
+from ..codegen.schedule import compile_schedule
 from ..hardware.spec import HardwareSpec
 from .cache import CacheStats
-from .trace import trace_program
+from .trace import materialize_trace
+
+
+def _geometry(capacity: int, line_bytes: int, ways: int) -> Tuple[int, int]:
+    """Effective (ways, num_sets) of one level — shared by both engines.
+
+    Capacities below one full set degrade associativity rather than
+    rounding the cache away.
+    """
+    if capacity < line_bytes * ways:
+        ways = max(1, capacity // line_bytes)
+    num_sets = max(1, capacity // (line_bytes * ways))
+    return ways, num_sets
 
 
 class SetAssociativeCache:
@@ -34,12 +69,9 @@ class SetAssociativeCache:
         line_bytes: int = 64,
         ways: int = 8,
     ) -> None:
-        if capacity < line_bytes * ways:
-            ways = max(1, capacity // line_bytes)
         self.name = name
         self.line_bytes = line_bytes
-        self.ways = ways
-        self.num_sets = max(1, capacity // (line_bytes * ways))
+        self.ways, self.num_sets = _geometry(capacity, line_bytes, ways)
         self.stats = CacheStats()
         # Per set: list of (tag, dirty), most recently used last.
         self._sets: List[List[Tuple[int, bool]]] = [
@@ -164,14 +196,12 @@ class LineHierarchySim:
     ) -> None:
         self.hardware = hardware
         self.line_bytes = line_bytes
-        self.caches: List[SetAssociativeCache] = []
-        for level in hardware.on_chip_levels:
-            capacity = level.capacity
-            if level.shared and shared_capacity_per_core:
-                capacity = hardware.per_block_capacity(level)
-            self.caches.append(
-                SetAssociativeCache(level.name, int(capacity), line_bytes, ways)
+        self.caches: List[SetAssociativeCache] = [
+            SetAssociativeCache(name, capacity, line_bytes, ways)
+            for name, capacity in _level_capacities(
+                hardware, shared_capacity_per_core
             )
+        ]
 
     def access_line(self, line: int, *, write: bool = False) -> None:
         if write:
@@ -194,6 +224,362 @@ class LineHierarchySim:
         return {cache.name: cache.traffic for cache in self.caches}
 
 
+def _level_capacities(
+    hardware: HardwareSpec, shared_capacity_per_core: bool
+) -> List[Tuple[str, int]]:
+    levels: List[Tuple[str, int]] = []
+    for level in hardware.on_chip_levels:
+        capacity = level.capacity
+        if level.shared and shared_capacity_per_core:
+            capacity = hardware.per_block_capacity(level)
+        levels.append((level.name, int(capacity)))
+    return levels
+
+
+# ----------------------------------------------------------------------
+# fast engine: vectorized stream generation + batched LRU replay
+# ----------------------------------------------------------------------
+def _ragged_ramp(lengths: np.ndarray) -> np.ndarray:
+    """``[0..l0), [0..l1), ...`` concatenated, for int64 ``lengths``."""
+    total = int(lengths.sum())
+    return np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(lengths) - lengths, lengths
+    )
+
+
+def _site_lines(
+    layout: TensorLayout,
+    site,
+    line_bytes: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All line numbers one access site touches, for every block at once.
+
+    The vectorized equivalent of :func:`region_lines` plus per-span
+    expansion, batched over the site's ``(B, ndim, 2)`` region table:
+    ragged outer-dimension offsets (repeat + ramp per dimension), then
+    first/last line per contiguous row and one final expansion.  Blocks
+    with empty regions (``nbytes == 0``) contribute nothing, matching the
+    materialized trace.
+
+    Returns:
+        ``(lines, counts)`` — the concatenated int64 line numbers in
+        block-major, row-major order, and the number of lines each block
+        contributed (one entry per block, zeros for empty regions).
+    """
+    regions = site.regions
+    blocks, ndim = regions.shape[0], regions.shape[1]
+    lo = regions[..., 0]
+    hi = regions[..., 1]
+    blk = np.flatnonzero(site.nbytes > 0)
+    offsets = np.zeros(blk.shape[0], dtype=np.int64)
+    for axis in range(ndim - 1):
+        stride = layout.strides[axis]
+        widths = hi[blk, axis] - lo[blk, axis]
+        ramp = _ragged_ramp(widths)
+        offsets = np.repeat(offsets + lo[blk, axis] * stride, widths)
+        offsets += ramp * stride
+        blk = np.repeat(blk, widths)
+    elem_bytes = layout.elem_bytes
+    base_bytes = layout.base * elem_bytes
+    stride_last = layout.strides[-1]
+    first = (
+        base_bytes + (offsets + lo[blk, -1] * stride_last) * elem_bytes
+    ) // line_bytes
+    last = (
+        base_bytes
+        + ((offsets + (hi[blk, -1] - 1) * stride_last + 1) * elem_bytes)
+        - 1
+    ) // line_bytes
+    lengths = last - first + 1
+    lines = np.repeat(first, lengths) + _ragged_ramp(lengths)
+    counts = np.bincount(
+        np.repeat(blk, lengths), minlength=blocks
+    ).astype(np.int64)
+    return lines, counts
+
+
+@dataclasses.dataclass
+class _LineStream:
+    """A program's coalesced line-access stream (memoized per schedule).
+
+    ``lines``/``writes`` are run-length coalesced over consecutive
+    accesses with equal (line, kind); ``repeat_read_hits`` /
+    ``repeat_write_hits`` hold the folded repeats — a run's second and
+    later accesses are guaranteed MRU hits in the innermost level, so
+    they land straight in its hit counters without touching LRU state.
+    """
+
+    lines: List[int]
+    writes: List[bool]
+    repeat_read_hits: int
+    repeat_write_hits: int
+    #: per-geometry set indices (keyed by num_sets).  Plain int lists on
+    #: purpose: ints are not GC-tracked, so the replay loop — which pairs
+    #: them with ``lines``/``writes`` through a lazy ``zip`` — allocates
+    #: no collector-visible objects.  (Materializing ``list(zip(...))``
+    #: here costs ~80 gen-0 collections per replay.)
+    set_indices: Dict[int, List[int]] = dataclasses.field(default_factory=dict)
+
+    def sets_for(self, num_sets: int) -> List[int]:
+        cached = self.set_indices.get(num_sets)
+        if cached is None:
+            cached = (
+                np.asarray(self.lines, dtype=np.int64) % num_sets
+            ).tolist()
+            self.set_indices[num_sets] = cached
+        return cached
+
+
+def _line_stream(program: BlockProgram, line_bytes: int) -> _LineStream:
+    """Build (or fetch) the memoized line stream of a program.
+
+    Each access site expands to its lines for *all* blocks in one numpy
+    pass (:func:`_site_lines`); the per-(block, site) chunks are then
+    scattered into global execution order — blocks by their traversal
+    position, sites of one block reads-then-writes, exactly the
+    materialized trace's order.  Cached in the compiled schedule's
+    scratch space keyed by ``line_bytes`` — the layouts derive from the
+    chain alone, so the schedule digest subsumes them.
+    """
+    schedule = compile_schedule(program)
+    key = ("line_stream", line_bytes)
+    cached = schedule.cache.get(key)
+    if cached is not None:
+        return cached
+
+    layouts = build_layouts(schedule.chain)
+    site_stride = max(
+        (len(table.sites) for table in schedule.tables), default=1
+    )
+    chunk_keys: List[np.ndarray] = []
+    chunk_lens: List[np.ndarray] = []
+    chunk_writes: List[np.ndarray] = []
+    site_chunks: List[np.ndarray] = []
+    for table in schedule.tables:
+        for ordinal, site in enumerate(table.sites):
+            lines, counts = _site_lines(
+                layouts[site.tensor], site, line_bytes
+            )
+            if not lines.shape[0]:
+                continue
+            valid = np.flatnonzero(counts)
+            site_chunks.append(lines)
+            chunk_keys.append(table.positions[valid] * site_stride + ordinal)
+            chunk_lens.append(counts[valid])
+            chunk_writes.append(
+                np.full(valid.shape[0], site.write, dtype=bool)
+            )
+    if not site_chunks:
+        stream = _LineStream([], [], 0, 0)
+        schedule.cache[key] = stream
+        return stream
+
+    keys = np.concatenate(chunk_keys)
+    lens = np.concatenate(chunk_lens)
+    flags = np.concatenate(chunk_writes)
+    unordered = np.concatenate(site_chunks)
+    # Scatter chunks to their stream positions: sorting the (few hundred)
+    # chunk keys sidesteps a full sort of the line array itself.
+    order = np.argsort(keys, kind="stable")
+    sorted_lens = lens[order]
+    starts = np.empty(order.shape[0], dtype=np.int64)
+    starts[order] = np.cumsum(sorted_lens) - sorted_lens
+    dest = np.repeat(starts, lens) + _ragged_ramp(lens)
+    lines = np.empty(unordered.shape[0], dtype=np.int64)
+    lines[dest] = unordered
+    writes = np.empty(unordered.shape[0], dtype=bool)
+    writes[dest] = np.repeat(flags, lens)
+    keep = np.empty(lines.shape[0], dtype=bool)
+    keep[0] = True
+    keep[1:] = (lines[1:] != lines[:-1]) | (writes[1:] != writes[:-1])
+    starts = np.flatnonzero(keep)
+    repeats = np.diff(np.append(starts, lines.shape[0])) - 1
+    run_writes = writes[starts]
+    stream = _LineStream(
+        lines=lines[starts].tolist(),
+        writes=run_writes.tolist(),
+        repeat_read_hits=int(repeats[~run_writes].sum()),
+        repeat_write_hits=int(repeats[run_writes].sum()),
+    )
+    schedule.cache[key] = stream
+    return stream
+
+
+def _replay_innermost(
+    stream: _LineStream,
+    ways: int,
+    num_sets: int,
+    line_bytes: int,
+    collect_misses: bool,
+) -> Tuple[CacheStats, List[int]]:
+    """Replay the full read/write stream through the innermost level.
+
+    Per set a plain dict keyed by line (insertion order = LRU order,
+    pop + reinsert = move-to-MRU) holds the dirty bit.  Returns the
+    level's post-flush stats and (optionally) its read-miss stream —
+    which is exactly the next level's input, since writes stop here.
+    """
+    sets: List[Dict[int, bool]] = [dict() for _ in range(num_sets)]
+    read_hits = read_misses = write_hits = write_misses = 0
+    writeback_lines = 0
+    missed: List[int] = []
+    miss_append = missed.append
+    sentinel = -1  # dirty bits are bools; -1 marks "absent"
+
+    for line, set_index, write in zip(
+        stream.lines, stream.sets_for(num_sets), stream.writes
+    ):
+        entries = sets[set_index]
+        dirty = entries.pop(line, sentinel)
+        if dirty is sentinel:
+            if write:
+                write_misses += 1
+            else:
+                read_misses += 1
+                if collect_misses:
+                    miss_append(line)
+            entries[line] = write
+            if len(entries) > ways:
+                victim = next(iter(entries))
+                if entries.pop(victim):
+                    writeback_lines += 1
+        else:
+            entries[line] = dirty or write
+            if write:
+                write_hits += 1
+            else:
+                read_hits += 1
+
+    # Flush: every still-resident dirty line writes back.
+    for entries in sets:
+        for dirty in entries.values():
+            if dirty:
+                writeback_lines += 1
+
+    stats = CacheStats(
+        read_hits=read_hits + stream.repeat_read_hits,
+        read_misses=read_misses,
+        write_hits=write_hits + stream.repeat_write_hits,
+        write_misses=write_misses,
+        fill_bytes=read_misses * line_bytes,
+        writeback_bytes=writeback_lines * line_bytes,
+    )
+    return stats, missed
+
+
+def _replay_reads(
+    lines: Sequence[int],
+    ways: int,
+    num_sets: int,
+    line_bytes: int,
+    collect_misses: bool,
+) -> Tuple[CacheStats, List[int]]:
+    """Replay a read-only miss stream through one outer level.
+
+    Outer levels never see writes (writes land in the innermost level
+    only), so entries are never dirty and flush writes nothing back.
+    """
+    sets: List[Dict[int, None]] = [dict() for _ in range(num_sets)]
+    read_hits = read_misses = 0
+    missed: List[int] = []
+    miss_append = missed.append
+    sentinel = -1
+    for line in lines:
+        entries = sets[line % num_sets]
+        if entries.pop(line, sentinel) is sentinel:
+            read_misses += 1
+            if collect_misses:
+                miss_append(line)
+            entries[line] = None
+            if len(entries) > ways:
+                del entries[next(iter(entries))]
+        else:
+            entries[line] = None
+            read_hits += 1
+
+    stats = CacheStats(
+        read_hits=read_hits,
+        read_misses=read_misses,
+        fill_bytes=read_misses * line_bytes,
+    )
+    return stats, missed
+
+
+def simulate_movement_lines(
+    chain,
+    hardware: HardwareSpec,
+    program: BlockProgram,
+    *,
+    line_bytes: int = 64,
+    ways: int = 8,
+    shared_capacity_per_core: bool = True,
+    upto_level: Optional[str] = None,
+    engine: str = "fast",
+) -> Dict[str, CacheStats]:
+    """Per-level line-cache counters for a schedule (post-flush).
+
+    Args:
+        upto_level: stop after this level (fast engine only) — exact,
+            because a level's counters depend only on its own input
+            stream.  ``None`` simulates the whole hierarchy.
+        engine: ``"fast"`` (vectorized stream + batched LRU) or
+            ``"scalar"`` (per-line :class:`LineHierarchySim` reference).
+
+    Returns:
+        ``{level name: CacheStats}`` for every simulated level.
+    """
+    levels = _level_capacities(hardware, shared_capacity_per_core)
+    if engine == "scalar":
+        layouts = build_layouts(chain)
+        sim = LineHierarchySim(
+            hardware,
+            line_bytes=line_bytes,
+            ways=ways,
+            shared_capacity_per_core=shared_capacity_per_core,
+        )
+        for access in materialize_trace(program):
+            layout = layouts[access.tensor]
+            for first, last in region_lines(layout, access.region, line_bytes):
+                sim.access_span(first, last, write=access.write)
+        sim.flush()
+        stats = {cache.name: cache.stats for cache in sim.caches}
+        if upto_level is not None:
+            names = [name for name, _ in levels]
+            cutoff = names.index(upto_level) + 1
+            stats = {name: stats[name] for name in names[:cutoff]}
+        return stats
+    if engine != "fast":
+        raise ValueError(
+            f"unknown line-sim engine {engine!r} (use 'fast' or 'scalar')"
+        )
+
+    stream = _line_stream(program, line_bytes)
+    last = len(levels) - 1
+    if upto_level is not None:
+        last = [name for name, _ in levels].index(upto_level)
+
+    results: Dict[str, CacheStats] = {}
+    missed: List[int] = []
+    for index in range(last + 1):
+        name, capacity = levels[index]
+        eff_ways, num_sets = _geometry(capacity, line_bytes, ways)
+        if index == 0:
+            stats, missed = _replay_innermost(
+                stream, eff_ways, num_sets, line_bytes,
+                collect_misses=index < last,
+            )
+        else:
+            # This level's input: the previous level's read misses (all
+            # reads — writes stop at the innermost level, and only a
+            # run's first access can miss there).
+            stats, missed = _replay_reads(
+                missed, eff_ways, num_sets, line_bytes,
+                collect_misses=index < last,
+            )
+        results[name] = stats
+    return results
+
+
 def measure_movement_lines(
     chain,
     hardware: HardwareSpec,
@@ -202,18 +588,25 @@ def measure_movement_lines(
     *,
     line_bytes: int = 64,
     ways: int = 8,
+    engine: str = "fast",
 ) -> float:
     """Line-granularity measured traffic at one boundary for a schedule.
 
-    Slow (element-row expansion); intended for small validation problems.
+    The default ``"fast"`` engine replays the memoized vectorized line
+    stream and simulates only the levels up to the requested boundary;
+    ``"scalar"`` is the original per-line reference.  Both produce the
+    same number.
     """
     if level is None:
         level = hardware.innermost.name
-    layouts = build_layouts(chain)
-    sim = LineHierarchySim(hardware, line_bytes=line_bytes, ways=ways)
-    for access in trace_program(program):
-        layout = layouts[access.tensor]
-        for first, last in region_lines(layout, access.region, line_bytes):
-            sim.access_span(first, last, write=access.write)
-    sim.flush()
-    return sim.boundary_traffic()[level]
+    stats = simulate_movement_lines(
+        chain,
+        hardware,
+        program,
+        line_bytes=line_bytes,
+        ways=ways,
+        upto_level=level,
+        engine=engine,
+    )
+    level_stats = stats[level]
+    return float(level_stats.fill_bytes + level_stats.writeback_bytes)

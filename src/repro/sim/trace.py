@@ -4,15 +4,24 @@ Each computation block reads tiles of its input tensors and writes a tile
 of its output; the trace is the resulting stream of (tensor, region) touches
 in execution order.  Region keys are derived from clamped element ranges, so
 edge blocks and halo overlap behave exactly like on the device.
+
+:func:`trace_program` replays the program's compiled schedule
+(:mod:`repro.codegen.schedule`): regions and byte counts come from the
+precomputed per-op block tables, and the materialized access list is cached
+on the schedule, so repeated traversals (per hierarchy level, per boundary,
+per simulated-timing query) regenerate nothing.  The original tree-walking
+generator survives as :func:`trace_program_interpreted`, the independent
+reference the equivalence suite compares against.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, Tuple
+from typing import Iterator, List, Tuple
 
 from ..codegen.executor import virtual_shapes
 from ..codegen.program import BlockProgram, Ranges
+from ..codegen.schedule import CompiledSchedule, compile_schedule
 from ..ir.operator import OperatorSpec
 
 
@@ -37,6 +46,53 @@ class RegionAccess:
         return (self.tensor, self.region)
 
 
+def materialize_trace(program: BlockProgram) -> List[RegionAccess]:
+    """The program's full region access stream as a cached list.
+
+    Built once per compiled schedule from its block tables and kept in the
+    schedule's cache, so every consumer — region hierarchy replay, line
+    simulation, movement validation — walks the same materialized list.
+    """
+    schedule = compile_schedule(program)
+    cached = schedule.cache.get("trace")
+    if cached is None:
+        cached = _materialize(schedule)
+        schedule.cache["trace"] = cached
+    return cached
+
+
+def _materialize(schedule: CompiledSchedule) -> List[RegionAccess]:
+    per_table: List[List[List[RegionAccess]]] = []
+    for table in schedule.tables:
+        columns: List[List[RegionAccess]] = []
+        for site in table.sites:
+            tuples = site.region_tuples()
+            nbytes = site.nbytes.tolist()
+            columns.append(
+                [
+                    RegionAccess(site.tensor, region, size, site.write)
+                    for region, size in zip(tuples, nbytes)
+                ]
+            )
+        per_table.append(columns)
+
+    trace: List[RegionAccess] = []
+    append = trace.append
+    for index, row in zip(
+        schedule.block_table.tolist(), schedule.block_row.tolist()
+    ):
+        for column in per_table[index]:
+            access = column[row]
+            if access.nbytes:
+                append(access)
+    return trace
+
+
+def trace_program(program: BlockProgram) -> Iterator[RegionAccess]:
+    """Yield the region access stream of a block program (memoized)."""
+    yield from materialize_trace(program)
+
+
 def _op_ranges(op: OperatorSpec, block: Ranges) -> Ranges:
     ranges: Ranges = {}
     for loop in op.loops:
@@ -44,8 +100,8 @@ def _op_ranges(op: OperatorSpec, block: Ranges) -> Ranges:
     return ranges
 
 
-def trace_program(program: BlockProgram) -> Iterator[RegionAccess]:
-    """Yield the region access stream of a block program."""
+def trace_program_interpreted(program: BlockProgram) -> Iterator[RegionAccess]:
+    """Reference tracer: re-walk the loop tree, re-derive every region."""
     chain = program.chain
     shapes = virtual_shapes(chain)
     dtype_bytes = {

@@ -45,6 +45,13 @@ class TestDistribution:
         # 2 m-blocks x 2 l-blocks x (2 k-blocks + 2 n-blocks) = 16.
         assert program.block_count() == 16
         assert program.block_count() == len(list(program.iterate_blocks()))
+        # block_count derives from the compiled schedule: one traversal,
+        # no hand-maintained counting copy to drift.
+        from repro.codegen import compile_schedule
+
+        schedule = compile_schedule(program)
+        assert program.block_count() == schedule.n_blocks
+        assert schedule.n_blocks == len(schedule.block_table)
 
     def test_unknown_loop_rejected(self):
         chain = gemm_chain(8, 8, 8, 8)
