@@ -1,0 +1,200 @@
+"""Movement-tables engine: cold exhaustive-order compile speedup.
+
+The tentpole claim of the tables engine is that the analytical model stops
+being the compile-time bottleneck: ``MovementModel`` compiles once into
+:class:`repro.core.tables.MovementTables`, the tile solver feeds SLSQP
+analytic log-space gradients through generated row kernels (with properly
+scaled constraints), and integer refinement scores its lattice in one
+batched call.  This benchmark cold-compiles GEMM + conv chains under the
+exhaustive order policy on every hardware preset and compares:
+
+* **baseline** — the pre-tables solver: scalar engine, finite-difference
+  SLSQP gradients, raw byte-scale constraints (``solver._ANALYTIC_JAC``
+  escape hatch);
+* **tables** — the compiled engine with analytic gradients;
+* **scalar** — the scalar reference under the *production* solver, which
+  must pick a byte-identical plan to the tables engine on every cell.
+
+Gate: aggregate (sum over cells) speedup of tables over baseline must be
+>= 5x.  Per-cell ratios vary — small order spaces are dominated by order
+enumeration, which both engines share — so the gate is on the aggregate.
+Results land in ``benchmarks/results/bench_movement_tables.txt`` and the
+machine-readable ``benchmarks/results/BENCH_movement_tables.json``.
+
+Run standalone with ``python benchmarks/bench_movement_tables.py
+[--smoke]``; ``--smoke`` restricts to two workloads on two presets with a
+relaxed 2x gate (CI keeps it quick and flake-free).
+"""
+
+import argparse
+import contextlib
+import json
+import pathlib
+import sys
+import time
+
+from repro.analysis import render_table
+from repro.core import solver
+from repro.core.optimizer import ChimeraOptimizer
+from repro.core.search import SearchPolicy, reset_search_stats, solve_memo
+from repro.core.tables import clear_tables_memo
+from repro.hardware import all_presets
+from repro.runtime.serialization import plan_to_dict
+from repro.workloads import conv_chain_config, gemm_chain_config
+
+RESULTS_JSON = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_movement_tables.json"
+)
+
+FULL_WORKLOADS = ("G1", "G4", "C4", "C6")
+FULL_GATE = 5.0
+SMOKE_WORKLOADS = ("G1", "C4")
+SMOKE_PRESETS = ("xeon-gold-6240", "a100")
+SMOKE_GATE = 2.0
+
+
+def _build(name):
+    if name.startswith("G"):
+        return gemm_chain_config(name).build()
+    return conv_chain_config(name).build()
+
+
+@contextlib.contextmanager
+def _seed_solver():
+    """Emulate the pre-tables solver (finite differences, raw scaling)."""
+    previous = solver._ANALYTIC_JAC
+    solver._ANALYTIC_JAC = False
+    try:
+        yield
+    finally:
+        solver._ANALYTIC_JAC = previous
+
+
+def _cold_compile(chain, hw, engine):
+    solve_memo().clear()
+    clear_tables_memo()
+    reset_search_stats()
+    optimizer = ChimeraOptimizer(
+        hw, policy=SearchPolicy.exhaustive(), engine=engine
+    )
+    started = time.perf_counter()
+    plan = optimizer.optimize(chain)
+    return plan, time.perf_counter() - started
+
+
+def _timed(chain, hw, engine, rounds):
+    best_s, plan = float("inf"), None
+    for _ in range(rounds):
+        plan, elapsed = _cold_compile(chain, hw, engine)
+        best_s = min(best_s, elapsed)
+    return plan, best_s
+
+
+def run_experiment(smoke=False):
+    workloads = SMOKE_WORKLOADS if smoke else FULL_WORKLOADS
+    presets = [
+        hw
+        for hw in all_presets()
+        if not smoke or hw.name in SMOKE_PRESETS
+    ]
+    gate = SMOKE_GATE if smoke else FULL_GATE
+
+    cells = {}
+    rows = []
+    for hw in presets:
+        for name in workloads:
+            chain = _build(name)
+            with _seed_solver():
+                _, baseline_s = _timed(chain, hw, "scalar", rounds=1)
+            tables_plan, tables_s = _timed(chain, hw, "tables", rounds=2)
+            scalar_plan, scalar_s = _timed(chain, hw, "scalar", rounds=2)
+            tables_json = json.dumps(plan_to_dict(tables_plan),
+                                     sort_keys=True)
+            scalar_json = json.dumps(plan_to_dict(scalar_plan),
+                                     sort_keys=True)
+            assert tables_json == scalar_json, (
+                f"tables plan diverged from the scalar reference on "
+                f"{hw.name}/{name}"
+            )
+            cell = f"{hw.name}/{name}"
+            cells[cell] = {
+                "baseline_s": baseline_s,
+                "tables_s": tables_s,
+                "scalar_s": scalar_s,
+                "speedup": baseline_s / tables_s,
+            }
+            rows.append([
+                cell,
+                f"{baseline_s * 1e3:.0f} ms",
+                f"{tables_s * 1e3:.0f} ms",
+                f"{scalar_s * 1e3:.0f} ms",
+                f"{baseline_s / tables_s:.1f}x",
+            ])
+
+    baseline_total = sum(c["baseline_s"] for c in cells.values())
+    tables_total = sum(c["tables_s"] for c in cells.values())
+    aggregate = baseline_total / tables_total
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "gate": gate,
+        "aggregate_speedup": aggregate,
+        "baseline_total_s": baseline_total,
+        "tables_total_s": tables_total,
+        "cells": cells,
+    }
+    rows.append([
+        "aggregate",
+        f"{baseline_total * 1e3:.0f} ms",
+        f"{tables_total * 1e3:.0f} ms",
+        "",
+        f"{aggregate:.1f}x",
+    ])
+    text = render_table(
+        ["cell", "baseline (FD, scalar)", "tables", "scalar (ref)",
+         "speedup"],
+        rows,
+    )
+    return payload, text
+
+
+def _finish(payload, text, write_json):
+    if write_json:
+        RESULTS_JSON.parent.mkdir(exist_ok=True)
+        RESULTS_JSON.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    assert payload["aggregate_speedup"] >= payload["gate"], (
+        f"cold exhaustive-order compile speedup was "
+        f"{payload['aggregate_speedup']:.2f}x, expected >= "
+        f"{payload['gate']:.1f}x"
+    )
+
+
+def test_movement_tables_speedup(benchmark):
+    from conftest import emit, run_once
+
+    payload, text = run_once(
+        benchmark, lambda: run_experiment(smoke=False)
+    )
+    _finish(payload, text, write_json=True)
+    emit("bench_movement_tables", text)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="two workloads x two presets, relaxed gate, no JSON artifact",
+    )
+    args = parser.parse_args(argv)
+    payload, text = run_experiment(smoke=args.smoke)
+    print(text)
+    print(f"\naggregate speedup {payload['aggregate_speedup']:.2f}x "
+          f"(gate {payload['gate']:.1f}x, mode {payload['mode']})")
+    _finish(payload, text, write_json=not args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

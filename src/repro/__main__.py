@@ -240,6 +240,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _render_search_stats(stats: dict) -> str:
     memo = stats.get("memo", {})
+    tables = stats.get("tables_memo", {})
     lines = [
         f"searches {stats['searches']}  orders enumerated "
         f"{stats['orders_enumerated']}  candidates {stats['candidates']}",
@@ -250,19 +251,36 @@ def _render_search_stats(stats: dict) -> str:
     ]
     if memo:
         lines.append(
-            f"memo: {memo['entries']}/{memo['capacity']} entries  "
-            f"hits {memo['hits']}  misses {memo['misses']}"
+            f"solve memo: {memo['entries']}/{memo['capacity']} entries  "
+            f"hits {memo['hits']}  misses {memo['misses']}  "
+            f"evictions {memo['evictions']}"
+        )
+    if tables:
+        lines.append(
+            f"tables memo: {tables['entries']}/{tables['capacity']} "
+            f"entries  hits {tables['hits']}  misses {tables['misses']}  "
+            f"evictions {tables['evictions']}"
         )
     return "\n".join(lines)
 
 
 def _cmd_search_stats(args: argparse.Namespace) -> int:
+    import os
+
     from .core.search import (
         SearchPolicy,
         reset_search_stats,
         search_stats_snapshot,
         solve_memo,
     )
+    from .core.tables import resolve_model_engine
+
+    if args.engine:
+        # Validate eagerly (a typo should fail before compiling anything),
+        # then let every solve in this process pick the engine up from the
+        # environment — the CLI compiles through the shared pipeline.
+        resolve_model_engine(args.engine)
+        os.environ["REPRO_MODEL_ENGINE"] = args.engine
 
     hw = preset(args.hw)
     policy = SearchPolicy(
@@ -413,6 +431,10 @@ def main(argv: Optional[list] = None) -> int:
                         help="disable solve memoization")
     search.add_argument("--workers", type=int, default=1,
                         help="process-pool width for surviving orders")
+    search.add_argument("--engine", default=None,
+                        choices=["scalar", "tables"],
+                        help="movement-model engine (default: the "
+                             "REPRO_MODEL_ENGINE environment)")
     search.set_defaults(fn=_cmd_search_stats)
 
     args = parser.parse_args(argv)

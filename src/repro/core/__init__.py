@@ -2,6 +2,7 @@
 
 * :mod:`repro.core.footprint` — ``getFootprint`` of Algorithm 1.
 * :mod:`repro.core.movement` — Algorithm 1 (DV + MU) and executed flops.
+* :mod:`repro.core.tables` — compiled (vectorized) movement tables.
 * :mod:`repro.core.reordering` — block order enumeration and dedup.
 * :mod:`repro.core.solver` — constrained tile-size optimization.
 * :mod:`repro.core.search` — pruned/memoized/parallel order search.
@@ -44,6 +45,14 @@ from .search import (
     upper_tile_bounds,
 )
 from .solver import TileSolution, gemm_chain_closed_form, solve_tiles
+from .tables import (
+    MovementTables,
+    clear_tables_memo,
+    model_engine,
+    movement_tables,
+    resolve_model_engine,
+    tables_memo_stats,
+)
 
 __all__ = [
     "footprint_bytes",
@@ -84,4 +93,10 @@ __all__ = [
     "TileSolution",
     "gemm_chain_closed_form",
     "solve_tiles",
+    "MovementTables",
+    "clear_tables_memo",
+    "model_engine",
+    "movement_tables",
+    "resolve_model_engine",
+    "tables_memo_stats",
 ]

@@ -28,7 +28,8 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import weakref
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir.access import TensorAccess
 from ..ir.chain import OperatorChain
@@ -94,6 +95,99 @@ def algorithm1(
         active = [n for n in active if not chain.is_private(n, op)]
         usage = max(usage, total_df)
     return volume, usage
+
+
+@dataclasses.dataclass(frozen=True)
+class _ChainPrep:
+    """Per-chain invariants shared by every ``MovementModel`` over the chain.
+
+    Enumerating block orders builds one model per permutation, but almost
+    everything Algorithm 1 consults — loop extents, IO classification,
+    which loops each operator and access touch, loop privacy, the
+    producer/consumer divergence sets of each intermediate — depends only
+    on the chain.  Hoisting those into one memoized prep turns per-model
+    construction into pure set membership tests over the permutation.
+
+    ``ops`` holds one ``(op_name, loop_set, accesses)`` triple per operator
+    (chain order), where ``accesses`` lists
+    ``(access, elem_bytes, used_loops)`` for every access of the operator.
+    ``private_owner`` maps a loop to the sole operator name using it (loops
+    shared by several operators are absent).  ``divergence_sets`` maps each
+    intermediate tensor to the symmetric difference of producer/consumer
+    loop sets, one entry per consumer — the loops at which that pair's
+    sub-nests split.
+    """
+
+    extents: Dict[str, int]
+    io_set: FrozenSet[str]
+    io_set_noreuse: FrozenSet[str]
+    intermediates: Tuple[str, ...]
+    ops: Tuple[
+        Tuple[str, FrozenSet[str], Tuple[Tuple[TensorAccess, int, FrozenSet[str]], ...]],
+        ...,
+    ]
+    private_owner: Dict[str, str]
+    divergence_sets: Dict[str, Tuple[FrozenSet[str], ...]]
+
+
+_CHAIN_PREPS: Dict[int, _ChainPrep] = {}
+
+
+def _chain_prep(chain: OperatorChain) -> _ChainPrep:
+    """Memoized :class:`_ChainPrep` for ``chain`` (keyed by identity).
+
+    Chains are frozen dataclasses holding unhashable mappings, so the memo
+    keys on ``id`` and a ``weakref.finalize`` evicts the entry when the
+    chain is collected (ids are recycled).
+    """
+    prep = _CHAIN_PREPS.get(id(chain))
+    if prep is not None:
+        return prep
+    extents = chain.loop_extents()
+    io_set = frozenset(chain.io_tensors())
+    intermediates = chain.intermediate_tensors()
+
+    loop_owners: Dict[str, List[str]] = {}
+    ops = []
+    for op in chain.ops:
+        loop_set = frozenset(op.loop_names)
+        for name in loop_set:
+            loop_owners.setdefault(name, []).append(op.name)
+        accesses = tuple(
+            (
+                access,
+                chain.tensors[access.tensor].dtype.nbytes,
+                frozenset(
+                    name for dim in access.dims for name, _ in dim.terms
+                ),
+            )
+            for access in op.all_accesses()
+        )
+        ops.append((op.name, loop_set, accesses))
+    private_owner = {
+        name: owners[0] for name, owners in loop_owners.items() if len(owners) == 1
+    }
+
+    divergence_sets: Dict[str, Tuple[FrozenSet[str], ...]] = {}
+    for tensor in intermediates:
+        producer_loops = set(chain.producers_of(tensor)[0].loop_names)
+        divergence_sets[tensor] = tuple(
+            frozenset(producer_loops ^ set(consumer.loop_names))
+            for consumer in chain.consumers_of(tensor)
+        )
+
+    prep = _ChainPrep(
+        extents=extents,
+        io_set=io_set,
+        io_set_noreuse=io_set | frozenset(intermediates),
+        intermediates=intermediates,
+        ops=tuple(ops),
+        private_owner=private_owner,
+        divergence_sets=divergence_sets,
+    )
+    _CHAIN_PREPS[id(chain)] = prep
+    weakref.finalize(chain, _CHAIN_PREPS.pop, id(chain), None)
+    return prep
 
 
 @dataclasses.dataclass(frozen=True)
@@ -175,29 +269,30 @@ class MovementModel:
         self.chain = chain
         self.perm = tuple(perm)
         self.reuse_intermediates = reuse_intermediates
-        self.terms = self._build_terms()
-        self._buffer_full_loops = self._build_buffer_spec()
+        prep = _chain_prep(chain)
+        self.terms = self._build_terms(prep)
+        self._buffer_full_loops = self._build_buffer_spec(prep)
+        self._usage_plan_cache: Optional[Tuple] = None
+        self._signature: Optional[Tuple] = None
         self._signature_digest: Optional[str] = None
 
-    def _build_terms(self) -> Tuple[MovementTerm, ...]:
-        chain = self.chain
-        io_set = set(chain.io_tensors())
-        if not self.reuse_intermediates:
-            io_set |= set(chain.intermediate_tensors())
-        extents = chain.loop_extents()
+    def _build_terms(self, prep: _ChainPrep) -> Tuple[MovementTerm, ...]:
+        io_set = prep.io_set if self.reuse_intermediates else prep.io_set_noreuse
+        extents = prep.extents
+        private_owner = prep.private_owner
 
         terms: List[MovementTerm] = []
         active = list(self.perm)
-        for op in chain.ops:
-            for access in op.all_accesses():
+        for op_name, op_loops, accesses in prep.ops:
+            for access, elem_bytes, used_loops in accesses:
                 if access.tensor not in io_set:
                     continue
                 multipliers: List[Tuple[str, int]] = []
                 keep_reuse = True
                 for loop_name in reversed(active):
-                    if not op.has_loop(loop_name):
+                    if loop_name not in op_loops:
                         continue
-                    if access.uses(loop_name):
+                    if loop_name in used_loops:
                         keep_reuse = False
                     if not keep_reuse:
                         multipliers.append((loop_name, extents[loop_name]))
@@ -207,38 +302,36 @@ class MovementModel:
                 # one signature's solution for another bit-for-bit.
                 terms.append(
                     MovementTerm(
-                        op_name=op.name,
+                        op_name=op_name,
                         access=access,
-                        elem_bytes=chain.tensors[access.tensor].dtype.nbytes,
+                        elem_bytes=elem_bytes,
                         multipliers=tuple(sorted(multipliers)),
                     )
                 )
-            active = [n for n in active if not chain.is_private(n, op)]
+            # Observation 3: producer-private loops do not iterate consumers.
+            active = [n for n in active if private_owner.get(n) != op_name]
         return tuple(terms)
 
-    def _build_buffer_spec(self) -> Dict[str, Tuple[str, ...]]:
+    def _build_buffer_spec(self, prep: _ChainPrep) -> Dict[str, Tuple[str, ...]]:
         """Loops buffered at full extent, per intermediate tensor.
 
         For each intermediate, find the divergence point between its
         producer and each consumer: the outermost permutation position
-        holding a loop that belongs to one side but not both.  Every loop
-        from the earliest divergence onwards is buffered at full extent.
+        holding a loop that belongs to one side but not both (the prep's
+        precomputed symmetric-difference set).  Every loop from the
+        earliest divergence onwards is buffered at full extent.
         """
-        chain = self.chain
         spec: Dict[str, Tuple[str, ...]] = {}
         if not self.reuse_intermediates:
             # Intermediates round-trip through off-chip memory: no on-chip
             # distribution buffer is required beyond the plain tile.
             return spec
-        extents = chain.loop_extents()
-        for tensor in chain.intermediate_tensors():
-            producer = chain.producers_of(tensor)[0]
+        extents = prep.extents
+        for tensor in prep.intermediates:
             divergence = len(self.perm)
-            for consumer in chain.consumers_of(tensor):
-                shared = set(producer.loop_names) & set(consumer.loop_names)
-                either = set(producer.loop_names) | set(consumer.loop_names)
+            for split_loops in prep.divergence_sets[tensor]:
                 for position, name in enumerate(self.perm):
-                    if name in either and name not in shared:
+                    if name in split_loops:
                         divergence = min(divergence, position)
                         break
             full = tuple(
@@ -248,6 +341,38 @@ class MovementModel:
             )
             spec[tensor] = full
         return spec
+
+    @property
+    def _usage_plan(
+        self,
+    ) -> Tuple[Tuple[Tuple[TensorAccess, int, Tuple[Tuple[str, int], ...]], ...], ...]:
+        """Precompiled MU evaluation plan: one entry per (op, access).
+
+        Hoists everything :meth:`usage` would otherwise re-derive per call —
+        the ``chain.loop_extents()`` lookup, the buffer-spec lookup per
+        tensor and the dtype byte count — into a per-access tuple
+        ``(access, elem_bytes, overlay)`` where ``overlay`` lists the
+        ``(loop, extent)`` pairs an intermediate's distribution buffer pins
+        at full extent.  Built lazily on first use: order enumeration
+        constructs thousands of models that are only signature-deduped and
+        never evaluate MU.
+        """
+        plan = self._usage_plan_cache
+        if plan is None:
+            prep = _chain_prep(self.chain)
+            built = []
+            for _, _, accesses in prep.ops:
+                entries = []
+                for access, elem_bytes, _ in accesses:
+                    full_loops = self._buffer_full_loops.get(access.tensor) or ()
+                    overlay = tuple(
+                        (name, prep.extents[name]) for name in full_loops
+                    )
+                    entries.append((access, elem_bytes, overlay))
+                built.append(tuple(entries))
+            plan = tuple(built)
+            self._usage_plan_cache = plan
+        return plan
 
     # ------------------------------------------------------------------
     # evaluation
@@ -261,24 +386,105 @@ class MovementModel:
 
         IO tensors count their tile footprint; intermediates count their
         loop-distribution buffer (full extent below the divergence point).
+        Invariants (extents, byte counts, buffer overlays) are precompiled
+        into :attr:`_usage_plan`, so one call is a plain walk over it.
         """
-        chain = self.chain
-        extents = chain.loop_extents()
         peak = 0.0
-        for op in chain.ops:
+        for entries in self._usage_plan:
             total = 0.0
-            for access in op.all_accesses():
-                full_loops = self._buffer_full_loops.get(access.tensor)
-                if full_loops:
+            for access, elem_bytes, overlay in entries:
+                if overlay:
                     eff = dict(tiles)
-                    for name in full_loops:
-                        eff[name] = extents[name]
+                    for name, extent in overlay:
+                        eff[name] = extent
                     footprint = access.footprint(eff)
                 else:
                     footprint = access.footprint(tiles)
-                total += footprint * chain.tensors[access.tensor].dtype.nbytes
+                total += footprint * elem_bytes
             peak = max(peak, total)
         return peak
+
+    def volume_smooth_gradient(
+        self, tiles: Mapping[str, float]
+    ) -> Tuple[float, Dict[str, float]]:
+        """Smooth DV and its partial derivatives ``dDV/dT_l``.
+
+        This is the reference form of the analytic gradient the tile-size
+        solver feeds SLSQP; :class:`repro.core.tables.MovementTables`
+        evaluates the exact same operation sequence over precompiled
+        arrays, so the two engines agree bit for bit.  Per term::
+
+            dm = elem_bytes * prod_d span_d * prod_l max(L_l/T_l, 1)
+            d dm/dT_j = dm * (sum_d c_dj/span_d - [j movement-active]/T_j)
+
+        where a multiplier loop is movement-active while ``L_l/T_l > 1``
+        (past that point the ``max`` clamps and the factor is constant).
+        """
+        volume = 0.0
+        grad = {name: 0.0 for name in self.chain.loop_extents()}
+        for term in self.terms:
+            spans = []
+            footprint = 1.0
+            for dim in term.access.dims:
+                span = 1.0
+                for name, coeff in dim.terms:
+                    span += coeff * (tiles.get(name, 1) - 1)
+                spans.append(span)
+                footprint *= span
+            dm = footprint * term.elem_bytes
+            for name, extent in term.multipliers:
+                dm *= max(extent / tiles.get(name, 1), 1.0)
+            volume += dm
+            for dim, span in zip(term.access.dims, spans):
+                for name, coeff in dim.terms:
+                    grad[name] += dm * (coeff / span)
+            for name, extent in term.multipliers:
+                tile = tiles.get(name, 1)
+                if extent / tile > 1.0:
+                    grad[name] -= dm / tile
+        return volume, grad
+
+    def usage_gradient(
+        self, tiles: Mapping[str, float]
+    ) -> Tuple[float, Dict[str, float]]:
+        """MU and the partials of the *peak* operator's footprint sum.
+
+        MU is a max over operators; the returned gradient is the gradient
+        of the first operator attaining the peak (the standard subgradient
+        choice, applied identically by both model engines).  Loops pinned
+        at full extent by a distribution buffer contribute zero — their
+        effective tile does not vary with ``T``.
+        """
+        peak = 0.0
+        peak_grad = {name: 0.0 for name in self.chain.loop_extents()}
+        for entries in self._usage_plan:
+            total = 0.0
+            grad = {name: 0.0 for name in self.chain.loop_extents()}
+            for access, elem_bytes, overlay in entries:
+                pinned = {name for name, _ in overlay}
+                if overlay:
+                    eff = dict(tiles)
+                    for name, extent in overlay:
+                        eff[name] = extent
+                else:
+                    eff = tiles
+                spans = []
+                footprint = 1.0
+                for dim in access.dims:
+                    span = 1.0
+                    for name, coeff in dim.terms:
+                        span += coeff * (eff.get(name, 1) - 1)
+                    spans.append(span)
+                    footprint *= span
+                footprint_bytes = footprint * elem_bytes
+                total += footprint_bytes
+                for dim, span in zip(access.dims, spans):
+                    for name, coeff in dim.terms:
+                        if name not in pinned:
+                            grad[name] += footprint_bytes * (coeff / span)
+            if total > peak:
+                peak, peak_grad = total, grad
+        return peak, peak_grad
 
     def buffered_full_loops(self, tensor: str) -> Tuple[str, ...]:
         """Loops an intermediate is buffered over at full extent."""
@@ -319,13 +525,20 @@ class MovementModel:
 
         Permutations with equal signatures have identical DV *and* identical
         intermediate-buffer structure for every tile assignment, so the
-        optimizer solves each signature once.
+        optimizer solves each signature once.  Cached after the first
+        computation — the solve memo and the movement-tables memo both key
+        on it, once per candidate each.
         """
-        buffers = tuple(sorted(
-            (tensor, frozenset(loops))
-            for tensor, loops in self._buffer_full_loops.items()
-        ))
-        return (tuple(sorted(t.signature for t in self.terms)), buffers)
+        if self._signature is None:
+            buffers = tuple(sorted(
+                (tensor, frozenset(loops))
+                for tensor, loops in self._buffer_full_loops.items()
+            ))
+            self._signature = (
+                tuple(sorted(t.signature for t in self.terms)),
+                buffers,
+            )
+        return self._signature
 
     def signature_digest(self) -> str:
         """Stable hex digest of :attr:`signature` (solve-memo key part).
@@ -350,6 +563,18 @@ class MovementModel:
                 repr(canonical).encode()
             ).hexdigest()
         return self._signature_digest
+
+    def __getstate__(self) -> Dict:
+        """Drop per-instance derived caches when pickling.
+
+        Process-pool workers rebuild (or memo-hit) their own compiled
+        tables and usage plans; the arrays would only bloat the payload
+        crossing the pool boundary.
+        """
+        state = dict(self.__dict__)
+        state.pop("_tables", None)
+        state["_usage_plan_cache"] = None
+        return state
 
     def __repr__(self) -> str:
         return f"MovementModel({self.chain.name}, order={'/'.join(self.perm)})"

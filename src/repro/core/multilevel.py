@@ -57,12 +57,16 @@ def solve_hierarchy(
     capacity_utilization: float = 0.75,
     policy: Optional[SearchPolicy] = None,
     stats: Optional[SearchStats] = None,
+    engine: Optional[str] = None,
 ) -> List[LevelSchedule]:
     """Solve tile sizes for every on-chip level under one block order.
 
     Solves are memoized under the exact permutation (ablations comparing
     symmetric orders still report their own order) when ``policy`` allows;
-    ``constraints_token`` keeps constrained solves memoizable.
+    ``constraints_token`` keeps constrained solves memoizable.  Every
+    level's solve runs on the same model ``engine`` (``scalar``/``tables``,
+    ``None`` defers to ``REPRO_MODEL_ENGINE``); the engines return
+    bit-identical schedules.
 
     Returns:
         schedules innermost-first (matching ``HardwareSpec.on_chip_levels``).
@@ -89,6 +93,7 @@ def solve_hierarchy(
             policy=policy,
             digest=digest,
             stats=stats,
+            engine=engine,
         )
         schedules_outer_first.append(
             LevelSchedule(

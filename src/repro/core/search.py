@@ -57,9 +57,17 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
 from ..ir.chain import OperatorChain
 from .movement import MovementModel
 from .solver import ConstraintFn, TileSolution, solve_tiles
+from .tables import (
+    ENGINE_TABLES,
+    TablesEvaluator,
+    resolve_model_engine,
+    tables_memo_stats,
+)
 
 #: Environment knobs honoured by :meth:`SearchPolicy.from_env`.
 ENV_WORKERS = "REPRO_SEARCH_WORKERS"
@@ -158,6 +166,7 @@ def search_stats_snapshot() -> Dict[str, Any]:
     with _GLOBAL_STATS_LOCK:
         snap = _GLOBAL_STATS.as_dict()
     snap["memo"] = _GLOBAL_MEMO.stats()
+    snap["tables_memo"] = tables_memo_stats()
     return snap
 
 
@@ -199,6 +208,7 @@ def upper_tile_bounds(
     capacity: float,
     constraints: Sequence[ConstraintFn] = (),
     max_parent: Optional[Mapping[str, int]] = None,
+    engine: Optional[str] = None,
 ) -> Optional[Dict[str, int]]:
     """Per-loop capacity-relaxed maximum tiles, or ``None`` if nothing fits.
 
@@ -209,7 +219,14 @@ def upper_tile_bounds(
     ``T``, ``T_l`` cannot exceed this per-loop bound — the bounds form a
     box relaxation of the feasible region.  ``None`` means even all-ones
     tiles violate a constraint: no feasible assignment exists at all.
+
+    Under the tables engine the per-loop binary searches run in lockstep:
+    one batched MU evaluation per bisection step covers every still-active
+    loop, instead of one scalar MU call per loop per step.  The probe
+    points — and therefore the bounds — are identical to the scalar path.
     """
+    if resolve_model_engine(engine) == ENGINE_TABLES:
+        return _upper_tile_bounds_tables(model, capacity, constraints, max_parent)
     extents = model.chain.loop_extents()
     parent = max_parent or {}
     probe = _ones(model)
@@ -235,11 +252,71 @@ def upper_tile_bounds(
     return bounds
 
 
+def _upper_tile_bounds_tables(
+    model: MovementModel,
+    capacity: float,
+    constraints: Sequence[ConstraintFn],
+    max_parent: Optional[Mapping[str, int]],
+) -> Optional[Dict[str, int]]:
+    """Batched twin of the scalar :func:`upper_tile_bounds` loop.
+
+    The per-loop searches are independent, so every bisection step probes
+    all still-active loops with one ``(N, L)`` MU batch.  Invariants (lo
+    fits, hi does not) and midpoints match the scalar loop exactly.
+    """
+    extents = model.chain.loop_extents()
+    parent = max_parent or {}
+    names = list(model.perm)
+    width = len(names)
+    if not width:
+        # Degenerate chain (every loop extent 1): nothing to bound, the
+        # all-ones probe alone decides feasibility.
+        probe = _ones(model)
+        return {} if _fits(model, probe, capacity, constraints) else None
+    evaluator = TablesEvaluator(model, names, constraints)
+
+    def fits(values: np.ndarray) -> np.ndarray:
+        return (
+            evaluator.usage_batch(values) <= capacity
+        ) & evaluator.constraints_ok_batch(values)
+
+    if not bool(fits(np.ones((1, width)))[0]):
+        return None
+    hi = np.array(
+        [
+            max(1, min(extents[n], parent.get(n, extents[n])))
+            for n in names
+        ],
+        dtype=np.int64,
+    )
+    probes = np.ones((width, width))
+    probes[np.arange(width), np.arange(width)] = hi.astype(float)
+    fit_hi = fits(probes)
+    lo = np.ones(width, dtype=np.int64)
+    hi_search = hi.copy()
+    active = ~fit_hi
+    while True:
+        work = np.nonzero(active & (hi_search - lo > 1))[0]
+        if not work.size:
+            break
+        mids = (lo[work] + hi_search[work]) // 2
+        rows = np.ones((work.size, width))
+        rows[np.arange(work.size), work] = mids.astype(float)
+        fit_mid = fits(rows)
+        lo[work] = np.where(fit_mid, mids, lo[work])
+        hi_search[work] = np.where(fit_mid, hi_search[work], mids)
+    return {
+        name: int(hi[i]) if fit_hi[i] else int(lo[i])
+        for i, name in enumerate(names)
+    }
+
+
 def dv_lower_bound(
     model: MovementModel,
     capacity: float,
     constraints: Sequence[ConstraintFn] = (),
     max_parent: Optional[Mapping[str, int]] = None,
+    engine: Optional[str] = None,
 ) -> float:
     """Admissible lower bound on the DV of any feasible tile assignment.
 
@@ -251,12 +328,35 @@ def dv_lower_bound(
     order admits no feasible tiles — such candidates only lose to a
     feasible incumbent, so pruning them is exact as well.
     """
-    bounds = upper_tile_bounds(model, capacity, constraints, max_parent)
+    bounds = upper_tile_bounds(
+        model, capacity, constraints, max_parent, engine=engine
+    )
     if bounds is None:
         return math.inf
     tiles = _ones(model)
     tiles.update({name: float(t) for name, t in bounds.items()})
     return model.volume(tiles, exact=True)
+
+
+def dv_lower_bounds(
+    models: Sequence[MovementModel],
+    capacity: float,
+    constraints: Sequence[ConstraintFn] = (),
+    max_parent: Optional[Mapping[str, int]] = None,
+    engine: Optional[str] = None,
+) -> List[float]:
+    """:func:`dv_lower_bound` across candidate orders (the pruning pass).
+
+    Resolves the engine once; under the tables engine every order's bound
+    runs its bisections batched, so the whole pass costs a handful of
+    numpy evaluations per order instead of ``O(loops x log(extent))``
+    scalar model calls.
+    """
+    engine = resolve_model_engine(engine)
+    return [
+        dv_lower_bound(model, capacity, constraints, max_parent, engine=engine)
+        for model in models
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -279,6 +379,7 @@ class SolveMemo:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def get(self, key: Hashable) -> Optional[TileSolution]:
         with self._lock:
@@ -296,12 +397,14 @@ class SolveMemo:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self._evictions += 1
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -314,6 +417,7 @@ class SolveMemo:
                 "capacity": self.capacity,
                 "hits": self._hits,
                 "misses": self._misses,
+                "evictions": self._evictions,
             }
 
 
@@ -378,9 +482,13 @@ def _solution_key(
 
 
 def _solve_payload(payload: Tuple) -> TileSolution:
-    """Top-level worker entry (must be picklable for the process pool)."""
+    """Top-level worker entry (must be picklable for the process pool).
+
+    The engine travels in the payload: worker processes must solve with
+    the engine the parent resolved, not re-read their own environment.
+    """
     (model, capacity, min_tiles, quanta, constraints, max_parent, starts,
-     hard_min_tiles) = payload
+     hard_min_tiles, engine) = payload
     return solve_tiles(
         model,
         capacity,
@@ -390,6 +498,7 @@ def _solve_payload(payload: Tuple) -> TileSolution:
         max_parent=max_parent,
         starts=starts,
         hard_min_tiles=hard_min_tiles,
+        engine=engine,
     )
 
 
@@ -406,9 +515,11 @@ class _Solver:
         digest: Optional[str],
         constraints_token: Optional[Hashable],
         memo: SolveMemo,
+        engine: str,
     ) -> None:
         self.capacity = capacity
         self.kwargs = solve_kwargs
+        self.engine = engine
         self.policy = policy
         self.stats = stats
         self.memo = memo
@@ -455,6 +566,7 @@ class _Solver:
             self.kwargs.get("max_parent"),
             self.kwargs.get("starts", 4),
             self.kwargs.get("hard_min_tiles"),
+            self.engine,
         )
 
     def solve(self, model: MovementModel) -> TileSolution:
@@ -508,6 +620,7 @@ def search_tiles(
     stats: Optional[SearchStats] = None,
     digest: Optional[str] = None,
     executor: Optional[concurrent.futures.Executor] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[MovementModel, TileSolution]:
     """Pick the best (model, tile solution) among candidate orders.
 
@@ -526,6 +639,10 @@ def search_tiles(
             otherwise one is created per call when ``policy.workers > 1``.
         stats: accumulator to fill (also folded into the process-global
             aggregate).
+        engine: model evaluation engine for bounds and solves; ``None``
+            defers to ``REPRO_MODEL_ENGINE``.  Like ``policy``, the engine
+            changes how fast the search runs, never what it returns, so it
+            stays out of the memo key.
 
     Returns:
         the winning ``(model, solution)`` pair.
@@ -533,6 +650,7 @@ def search_tiles(
     if not models:
         raise ValueError("search_tiles needs at least one candidate model")
     policy = policy or SearchPolicy.from_env()
+    engine = resolve_model_engine(engine)
     local = SearchStats(searches=1, candidates=len(models))
     if digest is None and policy.memoize:
         digest = chain_digest(models[0].chain)
@@ -552,14 +670,15 @@ def search_tiles(
         digest=digest,
         constraints_token=constraints_token,
         memo=_GLOBAL_MEMO,
+        engine=engine,
     )
 
     if policy.prune:
         started = time.perf_counter()
-        bounded = [
-            (dv_lower_bound(model, capacity, constraints, max_parent), model)
-            for model in models
-        ]
+        bounds = dv_lower_bounds(
+            models, capacity, constraints, max_parent, engine=engine
+        )
+        bounded = list(zip(bounds, models))
         local.bound_evals += len(bounded)
         local.bound_seconds += time.perf_counter() - started
         bounded.sort(key=lambda item: (item[0], item[1].perm))
@@ -649,12 +768,15 @@ def memoized_solve_tiles(
     policy: Optional[SearchPolicy] = None,
     digest: Optional[str] = None,
     stats: Optional[SearchStats] = None,
+    engine: Optional[str] = None,
 ) -> TileSolution:
     """Memo-aware :func:`solve_tiles` for fixed-order solves.
 
     Keyed on the exact permutation (not the signature), so ablation paths
     that deliberately compare symmetric orders still solve under their own
-    order while repeated solves of the same order hit the memo.
+    order while repeated solves of the same order hit the memo.  The
+    engine is not part of the key: both engines return bit-identical
+    solutions.
     """
     policy = policy or SearchPolicy.from_env()
     local = SearchStats()
@@ -692,6 +814,7 @@ def memoized_solve_tiles(
             max_parent=max_parent,
             starts=starts,
             hard_min_tiles=hard_min_tiles,
+            engine=engine,
         )
         local.solves += 1
         local.solve_seconds += time.perf_counter() - started

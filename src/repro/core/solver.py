@@ -9,13 +9,23 @@ This module implements the same recipe for *arbitrary* chains:
 
 * the continuous problem is solved numerically (SLSQP in log-tile space,
   multiple deterministic starts) — this is the general-purpose stand-in for
-  the per-shape Lagrange derivation;
+  the per-shape Lagrange derivation.  The objective and every constraint
+  feed SLSQP *analytic* log-space gradients (Algorithm 1 is a product of
+  affine spans, so the partials are closed-form) instead of finite
+  differences, which removes the dominant cost of a cold compile;
+* DV/MU evaluation goes through :mod:`repro.core.tables` — either the
+  scalar reference engine or the compiled tables engine
+  (``REPRO_MODEL_ENGINE``).  Both engines execute the same floating-point
+  operation sequence, so the solver trajectory — and the returned plan —
+  is bit-identical between them;
 * the closed-form GEMM-chain solution the paper derives analytically is
   provided separately (:func:`gemm_chain_closed_form`) and used by tests to
   validate the numeric path;
 * integer refinement evaluates the floor/ceil lattice around the continuous
   optimum with the *exact* (ceil-based) DV and the exact MU, honouring
-  per-loop minimum tiles and quanta imposed by the micro kernels.
+  per-loop minimum tiles and quanta imposed by the micro kernels.  Under
+  the tables engine the whole lattice is scored in one batched
+  ``volume_batch``/``usage_batch`` call.
 """
 
 from __future__ import annotations
@@ -29,9 +39,18 @@ import numpy as np
 from scipy import optimize
 
 from .movement import MovementModel
+from .tables import TablesEvaluator, evaluator_for, resolve_model_engine
 
 ConstraintFn = Callable[[Mapping[str, float]], float]
 """Extra feasibility predicate: returns (usage - capacity); <= 0 is feasible."""
+
+#: Diagnostic escape hatch: set False to emulate the pre-tables solver —
+#: SLSQP falls back to finite differences and the constraints are fed in
+#: raw byte units (the seed's ill-conditioned scaling).  Benchmarks use it
+#: to measure the baseline this PR replaces; production paths must leave
+#: it True — both engines share the analytic-gradient trajectory, and that
+#: sharing is what makes their plans byte-identical.
+_ANALYTIC_JAC = True
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,6 +102,7 @@ def solve_tiles(
     max_parent: Optional[Mapping[str, int]] = None,
     starts: int = 4,
     hard_min_tiles: Optional[Mapping[str, int]] = None,
+    engine: Optional[str] = None,
 ) -> TileSolution:
     """Minimize DV(S) s.t. MU(S) <= capacity for one movement model.
 
@@ -98,23 +118,30 @@ def solve_tiles(
         quanta: tile sizes are rounded to multiples of these (e.g. 16 for
             tensor-core loops); bounds are respected first.
         constraints: extra feasibility functions (e.g. the NPU Unified
-            Buffer bound on the intermediate footprint).
+            Buffer bound on the intermediate footprint).  A constraint
+            exposing a ``gradient(tiles)`` method gets an analytic SLSQP
+            jacobian; others fall back to finite differences.
         max_parent: per-loop upper bounds below the loop extent — used for
             inner memory levels, whose tiles nest inside the parent level's.
         starts: number of deterministic multi-start points for SLSQP.
         hard_min_tiles: lower bounds that are never relaxed (the outer-level
             pins on producer-private reductions).
+        engine: model evaluation engine (``scalar``/``tables``); ``None``
+            defers to ``REPRO_MODEL_ENGINE``.  Both engines return
+            bit-identical solutions.
 
     Returns:
         the best feasible integer solution found; ``feasible=False`` with
         all-ones tiles if even the smallest legal tiles exceed capacity.
     """
+    engine = resolve_model_engine(engine)
     chain = model.chain
     extents = chain.loop_extents()
     names = [n for n in model.perm]
     min_tiles = dict(min_tiles or {})
     hard_min_tiles = dict(hard_min_tiles or {})
     quanta = dict(quanta or {})
+    evaluator = evaluator_for(model, names, constraints, engine)
 
     upper_src = max_parent or {}
     upper = np.array(
@@ -131,15 +158,6 @@ def solve_tiles(
         # never exceed its parent tile.
         return np.minimum(np.array(values, dtype=float), upper)
 
-    lower = lower_for(min_tiles)
-    min_point = {n: float(v) for n, v in zip(names, lower)}
-    min_infeasible = model.usage(min_point) > capacity or any(
-        fn(min_point) > 0 for fn in constraints
-    )
-    if min_infeasible and min_tiles:
-        # Soft minimums don't fit: relax them and keep only the hard pins.
-        lower = lower_for({})
-
     if not names:
         tiles = _full_tiles(model, {})
         dv = model.volume(tiles, exact=True)
@@ -148,19 +166,82 @@ def solve_tiles(
             tiles, dv, mu, _feasible(model, tiles, capacity, constraints), {}
         )
 
-    def tiles_of(x: np.ndarray) -> Dict[str, float]:
-        return {n: float(v) for n, v in zip(names, np.exp(x))}
+    def fits_vector(values: np.ndarray) -> bool:
+        if evaluator.usage(values) > capacity:
+            return False
+        return all(
+            evaluator.constraint(i, values) <= 0
+            for i in range(len(constraints))
+        )
 
-    def objective(x: np.ndarray) -> float:
-        # Log the objective for conditioning: DV spans many decades.
-        return math.log(max(model.volume(tiles_of(x), exact=False), 1.0))
+    lower = lower_for(min_tiles)
+    if min_tiles and not fits_vector(lower):
+        # Soft minimums don't fit: relax them and keep only the hard pins.
+        lower = lower_for({})
+
+    size = len(names)
+
+    # SLSQP evaluates the objective, the capacity slack, and their
+    # jacobians at the same point in turn; share one exp(x) per point so
+    # every closure hands the evaluator the identical values array (which
+    # also lets the tables evaluator reuse its expanded row).
+    point_key: List[Optional[bytes]] = [None]
+    point_values: List[Optional[np.ndarray]] = [None]
+
+    def values_at(x: np.ndarray) -> np.ndarray:
+        key = x.tobytes()
+        if key != point_key[0]:
+            point_key[0] = key
+            point_values[0] = np.exp(x)
+        return point_values[0]
+
+    def objective(x: np.ndarray) -> Tuple[float, np.ndarray]:
+        # Log the objective for conditioning: DV spans many decades.  The
+        # gradient is chained through tiles = exp(x); below DV = 1 the
+        # clamp makes the objective flat, so the gradient is zero there.
+        values = values_at(x)
+        volume, grad = evaluator.volume_smooth_gradient(values)
+        if volume > 1.0:
+            return math.log(volume), grad * values / volume
+        return 0.0, np.zeros(size)
+
+    # Constraints are fed to SLSQP in *relative* units (fraction of the
+    # capacity) so the merit function sees an O(1) violation scale next to
+    # the O(1) log-volume objective.  Raw byte-valued slacks (~1e5..1e8)
+    # make SLSQP's L1 penalty wildly ill-conditioned and its line search
+    # backtrack for most of the iteration budget.  The seed-emulation
+    # baseline keeps the raw scale (together with finite differences).
+    inv_capacity = 1.0 / capacity if capacity > 0 and _ANALYTIC_JAC else 1.0
 
     def capacity_slack(x: np.ndarray) -> float:
-        return capacity - model.usage(tiles_of(x))
+        return (capacity - evaluator.usage(values_at(x))) * inv_capacity
 
-    cons = [{"type": "ineq", "fun": capacity_slack}]
-    for fn in constraints:
-        cons.append({"type": "ineq", "fun": lambda x, fn=fn: -fn(tiles_of(x))})
+    def capacity_slack_jac(x: np.ndarray) -> np.ndarray:
+        values = values_at(x)
+        _, grad = evaluator.usage_gradient(values)
+        return -grad * values * inv_capacity
+
+    cons: List[Dict] = [
+        {"type": "ineq", "fun": capacity_slack, "jac": capacity_slack_jac}
+    ]
+    for idx in range(len(constraints)):
+        entry: Dict = {
+            "type": "ineq",
+            "fun": lambda x, i=idx: (
+                -evaluator.constraint(i, values_at(x)) * inv_capacity
+            ),
+        }
+        if evaluator.constraint_has_gradient(idx):
+            entry["jac"] = lambda x, i=idx: (
+                -evaluator.constraint_gradient(i, values_at(x))
+                * values_at(x)
+                * inv_capacity
+            )
+        cons.append(entry)
+    if not _ANALYTIC_JAC:  # finite-difference baseline (benchmarks only)
+        cons = [
+            {k: v for k, v in entry.items() if k != "jac"} for entry in cons
+        ]
 
     log_lower, log_upper = np.log(lower), np.log(upper)
     bounds = list(zip(log_lower, log_upper))
@@ -172,22 +253,35 @@ def solve_tiles(
         x0 = log_lower + frac * (log_upper - log_lower)
         x0 = _project_feasible(x0, capacity_slack, log_lower)
         try:
-            res = optimize.minimize(
-                objective,
-                x0,
-                method="SLSQP",
-                bounds=bounds,
-                constraints=cons,
-                options={"maxiter": 200, "ftol": 1e-9},
-            )
+            if _ANALYTIC_JAC:
+                res = optimize.minimize(
+                    objective,
+                    x0,
+                    jac=True,
+                    method="SLSQP",
+                    bounds=bounds,
+                    constraints=cons,
+                    options={"maxiter": 200, "ftol": 1e-9},
+                )
+            else:
+                res = optimize.minimize(
+                    lambda x: math.log(
+                        max(evaluator.volume_smooth(np.exp(x)), 1.0)
+                    ),
+                    x0,
+                    method="SLSQP",
+                    bounds=bounds,
+                    constraints=cons,
+                    options={"maxiter": 200, "ftol": 1e-9},
+                )
         except (ValueError, RuntimeError):
             continue
         if res.x is None:
             continue
         x = np.clip(res.x, log_lower, log_upper)
-        if capacity_slack(x) < -1e-6 * capacity:
+        if capacity_slack(x) < -1e-6 * capacity * inv_capacity:
             continue
-        val = objective(x)
+        val = objective(x)[0]
         if val < best_val:
             best_val, best_x = val, x
 
@@ -196,7 +290,7 @@ def solve_tiles(
             (log_lower + log_upper) / 2, capacity_slack, log_lower
         )
 
-    continuous = tiles_of(best_x)
+    continuous = {n: float(v) for n, v in zip(names, np.exp(best_x))}
     solution = _integer_refine(
         model,
         continuous,
@@ -206,6 +300,7 @@ def solve_tiles(
         upper,
         quanta,
         constraints,
+        evaluator=evaluator,
     )
     return dataclasses.replace(solution, continuous=continuous)
 
@@ -248,17 +343,15 @@ def _quantize(value: int, quantum: int, lo: int, hi: int) -> int:
     return snapped
 
 
-def _integer_refine(
-    model: MovementModel,
+def _lattice_values(
     continuous: Mapping[str, float],
-    capacity: float,
     names: Sequence[str],
     lower: np.ndarray,
     upper: np.ndarray,
     quanta: Mapping[str, int],
-    constraints: Sequence[ConstraintFn],
-) -> TileSolution:
-    """Floor/ceil lattice search around the continuous optimum."""
+) -> List[List[int]]:
+    """Per-loop candidate tiles: quantized floor/ceil/minimum (vectorized
+    ``_quantize`` outcome, deduplicated and clamped to ``[lo, hi]``)."""
     candidate_values: List[List[int]] = []
     for idx, name in enumerate(names):
         lo, hi = int(lower[idx]), int(upper[idx])
@@ -277,19 +370,70 @@ def _integer_refine(
         # Never propose a tile outside [lo, hi]: quantized candidates must
         # not exceed the loop extent (or the parent level's tile).
         candidate_values.append(sorted({max(lo, min(hi, v)) for v in options}))
+    return candidate_values
+
+
+def _integer_refine(
+    model: MovementModel,
+    continuous: Mapping[str, float],
+    capacity: float,
+    names: Sequence[str],
+    lower: np.ndarray,
+    upper: np.ndarray,
+    quanta: Mapping[str, int],
+    constraints: Sequence[ConstraintFn],
+    evaluator=None,
+) -> TileSolution:
+    """Floor/ceil lattice search around the continuous optimum.
+
+    Under the tables engine the entire lattice is scored in one batched
+    DV/MU evaluation; the scalar engine walks it as the reference loop.
+    Both paths replicate the same selection rule — first-occurrence
+    (in ``itertools.product`` order) strict minimum of DV among feasible
+    points, first-occurrence ``(MU, DV)`` minimum as infeasible fallback —
+    so they pick the identical lattice point.
+    """
+    candidate_values = _lattice_values(continuous, names, lower, upper, quanta)
 
     best: Optional[Tuple[float, float, Dict[str, int]]] = None
     fallback: Optional[Tuple[float, float, Dict[str, int]]] = None
-    for combo in itertools.product(*candidate_values):
-        tiles = _full_tiles(model, dict(zip(names, combo)))
-        mu = model.usage(tiles)
-        dv = model.volume(tiles, exact=True)
-        entry = (dv, mu, tiles)
-        if fallback is None or (mu, dv) < (fallback[1], fallback[0]):
-            fallback = entry
-        if mu <= capacity and all(fn(tiles) <= 0 for fn in constraints):
-            if best is None or dv < best[0]:
-                best = entry
+    if isinstance(evaluator, TablesEvaluator):
+        # np.meshgrid(..., indexing="ij") flattens in the same
+        # lexicographic order itertools.product enumerates.
+        grids = np.meshgrid(
+            *[np.asarray(v, dtype=float) for v in candidate_values],
+            indexing="ij",
+        )
+        lattice = np.stack([g.reshape(-1) for g in grids], axis=1)
+        dv_all = evaluator.volume_exact_batch(lattice)
+        mu_all = evaluator.usage_batch(lattice)
+        feasible = (mu_all <= capacity) & evaluator.constraints_ok_batch(
+            lattice
+        )
+
+        def entry_at(row: int) -> Tuple[float, float, Dict[str, int]]:
+            combo = (int(v) for v in lattice[row])
+            tiles = _full_tiles(model, dict(zip(names, combo)))
+            return (float(dv_all[row]), float(mu_all[row]), tiles)
+
+        order = np.lexsort((dv_all, mu_all))
+        fallback = entry_at(int(order[0]))
+        feasible_rows = np.nonzero(feasible)[0]
+        if feasible_rows.size:
+            best = entry_at(
+                int(feasible_rows[np.argmin(dv_all[feasible_rows])])
+            )
+    else:
+        for combo in itertools.product(*candidate_values):
+            tiles = _full_tiles(model, dict(zip(names, combo)))
+            mu = model.usage(tiles)
+            dv = model.volume(tiles, exact=True)
+            entry = (dv, mu, tiles)
+            if fallback is None or (mu, dv) < (fallback[1], fallback[0]):
+                fallback = entry
+            if mu <= capacity and all(fn(tiles) <= 0 for fn in constraints):
+                if best is None or dv < best[0]:
+                    best = entry
 
     if best is not None:
         dv, mu, tiles = best

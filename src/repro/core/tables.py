@@ -1,0 +1,1104 @@
+"""Compiled movement tables: batched Algorithm-1 DV/MU evaluation.
+
+:class:`repro.core.movement.MovementModel` is the scalar *reference*
+engine: every ``volume()``/``usage()`` call walks term objects over a tile
+dict.  This module compiles a model once into a :class:`MovementTables`
+object — flat per-term tuples of (loop column, coefficient) entries plus
+numpy-ready column indices — and evaluates the same formulas either for a
+single tile vector (the solver's hot path) or for an ``(N, L)`` candidate
+matrix in a handful of numpy calls (the integer-refinement lattice, the
+per-order bound probes).
+
+**Bit-for-bit contract.**  The tables engine must return *exactly* the
+floats the scalar engine returns, for values and gradients alike, so the
+two engines produce byte-identical plans.  Every evaluator below therefore
+replays the reference implementation's floating-point operation sequence:
+
+* reductions over terms, dims and loop entries stay sequential Python
+  loops (numpy's ``sum``/``dot`` use pairwise summation, which associates
+  differently);
+* only the candidate axis ``N`` is vectorized — elementwise numpy ops on
+  float64 arrays perform the same IEEE-754 operation as Python floats;
+* integer inputs (extents, coefficients, byte counts) are exact in double
+  precision, so pre-converting them to floats changes nothing.
+
+Engine selection: ``REPRO_MODEL_ENGINE`` (``tables`` by default, ``scalar``
+for the reference path); call sites may override per call.  Compiled
+tables are memoized per model instance and, across models, in a bounded
+process-global LRU keyed by chain identity + ``signature_digest()`` —
+permutations with equal signatures share one compilation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from .movement import MovementModel
+
+#: Environment knob selecting the model evaluation engine.
+ENV_MODEL_ENGINE = "REPRO_MODEL_ENGINE"
+ENGINE_SCALAR = "scalar"
+ENGINE_TABLES = "tables"
+_ENGINES = (ENGINE_SCALAR, ENGINE_TABLES)
+
+
+def resolve_model_engine(engine: Optional[str] = None) -> str:
+    """Validated engine name; ``None`` defers to ``REPRO_MODEL_ENGINE``.
+
+    Both engines return bit-identical results — the knob exists so the
+    scalar reference path stays exercised (CI) and diagnosable.
+    """
+    if engine is None:
+        engine = os.environ.get(ENV_MODEL_ENGINE, ENGINE_TABLES)
+    engine = engine.strip().lower()
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"unknown model engine {engine!r}; expected one of {_ENGINES}"
+        )
+    return engine
+
+
+def model_engine() -> str:
+    """The engine the environment currently selects."""
+    return resolve_model_engine(None)
+
+
+#: Environment knob disabling the generated (unrolled) row kernels.
+ENV_TABLES_CODEGEN = "REPRO_TABLES_CODEGEN"
+
+
+def codegen_enabled() -> bool:
+    """Whether compiled tables may specialize row kernels via codegen."""
+    value = os.environ.get(ENV_TABLES_CODEGEN, "1").strip().lower()
+    return value not in ("0", "false", "off")
+
+
+# ----------------------------------------------------------------------
+# row-kernel code generation
+# ----------------------------------------------------------------------
+# The solver evaluates DV/MU and their gradients thousands of times per
+# tile solve.  The interpreted row kernels below walk nested per-term
+# tuples; for solver-facing evaluators we instead *generate* straight-line
+# Python source with every loop unrolled — the identical floating-point
+# operation sequence, minus all iteration and unpacking overhead — and
+# ``exec`` it once per compiled table.  Identity operations the reference
+# performs (``x * 1.0``, ``0.0 + x``) are elided, which IEEE-754 makes
+# bit-exact for the finite positive values these formulas produce.
+
+
+def _emit_span(dim, value_of) -> str:
+    """Source expression for one dim's span, ``1.0 + sum coeff*(T-1)``.
+
+    The reference accumulates left-associatively starting from ``1.0``;
+    a chained ``+`` expression reproduces that exactly.  Entries with a
+    negative column add their precomputed constant (pinned loops).
+    """
+    expr = "1.0"
+    for col, coeff in dim:
+        if col >= 0:
+            expr += f" + {coeff!r} * ({value_of(col)} - 1.0)"
+        else:
+            expr += f" + {coeff!r}"
+    return expr
+
+
+def _emit_footprint(lines, dims, value_of, prefix) -> str:
+    """Emit span locals for ``dims``; return the footprint expression."""
+    names = []
+    for di, dim in enumerate(dims):
+        name = f"{prefix}s{di}"
+        lines.append(f"    {name} = {_emit_span(dim, value_of)}")
+        names.append(name)
+    return " * ".join(names) if names else "1.0"
+
+
+# ----------------------------------------------------------------------
+# compiled tables
+# ----------------------------------------------------------------------
+class _TermTable:
+    """One :class:`MovementTerm` flattened to loop-column entries."""
+
+    __slots__ = ("elem_bytes", "mults", "dims")
+
+    def __init__(
+        self,
+        elem_bytes: float,
+        mults: Tuple[Tuple[int, int], ...],
+        dims: Tuple[Tuple[Tuple[int, float], ...], ...],
+    ) -> None:
+        self.elem_bytes = elem_bytes  # float (exact int value)
+        self.mults = mults  # ((column, full extent), ...) sorted as stored
+        self.dims = dims  # per dim: ((column, coeff), ...) in terms order
+
+
+class _AccessTable:
+    """One (op, access) MU entry; pinned loops folded to constant addends."""
+
+    __slots__ = ("elem_bytes", "dims")
+
+    def __init__(
+        self,
+        elem_bytes: float,
+        dims: Tuple[Tuple[Tuple[int, float], ...], ...],
+    ) -> None:
+        self.elem_bytes = elem_bytes
+        # Per dim: ((column, coeff), ...) with column -1 meaning "add the
+        # stored constant" — a loop the distribution buffer pins at full
+        # extent contributes coeff*(extent-1) regardless of the tiles.
+        self.dims = dims
+
+
+class _ConstraintTable:
+    """A compiled access-group constraint: sum of footprints - capacity."""
+
+    __slots__ = ("accesses", "capacity", "_k_row", "_k_gradient")
+
+    def __init__(
+        self, accesses: Tuple[_AccessTable, ...], capacity: float
+    ) -> None:
+        self.accesses = accesses
+        self.capacity = capacity
+        self._k_row: Optional[Callable] = None
+        self._k_gradient: Optional[Callable] = None
+
+    def ensure_fast_kernels(self, width: int) -> bool:
+        """Generate unrolled row/gradient kernels (see module notes)."""
+        if self._k_row is not None:
+            return True
+        if not codegen_enabled():
+            return False
+        used = sorted(
+            {
+                col
+                for acc in self.accesses
+                for dim in acc.dims
+                for col, _ in dim
+                if col >= 0
+            }
+        )
+        tile = "t{}".format
+        lines = ["def row(t):"]
+        for col in used:
+            lines.append(f"    t{col} = t[{col}]")
+        lines.append("    usage = 0.0")
+        for acc in self.accesses:
+            footprint = _emit_footprint(lines, acc.dims, tile, "")
+            lines.append(f"    usage = usage + ({footprint}) * {acc.elem_bytes!r}")
+        lines.append(f"    return usage - {self.capacity!r}")
+        source = ["\n".join(lines)]
+
+        lines = ["def gradient(t):"]
+        for col in used:
+            lines.append(f"    t{col} = t[{col}]")
+        for col in used:
+            lines.append(f"    g{col} = 0.0")
+        for acc in self.accesses:
+            footprint = _emit_footprint(lines, acc.dims, tile, "")
+            lines.append(f"    fpb = ({footprint}) * {acc.elem_bytes!r}")
+            for di, dim in enumerate(acc.dims):
+                for col, coeff in dim:
+                    if col >= 0:
+                        lines.append(
+                            f"    g{col} = g{col} + fpb * ({coeff!r} / s{di})"
+                        )
+        used_set = set(used)
+        returned = ", ".join(
+            f"g{col}" if col in used_set else "0.0" for col in range(width)
+        )
+        lines.append(f"    return [{returned}]")
+        source.append("\n".join(lines))
+
+        namespace: Dict[str, Any] = {}
+        exec(
+            compile(
+                "\n\n".join(source), "<constraint-table-kernels>", "exec"
+            ),
+            namespace,
+        )
+        self._k_gradient = namespace["gradient"]
+        self._k_row = namespace["row"]
+        return True
+
+    def row(self, t: Sequence[float]) -> float:
+        kernel = self._k_row
+        if kernel is not None:
+            return kernel(t)
+        usage = 0.0
+        for acc in self.accesses:
+            footprint = 1.0
+            for dim in acc.dims:
+                span = 1.0
+                for col, coeff in dim:
+                    span += coeff * (t[col] - 1.0)
+                footprint *= span
+            usage += footprint * acc.elem_bytes
+        return usage - self.capacity
+
+    def batch(self, rows: np.ndarray) -> np.ndarray:
+        usage = np.zeros(rows.shape[0])
+        for acc in self.accesses:
+            footprint = None
+            for dim in acc.dims:
+                span = np.ones(rows.shape[0])
+                for col, coeff in dim:
+                    span = span + coeff * (rows[:, col] - 1.0)
+                footprint = span if footprint is None else footprint * span
+            if footprint is None:
+                footprint = np.ones(rows.shape[0])
+            usage = usage + footprint * acc.elem_bytes
+        return usage - self.capacity
+
+    def gradient_row(self, t: Sequence[float]) -> List[float]:
+        kernel = self._k_gradient
+        if kernel is not None:
+            return kernel(t)
+        grad = [0.0] * len(t)
+        for acc in self.accesses:
+            spans = []
+            footprint = 1.0
+            for dim in acc.dims:
+                span = 1.0
+                for col, coeff in dim:
+                    span += coeff * (t[col] - 1.0)
+                spans.append(span)
+                footprint *= span
+            footprint_bytes = footprint * acc.elem_bytes
+            for dim, span in zip(acc.dims, spans):
+                for col, coeff in dim:
+                    if col >= 0:
+                        grad[col] += footprint_bytes * (coeff / span)
+        return grad
+
+
+class MovementTables:
+    """A :class:`MovementModel` compiled for vectorized evaluation.
+
+    The loop universe is ``chain.loop_extents()`` in its stable order; a
+    tile *row* is a length-``L`` vector over that universe (loops a caller
+    does not control sit at 1, exactly like the scalar engine's
+    ``tiles.get(name, 1)`` default).  ``*_row`` methods take one row of
+    Python floats; ``*_batch`` methods take an ``(N, L)`` float64 matrix.
+    """
+
+    def __init__(self, model: MovementModel) -> None:
+        self.chain = model.chain
+        extents = model.chain.loop_extents()
+        self.loop_names: Tuple[str, ...] = tuple(extents)
+        self.index: Dict[str, int] = {
+            name: col for col, name in enumerate(self.loop_names)
+        }
+        self.extents: Tuple[int, ...] = tuple(
+            extents[name] for name in self.loop_names
+        )
+        self.terms: Tuple[_TermTable, ...] = tuple(
+            _TermTable(
+                float(term.elem_bytes),
+                tuple(
+                    (self.index[name], extent)
+                    for name, extent in term.multipliers
+                ),
+                tuple(
+                    tuple(
+                        (self.index[name], float(coeff))
+                        for name, coeff in dim.terms
+                    )
+                    for dim in term.access.dims
+                ),
+            )
+            for term in model.terms
+        )
+        # MU plan mirrors MovementModel._usage_plan: per op, per access,
+        # with distribution-buffer overlays folded into constant addends.
+        ops: List[Tuple[_AccessTable, ...]] = []
+        for entries in model._usage_plan:
+            acc_tables: List[_AccessTable] = []
+            for access, elem_bytes, overlay in entries:
+                pinned = {name: extent for name, extent in overlay}
+                dims = tuple(
+                    tuple(
+                        (-1, float(coeff * (pinned[name] - 1)))
+                        if name in pinned
+                        else (self.index[name], float(coeff))
+                        for name, coeff in dim.terms
+                    )
+                    for dim in access.dims
+                )
+                acc_tables.append(_AccessTable(float(elem_bytes), dims))
+            ops.append(tuple(acc_tables))
+        self.usage_ops: Tuple[Tuple[_AccessTable, ...], ...] = tuple(ops)
+        # Flattened gradient plans: one (col, coeff, dim_index) triple per
+        # span entry, hoisting the nested dim iteration out of the hot
+        # per-SLSQP-iteration gradient kernels.
+        self._grad_terms: Tuple[Tuple, ...] = tuple(
+            (
+                term.elem_bytes,
+                term.mults,
+                term.dims,
+                tuple(
+                    (col, coeff, di)
+                    for di, dim in enumerate(term.dims)
+                    for col, coeff in dim
+                ),
+            )
+            for term in self.terms
+        )
+        self._usage_grad_ops: Tuple[Tuple[Tuple, ...], ...] = tuple(
+            tuple(
+                (
+                    acc.elem_bytes,
+                    acc.dims,
+                    tuple(
+                        (col, coeff, di)
+                        for di, dim in enumerate(acc.dims)
+                        for col, coeff in dim
+                        if col >= 0
+                    ),
+                )
+                for acc in entries
+            )
+            for entries in self.usage_ops
+        )
+        # Generated straight-line kernels (see ensure_fast_kernels); None
+        # until a solver-facing evaluator requests them.
+        self._kernels_ready = False
+        self._k_volume_smooth: Optional[Callable] = None
+        self._k_usage: Optional[Callable] = None
+        self._k_volume_gradient: Optional[Callable] = None
+        self._k_usage_gradient: Optional[Callable] = None
+
+    # -- generated kernels ---------------------------------------------
+    def ensure_fast_kernels(self) -> bool:
+        """Generate and install the unrolled row kernels (idempotent).
+
+        Called by :class:`TablesEvaluator` — only tables that reach a tile
+        solve pay the (one-time, memoized with the tables) generation
+        cost; single-shot uses like order probing stay interpreted.
+        Returns False when ``REPRO_TABLES_CODEGEN`` disables generation.
+        """
+        if self._kernels_ready:
+            return True
+        if not codegen_enabled():
+            return False
+        namespace: Dict[str, Any] = {}
+        exec(
+            compile(self._kernel_source(), "<movement-tables-kernels>", "exec"),
+            namespace,
+        )
+        self._k_volume_smooth = namespace["volume_smooth"]
+        self._k_usage = namespace["usage"]
+        self._k_volume_gradient = namespace["volume_gradient"]
+        self._k_usage_gradient = namespace["usage_gradient"]
+        self._kernels_ready = True
+        return True
+
+    def _kernel_source(self) -> str:
+        """Python source for the five unrolled row kernels.
+
+        Each kernel replays the corresponding interpreted method's exact
+        operation sequence on a full-universe tile row ``t``.
+        """
+        width = len(self.loop_names)
+        used = sorted(
+            {col for term in self.terms for col, _ in term.mults}
+            | {
+                col
+                for term in self.terms
+                for dim in term.dims
+                for col, _ in dim
+            }
+            | {
+                col
+                for entries in self.usage_ops
+                for acc in entries
+                for dim in acc.dims
+                for col, _ in dim
+                if col >= 0
+            }
+        )
+
+        def unpack(lines: List[str]) -> None:
+            for col in used:
+                lines.append(f"    t{col} = t[{col}]")
+
+        tile = "t{}".format
+        source: List[str] = []
+
+        # The exact (ceil-based) volume intentionally has no generated
+        # kernel: the solve hot path only evaluates smooth DV, MU, and
+        # their gradients row-wise; exact DV runs through the batched
+        # numpy path (integer refinement) or the interpreted fallback.
+
+        # volume_smooth: max(extent/T, 1.0) factors, identity multiplies
+        # skipped.
+        lines = ["def volume_smooth(t):"]
+        unpack(lines)
+        lines.append("    volume = 0.0")
+        for term in self.terms:
+            footprint = _emit_footprint(lines, term.dims, tile, "")
+            lines.append(f"    dm = ({footprint}) * {term.elem_bytes!r}")
+            for col, extent in term.mults:
+                lines.append(f"    q = {float(extent)!r} / t{col}")
+                lines.append("    if q > 1.0:")
+                lines.append("        dm = dm * q")
+            lines.append("    volume = volume + dm")
+        lines.append("    return volume")
+        source.append("\n".join(lines))
+
+        # usage: per-op footprint totals, running peak.
+        lines = ["def usage(t):"]
+        unpack(lines)
+        lines.append("    peak = 0.0")
+        for entries in self.usage_ops:
+            lines.append("    total = 0.0")
+            for acc in entries:
+                footprint = _emit_footprint(lines, acc.dims, tile, "")
+                if footprint == "1.0":
+                    lines.append(f"    total = total + {acc.elem_bytes!r}")
+                else:
+                    lines.append(
+                        f"    total = total + ({footprint}) * {acc.elem_bytes!r}"
+                    )
+            lines.append("    if total > peak:")
+            lines.append("        peak = total")
+        lines.append("    return peak")
+        source.append("\n".join(lines))
+
+        # volume_gradient: smooth DV plus per-column partials.
+        grad_cols = sorted(
+            {col for term in self.terms for col, _ in term.mults}
+            | {
+                col
+                for term in self.terms
+                for dim in term.dims
+                for col, _ in dim
+            }
+        )
+        lines = ["def volume_gradient(t):"]
+        unpack(lines)
+        lines.append("    volume = 0.0")
+        for col in grad_cols:
+            lines.append(f"    g{col} = 0.0")
+        for elem_bytes, mults, dims, entries in self._grad_terms:
+            footprint = _emit_footprint(lines, dims, tile, "")
+            lines.append(f"    dm = ({footprint}) * {elem_bytes!r}")
+            for col, extent in mults:
+                lines.append(f"    q = {float(extent)!r} / t{col}")
+                lines.append("    if q > 1.0:")
+                lines.append("        dm = dm * q")
+            lines.append("    volume = volume + dm")
+            for col, coeff, di in entries:
+                lines.append(f"    g{col} = g{col} + dm * ({coeff!r} / s{di})")
+            for col, extent in mults:
+                lines.append(f"    if {float(extent)!r} / t{col} > 1.0:")
+                lines.append(f"        g{col} = g{col} - dm / t{col}")
+        returned = ", ".join(
+            f"g{col}" if col in set(grad_cols) else "0.0"
+            for col in range(width)
+        )
+        lines.append(f"    return volume, [{returned}]")
+        source.append("\n".join(lines))
+
+        # usage_gradient: peak op's subgradient (first-argmax selection).
+        lines = ["def usage_gradient(t):"]
+        unpack(lines)
+        lines.append("    peak = 0.0")
+        lines.append(f"    out = [0.0] * {width}")
+        for accesses in self._usage_grad_ops:
+            op_cols = sorted(
+                {col for _, _, entries in accesses for col, _, _ in entries}
+            )
+            lines.append("    total = 0.0")
+            for col in op_cols:
+                lines.append(f"    og{col} = 0.0")
+            for elem_bytes, dims, entries in accesses:
+                footprint = _emit_footprint(lines, dims, tile, "")
+                lines.append(f"    fpb = ({footprint}) * {elem_bytes!r}")
+                lines.append("    total = total + fpb")
+                for col, coeff, di in entries:
+                    lines.append(
+                        f"    og{col} = og{col} + fpb * ({coeff!r} / s{di})"
+                    )
+            selected = ", ".join(
+                f"og{col}" if col in set(op_cols) else "0.0"
+                for col in range(width)
+            )
+            lines.append("    if total > peak:")
+            lines.append("        peak = total")
+            lines.append(f"        out = [{selected}]")
+        lines.append("    return peak, out")
+        source.append("\n".join(lines))
+        return "\n\n".join(source)
+
+    # -- row (single tile vector) paths --------------------------------
+    def row_of(self, tiles: Mapping[str, float]) -> List[float]:
+        """A full-universe row from a (possibly partial) tile mapping."""
+        return [float(tiles.get(name, 1)) for name in self.loop_names]
+
+    def volume_row(self, t: Sequence[float], *, exact: bool = True) -> float:
+        """DV of one tile row — scalar shim over the compiled tables."""
+        kernel = None if exact else self._k_volume_smooth
+        if kernel is not None:
+            return kernel(t)
+        volume = 0.0
+        for term in self.terms:
+            if exact:
+                dm = term.elem_bytes
+                eff: Dict[int, float] = {}
+                for col, extent in term.mults:
+                    trips = math.ceil(extent / t[col])
+                    eff[col] = extent / trips
+                    dm *= trips
+                footprint = 1.0
+                for dim in term.dims:
+                    span = 1.0
+                    for col, coeff in dim:
+                        value = eff.get(col)
+                        if value is None:
+                            value = t[col]
+                        span += coeff * (value - 1.0)
+                    footprint *= span
+                volume += dm * footprint
+            else:
+                footprint = 1.0
+                for dim in term.dims:
+                    span = 1.0
+                    for col, coeff in dim:
+                        span += coeff * (t[col] - 1.0)
+                    footprint *= span
+                dm = footprint * term.elem_bytes
+                for col, extent in term.mults:
+                    # max(q, 1.0) clamps to an identity multiply; skipping
+                    # it is bit-exact (``x * 1.0 == x``).
+                    if extent / t[col] > 1.0:
+                        dm *= extent / t[col]
+                volume += dm
+        return volume
+
+    def usage_row(self, t: Sequence[float]) -> float:
+        """MU of one tile row — scalar shim over the compiled tables."""
+        kernel = self._k_usage
+        if kernel is not None:
+            return kernel(t)
+        peak = 0.0
+        for entries in self.usage_ops:
+            total = 0.0
+            for acc in entries:
+                footprint = 1.0
+                for dim in acc.dims:
+                    span = 1.0
+                    for col, coeff in dim:
+                        if col >= 0:
+                            span += coeff * (t[col] - 1.0)
+                        else:
+                            span += coeff
+                    footprint *= span
+                total += footprint * acc.elem_bytes
+            peak = max(peak, total)
+        return peak
+
+    def volume_smooth_gradient_row(
+        self, t: Sequence[float]
+    ) -> Tuple[float, List[float]]:
+        """Smooth DV and its per-column partials (reference op order).
+
+        Runs the exact operation sequence of
+        :meth:`MovementModel.volume_smooth_gradient` over the flattened
+        gradient plan; multiplier factors clamped at 1.0 skip their
+        (identity) multiply, which is bit-exact since ``x * 1.0 == x``.
+        """
+        kernel = self._k_volume_gradient
+        if kernel is not None:
+            return kernel(t)
+        volume = 0.0
+        grad = [0.0] * len(self.loop_names)
+        for elem_bytes, mults, dims, entries in self._grad_terms:
+            spans = []
+            append = spans.append
+            footprint = 1.0
+            for dim in dims:
+                span = 1.0
+                for col, coeff in dim:
+                    span += coeff * (t[col] - 1.0)
+                append(span)
+                footprint *= span
+            dm = footprint * elem_bytes
+            active = None
+            for col, extent in mults:
+                if extent / t[col] > 1.0:
+                    dm *= extent / t[col]
+                    if active is None:
+                        active = [col]
+                    else:
+                        active.append(col)
+            volume += dm
+            for col, coeff, di in entries:
+                grad[col] += dm * (coeff / spans[di])
+            if active is not None:
+                for col in active:
+                    grad[col] -= dm / t[col]
+        return volume, grad
+
+    def usage_gradient_row(
+        self, t: Sequence[float]
+    ) -> Tuple[float, List[float]]:
+        """MU and the peak operator's subgradient (reference op order)."""
+        kernel = self._k_usage_gradient
+        if kernel is not None:
+            return kernel(t)
+        peak = 0.0
+        width = len(self.loop_names)
+        peak_grad = [0.0] * width
+        for accesses in self._usage_grad_ops:
+            total = 0.0
+            grad = [0.0] * width
+            for elem_bytes, dims, entries in accesses:
+                spans = []
+                append = spans.append
+                footprint = 1.0
+                for dim in dims:
+                    span = 1.0
+                    for col, coeff in dim:
+                        if col >= 0:
+                            span += coeff * (t[col] - 1.0)
+                        else:
+                            span += coeff
+                    append(span)
+                    footprint *= span
+                footprint_bytes = footprint * elem_bytes
+                total += footprint_bytes
+                for col, coeff, di in entries:
+                    grad[col] += footprint_bytes * (coeff / spans[di])
+            if total > peak:
+                peak, peak_grad = total, grad
+        return peak, peak_grad
+
+    # -- batched (N, L) paths ------------------------------------------
+    def volume_batch(
+        self, rows: np.ndarray, *, exact: bool = True
+    ) -> np.ndarray:
+        """DV for every row of an ``(N, L)`` candidate-tile matrix."""
+        count = rows.shape[0]
+        volume = np.zeros(count)
+        for term in self.terms:
+            if exact:
+                dm: Any = None
+                eff: Dict[int, np.ndarray] = {}
+                for col, extent in term.mults:
+                    trips = np.ceil(extent / rows[:, col])
+                    eff[col] = extent / trips
+                    dm = (
+                        trips * term.elem_bytes if dm is None else dm * trips
+                    )
+                footprint = None
+                for dim in term.dims:
+                    span = np.ones(count)
+                    for col, coeff in dim:
+                        value = eff.get(col)
+                        if value is None:
+                            value = rows[:, col]
+                        span = span + coeff * (value - 1.0)
+                    footprint = (
+                        span if footprint is None else footprint * span
+                    )
+                if footprint is None:
+                    footprint = np.ones(count)
+                if dm is None:
+                    volume = volume + term.elem_bytes * footprint
+                else:
+                    volume = volume + dm * footprint
+            else:
+                footprint = None
+                for dim in term.dims:
+                    span = np.ones(count)
+                    for col, coeff in dim:
+                        span = span + coeff * (rows[:, col] - 1.0)
+                    footprint = (
+                        span if footprint is None else footprint * span
+                    )
+                if footprint is None:
+                    footprint = np.ones(count)
+                dm = footprint * term.elem_bytes
+                for col, extent in term.mults:
+                    dm = dm * np.maximum(extent / rows[:, col], 1.0)
+                volume = volume + dm
+        return volume
+
+    def usage_batch(self, rows: np.ndarray) -> np.ndarray:
+        """MU for every row of an ``(N, L)`` candidate-tile matrix."""
+        count = rows.shape[0]
+        peak = np.zeros(count)
+        for entries in self.usage_ops:
+            total = np.zeros(count)
+            for acc in entries:
+                footprint = None
+                for dim in acc.dims:
+                    span = np.ones(count)
+                    for col, coeff in dim:
+                        if col >= 0:
+                            span = span + coeff * (rows[:, col] - 1.0)
+                        else:
+                            span = span + coeff
+                    footprint = (
+                        span if footprint is None else footprint * span
+                    )
+                if footprint is None:
+                    footprint = np.ones(count)
+                total = total + footprint * acc.elem_bytes
+            peak = np.maximum(peak, total)
+        return peak
+
+    def slack_batch(self, rows: np.ndarray, capacity: float) -> np.ndarray:
+        """``capacity - MU`` per row (the solver's feasibility margin)."""
+        return capacity - self.usage_batch(rows)
+
+    # -- constraint compilation ----------------------------------------
+    def compile_constraint(self, fn: Any) -> Optional[_ConstraintTable]:
+        """Compile an access-group constraint (e.g. the NPU Unified Buffer
+        bound) into batched form, or ``None`` when ``fn`` is not of that
+        shape — callers then fall back to the scalar callable, which keeps
+        arbitrary :data:`~repro.core.solver.ConstraintFn` objects working.
+        """
+        accesses = getattr(fn, "accesses", None)
+        capacity = getattr(fn, "capacity", None)
+        chain = getattr(fn, "chain", None)
+        if accesses is None or capacity is None or chain is not self.chain:
+            return None
+        tables: List[_AccessTable] = []
+        try:
+            for access in accesses:
+                dims = tuple(
+                    tuple(
+                        (self.index[name], float(coeff))
+                        for name, coeff in dim.terms
+                    )
+                    for dim in access.dims
+                )
+                elem_bytes = float(
+                    self.chain.tensors[access.tensor].dtype.nbytes
+                )
+                tables.append(_AccessTable(elem_bytes, dims))
+        except (KeyError, AttributeError):
+            return None
+        return _ConstraintTable(tuple(tables), float(capacity))
+
+
+# ----------------------------------------------------------------------
+# memoization
+# ----------------------------------------------------------------------
+class _TablesMemo:
+    """Bounded process-global LRU of compiled :class:`MovementTables`."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, MovementTables]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_compile(
+        self, key: Hashable, compile_fn: Callable[[], MovementTables]
+    ) -> MovementTables:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry
+            self._misses += 1
+        # Compile outside the lock: compilation is pure, and a rare
+        # duplicate compile beats serializing every cache miss.
+        entry = compile_fn()
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+
+_GLOBAL_TABLES_MEMO = _TablesMemo()
+
+# Chains are not hashable (they hold tensor dicts), so the cross-model memo
+# key uses a per-chain token: a counter bound to the chain's lifetime.  The
+# token (not ``id()``) guards against address reuse after garbage
+# collection; ``signature_digest()`` already covers reuse_intermediates and
+# the movement structure, and equal signatures on one chain induce
+# bit-identical DV/MU functions — sharing one compilation is exact.
+_CHAIN_TOKENS: Dict[int, int] = {}
+_CHAIN_TOKEN_LOCK = threading.Lock()
+_NEXT_CHAIN_TOKEN = itertools.count()
+
+
+def _drop_chain_token(address: int) -> None:
+    with _CHAIN_TOKEN_LOCK:
+        _CHAIN_TOKENS.pop(address, None)
+
+
+def _chain_token(chain: Any) -> int:
+    address = id(chain)
+    with _CHAIN_TOKEN_LOCK:
+        token = _CHAIN_TOKENS.get(address)
+        if token is None:
+            token = next(_NEXT_CHAIN_TOKEN)
+            _CHAIN_TOKENS[address] = token
+            weakref.finalize(chain, _drop_chain_token, address)
+        return token
+
+
+def movement_tables(model: MovementModel) -> MovementTables:
+    """Compiled tables for ``model`` (per-instance and LRU memoized)."""
+    tables = getattr(model, "_tables", None)
+    if tables is not None:
+        return tables
+    key = (_chain_token(model.chain), model.signature_digest())
+    tables = _GLOBAL_TABLES_MEMO.get_or_compile(
+        key, lambda: MovementTables(model)
+    )
+    model._tables = tables  # dropped on pickling (MovementModel.__getstate__)
+    return tables
+
+
+def tables_memo_stats() -> Dict[str, int]:
+    """Counters of the process-global tables memo."""
+    return _GLOBAL_TABLES_MEMO.stats()
+
+
+def clear_tables_memo() -> None:
+    """Empty the process-global tables memo (tests, benchmarks)."""
+    _GLOBAL_TABLES_MEMO.clear()
+
+
+# ----------------------------------------------------------------------
+# solver-facing evaluators
+# ----------------------------------------------------------------------
+class ScalarEvaluator:
+    """Reference engine: dict-based :class:`MovementModel` calls.
+
+    Vectors are tile values over ``names`` (the solve's loop order); loops
+    outside ``names`` implicitly sit at 1 via the model's ``tiles.get``
+    defaults, exactly as the pre-tables solver behaved.
+    """
+
+    engine = ENGINE_SCALAR
+
+    def __init__(
+        self,
+        model: MovementModel,
+        names: Sequence[str],
+        constraints: Sequence[Callable[[Mapping[str, float]], float]] = (),
+    ) -> None:
+        self.model = model
+        self.names = list(names)
+        self.constraints = list(constraints)
+
+    def _tiles(self, values: Sequence[float]) -> Dict[str, float]:
+        return {n: float(v) for n, v in zip(self.names, values)}
+
+    def volume_smooth(self, values: Sequence[float]) -> float:
+        return self.model.volume(self._tiles(values), exact=False)
+
+    def volume_exact(self, values: Sequence[float]) -> float:
+        return self.model.volume(self._tiles(values), exact=True)
+
+    def usage(self, values: Sequence[float]) -> float:
+        return self.model.usage(self._tiles(values))
+
+    def volume_smooth_gradient(
+        self, values: Sequence[float]
+    ) -> Tuple[float, np.ndarray]:
+        volume, grad = self.model.volume_smooth_gradient(self._tiles(values))
+        return volume, np.array([grad[n] for n in self.names])
+
+    def usage_gradient(
+        self, values: Sequence[float]
+    ) -> Tuple[float, np.ndarray]:
+        usage, grad = self.model.usage_gradient(self._tiles(values))
+        return usage, np.array([grad[n] for n in self.names])
+
+    def constraint(self, i: int, values: Sequence[float]) -> float:
+        return self.constraints[i](self._tiles(values))
+
+    def constraint_has_gradient(self, i: int) -> bool:
+        return hasattr(self.constraints[i], "gradient")
+
+    def constraint_gradient(
+        self, i: int, values: Sequence[float]
+    ) -> np.ndarray:
+        grad = self.constraints[i].gradient(self._tiles(values))
+        return np.array([grad.get(n, 0.0) for n in self.names])
+
+
+class TablesEvaluator:
+    """Compiled engine: row/batch evaluation over the tables."""
+
+    engine = ENGINE_TABLES
+
+    def __init__(
+        self,
+        model: MovementModel,
+        names: Sequence[str],
+        constraints: Sequence[Callable[[Mapping[str, float]], float]] = (),
+    ) -> None:
+        self.model = model
+        self.tables = movement_tables(model)
+        self.names = list(names)
+        self.cols = [self.tables.index[n] for n in self.names]
+        self._cols_arr = np.array(self.cols, dtype=np.intp)
+        self._width = len(self.tables.loop_names)
+        self.constraints = list(constraints)
+        self._compiled = [
+            self.tables.compile_constraint(fn) for fn in constraints
+        ]
+        # Solver-facing evaluators run thousands of row evaluations per
+        # solve — switch the shared tables to their generated kernels.
+        self.tables.ensure_fast_kernels()
+        for compiled in self._compiled:
+            if compiled is not None:
+                compiled.ensure_fast_kernels(self._width)
+        # One SLSQP point is evaluated by several closures (objective,
+        # capacity slack, jacobians); the solver hands them the *same*
+        # values array per point, so the expanded row is cached by object
+        # identity.  Values arrays are never mutated, so identity implies
+        # equal contents — the cached row is bit-identical to a rebuild.
+        self._row_src: Optional[object] = None
+        self._row_cache: Optional[List[float]] = None
+
+    def _row(self, values: Sequence[float]) -> List[float]:
+        if values is self._row_src:
+            return self._row_cache  # type: ignore[return-value]
+        row = [1.0] * self._width
+        for col, value in zip(self.cols, values):
+            row[col] = float(value)
+        self._row_src = values
+        self._row_cache = row
+        return row
+
+    def matrix(self, values: np.ndarray) -> np.ndarray:
+        """Expand an ``(N, len(names))`` matrix to full-universe rows."""
+        rows = np.ones((values.shape[0], self._width))
+        rows[:, self._cols_arr] = values
+        return rows
+
+    def volume_smooth(self, values: Sequence[float]) -> float:
+        return self.tables.volume_row(self._row(values), exact=False)
+
+    def volume_exact(self, values: Sequence[float]) -> float:
+        return self.tables.volume_row(self._row(values), exact=True)
+
+    def usage(self, values: Sequence[float]) -> float:
+        return self.tables.usage_row(self._row(values))
+
+    def volume_smooth_gradient(
+        self, values: Sequence[float]
+    ) -> Tuple[float, np.ndarray]:
+        volume, grad = self.tables.volume_smooth_gradient_row(
+            self._row(values)
+        )
+        return volume, np.array([grad[c] for c in self.cols])
+
+    def usage_gradient(
+        self, values: Sequence[float]
+    ) -> Tuple[float, np.ndarray]:
+        usage, grad = self.tables.usage_gradient_row(self._row(values))
+        return usage, np.array([grad[c] for c in self.cols])
+
+    def _scalar_tiles(self, values: Sequence[float]) -> Dict[str, float]:
+        return {n: float(v) for n, v in zip(self.names, values)}
+
+    def constraint(self, i: int, values: Sequence[float]) -> float:
+        compiled = self._compiled[i]
+        if compiled is not None:
+            return compiled.row(self._row(values))
+        return self.constraints[i](self._scalar_tiles(values))
+
+    def constraint_has_gradient(self, i: int) -> bool:
+        return hasattr(self.constraints[i], "gradient")
+
+    def constraint_gradient(
+        self, i: int, values: Sequence[float]
+    ) -> np.ndarray:
+        compiled = self._compiled[i]
+        if compiled is not None:
+            grad = compiled.gradient_row(self._row(values))
+            return np.array([grad[c] for c in self.cols])
+        grad_map = self.constraints[i].gradient(self._scalar_tiles(values))
+        return np.array([grad_map.get(n, 0.0) for n in self.names])
+
+    # -- batched helpers (lattice refinement, bound probes) ------------
+    def volume_exact_batch(self, values: np.ndarray) -> np.ndarray:
+        return self.tables.volume_batch(self.matrix(values), exact=True)
+
+    def usage_batch(self, values: np.ndarray) -> np.ndarray:
+        return self.tables.usage_batch(self.matrix(values))
+
+    def constraints_ok_batch(self, values: np.ndarray) -> np.ndarray:
+        """Per-row conjunction ``all(fn(tiles) <= 0)`` over the extras."""
+        ok = np.ones(values.shape[0], dtype=bool)
+        if not self.constraints:
+            return ok
+        rows = self.matrix(values)
+        for i, fn in enumerate(self.constraints):
+            compiled = self._compiled[i]
+            if compiled is not None:
+                ok &= compiled.batch(rows) <= 0
+            else:
+                for r in range(values.shape[0]):
+                    if ok[r] and fn(self._scalar_tiles(values[r])) > 0:
+                        ok[r] = False
+        return ok
+
+
+def evaluator_for(
+    model: MovementModel,
+    names: Sequence[str],
+    constraints: Sequence[Callable[[Mapping[str, float]], float]] = (),
+    engine: Optional[str] = None,
+):
+    """The evaluator implementing ``engine`` for one solve."""
+    engine = resolve_model_engine(engine)
+    if engine == ENGINE_TABLES:
+        return TablesEvaluator(model, names, constraints)
+    return ScalarEvaluator(model, names, constraints)

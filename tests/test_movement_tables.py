@@ -1,0 +1,262 @@
+"""Bit-for-bit equivalence of the compiled movement tables.
+
+The tables engine promises to replay the scalar reference's exact
+floating-point operation sequence — not merely to agree within a
+tolerance.  The fuzz below therefore compares with ``==`` on floats:
+every (chain family, candidate order) pair samples degenerate corners
+(all-ones tiles, full extents, quantum-off lattice points) plus seeded
+interior points, and asserts the interpreted row path, the generated
+(codegen) kernels, and the ``(N, L)`` batch path all reproduce
+``MovementModel.volume``/``usage`` and both analytic gradients exactly.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import solver
+from repro.core.movement import MovementModel
+from repro.core.reordering import candidate_models
+from repro.core.search import SolveMemo
+from repro.core.tables import (
+    ENGINE_SCALAR,
+    ENGINE_TABLES,
+    ENV_MODEL_ENGINE,
+    ENV_TABLES_CODEGEN,
+    MovementTables,
+    ScalarEvaluator,
+    TablesEvaluator,
+    _TablesMemo,
+    clear_tables_memo,
+    evaluator_for,
+    model_engine,
+    movement_tables,
+    resolve_model_engine,
+    tables_memo_stats,
+)
+from repro.ir.chains import batch_gemm_chain, conv_chain
+from repro.workloads import gemm_chain_config
+
+
+def _chains():
+    return [
+        ("gemm", batch_gemm_chain(1, 32, 24, 16, 40, name="tbl_gemm")),
+        ("gemm_softmax", gemm_chain_config("G1").build(with_softmax=True)),
+        ("conv", conv_chain(1, 8, 14, 14, 12, 8, 1, 1, 3, 1, name="tbl_conv")),
+        (
+            "conv_stride",
+            conv_chain(1, 8, 16, 16, 12, 8, 2, 1, 3, 3, name="tbl_strided"),
+        ),
+    ]
+
+
+def _sample_models(chain, count=4):
+    """A spread of candidate orders: first, last, and interior picks."""
+    models = candidate_models(chain).models
+    if len(models) <= count:
+        return list(models)
+    step = max(1, len(models) // count)
+    return list(models[::step][:count])
+
+
+def _tile_samples(model, rng, interior=6):
+    extents = model.chain.loop_extents()
+    names = list(model.perm)
+    samples = [
+        {n: 1 for n in names},
+        {n: extents[n] for n in names},
+    ]
+    corner_pool = lambda n: [
+        1,
+        extents[n],
+        max(1, extents[n] // 2),
+        max(1, extents[n] // 2 + 1),  # quantum-off lattice point
+        min(extents[n], 3),
+        min(extents[n], 7),
+    ]
+    for _ in range(interior):
+        samples.append({n: rng.choice(corner_pool(n)) for n in names})
+    for _ in range(interior):
+        samples.append(
+            {n: rng.uniform(1.0, float(extents[n])) for n in names}
+        )
+    return samples
+
+
+@pytest.mark.parametrize("family,chain", _chains(), ids=lambda v: str(v))
+def test_tables_match_scalar_bit_for_bit(family, chain, monkeypatch):
+    monkeypatch.setenv(ENV_TABLES_CODEGEN, "1")
+    rng = random.Random(f"tables-{family}")
+    for model in _sample_models(chain):
+        interpreted = MovementTables(model)
+        generated = MovementTables(model)
+        assert generated.ensure_fast_kernels()
+        for tiles in _tile_samples(model, rng):
+            row = interpreted.row_of(tiles)
+            batch = np.array([row, row])
+            for tables in (interpreted, generated):
+                assert tables.volume_row(row, exact=True) == model.volume(
+                    tiles, exact=True
+                )
+                assert tables.volume_row(row, exact=False) == model.volume(
+                    tiles, exact=False
+                )
+                assert tables.usage_row(row) == model.usage(tiles)
+            exact_batch = interpreted.volume_batch(batch, exact=True)
+            smooth_batch = interpreted.volume_batch(batch, exact=False)
+            usage_batch = interpreted.usage_batch(batch)
+            assert float(exact_batch[0]) == model.volume(tiles, exact=True)
+            assert float(smooth_batch[0]) == model.volume(tiles, exact=False)
+            assert float(usage_batch[0]) == model.usage(tiles)
+            slack = interpreted.slack_batch(batch, 1e6)
+            assert float(slack[0]) == 1e6 - model.usage(tiles)
+
+
+@pytest.mark.parametrize("family,chain", _chains(), ids=lambda v: str(v))
+def test_gradient_rows_match_scalar_bit_for_bit(family, chain, monkeypatch):
+    monkeypatch.setenv(ENV_TABLES_CODEGEN, "1")
+    rng = random.Random(f"grads-{family}")
+    for model in _sample_models(chain, count=3):
+        interpreted = MovementTables(model)
+        generated = MovementTables(model)
+        assert generated.ensure_fast_kernels()
+        index = interpreted.index
+        for tiles in _tile_samples(model, rng, interior=4):
+            row = interpreted.row_of(tiles)
+            ref_volume, ref_vgrad = model.volume_smooth_gradient(tiles)
+            ref_usage, ref_ugrad = model.usage_gradient(tiles)
+            for tables in (interpreted, generated):
+                volume, vgrad = tables.volume_smooth_gradient_row(row)
+                usage, ugrad = tables.usage_gradient_row(row)
+                assert volume == ref_volume
+                assert usage == ref_usage
+                for name in model.perm:
+                    assert vgrad[index[name]] == ref_vgrad[name]
+                    assert ugrad[index[name]] == ref_ugrad[name]
+
+
+def test_volume_gradient_agrees_with_finite_differences():
+    chain = batch_gemm_chain(1, 32, 24, 16, 40, name="tbl_fd")
+    model = _sample_models(chain, count=1)[0]
+    tables = MovementTables(model)
+    tiles = {n: 5.0 for n in model.perm}
+    row = tables.row_of(tiles)
+    volume, grad = tables.volume_smooth_gradient_row(row)
+    eps = 1e-4
+    # Central differences on a ~volume-sized quantity carry cancellation
+    # noise around volume * machine-eps / eps; compare against that floor.
+    noise = abs(volume) * np.finfo(float).eps / eps * 8
+    for name in model.perm:
+        hi = dict(tiles)
+        lo = dict(tiles)
+        hi[name] += eps
+        lo[name] -= eps
+        fd = (
+            model.volume(hi, exact=False) - model.volume(lo, exact=False)
+        ) / (2 * eps)
+        assert grad[tables.index[name]] == pytest.approx(
+            fd, rel=1e-3, abs=noise
+        )
+
+
+def test_codegen_toggle_disables_kernels(monkeypatch):
+    chain = batch_gemm_chain(1, 16, 16, 16, 16, name="tbl_toggle")
+    model = _sample_models(chain, count=1)[0]
+    tiles = {n: 4 for n in model.perm}
+
+    monkeypatch.setenv(ENV_TABLES_CODEGEN, "0")
+    interpreted = MovementTables(model)
+    assert not interpreted.ensure_fast_kernels()
+
+    monkeypatch.setenv(ENV_TABLES_CODEGEN, "1")
+    generated = MovementTables(model)
+    assert generated.ensure_fast_kernels()
+
+    row = interpreted.row_of(tiles)
+    assert interpreted.volume_row(row, exact=False) == generated.volume_row(
+        row, exact=False
+    )
+    assert interpreted.usage_row(row) == generated.usage_row(row)
+
+
+def test_tables_memo_is_a_bounded_lru():
+    memo = _TablesMemo(capacity=2)
+    memo.get_or_compile("a", lambda: "A")
+    memo.get_or_compile("b", lambda: "B")
+    assert memo.get_or_compile("a", lambda: "A2") == "A"  # hit refreshes
+    memo.get_or_compile("c", lambda: "C")  # evicts "b" (least recent)
+    stats = memo.stats()
+    assert stats["evictions"] == 1
+    assert stats["entries"] == 2
+    assert memo.get_or_compile("b", lambda: "B2") == "B2"  # b was evicted
+    assert memo.stats()["misses"] == 4
+
+
+def test_movement_tables_memoized_per_model_and_signature():
+    clear_tables_memo()
+    chain = batch_gemm_chain(1, 16, 16, 16, 16, name="tbl_memo")
+    model = _sample_models(chain, count=1)[0]
+    twin = MovementModel(chain, model.perm)
+    first = movement_tables(model)
+    assert movement_tables(model) is first  # per-instance cache
+    assert movement_tables(twin) is first  # signature-keyed LRU
+    stats = tables_memo_stats()
+    assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+    # A structurally identical but distinct chain must not share entries:
+    # the memo key includes a per-chain lifetime token.
+    other_chain = batch_gemm_chain(1, 16, 16, 16, 16, name="tbl_memo")
+    other = MovementModel(other_chain, model.perm)
+    assert movement_tables(other) is not first
+
+
+def test_engine_resolution():
+    assert resolve_model_engine("scalar") == ENGINE_SCALAR
+    assert resolve_model_engine(" Tables ") == ENGINE_TABLES
+    with pytest.raises(ValueError):
+        resolve_model_engine("vectorized")
+
+
+def test_engine_environment_default(monkeypatch):
+    monkeypatch.setenv(ENV_MODEL_ENGINE, "scalar")
+    assert model_engine() == ENGINE_SCALAR
+    monkeypatch.delenv(ENV_MODEL_ENGINE)
+    assert model_engine() == ENGINE_TABLES  # compiled engine by default
+    monkeypatch.setenv(ENV_MODEL_ENGINE, "nope")
+    with pytest.raises(ValueError):
+        model_engine()
+
+
+def test_evaluator_for_selects_engine():
+    chain = batch_gemm_chain(1, 16, 16, 16, 16, name="tbl_eval")
+    model = _sample_models(chain, count=1)[0]
+    names = list(model.perm)
+    assert isinstance(
+        evaluator_for(model, names, engine="scalar"), ScalarEvaluator
+    )
+    assert isinstance(
+        evaluator_for(model, names, engine="tables"), TablesEvaluator
+    )
+
+
+def test_solve_tiles_identical_across_engines():
+    chain = conv_chain(1, 8, 14, 14, 12, 8, 1, 1, 3, 1, name="tbl_solve")
+    for model in _sample_models(chain, count=2):
+        capacity = 64 * 1024.0
+        scalar = solver.solve_tiles(model, capacity, engine="scalar")
+        tables = solver.solve_tiles(model, capacity, engine="tables")
+        assert tables.tiles == scalar.tiles
+        assert tables.dv == scalar.dv
+        assert tables.mu == scalar.mu
+        assert tables.feasible == scalar.feasible
+        assert tables.continuous == scalar.continuous
+
+
+def test_solve_memo_counts_evictions():
+    memo = SolveMemo(capacity=1)
+    memo.put("k1", "v1")
+    memo.put("k2", "v2")
+    stats = memo.stats()
+    assert stats["entries"] == 1
+    assert stats["evictions"] == 1

@@ -5,6 +5,12 @@ serial baseline and under pruning + memoization (plus, in the slow suite, a
 two-worker process pool), and the serialized plans must match **byte for
 byte** — the guarantee that lets deployments turn the fast path on without
 revalidating results.
+
+The same guarantee covers the movement-model engines: the compiled tables
+engine (``REPRO_MODEL_ENGINE=tables``) replays the scalar reference's exact
+floating-point operation sequence, so the sweep below also asserts plans
+are byte-identical between engines across GEMM + conv workloads and every
+hardware preset.
 """
 
 import json
@@ -14,6 +20,7 @@ import pytest
 
 from repro.core.optimizer import ChimeraOptimizer
 from repro.core.search import SearchPolicy, reset_search_stats, solve_memo
+from repro.core.tables import clear_tables_memo
 from repro.hardware import all_presets
 from repro.ir.chains import batch_gemm_chain, conv_chain
 from repro.runtime.serialization import plan_to_dict
@@ -32,10 +39,11 @@ def conv_workload():
 WORKLOADS = [gemm_workload, conv_workload]
 
 
-def serialized_plan(chain, hw, policy):
+def serialized_plan(chain, hw, policy, engine=None):
     solve_memo().clear()
     reset_search_stats()
-    plan = ChimeraOptimizer(hw, policy=policy).optimize(chain)
+    clear_tables_memo()
+    plan = ChimeraOptimizer(hw, policy=policy, engine=engine).optimize(chain)
     return json.dumps(plan_to_dict(plan), sort_keys=True)
 
 
@@ -84,6 +92,48 @@ class TestSearchEquivalence:
             SearchPolicy(prune=True, memoize=True, workers=workers),
         )
         assert parallel == baseline
+
+
+@pytest.mark.parametrize("hw", PRESETS, ids=lambda h: h.name)
+@pytest.mark.parametrize(
+    "build", WORKLOADS, ids=["gemm_chain", "conv_chain"]
+)
+class TestEngineEquivalence:
+    """Scalar vs. tables engines must pick byte-identical plans."""
+
+    def test_tables_plan_is_byte_identical(self, build, hw):
+        chain = build()
+        policy = SearchPolicy(prune=True, memoize=True, workers=1)
+        scalar = serialized_plan(chain, hw, policy, engine="scalar")
+        tables = serialized_plan(chain, hw, policy, engine="tables")
+        assert tables == scalar
+
+    def test_tables_exhaustive_plan_is_byte_identical(self, build, hw):
+        chain = build()
+        scalar = serialized_plan(
+            chain, hw, SearchPolicy.exhaustive(), engine="scalar"
+        )
+        tables = serialized_plan(
+            chain, hw, SearchPolicy.exhaustive(), engine="tables"
+        )
+        assert tables == scalar
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("hw", PRESETS, ids=lambda h: h.name)
+@pytest.mark.parametrize("name", ["G1", "G4", "C4", "C6"])
+def test_engine_plan_sweep_paper_workloads(name, hw):
+    """Byte-identical-plan sweep over Table IV/V workloads × presets."""
+    from repro.workloads import conv_chain_config, gemm_chain_config
+
+    if name.startswith("G"):
+        chain = gemm_chain_config(name).build()
+    else:
+        chain = conv_chain_config(name).build()
+    policy = SearchPolicy(prune=True, memoize=True, workers=1)
+    scalar = serialized_plan(chain, hw, policy, engine="scalar")
+    tables = serialized_plan(chain, hw, policy, engine="tables")
+    assert tables == scalar
 
 
 @pytest.mark.slow
