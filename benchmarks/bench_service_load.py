@@ -1,0 +1,320 @@
+"""Serving layer under load: warm-hit latency, throughput, drain safety.
+
+Three experiments against a loopback :class:`repro.serving.CompileServer`:
+
+1. **warm concurrency** — pre-warm a handful of chains, then fire a
+   large pipelined burst (1000 concurrent requests in full mode, 200 in
+   smoke) of mixed interactive/batch traffic through async clients.
+   Every reply must be a cache hit; the server-side warm percentiles
+   (p50/p95/p99) and the end-to-end wall clock are reported.
+2. **serialization gate** — a warm hit fundamentally costs one cache-key
+   derivation plus one JSON encode/decode of the entry; everything else
+   is server overhead.  The benchmark times that bare round trip inline
+   and gates the server's warm-hit p99 *service* time (cache lookup on a
+   worker thread, no queueing) at ``SERVICE_GATE_RATIO`` times the
+   baseline, and the mean per-request wall share of the whole burst at
+   ``WALL_GATE_RATIO`` times the baseline.  If serving stops being
+   serialization-dominated, these trip.
+3. **drain safety** — fire a cold burst, SIGTERM-equivalent drain while
+   requests are still queued and in flight, and require that every
+   admitted request completes (``admitted == completed``, zero dropped
+   replies) — the serving layer's core loss-free guarantee.
+
+Run standalone with ``python benchmarks/bench_service_load.py [--smoke]``;
+CI runs the smoke mode.  Results land in
+``benchmarks/results/BENCH_service_load.json`` (full mode only).
+"""
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+import repro
+from repro.analysis import render_table
+from repro.hardware import preset
+from repro.service import cache_key
+from repro.service.metrics import percentile
+from repro.serving import (
+    TIER_BATCH,
+    TIER_INTERACTIVE,
+    AsyncServingClient,
+    BackgroundServer,
+    ServerConfig,
+    ServingClient,
+)
+
+RESULTS_JSON = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_service_load.json"
+)
+
+FULL_CONCURRENCY = 1000
+SMOKE_CONCURRENCY = 200
+WARM_CHAINS = 4
+CLIENTS = 4
+
+#: Warm-hit p99 service time (cache lookup, no queueing) may cost at most
+#: this many bare key+JSON round trips.  The tail carries GIL contention
+#: from the worker pool under a deep burst (~10x observed); decoding
+#: kernels on the warm path — the regression this guards — costs ~150x.
+SERVICE_GATE_RATIO = 20.0
+
+#: Mean per-request share of the burst's wall clock, same baseline unit.
+#: Covers the full pipeline: socket, parse, admission, executor, reply.
+WALL_GATE_RATIO = 40.0
+
+DRAIN_BURST_FULL = 24
+DRAIN_BURST_SMOKE = 8
+
+
+def _chain(i):
+    return repro.batch_gemm_chain(2, 64, 32, 32, 64, name=f"load-{i}")
+
+
+def _serialization_baseline(chain, hw, entry, rounds=300):
+    started = time.perf_counter()
+    for _ in range(rounds):
+        cache_key(chain, hw)
+        json.loads(json.dumps(entry))
+    return (time.perf_counter() - started) / rounds
+
+
+async def _fire_burst(host, port, chains, concurrency):
+    clients = [
+        await AsyncServingClient.open(host, port, tenant=f"bench-{i}")
+        for i in range(CLIENTS)
+    ]
+    hw_name = "xeon-gold-6240"
+
+    def tier_for(i):
+        return TIER_INTERACTIVE if i % 2 == 0 else TIER_BATCH
+
+    started = time.perf_counter()
+    replies = await asyncio.gather(
+        *(
+            clients[i % CLIENTS].compile(
+                chains[i % len(chains)], hw_name, tier=tier_for(i)
+            )
+            for i in range(concurrency)
+        )
+    )
+    wall = time.perf_counter() - started
+    for client in clients:
+        await client.close()
+    return replies, wall
+
+
+def _warm_load(smoke):
+    concurrency = SMOKE_CONCURRENCY if smoke else FULL_CONCURRENCY
+    hw = preset("xeon-gold-6240")
+    chains = [_chain(i) for i in range(WARM_CHAINS)]
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServerConfig(
+            port=0,
+            workers=4,
+            cache_dir=tmp,
+            shards=4,
+            interactive_queue=concurrency,
+            batch_queue=concurrency,
+            compact_interval=0,
+        )
+        with BackgroundServer(config) as bg:
+            entry = None
+            with ServingClient(bg.host, bg.port) as client:
+                for chain in chains:  # pre-warm every key
+                    reply = client.compile(chain, "xeon-gold-6240",
+                                           check=True)
+                    entry = reply.entry
+            replies, wall = asyncio.run(
+                _fire_burst(bg.host, bg.port, chains, concurrency)
+            )
+            stats = bg.stats()
+
+    failed = [r for r in replies if not r.ok]
+    assert not failed, (
+        f"{len(failed)} of {concurrency} warm requests failed: "
+        f"{failed[0].status} {failed[0].error}"
+    )
+    cold = [r for r in replies if not r.from_cache]
+    assert not cold, f"{len(cold)} requests missed a pre-warmed cache"
+
+    baseline_s = _serialization_baseline(chains[0], hw, entry)
+    service_p99 = percentile([r.service_seconds for r in replies], 99)
+    warm_summary = stats["latencies"].get("serve_warm", {})
+    per_request = wall / concurrency
+    return {
+        "concurrency": concurrency,
+        "wall_s": wall,
+        "throughput_rps": concurrency / wall,
+        "per_request_s": per_request,
+        "baseline_round_trip_s": baseline_s,
+        "service_p99_s": service_p99,
+        "service_p99_ratio": service_p99 / baseline_s,
+        "wall_ratio": per_request / baseline_s,
+        "server_warm_p50_s": warm_summary.get("p50", 0.0),
+        "server_warm_p95_s": warm_summary.get("p95", 0.0),
+        "server_warm_p99_s": warm_summary.get("p99", 0.0),
+        "shed": sum(
+            tier["shed"] for tier in stats["serving"]["queues"].values()
+        ),
+    }
+
+
+def _drain_safety(smoke):
+    burst = DRAIN_BURST_SMOKE if smoke else DRAIN_BURST_FULL
+    chains = [_chain(100 + i) for i in range(burst)]
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServerConfig(
+            port=0, workers=2, cache_dir=tmp, compact_interval=0
+        )
+        with BackgroundServer(config) as bg:
+
+            async def scenario():
+                client = await AsyncServingClient.open(bg.host, bg.port)
+                sends = [
+                    asyncio.ensure_future(
+                        client.compile(chain, "xeon-gold-6240")
+                    )
+                    for chain in chains
+                ]
+                # Drain while the burst is still queued/compiling; the
+                # call blocks a worker thread, not this loop.
+                loop = asyncio.get_running_loop()
+                await asyncio.sleep(0.05)
+                drain_started = time.perf_counter()
+                await loop.run_in_executor(None, bg.drain)
+                drain_s = time.perf_counter() - drain_started
+                replies = await asyncio.gather(*sends)
+                await client.close()
+                return replies, drain_s
+
+            replies, drain_s = asyncio.run(scenario())
+            queues = bg.stats()["serving"]["queues"]
+
+    admitted_replies = [r for r in replies if r.status != 503]
+    dropped = [r for r in admitted_replies if not r.ok]
+    assert not dropped, (
+        f"drain dropped {len(dropped)} admitted request(s): "
+        f"{[r.error for r in dropped]}"
+    )
+    admitted = sum(tier["admitted"] for tier in queues.values())
+    completed = sum(tier["completed"] for tier in queues.values())
+    assert admitted == completed, (
+        f"drain lost work: {admitted} admitted, {completed} completed"
+    )
+    return {
+        "burst": burst,
+        "admitted": admitted,
+        "completed": completed,
+        "refused_during_drain": len(replies) - len(admitted_replies),
+        "drain_s": drain_s,
+    }
+
+
+def run_experiment(smoke=False):
+    warm = _warm_load(smoke)
+    drain = _drain_safety(smoke)
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "service_gate_ratio": SERVICE_GATE_RATIO,
+        "wall_gate_ratio": WALL_GATE_RATIO,
+        "warm": warm,
+        "drain": drain,
+    }
+    rows = [
+        ["concurrent warm requests", f"{warm['concurrency']}"],
+        ["burst wall clock", f"{warm['wall_s'] * 1e3:.0f} ms"],
+        ["throughput", f"{warm['throughput_rps']:.0f} req/s"],
+        [
+            "bare key+JSON round trip",
+            f"{warm['baseline_round_trip_s'] * 1e3:.3f} ms",
+        ],
+        [
+            "warm service p99 (lookup)",
+            f"{warm['service_p99_s'] * 1e3:.3f} ms "
+            f"({warm['service_p99_ratio']:.1f}x baseline)",
+        ],
+        [
+            "server warm p50/p95/p99",
+            f"{warm['server_warm_p50_s'] * 1e3:.2f} / "
+            f"{warm['server_warm_p95_s'] * 1e3:.2f} / "
+            f"{warm['server_warm_p99_s'] * 1e3:.2f} ms",
+        ],
+        [
+            "mean wall per request",
+            f"{warm['per_request_s'] * 1e3:.3f} ms "
+            f"({warm['wall_ratio']:.1f}x baseline)",
+        ],
+        ["requests shed", f"{warm['shed']}"],
+        [
+            "drain burst",
+            f"{drain['burst']} sent, {drain['admitted']} admitted, "
+            f"{drain['completed']} completed, "
+            f"{drain['refused_during_drain']} refused (503)",
+        ],
+        ["drain wall clock", f"{drain['drain_s'] * 1e3:.0f} ms"],
+    ]
+    text = render_table(["metric", "value"], rows)
+    return payload, text
+
+
+def _finish(payload, text, write_json):
+    if write_json:
+        RESULTS_JSON.parent.mkdir(exist_ok=True)
+        RESULTS_JSON.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    warm = payload["warm"]
+    assert warm["shed"] == 0, (
+        f"{warm['shed']} warm requests were shed; queues must absorb the "
+        "burst"
+    )
+    assert warm["service_p99_ratio"] <= SERVICE_GATE_RATIO, (
+        f"warm-hit p99 service time is {warm['service_p99_ratio']:.1f}x "
+        f"the bare key+JSON round trip (gate {SERVICE_GATE_RATIO:.0f}x) — "
+        "the warm path is no longer serialization-dominated"
+    )
+    assert warm["wall_ratio"] <= WALL_GATE_RATIO, (
+        f"mean per-request wall share is {warm['wall_ratio']:.1f}x the "
+        f"bare round trip (gate {WALL_GATE_RATIO:.0f}x)"
+    )
+    drain = payload["drain"]
+    assert drain["admitted"] == drain["completed"]
+
+
+def test_service_load(benchmark):
+    from conftest import emit, run_once
+
+    payload, text = run_once(benchmark, lambda: run_experiment(smoke=False))
+    _finish(payload, text, write_json=True)
+    emit("bench_service_load", text)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="200-deep burst and a small drain, no JSON artifact",
+    )
+    args = parser.parse_args(argv)
+    payload, text = run_experiment(smoke=args.smoke)
+    print(text)
+    warm = payload["warm"]
+    print(
+        f"\n{warm['concurrency']} concurrent warm requests at "
+        f"{warm['throughput_rps']:.0f} req/s; warm p99 "
+        f"{warm['service_p99_ratio']:.1f}x the serialization baseline "
+        f"(gate {SERVICE_GATE_RATIO:.0f}x); drain lost "
+        f"{payload['drain']['admitted'] - payload['drain']['completed']} "
+        "request(s)"
+    )
+    _finish(payload, text, write_json=not args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Compiling through the always-on server: clients, tiers, hot restart.
+
+A production deployment runs ``python -m repro serve`` once and points
+every client at it — the plan cache warms exactly once per distinct
+(chain, hardware, config) across all processes and machines.  This
+example boots the same server in-process (:class:`BackgroundServer`,
+the harness tests and benchmarks use), then walks the client surface:
+
+* a blocking :class:`ServingClient` doing a cold compile, a warm hit,
+  and local decode of the wire entry into a ``CompileResult``;
+* an :class:`AsyncServingClient` pipelining a burst of batch-tier
+  requests over one connection;
+* the HTTP shim (``GET /stats`` / ``GET /healthz``) for ops tooling;
+* a graceful drain followed by a hot restart that re-warms the memory
+  tier from disk and carries the metrics counters forward.
+
+Run:
+    python examples/serving_client.py
+"""
+
+import asyncio
+import pathlib
+import tempfile
+import time
+
+import repro
+from repro.serving import (
+    AsyncServingClient,
+    BackgroundServer,
+    ServerConfig,
+    ServingClient,
+    TIER_BATCH,
+    http_get,
+)
+
+HW_NAME = "a100"
+
+
+def blocking_client(host: int, port: int) -> None:
+    chain = repro.attention_chain(batch=8, seq=256, head_dim=64)
+    with ServingClient(host, port, tenant="example") as client:
+        started = time.perf_counter()
+        cold = client.compile(chain, HW_NAME, check=True)
+        cold_s = time.perf_counter() - started
+        print(f"cold compile over the wire: {cold_s:.2f}s "
+              f"(source={cold.source})")
+
+        started = time.perf_counter()
+        warm = client.compile(chain, HW_NAME, check=True)
+        warm_s = time.perf_counter() - started
+        print(f"warm hit over the wire: {warm_s * 1e3:.1f}ms "
+              f"(source={warm.source}, {cold_s / warm_s:.0f}x faster)")
+
+        # The server shipped the raw cache entry; kernel lowering happens
+        # here, on the client.
+        result = warm.decode(HW_NAME)
+        decision = "fused" if result.fused else "unfused"
+        print(f"decoded locally: {decision} plan, "
+              f"{len(result.kernels)} kernel(s)")
+
+
+def pipelined_client(host: str, port: int) -> None:
+    chain = repro.attention_chain(batch=8, seq=256, head_dim=64)
+
+    async def burst():
+        client = await AsyncServingClient.open(host, port, tenant="example")
+        replies = await asyncio.gather(
+            *(
+                client.compile(chain, HW_NAME, tier=TIER_BATCH, check=True)
+                for _ in range(64)
+            )
+        )
+        await client.close()
+        return replies
+
+    started = time.perf_counter()
+    replies = asyncio.run(burst())
+    wall = time.perf_counter() - started
+    hits = sum(reply.from_cache for reply in replies)
+    print(f"pipelined 64 batch-tier requests in {wall * 1e3:.0f}ms "
+          f"({hits} cache hits)")
+
+
+def ops_endpoints(host: str, port: int) -> None:
+    status, health = http_get(host, port, "/healthz")
+    print(f"GET /healthz -> {status} ok={health['ok']}")
+    status, stats = http_get(host, port, "/stats")
+    queues = stats["serving"]["queues"]
+    print(f"GET /stats   -> {status} requests={stats['requests']} "
+          f"hit_rate={stats['hit_rate']:.0%} "
+          f"interactive_admitted={queues['interactive']['admitted']} "
+          f"batch_admitted={queues['batch']['admitted']}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = str(pathlib.Path(tmp) / "plans")
+        config = ServerConfig(
+            port=0, workers=2, cache_dir=cache_dir, shards=2,
+            compact_interval=0,
+        )
+
+        with BackgroundServer(config) as server:
+            print(f"server up on {server.host}:{server.port}")
+            blocking_client(server.host, server.port)
+            pipelined_client(server.host, server.port)
+            ops_endpoints(server.host, server.port)
+            server.drain()  # SIGTERM equivalent: finish all, checkpoint
+            print("drained: metrics checkpointed next to the cache")
+
+        # "Hot restart": a new process over the same cache dir re-warms
+        # the memory tier and restores the counters before serving.
+        with BackgroundServer(config) as server:
+            serving = server.stats()["serving"]
+            print(f"restarted: re-warmed {serving['warmed_entries']} "
+                  f"plan(s), counters restored="
+                  f"{serving['restored_counters']}")
+            with ServingClient(server.host, server.port) as client:
+                chain = repro.attention_chain(batch=8, seq=256, head_dim=64)
+                reply = client.compile(chain, HW_NAME, check=True)
+                print(f"first request after restart served from "
+                      f"{reply.source}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,9 +12,16 @@ Commands:
 * ``compile-network`` — partition a whole network DAG (Bert/ViT/
   Transformer preset), batch-compile every node through the service, and
   print the per-node plan report (``--json`` for machine-readable stats).
-* ``cache`` — inspect (``stats``, ``list``) or ``clear`` a plan cache dir.
+* ``cache`` — inspect (``stats``, ``list``) or ``clear`` a plan cache dir
+  (shard layouts are auto-detected; ``stats`` prints byte usage and
+  per-shard entry counts).
 * ``search-stats`` — run workloads and report the order-search counters
   (orders enumerated / pruned / memo hits / solves, per-stage wall time).
+* ``serve`` — run the always-on compilation server (NDJSON over TCP plus
+  ``GET /stats`` / ``GET /healthz``); see ``docs/serving.md``.
+
+All commands exit 130 on Ctrl-C instead of dumping a traceback
+(``serve`` instead drains gracefully and exits 0).
 
 Examples::
 
@@ -27,6 +34,7 @@ Examples::
     python -m repro compile-network --network bert-base --hw a100 --json
     python -m repro cache stats --cache-dir /tmp/plans
     python -m repro search-stats G1 C1 --hw ascend-910 --no-prune
+    python -m repro serve --cache-dir /tmp/plans --port 9119 --shards 4
 """
 
 from __future__ import annotations
@@ -42,7 +50,7 @@ from .hardware import preset
 from .ir.chain import OperatorChain
 from .ir.chains import gemm_chain
 from .runtime import compare as run_compare
-from .service import CompileRequest, CompileService, PlanCache
+from .service import CompileRequest, CompileService, open_cache
 from .workloads import conv_chain_config, gemm_chain_config
 
 
@@ -205,18 +213,36 @@ def _cmd_compile_network(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    cache = PlanCache(cache_dir=args.cache_dir)
+    cache = open_cache(cache_dir=args.cache_dir, shards=args.shards)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached plan(s) from {args.cache_dir}")
         return 0
-    keys = cache.disk_keys()
     if args.action == "stats":
+        stats = cache.stats()
         print(
-            f"{len(keys)} cached plan(s), {cache.disk_size_bytes()} bytes "
-            f"at {args.cache_dir}"
+            f"{stats['disk_entries']} cached plan(s), "
+            f"{stats['disk_bytes']} bytes on disk across "
+            f"{stats['shards']} shard(s) at {args.cache_dir}"
         )
+        print(
+            f"memory tier: {stats['memory_entries']}/"
+            f"{stats['memory_capacity']} entries, "
+            f"{stats['memory_bytes']} bytes"
+            + (
+                f" (budget {stats['max_memory_bytes']})"
+                if stats.get("max_memory_bytes")
+                else ""
+            )
+        )
+        for shard in stats.get("per_shard", []):
+            print(
+                f"  shard {shard['shard']:02d}: "
+                f"{shard['disk_entries']} entries, "
+                f"{shard['disk_bytes']} bytes"
+            )
         return 0
+    keys = cache.disk_keys()
     rows = []
     for key in keys:
         entry = cache.get(key)
@@ -297,6 +323,30 @@ def _cmd_search_stats(args: argparse.Namespace) -> int:
     print()
     print(_render_search_stats(search_stats_snapshot()))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import ServerConfig, run_server
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        interactive_queue=args.interactive_queue,
+        batch_queue=args.batch_queue,
+        cache_dir=args.cache_dir,
+        shards=args.shards,
+        memory_capacity=args.memory_capacity,
+        max_memory_bytes=args.max_memory_bytes,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_inflight=args.tenant_inflight,
+        compact_interval=args.compact_interval,
+        compact_max_age=args.compact_max_age,
+        compact_disk_budget=args.compact_disk_budget,
+        warm_start=not args.no_warm_start,
+    )
+    return run_server(config)
 
 
 def _cmd_workloads(_: argparse.Namespace) -> int:
@@ -414,7 +464,50 @@ def main(argv: Optional[list] = None) -> int:
     cache = sub.add_parser("cache", help="inspect or clear a plan cache")
     cache.add_argument("action", choices=["stats", "list", "clear"])
     cache.add_argument("--cache-dir", required=True)
+    cache.add_argument("--shards", type=int, default=None,
+                       help="shard count (default: auto-detect from the "
+                            "directory layout)")
     cache.set_defaults(fn=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on compilation server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9119,
+                       help="TCP port (0 picks a free one and prints it)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="compile thread-pool width")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persistent plan cache (also holds the "
+                            "metrics checkpoint for hot restarts)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="plan-cache shards")
+    serve.add_argument("--memory-capacity", type=int, default=512,
+                       help="memory-tier entries, total across shards")
+    serve.add_argument("--max-memory-bytes", type=int, default=None,
+                       help="memory-tier byte budget (size-aware LRU)")
+    serve.add_argument("--interactive-queue", type=int, default=256,
+                       help="interactive admission-queue bound")
+    serve.add_argument("--batch-queue", type=int, default=1024,
+                       help="batch admission-queue bound")
+    serve.add_argument("--tenant-rate", type=float, default=0.0,
+                       help="per-tenant requests/second (0 = unlimited)")
+    serve.add_argument("--tenant-burst", type=float, default=None,
+                       help="per-tenant token-bucket ceiling "
+                            "(default: 2x rate)")
+    serve.add_argument("--tenant-inflight", type=int, default=0,
+                       help="per-tenant in-flight cap (0 = unlimited)")
+    serve.add_argument("--compact-interval", type=float, default=60.0,
+                       help="seconds between disk compaction passes "
+                            "(0 disables)")
+    serve.add_argument("--compact-max-age", type=float, default=None,
+                       help="evict disk entries older than this many "
+                            "seconds")
+    serve.add_argument("--compact-disk-budget", type=int, default=None,
+                       help="disk byte budget enforced by compaction")
+    serve.add_argument("--no-warm-start", action="store_true",
+                       help="skip re-warming the memory tier from disk")
+    serve.set_defaults(fn=_cmd_serve)
 
     search = sub.add_parser(
         "search-stats",
@@ -438,7 +531,12 @@ def main(argv: Optional[list] = None) -> int:
     search.set_defaults(fn=_cmd_search_stats)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # Conventional 128 + SIGINT exit, no traceback spew.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

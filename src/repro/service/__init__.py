@@ -36,9 +36,17 @@ from .batch import (
     BatchReport,
     compile_batch,
 )
-from .cache import PlanCache, validate_entry
+from .cache import (
+    PlanCache,
+    ShardedPlanCache,
+    detect_shards,
+    entry_bytes,
+    open_cache,
+    shard_index,
+    validate_entry,
+)
 from .keys import cache_key, canonical_request
-from .metrics import ServiceMetrics, percentile
+from .metrics import ServiceMetrics, percentile, summarize
 from .service import (
     SOURCE_COALESCED,
     SOURCE_COMPILED,
@@ -48,8 +56,10 @@ from .service import (
     CompilationFailure,
     CompileRequest,
     CompileService,
+    RawServed,
     ServedCompile,
     as_request,
+    decode_plan_entry,
 )
 
 __all__ = [
@@ -61,16 +71,24 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_TIMEOUT",
     "PlanCache",
+    "ShardedPlanCache",
+    "detect_shards",
+    "entry_bytes",
+    "open_cache",
+    "shard_index",
     "validate_entry",
     "cache_key",
     "canonical_request",
     "ServiceMetrics",
     "percentile",
+    "summarize",
     "CompilationFailure",
     "CompileRequest",
     "CompileService",
+    "RawServed",
     "ServedCompile",
     "as_request",
+    "decode_plan_entry",
     "SOURCE_MEMORY",
     "SOURCE_DISK",
     "SOURCE_COALESCED",

@@ -1,11 +1,22 @@
-"""Two-tier content-addressed store for compiled plan entries.
+"""Content-addressed stores for compiled plan entries.
 
-Front tier: an in-memory LRU keyed by :func:`repro.service.cache_key`, sized
-by ``capacity`` (entries, not bytes — plan entries are a few KB each).  Back
-tier: an optional on-disk directory of ``<key>.plan.json`` files shared
-between processes and service restarts.
+Two classes share one interface (every consumer — :class:`CompileService`,
+the CLI, the serving tier — accepts either):
 
-Durability rules:
+* :class:`PlanCache` — a single two-tier store.  Front tier: an in-memory
+  LRU keyed by :func:`repro.service.cache_key`, bounded by ``capacity``
+  (entries) **and** optionally ``max_memory_bytes`` (byte-accounted — the
+  serialized size of each entry is tracked, so a few huge plans can't
+  silently blow past an entry-count budget).  Back tier: an optional
+  on-disk directory of ``<key>.plan.json`` files shared between processes
+  and service restarts.
+* :class:`ShardedPlanCache` — N independent :class:`PlanCache` shards
+  selected by a prefix of the request digest.  Each shard has its own lock
+  and its own ``shard-XX/`` subdirectory, so concurrent lookups on
+  different shards never contend and compaction can walk one shard at a
+  time.
+
+Durability rules (per shard):
 
 * writes go to a temp file in the cache directory and are published with
   ``os.replace`` — readers never observe a half-written entry, even if the
@@ -14,6 +25,14 @@ Durability rules:
   invalid or version-mismatched file is treated as a miss, counted in
   ``corrupt_entries``, and deleted so the next compile rewrites it;
 * a disk hit is promoted into the memory tier (LRU insert).
+
+Long-lived servers additionally get:
+
+* :meth:`PlanCache.warm_memory` — hot-restart support: refill the memory
+  tier from disk, most recently written entries first;
+* :meth:`PlanCache.compact` — background maintenance off the hot path:
+  evict corrupt and stale files, optionally enforce a disk byte budget
+  (oldest entries evicted first).
 
 The cache stores plain JSON-ready dict *entries* (produced by the service),
 not live plan objects — decoding back into kernels is the service's job.
@@ -26,6 +45,7 @@ import os
 import pathlib
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -49,6 +69,10 @@ ENTRY_SUFFIX = ".plan.json"
 TIER_MEMORY = "memory"
 TIER_DISK = "disk"
 
+#: Subdirectory pattern used by :class:`ShardedPlanCache`.
+SHARD_DIR_FORMAT = "shard-{:02d}"
+SHARD_DIR_GLOB = "shard-[0-9][0-9]"
+
 
 def validate_entry(entry: Any) -> bool:
     """Structural check applied to every entry read back from disk."""
@@ -59,24 +83,48 @@ def validate_entry(entry: Any) -> bool:
     return entry["format_version"] == FORMAT_VERSION
 
 
+def entry_bytes(entry: Dict[str, Any]) -> int:
+    """Serialized size of an entry — the unit the byte budget accounts in."""
+    return len(json.dumps(entry))
+
+
 class PlanCache:
-    """LRU memory tier over an optional persistent JSON directory."""
+    """LRU memory tier over an optional persistent JSON directory.
+
+    Args:
+        cache_dir: directory for the persistent tier (``None`` keeps the
+            cache memory-only).
+        capacity: memory-tier bound in *entries* (0 disables the tier).
+        metrics: shared registry for eviction/corruption counters.
+        max_memory_bytes: optional memory-tier bound in *bytes* of
+            serialized entry payload; whichever bound trips first evicts.
+    """
 
     def __init__(
         self,
         cache_dir: Optional[PathLike] = None,
         capacity: int = 128,
         metrics: Optional[ServiceMetrics] = None,
+        max_memory_bytes: Optional[int] = None,
     ) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if max_memory_bytes is not None and max_memory_bytes < 0:
+            raise ValueError(
+                f"max_memory_bytes must be >= 0, got {max_memory_bytes}"
+            )
         self.capacity = capacity
+        self.max_memory_bytes = max_memory_bytes
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.cache_dir: Optional[pathlib.Path] = None
         if cache_dir is not None:
             self.cache_dir = pathlib.Path(cache_dir)
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        # key -> (entry, serialized size in bytes), LRU order.
+        self._memory: "OrderedDict[str, Tuple[Dict[str, Any], int]]" = (
+            OrderedDict()
+        )
+        self._memory_bytes = 0
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -91,13 +139,14 @@ class PlanCache:
     ) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
         """Look the key up; returns ``(entry, tier)`` or ``(None, None)``."""
         with self._lock:
-            entry = self._memory.get(key)
-            if entry is not None:
+            slot = self._memory.get(key)
+            if slot is not None:
                 self._memory.move_to_end(key)
-                return entry, TIER_MEMORY
-            entry = self._load_disk(key)
-            if entry is not None:
-                self._insert_memory(key, entry)
+                return slot[0], TIER_MEMORY
+            loaded = self._load_disk(key)
+            if loaded is not None:
+                entry, nbytes = loaded
+                self._insert_memory(key, entry, nbytes)
                 return entry, TIER_DISK
         return None, None
 
@@ -132,11 +181,40 @@ class PlanCache:
     def disk_size_bytes(self) -> int:
         if self.cache_dir is None:
             return 0
-        return sum(
-            path.stat().st_size
-            for path in self.cache_dir.glob(f"*{ENTRY_SUFFIX}")
-            if path.exists()
-        )
+        total = 0
+        for path in self.cache_dir.glob(f"*{ENTRY_SUFFIX}"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # racing eviction/compaction
+        return total
+
+    def memory_len(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def memory_bytes(self) -> int:
+        """Byte-accounted size of the memory tier (serialized entry sizes)."""
+        with self._lock:
+            return self._memory_bytes
+
+    def stats(self) -> Dict[str, Any]:
+        """Occupancy of both tiers, entry counts *and* bytes."""
+        with self._lock:
+            memory_entries = len(self._memory)
+            memory_bytes = self._memory_bytes
+        return {
+            "shards": 1,
+            "memory_entries": memory_entries,
+            "memory_bytes": memory_bytes,
+            "memory_capacity": self.capacity,
+            "max_memory_bytes": self.max_memory_bytes,
+            "disk_entries": len(self.disk_keys()),
+            "disk_bytes": self.disk_size_bytes(),
+            "cache_dir": (
+                str(self.cache_dir) if self.cache_dir is not None else None
+            ),
+        }
 
     # ------------------------------------------------------------------
     # mutation
@@ -148,13 +226,14 @@ class PlanCache:
                 "refusing to cache a structurally invalid entry "
                 f"(required fields: {', '.join(REQUIRED_ENTRY_FIELDS)})"
             )
+        text = json.dumps(entry)
         with self._lock:
-            self._insert_memory(key, entry)
-            self._write_disk(key, entry)
+            self._insert_memory(key, entry, len(text))
+            self._write_disk(key, text)
 
     def delete(self, key: str) -> None:
         with self._lock:
-            self._memory.pop(key, None)
+            self._pop_memory(key)
             path = self._path(key)
             if path is not None and path.exists():
                 path.unlink()
@@ -164,6 +243,7 @@ class PlanCache:
         with self._lock:
             removed = set(self._memory)
             self._memory.clear()
+            self._memory_bytes = 0
             if self.cache_dir is not None:
                 for path in self.cache_dir.glob(f"*{ENTRY_SUFFIX}"):
                     removed.add(path.name[: -len(ENTRY_SUFFIX)])
@@ -174,21 +254,156 @@ class PlanCache:
         """Drop the LRU tier only (disk entries survive)."""
         with self._lock:
             self._memory.clear()
+            self._memory_bytes = 0
 
-    def memory_len(self) -> int:
+    # ------------------------------------------------------------------
+    # maintenance (hot restart + background compaction)
+    # ------------------------------------------------------------------
+    def warm_memory(self, limit: Optional[int] = None) -> int:
+        """Refill the memory tier from disk, newest entries first.
+
+        Called on server start so a hot restart answers from memory
+        immediately instead of paying a disk read per first hit.  Loads at
+        most ``limit`` entries (default: the memory-tier entry capacity)
+        and stops early once the byte budget is full.  Corrupt files hit
+        on the way are evicted as usual.  Returns the number of entries
+        loaded.
+        """
+        if self.cache_dir is None or self.capacity == 0:
+            return 0
+        budget = self.capacity if limit is None else min(limit, self.capacity)
+        dated = []
+        for path in self.cache_dir.glob(f"*{ENTRY_SUFFIX}"):
+            try:
+                dated.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        dated.sort(key=lambda pair: pair[0], reverse=True)
+        loaded = 0
         with self._lock:
-            return len(self._memory)
+            for _, path in dated:
+                if loaded >= budget:
+                    break
+                if (
+                    self.max_memory_bytes is not None
+                    and self._memory_bytes >= self.max_memory_bytes
+                    and loaded > 0
+                ):
+                    break
+                key = path.name[: -len(ENTRY_SUFFIX)]
+                if key in self._memory:
+                    continue
+                slot = self._load_disk(key)
+                if slot is None:
+                    continue
+                self._insert_memory(key, slot[0], slot[1])
+                loaded += 1
+        return loaded
+
+    def compact(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_disk_bytes: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Walk the disk tier and evict what no longer earns its bytes.
+
+        Designed to run from a background task, off the request path:
+
+        * corrupt / truncated / version-mismatched files are deleted
+          (counted in ``corrupt_entries`` as usual);
+        * files older than ``max_age_seconds`` (by mtime) are deleted;
+        * if ``max_disk_bytes`` is set and the surviving entries still
+          exceed it, the oldest entries are deleted until under budget.
+
+        Entries evicted from disk are also dropped from the memory tier so
+        the two tiers never disagree about what exists.  Returns counters:
+        ``scanned``/``removed_corrupt``/``removed_stale``/``removed_budget``
+        /``kept``/``kept_bytes``.
+        """
+        result = {
+            "scanned": 0,
+            "removed_corrupt": 0,
+            "removed_stale": 0,
+            "removed_budget": 0,
+            "kept": 0,
+            "kept_bytes": 0,
+        }
+        if self.cache_dir is None:
+            return result
+        now = time.time()
+        survivors: List[Tuple[float, int, pathlib.Path]] = []
+        for path in sorted(self.cache_dir.glob(f"*{ENTRY_SUFFIX}")):
+            result["scanned"] += 1
+            key = path.name[: -len(ENTRY_SUFFIX)]
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with an eviction
+            if (
+                max_age_seconds is not None
+                and now - stat.st_mtime > max_age_seconds
+            ):
+                self._evict_file(key, path)
+                result["removed_stale"] += 1
+                continue
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                entry = None
+            if entry is None or not validate_entry(entry):
+                self.metrics.count("corrupt_entries")
+                self._evict_file(key, path)
+                result["removed_corrupt"] += 1
+                continue
+            survivors.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in survivors)
+        if max_disk_bytes is not None:
+            survivors.sort(key=lambda item: item[0])  # oldest first
+            index = 0
+            while total > max_disk_bytes and index < len(survivors):
+                _, size, path = survivors[index]
+                self._evict_file(path.name[: -len(ENTRY_SUFFIX)], path)
+                result["removed_budget"] += 1
+                total -= size
+                index += 1
+            survivors = survivors[index:]
+        result["kept"] = len(survivors)
+        result["kept_bytes"] = total
+        return result
+
+    def _evict_file(self, key: str, path: pathlib.Path) -> None:
+        with self._lock:
+            self._pop_memory(key)
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _insert_memory(self, key: str, entry: Dict[str, Any]) -> None:
+    def _pop_memory(self, key: str) -> None:
+        slot = self._memory.pop(key, None)
+        if slot is not None:
+            self._memory_bytes -= slot[1]
+
+    def _insert_memory(
+        self, key: str, entry: Dict[str, Any], nbytes: int
+    ) -> None:
         if self.capacity == 0:
             return
-        self._memory[key] = entry
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.capacity:
-            self._memory.popitem(last=False)
+        self._pop_memory(key)
+        self._memory[key] = (entry, nbytes)
+        self._memory_bytes += nbytes
+        over_bytes = (
+            lambda: self.max_memory_bytes is not None
+            and self._memory_bytes > self.max_memory_bytes
+        )
+        while len(self._memory) > 1 and (
+            len(self._memory) > self.capacity or over_bytes()
+        ):
+            _, (_, dropped) = self._memory.popitem(last=False)
+            self._memory_bytes -= dropped
             self.metrics.count("evictions")
 
     def _path(self, key: str) -> Optional[pathlib.Path]:
@@ -196,7 +411,7 @@ class PlanCache:
             return None
         return self.cache_dir / f"{key}{ENTRY_SUFFIX}"
 
-    def _write_disk(self, key: str, entry: Dict[str, Any]) -> None:
+    def _write_disk(self, key: str, text: str) -> None:
         path = self._path(key)
         if path is None:
             return
@@ -205,7 +420,7 @@ class PlanCache:
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle)
+                handle.write(text)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -214,12 +429,15 @@ class PlanCache:
                 pass
             raise
 
-    def _load_disk(self, key: str) -> Optional[Dict[str, Any]]:
+    def _load_disk(
+        self, key: str
+    ) -> Optional[Tuple[Dict[str, Any], int]]:
         path = self._path(key)
         if path is None or not path.exists():
             return None
         try:
-            entry = json.loads(path.read_text())
+            text = path.read_text()
+            entry = json.loads(text)
         except (OSError, json.JSONDecodeError):
             entry = None
         if entry is None or not validate_entry(entry):
@@ -231,4 +449,209 @@ class PlanCache:
             except OSError:
                 pass
             return None
-        return entry
+        return entry, len(text)
+
+
+class ShardedPlanCache:
+    """N independent :class:`PlanCache` shards behind one facade.
+
+    The shard for a key is chosen from the leading hex digits of the
+    request digest (keys are SHA-256 hashes, so the spread is uniform) —
+    the same key always lands on the same shard, across processes and
+    restarts.  ``capacity`` and ``max_memory_bytes`` are *totals*, divided
+    evenly across shards.  On disk each shard owns a ``shard-XX/``
+    subdirectory of ``cache_dir``.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[PathLike] = None,
+        shards: int = 4,
+        capacity: int = 128,
+        metrics: Optional[ServiceMetrics] = None,
+        max_memory_bytes: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.cache_dir = (
+            pathlib.Path(cache_dir) if cache_dir is not None else None
+        )
+        per_capacity = max(1, -(-capacity // shards)) if capacity else 0
+        per_bytes = (
+            max(1, -(-max_memory_bytes // shards))
+            if max_memory_bytes is not None
+            else None
+        )
+        self.capacity = per_capacity * shards if capacity else 0
+        self.max_memory_bytes = (
+            per_bytes * shards if per_bytes is not None else None
+        )
+        self._shards = tuple(
+            PlanCache(
+                cache_dir=(
+                    self.cache_dir / SHARD_DIR_FORMAT.format(index)
+                    if self.cache_dir is not None
+                    else None
+                ),
+                capacity=per_capacity,
+                metrics=self.metrics,
+                max_memory_bytes=per_bytes,
+            )
+            for index in range(shards)
+        )
+
+    @property
+    def shards(self) -> Tuple[PlanCache, ...]:
+        return self._shards
+
+    def shard_for(self, key: str) -> PlanCache:
+        return self._shards[shard_index(key, len(self._shards))]
+
+    # -- delegation ----------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self.shard_for(key).get(key)
+
+    def get_with_tier(
+        self, key: str
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        return self.shard_for(key).get_with_tier(key)
+
+    def put(self, key: str, entry: Dict[str, Any]) -> None:
+        self.shard_for(key).put(key, entry)
+
+    def delete(self, key: str) -> None:
+        self.shard_for(key).delete(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.shard_for(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def keys(self) -> List[str]:
+        keys: List[str] = []
+        for shard in self._shards:
+            keys.extend(shard.keys())
+        return keys
+
+    def disk_keys(self) -> List[str]:
+        keys: List[str] = []
+        for shard in self._shards:
+            keys.extend(shard.disk_keys())
+        return sorted(keys)
+
+    def disk_size_bytes(self) -> int:
+        return sum(shard.disk_size_bytes() for shard in self._shards)
+
+    def memory_len(self) -> int:
+        return sum(shard.memory_len() for shard in self._shards)
+
+    def memory_bytes(self) -> int:
+        return sum(shard.memory_bytes() for shard in self._shards)
+
+    def clear(self) -> int:
+        return sum(shard.clear() for shard in self._shards)
+
+    def clear_memory(self) -> None:
+        for shard in self._shards:
+            shard.clear_memory()
+
+    def warm_memory(self, limit: Optional[int] = None) -> int:
+        per_limit = (
+            max(1, -(-limit // len(self._shards))) if limit is not None else None
+        )
+        return sum(shard.warm_memory(per_limit) for shard in self._shards)
+
+    def compact(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_disk_bytes: Optional[int] = None,
+    ) -> Dict[str, int]:
+        per_budget = (
+            max(1, -(-max_disk_bytes // len(self._shards)))
+            if max_disk_bytes is not None
+            else None
+        )
+        totals: Dict[str, int] = {}
+        for shard in self._shards:
+            for name, value in shard.compact(max_age_seconds, per_budget).items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate occupancy plus the per-shard breakdown."""
+        per_shard = []
+        for index, shard in enumerate(self._shards):
+            shard_stats = shard.stats()
+            per_shard.append(
+                {
+                    "shard": index,
+                    "memory_entries": shard_stats["memory_entries"],
+                    "memory_bytes": shard_stats["memory_bytes"],
+                    "disk_entries": shard_stats["disk_entries"],
+                    "disk_bytes": shard_stats["disk_bytes"],
+                }
+            )
+        return {
+            "shards": len(self._shards),
+            "memory_entries": sum(s["memory_entries"] for s in per_shard),
+            "memory_bytes": sum(s["memory_bytes"] for s in per_shard),
+            "memory_capacity": self.capacity,
+            "max_memory_bytes": self.max_memory_bytes,
+            "disk_entries": sum(s["disk_entries"] for s in per_shard),
+            "disk_bytes": sum(s["disk_bytes"] for s in per_shard),
+            "cache_dir": (
+                str(self.cache_dir) if self.cache_dir is not None else None
+            ),
+            "per_shard": per_shard,
+        }
+
+
+def shard_index(key: str, shards: int) -> int:
+    """Deterministic shard routing from the digest's leading hex digits."""
+    try:
+        return int(key[:8], 16) % shards
+    except ValueError:
+        # Non-hex key (tests, ad-hoc tools): fall back to a stable hash.
+        return sum(key.encode("utf-8", "replace")) % shards
+
+
+def detect_shards(cache_dir: PathLike) -> int:
+    """Number of ``shard-XX/`` subdirectories under an existing cache dir."""
+    root = pathlib.Path(cache_dir)
+    if not root.is_dir():
+        return 0
+    return sum(1 for path in root.glob(SHARD_DIR_GLOB) if path.is_dir())
+
+
+def open_cache(
+    cache_dir: Optional[PathLike],
+    shards: Optional[int] = None,
+    capacity: int = 128,
+    metrics: Optional[ServiceMetrics] = None,
+    max_memory_bytes: Optional[int] = None,
+) -> Union[PlanCache, ShardedPlanCache]:
+    """Open a plan cache, auto-detecting an existing shard layout.
+
+    ``shards=None`` inspects ``cache_dir`` for ``shard-XX/`` subdirectories
+    (so CLI tools pointed at a server's cache just work); ``shards<=1``
+    forces a flat :class:`PlanCache`, larger values a
+    :class:`ShardedPlanCache`.
+    """
+    if shards is None:
+        shards = detect_shards(cache_dir) if cache_dir is not None else 0
+    if shards and shards > 1:
+        return ShardedPlanCache(
+            cache_dir=cache_dir,
+            shards=shards,
+            capacity=capacity,
+            metrics=metrics,
+            max_memory_bytes=max_memory_bytes,
+        )
+    return PlanCache(
+        cache_dir=cache_dir,
+        capacity=capacity,
+        metrics=metrics,
+        max_memory_bytes=max_memory_bytes,
+    )

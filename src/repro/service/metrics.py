@@ -1,10 +1,29 @@
 """Thread-safe counters and latency percentiles for the compile service.
 
-One :class:`ServiceMetrics` instance is shared by the cache, the coalescer
-and the batch compiler; every mutation takes the registry lock, so the
-numbers stay consistent under the worker pool.  Latencies are kept in a
-bounded reservoir (most recent ``window`` samples) — enough for stable
-p50/p90/p99 without unbounded growth in a long-lived service.
+One :class:`ServiceMetrics` instance is shared by the cache, the coalescer,
+the batch compiler and the serving front end; every mutation takes the
+registry lock, so the numbers stay consistent under the worker pool.
+
+Latencies are kept in *bounded reservoirs*: each named series (plus the
+built-in cold-compile series) retains only its most recent ``window``
+samples.  The semantics are deliberately simple and worth spelling out:
+
+* the reservoir is a sliding window, **not** a uniform sample of the whole
+  run — percentiles describe the last ``window`` observations, so a
+  long-lived server reports *recent* tail behaviour, which is what an
+  operator watching ``/stats`` wants;
+* ``window`` is configurable per registry (default 2048).  Larger windows
+  smooth percentiles over longer horizons at ~8 bytes/sample; a window of
+  2048 is stable for p99 (≈20 samples above the cut) while still tracking
+  load shifts within a few thousand requests;
+* counters are monotonic for the life of the registry (or until
+  ``reset()``) and are never windowed.
+
+``restore()`` reloads counter values from a checkpoint (the serving layer
+persists a snapshot on graceful drain), so a hot-restarted server resumes
+its cumulative counters instead of starting from zero.  Latency reservoirs
+are intentionally *not* restored: stale samples would misrepresent the
+post-restart tail.
 """
 
 from __future__ import annotations
@@ -12,7 +31,7 @@ from __future__ import annotations
 import collections
 import math
 import threading
-from typing import Any, Deque, Dict, List
+from typing import Any, Deque, Dict, List, Mapping
 
 #: Counter names the registry pre-seeds so ``snapshot()`` always reports a
 #: complete set, even before the first request.
@@ -31,6 +50,9 @@ COUNTERS = (
     "corrupt_entries",
 )
 
+#: Percentiles every latency summary reports.
+PERCENTILES = (50, 90, 95, 99)
+
 
 def percentile(samples: List[float], q: float) -> float:
     """Nearest-rank percentile (``q`` in [0, 100]) of unsorted samples."""
@@ -41,13 +63,39 @@ def percentile(samples: List[float], q: float) -> float:
     return ordered[rank - 1]
 
 
+def summarize(samples: List[float]) -> Dict[str, float]:
+    """Count/mean/p50/p90/p95/p99/max summary of a latency sample list."""
+    ordered = sorted(samples)
+    summary: Dict[str, float] = {
+        "count": len(ordered),
+        "mean": (sum(ordered) / len(ordered)) if ordered else 0.0,
+        "max": ordered[-1] if ordered else 0.0,
+    }
+    for q in PERCENTILES:
+        if ordered:
+            rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+            summary[f"p{q}"] = ordered[rank - 1]
+        else:
+            summary[f"p{q}"] = 0.0
+    return summary
+
+
 class ServiceMetrics:
-    """Mutable, lock-protected metrics registry."""
+    """Mutable, lock-protected metrics registry.
+
+    Args:
+        window: sliding-window size, in samples, for every latency
+            reservoir (see the module docstring for the exact semantics).
+    """
 
     def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
         self._compile_seconds: Deque[float] = collections.deque(maxlen=window)
+        self._latencies: Dict[str, Deque[float]] = {}
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a counter (created on first use if not pre-seeded)."""
@@ -59,6 +107,21 @@ class ServiceMetrics:
         with self._lock:
             self._compile_seconds.append(seconds)
 
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one sample in the named latency reservoir.
+
+        The serving layer uses ``"serve_warm"`` / ``"serve_cold"`` for
+        end-to-end request latencies (queueing included); any other name
+        creates a new windowed series reported under
+        ``snapshot()["latencies"]``.
+        """
+        with self._lock:
+            series = self._latencies.get(name)
+            if series is None:
+                series = collections.deque(maxlen=self.window)
+                self._latencies[name] = series
+            series.append(seconds)
+
     def get(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
@@ -68,23 +131,42 @@ class ServiceMetrics:
         with self._lock:
             counters = dict(self._counters)
             samples = list(self._compile_seconds)
+            latencies = {
+                name: list(series) for name, series in self._latencies.items()
+            }
         hits = counters["hits_memory"] + counters["hits_disk"]
         lookups = hits + counters["misses"]
         return {
             **counters,
             "hits": hits,
             "hit_rate": (hits / lookups) if lookups else 0.0,
-            "compile_latency": {
-                "count": len(samples),
-                "mean": (sum(samples) / len(samples)) if samples else 0.0,
-                "p50": percentile(samples, 50),
-                "p90": percentile(samples, 90),
-                "p99": percentile(samples, 99),
-                "max": max(samples) if samples else 0.0,
+            "latency_window": self.window,
+            "compile_latency": summarize(samples),
+            "latencies": {
+                name: summarize(series)
+                for name, series in sorted(latencies.items())
             },
         }
+
+    def restore(self, counters: Mapping[str, Any]) -> None:
+        """Reload counter values from a checkpointed snapshot.
+
+        Only integer-valued counter entries are applied; derived snapshot
+        fields (``hits``, ``hit_rate``, latency summaries) are ignored, as
+        are unknown non-integer values, so feeding a full ``snapshot()``
+        payload back in is safe.  Latency reservoirs are left empty — see
+        the module docstring.
+        """
+        derived = ("hits", "latency_window")
+        with self._lock:
+            for name, value in counters.items():
+                if name in derived or isinstance(value, bool):
+                    continue
+                if isinstance(value, int):
+                    self._counters[name] = value
 
     def reset(self) -> None:
         with self._lock:
             self._counters = {name: 0 for name in COUNTERS}
             self._compile_seconds.clear()
+            self._latencies.clear()

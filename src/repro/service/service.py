@@ -41,7 +41,7 @@ from ..runtime.serialization import (
     plan_from_dict,
     plan_to_dict,
 )
-from .cache import PathLike, PlanCache
+from .cache import PathLike, PlanCache, ShardedPlanCache, open_cache
 from .keys import cache_key
 from .metrics import ServiceMetrics
 
@@ -55,6 +55,34 @@ SOURCE_FALLBACK = "fallback"
 
 class CompilationFailure(RuntimeError):
     """Compilation failed even after retry and the unfused fallback."""
+
+
+def decode_plan_entry(
+    entry: Dict[str, Any], hardware: HardwareSpec
+) -> CompileResult:
+    """Rebuild a :class:`CompileResult` from a cache entry — no optimizer.
+
+    Replays only the cheap, deterministic back half of the pipeline
+    (plan reconstruction + micro-kernel attachment + codegen).  Shared by
+    the in-process warm path and remote clients decoding wire entries.
+
+    Raises:
+        PlanFormatError: when the entry's plans fail to decode.
+    """
+    fused_data = entry["fused_plan"]
+    decision = FusionDecision(
+        fused_plan=(
+            None if fused_data is None else plan_from_dict(fused_data)
+        ),
+        unfused_plans=tuple(
+            plan_from_dict(data) for data in entry["unfused_plans"]
+        ),
+        use_fusion=entry["use_fusion"],
+    )
+    return CompileResult(
+        kernels=kernels_for_decision(decision, hardware),
+        decision=decision,
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -109,6 +137,31 @@ class ServedCompile:
         return self.source in (SOURCE_MEMORY, SOURCE_DISK)
 
 
+@dataclasses.dataclass(frozen=True)
+class RawServed:
+    """Outcome of one request through :meth:`CompileService.serve_raw`.
+
+    Carries the JSON-ready cache *entry* instead of a decoded
+    :class:`CompileResult` — the remote-serving hot path, where the entry
+    goes straight back onto the wire and kernel lowering happens (if at
+    all) on the client.
+    """
+
+    key: str
+    entry: Optional[Dict[str, Any]]
+    source: str
+    seconds: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.entry is not None
+
+    @property
+    def from_cache(self) -> bool:
+        return self.source in (SOURCE_MEMORY, SOURCE_DISK)
+
+
 class _InFlight:
     """Rendezvous slot for requests coalesced onto one leader compile."""
 
@@ -139,6 +192,18 @@ class CompileService:
         retries: extra optimizer attempts after the first failure.
         fallback: degrade to the unfused per-operator plan once retries are
             exhausted (otherwise the error is reported).
+        shards: number of independent cache shards (>1 builds a
+            :class:`ShardedPlanCache`; lookups on different shards never
+            contend on a lock).
+        max_memory_bytes: optional byte-accounted bound on the memory tier
+            (total across shards); whichever of the entry and byte bounds
+            trips first evicts.
+        metrics_window: sliding-window size for latency percentiles (see
+            :class:`ServiceMetrics`).
+        cache: a prebuilt :class:`PlanCache`/:class:`ShardedPlanCache` to
+            serve from; overrides every cache-shaping argument above, and
+            the service adopts the cache's metrics registry so counters
+            land in one place.
     """
 
     def __init__(
@@ -147,13 +212,26 @@ class CompileService:
         memory_capacity: int = 128,
         retries: int = 1,
         fallback: bool = True,
+        *,
+        shards: int = 1,
+        max_memory_bytes: Optional[int] = None,
+        metrics_window: int = 2048,
+        cache: Optional[Union[PlanCache, ShardedPlanCache]] = None,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
-        self.metrics = ServiceMetrics()
-        self.cache = PlanCache(
-            cache_dir=cache_dir, capacity=memory_capacity, metrics=self.metrics
-        )
+        if cache is not None:
+            self.cache = cache
+            self.metrics = cache.metrics
+        else:
+            self.metrics = ServiceMetrics(window=metrics_window)
+            self.cache = open_cache(
+                cache_dir,
+                shards=shards,
+                capacity=memory_capacity,
+                metrics=self.metrics,
+                max_memory_bytes=max_memory_bytes,
+            )
         self.retries = retries
         self.fallback = fallback
         self._inflight: Dict[str, _InFlight] = {}
@@ -235,6 +313,83 @@ class CompileService:
 
         return self._lead_compile(request, key, flight, started)
 
+    def serve_raw(
+        self, request: RequestLike, *, key: Optional[str] = None
+    ) -> RawServed:
+        """Serve one request as a raw cache entry — no kernel lowering.
+
+        The remote-serving hot path: a warm hit returns the JSON-ready
+        entry straight from the cache, skipping :meth:`_decode_entry`
+        (micro-kernel attachment + codegen), so its latency is dominated
+        by lookup and serialization.  Cache, coalescing, metrics and
+        fallback behaviour are identical to :meth:`serve` — the two paths
+        share one in-flight table, so a ``serve`` and a ``serve_raw`` for
+        the same key coalesce onto one compile.
+
+        Args:
+            request: the compilation unit.
+            key: precomputed cache key (skips re-hashing when the caller
+                already derived it from the canonical request payload).
+        """
+        request = as_request(request)
+        started = time.perf_counter()
+        if key is None:
+            key = request.key
+        self.metrics.count("requests")
+
+        leader = False
+        with self._lock:
+            entry, tier = self.cache.get_with_tier(key)
+            if entry is not None:
+                self.metrics.count(f"hits_{tier}")
+            else:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+
+        if entry is not None:
+            return RawServed(
+                key=key,
+                entry=entry,
+                source=tier,
+                seconds=time.perf_counter() - started,
+            )
+
+        if not leader:
+            self.metrics.count("coalesced")
+            flight.done.wait()
+            return RawServed(
+                key=key,
+                entry=flight.entry,
+                source=SOURCE_COALESCED,
+                seconds=time.perf_counter() - started,
+                error=flight.error,
+            )
+
+        self.metrics.count("misses")
+        entry = None
+        source = SOURCE_COMPILED
+        error: Optional[str] = None
+        try:
+            entry, source, error = self._compile_with_recovery(request, key)
+            if entry is not None and source == SOURCE_COMPILED:
+                self.cache.put(key, entry)
+        finally:
+            flight.entry = entry
+            flight.error = error
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+        return RawServed(
+            key=key,
+            entry=entry,
+            source=source,
+            seconds=time.perf_counter() - started,
+            error=error,
+        )
+
     def compile_batch(self, requests, **kwargs):
         """Fan requests across a worker pool; see :func:`compile_batch`."""
         from .batch import compile_batch
@@ -245,17 +400,7 @@ class CompileService:
         """Metrics snapshot plus cache occupancy and order-search counters."""
         snap = self.metrics.snapshot()
         snap["search"] = search_stats_snapshot()
-        snap["cache"] = {
-            "memory_entries": self.cache.memory_len(),
-            "memory_capacity": self.cache.capacity,
-            "disk_entries": len(self.cache.disk_keys()),
-            "disk_bytes": self.cache.disk_size_bytes(),
-            "cache_dir": (
-                str(self.cache.cache_dir)
-                if self.cache.cache_dir is not None
-                else None
-            ),
-        }
+        snap["cache"] = self.cache.stats()
         return snap
 
     def clear_cache(self, memory_only: bool = False) -> int:
@@ -405,21 +550,7 @@ class CompileService:
     def _decode_entry(
         entry: Dict[str, Any], hardware: HardwareSpec
     ) -> CompileResult:
-        """Rebuild a :class:`CompileResult` without running the optimizer."""
-        fused_data = entry["fused_plan"]
-        decision = FusionDecision(
-            fused_plan=(
-                None if fused_data is None else plan_from_dict(fused_data)
-            ),
-            unfused_plans=tuple(
-                plan_from_dict(data) for data in entry["unfused_plans"]
-            ),
-            use_fusion=entry["use_fusion"],
-        )
-        return CompileResult(
-            kernels=kernels_for_decision(decision, hardware),
-            decision=decision,
-        )
+        return decode_plan_entry(entry, hardware)
 
     def _serve_entry(
         self,

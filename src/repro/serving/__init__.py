@@ -1,0 +1,106 @@
+"""Always-on compilation serving for the Chimera pipeline.
+
+:mod:`repro.service` makes compilation cheap to repeat inside one
+process; this package keeps a *process* running so every client shares
+one warm cache. An ``asyncio`` TCP server speaks newline-delimited JSON
+(plus an HTTP shim for ``GET /stats`` / ``GET /healthz``) and layers, in
+request order: per-tenant quotas (:mod:`~repro.serving.quotas`), bounded
+two-tier admission with load shedding (:mod:`~repro.serving.admission`),
+and the sharded size-aware plan cache behind
+:meth:`~repro.service.CompileService.serve_raw`.
+
+Quickstart::
+
+    # terminal 1
+    python -m repro serve --cache-dir ~/.cache/repro-plans --port 9119
+
+    # terminal 2 (or any process)
+    from repro.serving import ServingClient
+    with ServingClient("127.0.0.1", 9119) as client:
+        reply = client.compile(chain, "a100")
+        result = reply.decode("a100")   # full CompileResult, lowered locally
+
+See ``docs/serving.md`` for the wire protocol, tier/quota semantics,
+drain guarantees, and the ops runbook.
+"""
+
+from .admission import (
+    DEFAULT_SERVICE_ESTIMATE,
+    EWMA_ALPHA,
+    AdmissionController,
+    Rejected,
+)
+from .client import (
+    AsyncServingClient,
+    CompileReply,
+    ServerError,
+    ServingClient,
+    http_get,
+)
+from .protocol import (
+    DEFAULT_TENANT,
+    MAX_LINE_BYTES,
+    OP_COMPILE,
+    OP_PING,
+    OP_STATS,
+    OPS,
+    STATUS_BAD_REQUEST,
+    STATUS_DRAINING,
+    STATUS_ERROR,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    STATUS_REJECTED,
+    TIER_BATCH,
+    TIER_INTERACTIVE,
+    TIERS,
+    ProtocolError,
+    compile_message,
+    decode_message,
+    encode_message,
+    parse_compile_request,
+)
+from .quotas import QuotaManager, TokenBucket
+from .server import (
+    BackgroundServer,
+    CompileServer,
+    ServerConfig,
+    run_server,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Rejected",
+    "DEFAULT_SERVICE_ESTIMATE",
+    "EWMA_ALPHA",
+    "AsyncServingClient",
+    "CompileReply",
+    "ServerError",
+    "ServingClient",
+    "http_get",
+    "ProtocolError",
+    "compile_message",
+    "decode_message",
+    "encode_message",
+    "parse_compile_request",
+    "DEFAULT_TENANT",
+    "MAX_LINE_BYTES",
+    "OP_COMPILE",
+    "OP_PING",
+    "OP_STATS",
+    "OPS",
+    "TIERS",
+    "TIER_BATCH",
+    "TIER_INTERACTIVE",
+    "STATUS_OK",
+    "STATUS_BAD_REQUEST",
+    "STATUS_NOT_FOUND",
+    "STATUS_REJECTED",
+    "STATUS_ERROR",
+    "STATUS_DRAINING",
+    "QuotaManager",
+    "TokenBucket",
+    "BackgroundServer",
+    "CompileServer",
+    "ServerConfig",
+    "run_server",
+]

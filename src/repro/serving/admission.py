@@ -1,0 +1,170 @@
+"""Request admission: two priority tiers, bounded queues, load shedding.
+
+The server admits a compile request into one of two tiers:
+
+* **interactive** — latency-sensitive traffic; always dispatched before
+  any queued batch work;
+* **batch** — offline/bulk traffic; absorbs whatever worker capacity the
+  interactive tier leaves idle.
+
+Each tier owns a bounded FIFO.  When a tier's queue is full the request is
+**shed** immediately — an explicit 429-style :class:`Rejected` carrying a
+``retry_after`` hint — instead of being buffered into an ever-growing
+backlog.  The hint is the queue's expected drain time: ``(depth + 1) *
+EWMA(service seconds) / workers``, so clients back off proportionally to
+actual load rather than a fixed constant.
+
+Dispatch is strict-priority but non-preemptive: a worker that frees up
+always takes the oldest interactive job first, batch only when the
+interactive queue is empty.  Admitted jobs are never dropped — draining
+stops *admission*, then lets the workers run both queues dry (the drain
+invariant the load benchmark gates on).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+from typing import Any, Deque, Dict, Optional
+
+from .protocol import (
+    STATUS_DRAINING,
+    STATUS_REJECTED,
+    TIER_BATCH,
+    TIER_INTERACTIVE,
+    TIERS,
+)
+
+#: Fallback service-time estimate (seconds) before the first completion.
+DEFAULT_SERVICE_ESTIMATE = 0.05
+
+#: EWMA smoothing factor for the per-tier service-time estimate.
+EWMA_ALPHA = 0.2
+
+
+class Rejected(Exception):
+    """A request refused at admission (shed, quota, or draining)."""
+
+    def __init__(
+        self,
+        status: int,
+        reason: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Bounded two-tier admission queue with strict-priority dispatch.
+
+    Single-event-loop object: every method is called from the server's
+    loop, so plain deques + one semaphore are race-free without locks.
+
+    Args:
+        interactive_capacity: interactive queue bound (jobs waiting for a
+            worker; in-flight jobs do not count).
+        batch_capacity: batch queue bound.
+        workers: dispatcher width, used only to scale ``retry_after``.
+    """
+
+    def __init__(
+        self,
+        interactive_capacity: int = 256,
+        batch_capacity: int = 1024,
+        workers: int = 1,
+    ) -> None:
+        capacities = {
+            TIER_INTERACTIVE: interactive_capacity,
+            TIER_BATCH: batch_capacity,
+        }
+        for tier, capacity in capacities.items():
+            if capacity < 1:
+                raise ValueError(
+                    f"{tier} queue capacity must be >= 1, got {capacity}"
+                )
+        self.capacity = capacities
+        self.workers = max(1, workers)
+        self._queues: Dict[str, Deque[Any]] = {
+            tier: collections.deque() for tier in TIERS
+        }
+        self._ready = asyncio.Semaphore(0)
+        self.admitted = {tier: 0 for tier in TIERS}
+        self.shed = {tier: 0 for tier in TIERS}
+        self.completed = {tier: 0 for tier in TIERS}
+        self._estimate = {tier: DEFAULT_SERVICE_ESTIMATE for tier in TIERS}
+        self.draining = False
+
+    # ------------------------------------------------------------------
+    # admission side
+    # ------------------------------------------------------------------
+    def submit(self, tier: str, job: Any) -> None:
+        """Enqueue a job or shed it.
+
+        Raises:
+            Rejected: 503 while draining, 429 when the tier's queue is
+                full (with a drain-time ``retry_after`` hint).
+        """
+        if self.draining:
+            raise Rejected(STATUS_DRAINING, "server is draining")
+        queue = self._queues[tier]
+        if len(queue) >= self.capacity[tier]:
+            self.shed[tier] += 1
+            raise Rejected(
+                STATUS_REJECTED,
+                f"{tier} queue full ({self.capacity[tier]} waiting)",
+                retry_after=self.retry_after(tier),
+            )
+        queue.append(job)
+        self.admitted[tier] += 1
+        self._ready.release()
+
+    def retry_after(self, tier: str) -> float:
+        """Expected seconds until the tier's queue has room again."""
+        depth = len(self._queues[tier])
+        return (depth + 1) * self._estimate[tier] / self.workers
+
+    # ------------------------------------------------------------------
+    # dispatch side
+    # ------------------------------------------------------------------
+    async def next_job(self) -> Any:
+        """Wait for the next job, interactive tier first."""
+        await self._ready.acquire()
+        for tier in TIERS:
+            queue = self._queues[tier]
+            if queue:
+                return queue.popleft()
+        raise RuntimeError("admission semaphore out of sync with queues")
+
+    def observe_service(self, tier: str, seconds: float) -> None:
+        """Fold one completed job's service time into the EWMA estimate."""
+        self.completed[tier] += 1
+        self._estimate[tier] += EWMA_ALPHA * (seconds - self._estimate[tier])
+
+    # ------------------------------------------------------------------
+    # draining + observability
+    # ------------------------------------------------------------------
+    def start_draining(self) -> None:
+        """Refuse new submissions; queued jobs still run to completion."""
+        self.draining = True
+
+    def pending(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def depth(self, tier: str) -> int:
+        return len(self._queues[tier])
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            tier: {
+                "depth": len(self._queues[tier]),
+                "capacity": self.capacity[tier],
+                "admitted": self.admitted[tier],
+                "completed": self.completed[tier],
+                "shed": self.shed[tier],
+                "service_estimate_seconds": self._estimate[tier],
+            }
+            for tier in TIERS
+        }

@@ -1,0 +1,385 @@
+"""Clients for the compilation server.
+
+Two flavours over the same NDJSON protocol:
+
+* :class:`ServingClient` — blocking, ``socket``-based; one request at a
+  time. The natural client for scripts and the CLI.
+* :class:`AsyncServingClient` — ``asyncio`` streams with id-multiplexed
+  futures: hundreds of compiles may be pipelined on one connection and
+  resolve out of order. The load benchmark drives the server through it.
+
+Both return :class:`CompileReply`. A successful reply carries the raw
+cache ``entry``; call :meth:`CompileReply.decode` (which wraps
+:func:`repro.service.decode_plan_entry`) to lower it into a full
+:class:`~repro.core.pipeline.CompileResult` locally — the server never
+pays kernel lowering for warm hits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..core.optimizer import ChimeraConfig
+from ..hardware import preset
+from ..hardware.spec import HardwareSpec
+from ..ir.chain import OperatorChain
+from ..service.service import decode_plan_entry
+from .protocol import (
+    DEFAULT_TENANT,
+    MAX_LINE_BYTES,
+    OP_PING,
+    OP_STATS,
+    TIER_INTERACTIVE,
+    ProtocolError,
+    compile_message,
+    decode_message,
+    encode_message,
+)
+
+
+class ServerError(RuntimeError):
+    """A non-OK response from the server (shed, quota, drain, 500...)."""
+
+    def __init__(
+        self,
+        status: int,
+        error: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(f"[{status}] {error}")
+        self.status = status
+        self.error = error
+        self.retry_after = retry_after
+
+
+@dataclass
+class CompileReply:
+    """One server response to a compile request."""
+
+    ok: bool
+    status: int
+    key: Optional[str] = None
+    source: Optional[str] = None
+    tier: Optional[str] = None
+    entry: Optional[Dict[str, Any]] = None
+    seconds: float = 0.0
+    queue_seconds: float = 0.0
+    service_seconds: float = 0.0
+    error: Optional[str] = None
+    retry_after: Optional[float] = None
+    raw: Dict[str, Any] = field(default_factory=dict, repr=False)
+
+    @property
+    def from_cache(self) -> bool:
+        return self.source in ("memory", "disk")
+
+    def decode(self, hardware: Union[HardwareSpec, str]):
+        """Lower the raw entry into a ``CompileResult`` locally."""
+        if self.entry is None:
+            raise ServerError(
+                self.status, self.error or "reply carries no entry"
+            )
+        if isinstance(hardware, str):
+            hardware = preset(hardware)
+        return decode_plan_entry(self.entry, hardware)
+
+    def raise_for_status(self) -> "CompileReply":
+        if not self.ok:
+            raise ServerError(
+                self.status,
+                self.error or "request failed",
+                self.retry_after,
+            )
+        return self
+
+
+def _reply_from_message(message: Dict[str, Any]) -> CompileReply:
+    return CompileReply(
+        ok=bool(message.get("ok")),
+        status=int(message.get("status", 0)),
+        key=message.get("key"),
+        source=message.get("source"),
+        tier=message.get("tier"),
+        entry=message.get("entry"),
+        seconds=float(message.get("seconds", 0.0)),
+        queue_seconds=float(message.get("queue_seconds", 0.0)),
+        service_seconds=float(message.get("service_seconds", 0.0)),
+        error=message.get("error"),
+        retry_after=message.get("retry_after"),
+        raw=message,
+    )
+
+
+class ServingClient:
+    """Blocking client: one socket, sequential request/response.
+
+    Usage::
+
+        with ServingClient(host, port) as client:
+            reply = client.compile(chain, "a100")
+            result = reply.decode("a100")
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9119,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._ids = itertools.count(1)
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection ----------------------------------------------------
+    def connect(self) -> "ServingClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServingClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- requests ------------------------------------------------------
+    def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self.connect()
+        self._sock.sendall(encode_message(message))
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = decode_message(line)
+        if reply.get("id") != message.get("id"):
+            raise ProtocolError(
+                f"response id {reply.get('id')!r} does not match "
+                f"request id {message.get('id')!r}"
+            )
+        return reply
+
+    def compile(
+        self,
+        chain: OperatorChain,
+        hardware: Union[HardwareSpec, str],
+        config: Optional[ChimeraConfig] = None,
+        force_fusion: Optional[bool] = None,
+        *,
+        tier: str = TIER_INTERACTIVE,
+        check: bool = False,
+    ) -> CompileReply:
+        """Send one compile request and wait for its reply.
+
+        With ``check=True`` a non-OK reply raises :class:`ServerError`
+        instead of returning.
+        """
+        message = compile_message(
+            chain,
+            hardware,
+            config,
+            force_fusion,
+            tenant=self.tenant,
+            tier=tier,
+            request_id=next(self._ids),
+        )
+        reply = _reply_from_message(self._roundtrip(message))
+        return reply.raise_for_status() if check else reply
+
+    def stats(self) -> Dict[str, Any]:
+        reply = self._roundtrip({"op": OP_STATS, "id": next(self._ids)})
+        if not reply.get("ok"):
+            raise ServerError(
+                int(reply.get("status", 500)),
+                reply.get("error", "stats failed"),
+            )
+        return reply["stats"]
+
+    def ping(self) -> bool:
+        reply = self._roundtrip({"op": OP_PING, "id": next(self._ids)})
+        return bool(reply.get("ok"))
+
+
+class AsyncServingClient:
+    """Pipelining asyncio client: many in-flight requests, one connection.
+
+    Every request gets a fresh id and a future; a reader task resolves
+    futures as responses arrive (in any order). Usage::
+
+        client = await AsyncServingClient.open(host, port)
+        replies = await asyncio.gather(
+            *(client.compile(chain, "a100") for chain in chains)
+        )
+        await client.close()
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        tenant: str = DEFAULT_TENANT,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.tenant = tenant
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def open(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 9119,
+        *,
+        tenant: str = DEFAULT_TENANT,
+    ) -> "AsyncServingClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer, tenant=tenant)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                try:
+                    message = decode_message(line)
+                except ProtocolError:
+                    continue
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            self._fail_pending(exc)
+        except asyncio.CancelledError:
+            self._fail_pending(ConnectionError("client closed"))
+            raise
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = message["id"]
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(encode_message(message))
+                await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def compile(
+        self,
+        chain: OperatorChain,
+        hardware: Union[HardwareSpec, str],
+        config: Optional[ChimeraConfig] = None,
+        force_fusion: Optional[bool] = None,
+        *,
+        tier: str = TIER_INTERACTIVE,
+        check: bool = False,
+    ) -> CompileReply:
+        message = compile_message(
+            chain,
+            hardware,
+            config,
+            force_fusion,
+            tenant=self.tenant,
+            tier=tier,
+            request_id=next(self._ids),
+        )
+        reply = _reply_from_message(await self._roundtrip(message))
+        return reply.raise_for_status() if check else reply
+
+    async def send_raw(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Ship a pre-built message (tests poke malformed requests here)."""
+        message = dict(payload)
+        message.setdefault("id", next(self._ids))
+        return await self._roundtrip(message)
+
+    async def stats(self) -> Dict[str, Any]:
+        reply = await self._roundtrip({"op": OP_STATS, "id": next(self._ids)})
+        if not reply.get("ok"):
+            raise ServerError(
+                int(reply.get("status", 500)),
+                reply.get("error", "stats failed"),
+            )
+        return reply["stats"]
+
+    async def ping(self) -> bool:
+        reply = await self._roundtrip({"op": OP_PING, "id": next(self._ids)})
+        return bool(reply.get("ok"))
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        try:
+            self._writer.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def http_get(
+    host: str, port: int, path: str = "/stats", timeout: float = 10.0
+) -> Tuple[int, Dict[str, Any]]:
+    """Fetch one of the server's HTTP endpoints without an HTTP library.
+
+    Returns ``(status, body)``; used by tests and ops checks (``curl``
+    works just as well from a shell).
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        request = (
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        sock.sendall(request.encode("latin-1"))
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    blob = b"".join(chunks)
+    head, _, body = blob.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split()[1])
+    return status, json.loads(body.decode("utf-8"))

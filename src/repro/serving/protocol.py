@@ -1,0 +1,265 @@
+"""Wire protocol for the always-on compilation server.
+
+The native transport is **newline-delimited JSON over TCP**: each request
+is one JSON object on one line, each response one JSON object on one line.
+Responses carry the request's ``id``, so a client may pipeline many
+requests on a single connection and match replies out of order.
+
+Request shape::
+
+    {"op": "compile", "id": 7, "tenant": "team-a", "tier": "interactive",
+     "chain": {...chain_to_dict...},
+     "hardware": "a100" | {...hardware_to_dict...},
+     "config": {...ChimeraConfig fields...} | null,
+     "force_fusion": true | false | null}
+
+Other ops: ``{"op": "stats", "id": 1}`` and ``{"op": "ping", "id": 2}``.
+
+Response shape (compile)::
+
+    {"id": 7, "ok": true, "status": 200, "key": "...", "source": "memory",
+     "entry": {...cache entry...}, "seconds": 0.0009,
+     "queue_seconds": 0.0001}
+
+Error responses carry ``ok=false``, an HTTP-flavoured ``status`` code and
+an ``error`` string; admission rejections (429/503) add a ``retry_after``
+hint in seconds.
+
+A minimal HTTP/1.1 shim rides on the same port: a connection whose first
+line is ``GET /stats`` or ``GET /healthz`` receives a one-shot
+``application/json`` HTTP response and is closed — enough for ``curl``,
+load balancer health checks, and dashboard scrapers without an HTTP
+dependency.
+
+The server recomputes the cache key from the *reconstructed* chain,
+hardware and config objects (never from client-supplied dicts verbatim),
+so structurally equivalent requests hash identically no matter which
+client built them — and the on-disk cache stays shared with in-process
+:class:`~repro.service.CompileService` users.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Optional, Union
+
+from ..core.optimizer import ChimeraConfig
+from ..hardware import preset
+from ..hardware.spec import HardwareSpec
+from ..ir.chain import OperatorChain
+from ..runtime.serialization import (
+    chain_from_dict,
+    chain_to_dict,
+    hardware_from_dict,
+    hardware_to_dict,
+)
+from ..service.service import CompileRequest
+
+#: Protocol operations.
+OP_COMPILE = "compile"
+OP_STATS = "stats"
+OP_PING = "ping"
+OPS = (OP_COMPILE, OP_STATS, OP_PING)
+
+#: Priority tiers, highest first.
+TIER_INTERACTIVE = "interactive"
+TIER_BATCH = "batch"
+TIERS = (TIER_INTERACTIVE, TIER_BATCH)
+
+DEFAULT_TENANT = "default"
+
+#: HTTP-flavoured response statuses.
+STATUS_OK = 200
+STATUS_BAD_REQUEST = 400
+STATUS_NOT_FOUND = 404
+STATUS_REJECTED = 429
+STATUS_ERROR = 500
+STATUS_DRAINING = 503
+
+#: Hard cap on one NDJSON line — a compile request is a few hundred KB at
+#: the very worst; anything larger is a protocol violation, not a plan.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A structurally invalid or unparseable wire message."""
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One JSON object, one line, UTF-8."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: Union[bytes, str]) -> Dict[str, Any]:
+    """Parse one NDJSON line into a message dict."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", "replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def config_from_dict(data: Optional[Dict[str, Any]]) -> Optional[ChimeraConfig]:
+    """Rebuild a :class:`ChimeraConfig` from its wire/key encoding."""
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise ProtocolError("config must be a JSON object or null")
+    known = {field.name for field in dataclasses.fields(ChimeraConfig)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ProtocolError(f"unknown config field(s): {', '.join(unknown)}")
+    try:
+        return ChimeraConfig(**data)
+    except TypeError as exc:
+        raise ProtocolError(f"bad config: {exc}") from None
+
+
+def compile_message(
+    chain: OperatorChain,
+    hardware: Union[HardwareSpec, str],
+    config: Optional[ChimeraConfig] = None,
+    force_fusion: Optional[bool] = None,
+    *,
+    tenant: str = DEFAULT_TENANT,
+    tier: str = TIER_INTERACTIVE,
+    request_id: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build the wire payload for one compile request (client side)."""
+    from ..service.keys import config_to_dict
+
+    message: Dict[str, Any] = {
+        "op": OP_COMPILE,
+        "tenant": tenant,
+        "tier": tier,
+        "chain": chain_to_dict(chain),
+        "hardware": (
+            hardware if isinstance(hardware, str) else hardware_to_dict(hardware)
+        ),
+        "config": config_to_dict(config),
+        "force_fusion": force_fusion,
+    }
+    if request_id is not None:
+        message["id"] = request_id
+    return message
+
+
+def parse_compile_request(message: Dict[str, Any]) -> CompileRequest:
+    """Reconstruct a :class:`CompileRequest` from a wire message.
+
+    Raises:
+        ProtocolError: on any missing or malformed field.
+    """
+    chain_data = message.get("chain")
+    if not isinstance(chain_data, dict):
+        raise ProtocolError("missing or malformed 'chain'")
+    try:
+        chain = chain_from_dict(chain_data)
+    except Exception as exc:  # noqa: BLE001 - surface as a 400, not a 500
+        raise ProtocolError(f"bad chain: {type(exc).__name__}: {exc}") from None
+
+    hardware_data = message.get("hardware")
+    try:
+        if isinstance(hardware_data, str):
+            hardware = preset(hardware_data)
+        elif isinstance(hardware_data, dict):
+            hardware = hardware_from_dict(hardware_data)
+        else:
+            raise ProtocolError(
+                "missing or malformed 'hardware' (preset name or dict)"
+            )
+    except ProtocolError:
+        raise
+    except Exception as exc:  # noqa: BLE001
+        raise ProtocolError(
+            f"bad hardware: {type(exc).__name__}: {exc}"
+        ) from None
+
+    config = config_from_dict(message.get("config"))
+    force_fusion = message.get("force_fusion")
+    if force_fusion is not None and not isinstance(force_fusion, bool):
+        raise ProtocolError("force_fusion must be true, false or null")
+    return CompileRequest(
+        chain=chain,
+        hardware=hardware,
+        config=config,
+        force_fusion=force_fusion,
+    )
+
+
+def parse_tier(message: Dict[str, Any]) -> str:
+    tier = message.get("tier", TIER_INTERACTIVE)
+    if tier not in TIERS:
+        raise ProtocolError(
+            f"unknown tier {tier!r} (expected one of {', '.join(TIERS)})"
+        )
+    return tier
+
+
+def parse_tenant(message: Dict[str, Any]) -> str:
+    tenant = message.get("tenant", DEFAULT_TENANT)
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("tenant must be a non-empty string")
+    return tenant
+
+
+def ok_response(request_id: Any, **fields: Any) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "status": STATUS_OK, **fields}
+
+
+def error_response(
+    request_id: Any,
+    status: int,
+    error: str,
+    retry_after: Optional[float] = None,
+) -> Dict[str, Any]:
+    response: Dict[str, Any] = {
+        "id": request_id,
+        "ok": False,
+        "status": status,
+        "error": error,
+    }
+    if retry_after is not None:
+        response["retry_after"] = round(retry_after, 4)
+    return response
+
+
+# ----------------------------------------------------------------------
+# HTTP/1.1 shim
+# ----------------------------------------------------------------------
+_HTTP_REASONS = {
+    STATUS_OK: "OK",
+    STATUS_BAD_REQUEST: "Bad Request",
+    STATUS_NOT_FOUND: "Not Found",
+    STATUS_REJECTED: "Too Many Requests",
+    STATUS_ERROR: "Internal Server Error",
+    STATUS_DRAINING: "Service Unavailable",
+}
+
+
+def is_http_request(first_line: bytes) -> bool:
+    return first_line.startswith((b"GET ", b"HEAD "))
+
+
+def http_request_path(first_line: bytes) -> str:
+    parts = first_line.decode("latin-1").split()
+    return parts[1] if len(parts) >= 2 else "/"
+
+
+def http_response(status: int, body: Dict[str, Any]) -> bytes:
+    """A complete one-shot ``application/json`` HTTP/1.1 response."""
+    payload = json.dumps(body, sort_keys=True).encode("utf-8") + b"\n"
+    reason = _HTTP_REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + payload

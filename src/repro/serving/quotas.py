@@ -1,0 +1,166 @@
+"""Per-tenant rate limits and in-flight quotas.
+
+Every wire request names a ``tenant`` (defaulting to ``"default"``); the
+server enforces two independent limits per tenant *before* a request may
+enter the admission queues:
+
+* **token-bucket rate limit** — ``rate`` requests/second refill up to a
+  ``burst`` ceiling; an empty bucket rejects with a ``retry_after`` equal
+  to the time until the next token.  Bursty tenants therefore borrow
+  capacity smoothly rather than flapping on a fixed per-second window.
+* **in-flight quota** — at most ``max_inflight`` admitted-but-unfinished
+  requests per tenant; protects worker capacity from any single tenant
+  queueing a flood of slow cold compiles.
+
+A limit of ``0`` disables that check (the default: quotas are opt-in via
+server flags).  Per-tenant overrides replace the defaults for named
+tenants, so one noisy tenant can be clamped without touching the rest.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from .admission import Rejected
+from .protocol import STATUS_REJECTED
+
+
+class TokenBucket:
+    """Classic token bucket on a monotonic clock."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = rate
+        self.burst = max(1.0, burst)
+        self.tokens = self.burst
+        self._stamp = time.monotonic()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+
+    def try_take(self, now: Optional[float] = None) -> bool:
+        now = time.monotonic() if now is None else now
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def seconds_until_token(self, now: Optional[float] = None) -> float:
+        now = time.monotonic() if now is None else now
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class _TenantState:
+    __slots__ = (
+        "bucket",
+        "max_inflight",
+        "inflight",
+        "requests",
+        "rejected_rate",
+        "rejected_inflight",
+    )
+
+    def __init__(self, bucket: Optional[TokenBucket], max_inflight: int):
+        self.bucket = bucket
+        self.max_inflight = max_inflight
+        self.inflight = 0
+        self.requests = 0
+        self.rejected_rate = 0
+        self.rejected_inflight = 0
+
+
+class QuotaManager:
+    """Admission-side tenant accounting.
+
+    Args:
+        rate: default requests/second per tenant (0 disables rating).
+        burst: default bucket ceiling (defaults to ``2 * rate``).
+        max_inflight: default concurrent-requests cap per tenant
+            (0 disables).
+        overrides: per-tenant ``{"rate": .., "burst": .., "max_inflight": ..}``
+            replacing the defaults for that tenant.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: Optional[float] = None,
+        max_inflight: int = 0,
+        overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.max_inflight = max_inflight
+        self.overrides = dict(overrides or {})
+        self._tenants: Dict[str, _TenantState] = {}
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            spec = self.overrides.get(tenant, {})
+            rate = float(spec.get("rate", self.rate))
+            burst = spec.get("burst", self.burst)
+            if burst is None:
+                burst = 2 * rate
+            max_inflight = int(spec.get("max_inflight", self.max_inflight))
+            bucket = TokenBucket(rate, float(burst)) if rate > 0 else None
+            state = _TenantState(bucket, max_inflight)
+            self._tenants[tenant] = state
+        return state
+
+    def admit(self, tenant: str) -> None:
+        """Count one request and enforce both limits.
+
+        On success the tenant's in-flight count is incremented; the caller
+        must pair every successful ``admit`` with exactly one ``release``.
+
+        Raises:
+            Rejected: 429 with a reason of ``rate`` or ``inflight``.
+        """
+        state = self._state(tenant)
+        state.requests += 1
+        if state.max_inflight > 0 and state.inflight >= state.max_inflight:
+            state.rejected_inflight += 1
+            raise Rejected(
+                STATUS_REJECTED,
+                f"tenant {tenant!r} at in-flight quota "
+                f"({state.max_inflight})",
+                retry_after=None,
+            )
+        if state.bucket is not None and not state.bucket.try_take():
+            state.rejected_rate += 1
+            raise Rejected(
+                STATUS_REJECTED,
+                f"tenant {tenant!r} rate limited",
+                retry_after=state.bucket.seconds_until_token(),
+            )
+        state.inflight += 1
+
+    def release(self, tenant: str) -> None:
+        state = self._tenants.get(tenant)
+        if state is not None and state.inflight > 0:
+            state.inflight -= 1
+
+    def inflight(self) -> int:
+        return sum(state.inflight for state in self._tenants.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {
+            tenant: {
+                "requests": state.requests,
+                "inflight": state.inflight,
+                "rejected_rate": state.rejected_rate,
+                "rejected_inflight": state.rejected_inflight,
+                "rate": state.bucket.rate if state.bucket else 0.0,
+                "max_inflight": state.max_inflight,
+            }
+            for tenant, state in sorted(self._tenants.items())
+        }

@@ -1,0 +1,791 @@
+"""The always-on compilation server.
+
+:class:`CompileServer` fronts a :class:`~repro.service.CompileService`
+with a long-lived ``asyncio`` process:
+
+* **transport** — newline-delimited JSON over TCP (pipelined, out-of-order
+  responses matched by ``id``) plus a minimal HTTP/1.1 shim on the same
+  port for ``GET /stats`` and ``GET /healthz``;
+* **admission** — two priority tiers (interactive > batch) with bounded
+  queues and explicit 429 load shedding
+  (:class:`~repro.serving.admission.AdmissionController`);
+* **quotas** — per-tenant token-bucket rate limits and in-flight caps
+  (:class:`~repro.serving.quotas.QuotaManager`);
+* **cache** — the service's sharded, size-aware plan cache, re-warmed
+  from disk on start (hot restart) and compacted by a background task off
+  the request path;
+* **drain** — SIGTERM/SIGINT stop admission, let every admitted request
+  finish and its response flush, checkpoint the metrics counters, then
+  exit; a subsequent start restores the counters and the memory tier.
+
+Compiles execute on a thread pool (`serve_raw` — the optimizer releases
+the GIL inside NumPy/SciPy); the event loop only parses, queues, and
+serializes, so warm hits stay latency-dominated by serialization.
+
+Deployment entry points: ``python -m repro serve`` (:func:`run_server`)
+for a real process, :class:`BackgroundServer` for tests/benchmarks that
+want a server on a thread inside the current process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import dataclasses
+import functools
+import json
+import os
+import pathlib
+import signal
+import threading
+import time
+from typing import Any, Dict, Optional, Set
+
+from ..service.service import CompileRequest, CompileService
+from .admission import AdmissionController, Rejected
+from .protocol import (
+    MAX_LINE_BYTES,
+    OP_COMPILE,
+    OP_PING,
+    OP_STATS,
+    STATUS_BAD_REQUEST,
+    STATUS_DRAINING,
+    STATUS_ERROR,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    http_request_path,
+    http_response,
+    is_http_request,
+    ok_response,
+    parse_compile_request,
+    parse_tenant,
+    parse_tier,
+)
+from .quotas import QuotaManager
+
+#: Name of the metrics checkpoint written into the cache directory.
+STATE_FILENAME = "server-state.json"
+
+
+@dataclasses.dataclass
+class ServerConfig:
+    """Everything ``python -m repro serve`` exposes as flags.
+
+    Attributes:
+        host/port: bind address (``port=0`` picks a free port; the chosen
+            one is in :attr:`CompileServer.port` and the startup line).
+        workers: dispatcher width == compile thread-pool size.
+        interactive_queue/batch_queue: per-tier admission bounds.
+        cache_dir: persistent plan store (also holds the metrics
+            checkpoint); ``None`` keeps everything in memory.
+        shards: plan-cache shards (1 = flat cache).
+        memory_capacity/max_memory_bytes: memory-tier bounds (total).
+        tenant_rate/tenant_burst/tenant_inflight: default per-tenant
+            quotas; 0 disables a check.
+        tenant_overrides: per-tenant quota overrides.
+        compact_interval: seconds between background compaction passes
+            (0 disables).
+        compact_max_age: evict disk entries older than this many seconds
+            during compaction (``None`` keeps them forever).
+        compact_disk_budget: disk byte budget enforced by compaction.
+        warm_start: refill the memory tier from disk on start.
+        state_path: metrics checkpoint location (default:
+            ``<cache_dir>/server-state.json``).
+        drain_timeout: maximum seconds to wait for in-flight responses to
+            flush during drain.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 4
+    interactive_queue: int = 256
+    batch_queue: int = 1024
+    cache_dir: Optional[str] = None
+    shards: int = 4
+    memory_capacity: int = 512
+    max_memory_bytes: Optional[int] = None
+    tenant_rate: float = 0.0
+    tenant_burst: Optional[float] = None
+    tenant_inflight: int = 0
+    tenant_overrides: Optional[Dict[str, Dict[str, Any]]] = None
+    compact_interval: float = 60.0
+    compact_max_age: Optional[float] = None
+    compact_disk_budget: Optional[int] = None
+    warm_start: bool = True
+    state_path: Optional[str] = None
+    drain_timeout: float = 30.0
+    retries: int = 1
+    fallback: bool = True
+
+
+class _Job:
+    """One admitted compile request waiting for a dispatcher."""
+
+    __slots__ = ("request", "tier", "tenant", "future", "enqueued")
+
+    def __init__(
+        self,
+        request: CompileRequest,
+        tier: str,
+        tenant: str,
+        future: "asyncio.Future[Any]",
+        enqueued: float,
+    ) -> None:
+        self.request = request
+        self.tier = tier
+        self.tenant = tenant
+        self.future = future
+        self.enqueued = enqueued
+
+
+class CompileServer:
+    """Async front end over a :class:`CompileService`.
+
+    Construct, then ``await start()`` from a running event loop.  All
+    coroutine methods must be called on that same loop.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        service: Optional[CompileService] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        if service is not None:
+            self.service = service
+        else:
+            self.service = CompileService(
+                cache_dir=self.config.cache_dir,
+                memory_capacity=self.config.memory_capacity,
+                retries=self.config.retries,
+                fallback=self.config.fallback,
+                shards=self.config.shards,
+                max_memory_bytes=self.config.max_memory_bytes,
+            )
+        self.quotas = QuotaManager(
+            rate=self.config.tenant_rate,
+            burst=self.config.tenant_burst,
+            max_inflight=self.config.tenant_inflight,
+            overrides=self.config.tenant_overrides,
+        )
+        self.admission: Optional[AdmissionController] = None
+        self.warmed_entries = 0
+        self.restored_counters = False
+        self.compactions = 0
+        self.last_compaction: Optional[Dict[str, int]] = None
+        self.draining = False
+        self.drained = False
+        self._started_at: Optional[float] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._maintenance_pool: Optional[
+            concurrent.futures.ThreadPoolExecutor
+        ] = None
+        self._workers: list = []
+        self._compactor: Optional[asyncio.Task] = None
+        self._inflight = 0
+        self._connections = 0
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._message_tasks: Set[asyncio.Task] = set()
+        self._drain_lock: Optional[asyncio.Lock] = None
+        self._bound_port = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        return self._bound_port if self._bound_port else self.config.port
+
+    def _state_path(self) -> Optional[pathlib.Path]:
+        if self.config.state_path is not None:
+            return pathlib.Path(self.config.state_path)
+        if self.config.cache_dir is not None:
+            return pathlib.Path(self.config.cache_dir) / STATE_FILENAME
+        return None
+
+    async def start(self) -> None:
+        """Warm the cache, restore counters, bind, and start dispatching."""
+        self.admission = AdmissionController(
+            interactive_capacity=self.config.interactive_queue,
+            batch_capacity=self.config.batch_queue,
+            workers=self.config.workers,
+        )
+        self._drain_lock = asyncio.Lock()
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        self._maintenance_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-compact"
+        )
+        self._restore_checkpoint()
+        if self.config.warm_start:
+            self.warmed_entries = self.service.cache.warm_memory()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"repro-dispatch-{i}")
+            for i in range(self.config.workers)
+        ]
+        if self.config.compact_interval > 0:
+            self._compactor = asyncio.create_task(
+                self._compact_loop(), name="repro-compactor"
+            )
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish everything admitted, lose nothing.
+
+        1. stop accepting connections and refuse new compile submissions
+           (503 + no retry storm — clients get an explicit signal);
+        2. wait for both queues to empty and every in-flight compile to
+           finish *and* its response to flush to the socket;
+        3. checkpoint the metrics counters next to the cache.
+
+        Idempotent; concurrent callers share one drain.
+        """
+        async with self._drain_lock:
+            if self.drained:
+                return
+            self.draining = True
+            self.admission.start_draining()
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            deadline = time.monotonic() + self.config.drain_timeout
+            while (
+                self.admission.pending() > 0 or self._inflight > 0
+            ) and time.monotonic() < deadline:
+                await asyncio.sleep(0.005)
+            # Every admitted job has a result; now let the handler tasks
+            # finish writing responses to their sockets.
+            pending = [task for task in self._message_tasks if not task.done()]
+            if pending:
+                await asyncio.wait(
+                    pending, timeout=max(0.0, deadline - time.monotonic())
+                )
+            self._checkpoint()
+            self.drained = True
+
+    async def aclose(self) -> None:
+        """Tear down tasks, connections, and pools (call after drain)."""
+        for task in self._workers:
+            task.cancel()
+        if self._compactor is not None:
+            self._compactor.cancel()
+        tasks = [t for t in (*self._workers, self._compactor) if t is not None]
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+        if self._server is not None and not self.draining:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        if self._maintenance_pool is not None:
+            self._maintenance_pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # checkpointing (drain -> hot restart)
+    # ------------------------------------------------------------------
+    def _checkpoint(self) -> None:
+        path = self._state_path()
+        if path is None:
+            return
+        snapshot = self.service.metrics.snapshot()
+        payload = {
+            "checkpoint_at": time.time(),
+            "counters": {
+                name: value
+                for name, value in snapshot.items()
+                if isinstance(value, int) and not isinstance(value, bool)
+            },
+            "serving": {
+                "queues": self.admission.snapshot(),
+                "tenants": self.quotas.snapshot(),
+            },
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+            os.replace(tmp, path)
+        except OSError:
+            pass  # checkpointing is best-effort; never block the drain
+
+    def _restore_checkpoint(self) -> None:
+        path = self._state_path()
+        if path is None or not path.exists():
+            return
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return
+        counters = payload.get("counters")
+        if isinstance(counters, dict):
+            self.service.metrics.restore(counters)
+            self.restored_counters = True
+
+    # ------------------------------------------------------------------
+    # dispatchers
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self.admission.next_job()
+            self._inflight += 1
+            queue_seconds = loop.time() - job.enqueued
+            started = time.perf_counter()
+            try:
+                raw = await loop.run_in_executor(
+                    self._pool,
+                    functools.partial(self.service.serve_raw, job.request),
+                )
+                outcome: Any = (raw, queue_seconds)
+                failure: Optional[BaseException] = None
+            except asyncio.CancelledError:
+                self._inflight -= 1
+                self.quotas.release(job.tenant)
+                if not job.future.done():
+                    job.future.set_exception(
+                        RuntimeError("server shut down mid-compile")
+                    )
+                raise
+            except Exception as exc:  # noqa: BLE001 - isolate request crashes
+                outcome = None
+                failure = exc
+            self.admission.observe_service(
+                job.tier, time.perf_counter() - started
+            )
+            self._inflight -= 1
+            self.quotas.release(job.tenant)
+            if not job.future.done():
+                if failure is not None:
+                    job.future.set_exception(failure)
+                else:
+                    job.future.set_result(outcome)
+
+    async def _compact_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.compact_interval)
+            try:
+                result = await loop.run_in_executor(
+                    self._maintenance_pool,
+                    functools.partial(
+                        self.service.cache.compact,
+                        self.config.compact_max_age,
+                        self.config.compact_disk_budget,
+                    ),
+                )
+            except Exception:  # noqa: BLE001 - keep compacting next round
+                continue
+            self.compactions += 1
+            self.last_compaction = result
+
+    def compact_now(self) -> Dict[str, int]:
+        """Run one synchronous compaction pass (tests, CLI tooling)."""
+        result = self.service.cache.compact(
+            self.config.compact_max_age, self.config.compact_disk_budget
+        )
+        self.compactions += 1
+        self.last_compaction = result
+        return result
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        conn_tasks: Set[asyncio.Task] = set()
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if is_http_request(first):
+                await self._handle_http(reader, writer, first)
+                return
+            line: Optional[bytes] = first
+            while line:
+                stripped = line.strip()
+                if stripped:
+                    task = asyncio.create_task(
+                        self._handle_message(stripped, writer, write_lock)
+                    )
+                    conn_tasks.add(task)
+                    self._message_tasks.add(task)
+                    task.add_done_callback(conn_tasks.discard)
+                    task.add_done_callback(self._message_tasks.discard)
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    await self._write(
+                        writer,
+                        write_lock,
+                        error_response(
+                            None,
+                            STATUS_BAD_REQUEST,
+                            f"line exceeds {MAX_LINE_BYTES} bytes",
+                        ),
+                    )
+                    break
+            # Keep responses for pipelined requests flowing even after the
+            # client half-closes its send side.
+            if conn_tasks:
+                await asyncio.wait(conn_tasks)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown after drain: exit quietly instead of letting
+            # asyncio.run log every parked reader as a task exception.
+            pass
+        finally:
+            self._connections -= 1
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    async def _handle_http(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: bytes,
+    ) -> None:
+        # Drain the header block (best effort) so the peer's write side
+        # isn't reset before it finishes sending.
+        try:
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=1.0)
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+        except (asyncio.TimeoutError, ConnectionError, ValueError):
+            pass
+        path = http_request_path(first).split("?", 1)[0]
+        if path == "/stats":
+            body = self.stats()
+            status = STATUS_OK
+        elif path == "/healthz":
+            status = STATUS_DRAINING if self.draining else STATUS_OK
+            body = {
+                "ok": not self.draining,
+                "draining": self.draining,
+                "uptime_seconds": self.uptime_seconds(),
+            }
+        else:
+            status = STATUS_NOT_FOUND
+            body = {"ok": False, "error": f"no route for {path}"}
+        try:
+            writer.write(http_response(status, body))
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        message: Dict[str, Any],
+    ) -> None:
+        async with lock:
+            try:
+                writer.write(encode_message(message))
+                await writer.drain()
+            except ConnectionError:
+                pass  # peer vanished; the compile still warmed the cache
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    async def _handle_message(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id: Any = None
+        try:
+            message = decode_message(line)
+            request_id = message.get("id")
+            op = message.get("op")
+            if op == OP_PING:
+                response = ok_response(
+                    request_id, pong=True, draining=self.draining
+                )
+            elif op == OP_STATS:
+                response = ok_response(request_id, stats=self.stats())
+            elif op == OP_COMPILE:
+                response = await self._compile_response(message, request_id)
+            else:
+                response = error_response(
+                    request_id, STATUS_BAD_REQUEST, f"unknown op {op!r}"
+                )
+        except ProtocolError as exc:
+            response = error_response(request_id, STATUS_BAD_REQUEST, str(exc))
+        except Exception as exc:  # noqa: BLE001 - a bug must not kill the conn
+            response = error_response(
+                request_id, STATUS_ERROR, f"{type(exc).__name__}: {exc}"
+            )
+        await self._write(writer, write_lock, response)
+
+    async def _compile_response(
+        self, message: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        received = time.perf_counter()
+        if self.draining:
+            return error_response(
+                request_id, STATUS_DRAINING, "server is draining"
+            )
+        tier = parse_tier(message)
+        tenant = parse_tenant(message)
+        request = parse_compile_request(message)
+        try:
+            self.quotas.admit(tenant)
+        except Rejected as exc:
+            self.service.metrics.count("quota_rejections")
+            return error_response(
+                request_id, exc.status, exc.reason, exc.retry_after
+            )
+        loop = asyncio.get_running_loop()
+        job = _Job(
+            request=request,
+            tier=tier,
+            tenant=tenant,
+            future=loop.create_future(),
+            enqueued=loop.time(),
+        )
+        try:
+            self.admission.submit(tier, job)
+        except Rejected as exc:
+            self.quotas.release(tenant)
+            self.service.metrics.count(f"shed_{tier}")
+            return error_response(
+                request_id, exc.status, exc.reason, exc.retry_after
+            )
+        try:
+            raw, queue_seconds = await job.future
+        except Exception as exc:  # noqa: BLE001
+            return error_response(
+                request_id, STATUS_ERROR, f"{type(exc).__name__}: {exc}"
+            )
+        total = time.perf_counter() - received
+        self.service.metrics.observe(
+            "serve_warm" if raw.from_cache else "serve_cold", total
+        )
+        if raw.entry is None:
+            return error_response(
+                request_id, STATUS_ERROR, raw.error or "compilation failed"
+            )
+        return ok_response(
+            request_id,
+            key=raw.key,
+            source=raw.source,
+            tier=tier,
+            entry=raw.entry,
+            seconds=round(total, 6),
+            queue_seconds=round(queue_seconds, 6),
+            service_seconds=round(raw.seconds, 6),
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def uptime_seconds(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    def stats(self) -> Dict[str, Any]:
+        """Service stats plus the serving layer's live state."""
+        snap = self.service.stats()
+        snap["serving"] = {
+            "host": self.config.host,
+            "port": self.port,
+            "uptime_seconds": self.uptime_seconds(),
+            "draining": self.draining,
+            "connections": self._connections,
+            "inflight": self._inflight,
+            "workers": self.config.workers,
+            "queues": (
+                self.admission.snapshot() if self.admission is not None else {}
+            ),
+            "tenants": self.quotas.snapshot(),
+            "warmed_entries": self.warmed_entries,
+            "restored_counters": self.restored_counters,
+            "compaction": {
+                "runs": self.compactions,
+                "interval_seconds": self.config.compact_interval,
+                "last": self.last_compaction,
+            },
+        }
+        return snap
+
+
+def run_server(config: Optional[ServerConfig] = None) -> int:
+    """Blocking entry point behind ``python -m repro serve``.
+
+    Prints ``serving on <host>:<port>`` once listening (parsers rely on
+    it), installs SIGTERM/SIGINT handlers that trigger a graceful drain,
+    and returns 0 after a clean drain.
+    """
+    config = config if config is not None else ServerConfig()
+
+    async def _main() -> None:
+        server = CompileServer(config)
+        await server.start()
+        print(f"serving on {server.host}:{server.port}", flush=True)
+        if server.warmed_entries:
+            print(
+                f"warmed {server.warmed_entries} plan(s) from disk",
+                flush=True,
+            )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix platform or nested loop; Ctrl-C still works
+        await stop.wait()
+        print("draining: admission closed, flushing in-flight", flush=True)
+        await server.drain()
+        await server.aclose()
+        queues = server.admission.snapshot()
+        admitted = sum(tier["admitted"] for tier in queues.values())
+        completed = sum(tier["completed"] for tier in queues.values())
+        print(
+            f"drained cleanly: {completed}/{admitted} admitted requests "
+            "completed",
+            flush=True,
+        )
+
+    asyncio.run(_main())
+    return 0
+
+
+class BackgroundServer:
+    """A :class:`CompileServer` on a daemon thread — tests and benchmarks.
+
+    Usage::
+
+        with BackgroundServer(ServerConfig(port=0)) as bg:
+            client = ServingClient(bg.host, bg.port)
+            ...
+
+    ``drain()`` and ``stop()`` are thread-safe; exiting the context
+    manager drains (losing nothing) and tears the loop down.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        service: Optional[CompileService] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self._service = service
+        self.server: Optional[CompileServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serving", daemon=True
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise RuntimeError(
+                f"background server failed to start: {self._error}"
+            ) from self._error
+        if self.server is None:
+            raise RuntimeError("background server failed to start (timeout)")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001
+            if not self._ready.is_set():
+                self._error = exc
+                self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = CompileServer(self.config, service=self._service)
+        try:
+            await server.start()
+        except BaseException as exc:  # noqa: BLE001
+            self._error = exc
+            self._ready.set()
+            return
+        self.server = server
+        self._ready.set()
+        await self._stop.wait()
+        if not server.drained:
+            await server.drain()
+        await server.aclose()
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Drain the server from the calling thread; blocks until done."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(), self._loop
+        )
+        future.result(timeout=timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        future = asyncio.run_coroutine_threadsafe(
+            _call_soon(self.server.stats), self._loop
+        )
+        return future.result(timeout=30)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+async def _call_soon(fn: Any) -> Any:
+    return fn()

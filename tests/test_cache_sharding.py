@@ -1,0 +1,368 @@
+"""Sharded plan cache: routing, byte-accounted LRU, compaction, fuzz."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.hardware import xeon_gold_6240
+from repro.ir.chains import batch_gemm_chain
+from repro.runtime.serialization import FORMAT_VERSION
+from repro.service import (
+    CompileRequest,
+    CompileService,
+    PlanCache,
+    ServiceMetrics,
+    ShardedPlanCache,
+    detect_shards,
+    entry_bytes,
+    open_cache,
+    shard_index,
+)
+from repro.service.cache import SHARD_DIR_FORMAT
+
+HW = xeon_gold_6240()
+
+
+def make_entry(key, pad=0):
+    return {
+        "format_version": FORMAT_VERSION,
+        "key": key,
+        "chain": "c",
+        "hardware": "h",
+        "use_fusion": True,
+        "fused_plan": {"stub": True, "pad": "x" * pad},
+        "unfused_plans": [],
+    }
+
+
+def hexkey(i):
+    """Deterministic 64-char hex keys shaped like real digests."""
+    return f"{i:08x}" + "0" * 56
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+class TestShardRouting:
+    def test_deterministic_and_in_range(self):
+        for i in range(64):
+            key = hexkey(i)
+            index = shard_index(key, 4)
+            assert 0 <= index < 4
+            assert shard_index(key, 4) == index
+
+    def test_spreads_across_shards(self):
+        indices = {shard_index(hexkey(i), 4) for i in range(64)}
+        assert indices == {0, 1, 2, 3}
+
+    def test_non_hex_keys_still_route(self):
+        assert 0 <= shard_index("not-hex-at-all", 4) < 4
+
+    def test_single_shard_maps_everything_to_zero(self):
+        assert shard_index(hexkey(123), 1) == 0
+
+
+# ----------------------------------------------------------------------
+# the sharded facade
+# ----------------------------------------------------------------------
+class TestShardedPlanCache:
+    def test_round_trip_and_shard_dirs(self, tmp_path):
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=4)
+        keys = [hexkey(i) for i in range(16)]
+        for key in keys:
+            cache.put(key, make_entry(key))
+        for key in keys:
+            assert cache.get(key)["key"] == key
+        dirs = sorted(p.name for p in tmp_path.iterdir() if p.is_dir())
+        assert dirs == [SHARD_DIR_FORMAT.format(i) for i in range(4)]
+        assert sorted(cache.disk_keys()) == sorted(keys)
+
+    def test_entries_land_on_their_routed_shard(self, tmp_path):
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=4)
+        key = hexkey(7)
+        cache.put(key, make_entry(key))
+        shard_dir = tmp_path / SHARD_DIR_FORMAT.format(shard_index(key, 4))
+        assert (shard_dir / f"{key}.plan.json").exists()
+
+    def test_stats_shape_and_per_shard_counts(self, tmp_path):
+        metrics = ServiceMetrics()
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=2, metrics=metrics)
+        for i in range(8):
+            cache.put(hexkey(i), make_entry(hexkey(i)))
+        stats = cache.stats()
+        assert stats["shards"] == 2
+        assert stats["disk_entries"] == 8
+        assert stats["memory_entries"] == 8
+        assert stats["disk_bytes"] > 0
+        assert stats["memory_bytes"] > 0
+        assert len(stats["per_shard"]) == 2
+        assert sum(s["disk_entries"] for s in stats["per_shard"]) == 8
+        assert sum(s["disk_bytes"] for s in stats["per_shard"]) == (
+            stats["disk_bytes"]
+        )
+
+    def test_memory_byte_accounting_matches_entries(self):
+        cache = ShardedPlanCache(shards=2)
+        total = 0
+        for i in range(6):
+            entry = make_entry(hexkey(i), pad=100 * i)
+            cache.put(hexkey(i), entry)
+            total += entry_bytes(entry)
+        assert cache.memory_bytes() == total
+
+    def test_byte_budget_evicts_lru_first(self):
+        metrics = ServiceMetrics()
+        # One shard so the LRU order is global and assertable.
+        cache = ShardedPlanCache(
+            shards=1, metrics=metrics, max_memory_bytes=3000
+        )
+        for i in range(8):
+            cache.put(hexkey(i), make_entry(hexkey(i), pad=800))
+        assert cache.memory_bytes() <= 3000
+        assert metrics.snapshot()["evictions"] > 0
+        # newest entries survive, oldest were dropped
+        assert cache.get_with_tier(hexkey(7))[1] == "memory"
+
+    def test_oversized_entry_keeps_at_least_itself(self):
+        cache = ShardedPlanCache(shards=1, max_memory_bytes=10)
+        cache.put(hexkey(1), make_entry(hexkey(1), pad=500))
+        assert cache.stats()["memory_entries"] == 1
+
+    def test_clear_removes_every_shard_entry(self, tmp_path):
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=4)
+        for i in range(12):
+            cache.put(hexkey(i), make_entry(hexkey(i)))
+        assert cache.clear() == 12
+        assert cache.disk_keys() == []
+        assert cache.stats()["memory_entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# layout detection
+# ----------------------------------------------------------------------
+class TestOpenCache:
+    def test_detects_sharded_layout(self, tmp_path):
+        ShardedPlanCache(cache_dir=tmp_path, shards=4).put(
+            hexkey(1), make_entry(hexkey(1))
+        )
+        assert detect_shards(tmp_path) == 4
+        cache = open_cache(cache_dir=tmp_path)
+        assert isinstance(cache, ShardedPlanCache)
+        assert cache.stats()["shards"] == 4
+        assert cache.get(hexkey(1)) is not None
+
+    def test_detects_flat_layout(self, tmp_path):
+        PlanCache(cache_dir=tmp_path).put(hexkey(1), make_entry(hexkey(1)))
+        assert detect_shards(tmp_path) == 0  # no shard-XX/ subdirectories
+        cache = open_cache(cache_dir=tmp_path)
+        assert cache.stats()["shards"] == 1
+        assert cache.get(hexkey(1)) is not None
+
+    def test_explicit_shards_override_detection(self, tmp_path):
+        cache = open_cache(cache_dir=tmp_path, shards=3)
+        assert cache.stats()["shards"] == 3
+
+    def test_memory_only_defaults_to_flat(self):
+        assert open_cache(cache_dir=None).stats()["shards"] == 1
+
+
+# ----------------------------------------------------------------------
+# warm restart + compaction
+# ----------------------------------------------------------------------
+class TestWarmAndCompact:
+    def test_warm_memory_prefers_newest(self, tmp_path):
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=1)
+        for i in range(6):
+            cache.put(hexkey(i), make_entry(hexkey(i)))
+        path = tmp_path / SHARD_DIR_FORMAT.format(0) / f"{hexkey(5)}.plan.json"
+        newest = time.time() + 100
+        os.utime(path, (newest, newest))
+
+        fresh = ShardedPlanCache(cache_dir=tmp_path, shards=1)
+        assert fresh.warm_memory(limit=3) == 3
+        assert fresh.get_with_tier(hexkey(5))[1] == "memory"
+
+    def test_warm_memory_respects_byte_budget(self, tmp_path):
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=1)
+        for i in range(6):
+            cache.put(hexkey(i), make_entry(hexkey(i), pad=800))
+        fresh = ShardedPlanCache(
+            cache_dir=tmp_path, shards=1, max_memory_bytes=2000
+        )
+        fresh.warm_memory()
+        assert fresh.memory_bytes() <= 2000
+
+    def test_compact_removes_corrupt_entries(self, tmp_path):
+        metrics = ServiceMetrics()
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=2, metrics=metrics)
+        for i in range(4):
+            cache.put(hexkey(i), make_entry(hexkey(i)))
+        victim = (
+            tmp_path
+            / SHARD_DIR_FORMAT.format(shard_index(hexkey(0), 2))
+            / f"{hexkey(0)}.plan.json"
+        )
+        victim.write_text("{ not json")
+        report = cache.compact()
+        assert report["removed_corrupt"] == 1
+        assert report["kept"] == 3
+        assert not victim.exists()
+
+    def test_compact_enforces_age_and_budget(self, tmp_path):
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=1)
+        for i in range(6):
+            cache.put(hexkey(i), make_entry(hexkey(i), pad=500))
+        # age out everything
+        report = cache.compact(max_age_seconds=0.0)
+        assert report["removed_stale"] == 6
+        assert cache.disk_keys() == []
+
+        for i in range(6):
+            cache.put(hexkey(i), make_entry(hexkey(i), pad=500))
+        per_entry = (tmp_path / SHARD_DIR_FORMAT.format(0)).glob("*.plan.json")
+        one_size = max(p.stat().st_size for p in per_entry)
+        report = cache.compact(max_disk_bytes=3 * one_size)
+        assert report["removed_budget"] >= 3
+        stats = cache.stats()
+        assert stats["disk_bytes"] <= 3 * one_size
+
+    def test_compact_report_shape(self, tmp_path):
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=2)
+        report = cache.compact()
+        assert set(report) == {
+            "scanned",
+            "removed_corrupt",
+            "removed_stale",
+            "removed_budget",
+            "kept",
+            "kept_bytes",
+        }
+
+
+# ----------------------------------------------------------------------
+# satellite 3: concurrency fuzz over the sharded service
+# ----------------------------------------------------------------------
+class TestShardedServiceFuzz:
+    def test_metrics_invariant_under_racing_threads(self, tmp_path):
+        """requests == hits + misses + coalesced, whatever the interleaving.
+
+        Eight threads hammer a sharded, byte-bounded service with a
+        mixture of repeated and fresh keys while evictions and coalesced
+        compiles race; the counter algebra must survive exactly.
+        """
+        service = CompileService(
+            cache_dir=tmp_path,
+            memory_capacity=8,
+            shards=4,
+            max_memory_bytes=20_000,
+        )
+
+        def fake(request, key):
+            time.sleep(0.001)
+            return make_entry(key, pad=600), "compiled", None
+
+        service._compile_with_recovery = fake
+        request = CompileRequest(chain=batch_gemm_chain(2, 64, 32, 32, 64),
+                                 hardware=HW)
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def worker(seed):
+            barrier.wait()
+            try:
+                for step in range(60):
+                    key = hexkey((seed * 7 + step) % 24)
+                    served = service.serve_raw(request, key=key)
+                    assert served.ok
+                    if step % 9 == 0:
+                        service.cache.clear_memory()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        snap = service.metrics.snapshot()
+        assert snap["requests"] == 8 * 60
+        assert snap["requests"] == (
+            snap["hits"] + snap["misses"] + snap["coalesced"]
+        )
+        assert snap["hits"] == snap["hits_memory"] + snap["hits_disk"]
+        # every key was compiled at least once and landed on disk
+        assert len(service.cache.disk_keys()) == 24
+
+    def test_invariant_under_async_pipelined_load(self, tmp_path):
+        """The same algebra holds when the server multiplexes the load."""
+        import asyncio
+
+        from repro.serving import (
+            AsyncServingClient,
+            BackgroundServer,
+            ServerConfig,
+        )
+
+        service = CompileService(cache_dir=tmp_path, shards=2)
+
+        def fake(request, key):
+            return make_entry(key), "compiled", None
+
+        service._compile_with_recovery = fake
+        config = ServerConfig(port=0, workers=4, compact_interval=0)
+        with BackgroundServer(config, service=service) as bg:
+
+            async def scenario():
+                clients = [
+                    await AsyncServingClient.open(bg.host, bg.port)
+                    for _ in range(3)
+                ]
+                chains = [
+                    batch_gemm_chain(2, 64, 32, 32, 64, name=f"f{i % 5}")
+                    for i in range(30)
+                ]
+                replies = await asyncio.gather(
+                    *(
+                        clients[i % 3].compile(chain, "xeon-gold-6240")
+                        for i, chain in enumerate(chains)
+                    )
+                )
+                for client in clients:
+                    await client.close()
+                return replies
+
+            replies = asyncio.run(scenario())
+        assert all(reply.ok for reply in replies)
+        snap = service.metrics.snapshot()
+        assert snap["requests"] == 30
+        assert snap["requests"] == (
+            snap["hits"] + snap["misses"] + snap["coalesced"]
+        )
+        assert snap["misses"] == 5  # five distinct chains
+
+
+# ----------------------------------------------------------------------
+# on-disk stats through the service facade
+# ----------------------------------------------------------------------
+class TestServiceCacheStats:
+    def test_service_stats_expose_shard_breakdown(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path, shards=2)
+
+        def fake(request, key):
+            return make_entry(key), "compiled", None
+
+        service._compile_with_recovery = fake
+        request = CompileRequest(chain=batch_gemm_chain(2, 64, 32, 32, 64),
+                                 hardware=HW)
+        for i in range(6):
+            service.serve_raw(request, key=hexkey(i))
+        cache_stats = service.stats()["cache"]
+        assert cache_stats["shards"] == 2
+        assert cache_stats["disk_entries"] == 6
+        assert len(cache_stats["per_shard"]) == 2

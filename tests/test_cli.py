@@ -131,3 +131,88 @@ class TestNetworkCli:
     def test_compile_network_unknown_network(self):
         with pytest.raises(KeyError):
             main(["compile-network", "--network", "GPT-3"])
+
+
+class TestServingCli:
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        import repro.__main__ as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_workloads", interrupted)
+        assert main(["workloads"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_cache_stats_prints_bytes_and_shards(self, capsys, tmp_path):
+        from repro.runtime.serialization import FORMAT_VERSION
+        from repro.service import ShardedPlanCache
+
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=2)
+        for i in range(4):
+            key = f"{i:08x}" + "0" * 56
+            cache.put(key, {
+                "format_version": FORMAT_VERSION,
+                "key": key,
+                "use_fusion": True,
+                "fused_plan": {},
+                "unfused_plans": [],
+            })
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 cached plan(s)" in out
+        assert "2 shard(s)" in out
+        assert "bytes on disk" in out
+        assert "shard 00:" in out and "shard 01:" in out
+        assert "memory tier:" in out
+
+    def test_cache_clear_handles_sharded_layout(self, capsys, tmp_path):
+        from repro.runtime.serialization import FORMAT_VERSION
+        from repro.service import ShardedPlanCache
+
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=2)
+        key = "deadbeef" + "0" * 56
+        cache.put(key, {
+            "format_version": FORMAT_VERSION,
+            "key": key,
+            "use_fusion": True,
+            "fused_plan": {},
+            "unfused_plans": [],
+        })
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_serve_drains_on_sigterm(self, tmp_path):
+        import os
+        import signal
+        import socket
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1", "--compact-interval", "0",
+             "--cache-dir", str(tmp_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env, cwd=os.path.dirname(os.path.dirname(__file__)) or ".",
+        )
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("serving on "), line
+            host, port = line.strip().rsplit(" ", 1)[-1].split(":")
+            with socket.create_connection((host, int(port)), timeout=10) as s:
+                s.sendall(b'{"op":"ping","id":1}\n')
+                reply = json.loads(s.makefile("rb").readline())
+            assert reply["ok"] is True
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0
+        assert "drained cleanly" in out

@@ -50,3 +50,12 @@ class TestExamples:
         assert "cold network compile" in out
         assert "byte-identical" in out
         assert "plan-backed chains" in out
+
+    def test_serving_client(self, capsys):
+        out = _run("serving_client.py", capsys)
+        assert "warm hit over the wire" in out
+        assert "decoded locally" in out
+        assert "pipelined 64 batch-tier requests" in out
+        assert "GET /healthz -> 200" in out
+        assert "drained: metrics checkpointed" in out
+        assert "first request after restart served from memory" in out

@@ -610,3 +610,123 @@ class TestMetrics:
         assert search["orders_enumerated"] > 0
         assert search["solves"] + search["memo_hits"] > 0
         assert "memo" in search
+
+    def test_configurable_window_caps_samples(self):
+        metrics = ServiceMetrics(window=4)
+        for i in range(10):
+            metrics.observe("probe", float(i))
+        summary = metrics.snapshot()["latencies"]["probe"]
+        assert summary["count"] == 4
+        # only the newest window of samples survives
+        assert summary["p50"] >= 6.0
+        with pytest.raises(ValueError):
+            ServiceMetrics(window=0)
+
+    def test_snapshot_reports_window_and_p95(self):
+        metrics = ServiceMetrics(window=2048)
+        metrics.observe_compile(1.0)
+        snap = metrics.snapshot()
+        assert snap["latency_window"] == 2048
+        assert "p95" in snap["compile_latency"]
+
+    def test_named_latency_series(self):
+        metrics = ServiceMetrics()
+        metrics.observe("serve_warm", 0.001)
+        metrics.observe("serve_cold", 1.0)
+        latencies = metrics.snapshot()["latencies"]
+        assert latencies["serve_warm"]["count"] == 1
+        assert latencies["serve_cold"]["p99"] == 1.0
+
+    def test_restore_reloads_counters(self):
+        metrics = ServiceMetrics()
+        metrics.count("requests")
+        metrics.count("hits_memory")
+        saved = metrics.snapshot()
+
+        fresh = ServiceMetrics()
+        fresh.restore(saved)
+        snap = fresh.snapshot()
+        assert snap["requests"] == 1
+        assert snap["hits_memory"] == 1
+        assert snap["hits"] == 1  # derived, recomputed not restored
+
+
+# ----------------------------------------------------------------------
+# serve_raw: the remote-serving hot path
+# ----------------------------------------------------------------------
+class TestServeRaw:
+    def test_raw_entry_round_trips_through_decode(self):
+        from repro.service import decode_plan_entry
+
+        service = CompileService()
+        chain = small_bmm()
+        cold = service.serve_raw(CompileRequest(chain, HW))
+        assert cold.ok and cold.source == SOURCE_COMPILED
+        warm = service.serve_raw(CompileRequest(chain, HW))
+        assert warm.from_cache and warm.source == SOURCE_MEMORY
+        result = decode_plan_entry(warm.entry, HW)
+        direct = service.compile(chain, HW)
+        assert result.fused == direct.fused
+        assert result.predicted_time == pytest.approx(direct.predicted_time)
+
+    def test_warm_raw_skips_kernel_lowering(self, monkeypatch):
+        service = CompileService()
+        chain = small_bmm()
+        service.serve_raw(CompileRequest(chain, HW))
+
+        def boom(entry, hardware):
+            raise AssertionError("decode ran on the raw warm path")
+
+        monkeypatch.setattr(
+            type(service), "_decode_entry", staticmethod(boom)
+        )
+        warm = service.serve_raw(CompileRequest(chain, HW))
+        assert warm.from_cache
+
+    def test_serve_and_serve_raw_share_inflight_table(self):
+        service = CompileService()
+        chain = small_bmm()
+        release = threading.Event()
+        original = service._compile_with_recovery
+
+        def slow(request, key):
+            release.wait(timeout=30)
+            return original(request, key)
+
+        service._compile_with_recovery = slow
+        results = {}
+
+        def raw_leader():
+            results["raw"] = service.serve_raw(CompileRequest(chain, HW))
+
+        leader = threading.Thread(target=raw_leader)
+        leader.start()
+        time.sleep(0.05)
+        follower = threading.Thread(
+            target=lambda: results.update(
+                decoded=service.serve(CompileRequest(chain, HW))
+            )
+        )
+        follower.start()
+        time.sleep(0.05)
+        release.set()
+        leader.join(timeout=60)
+        follower.join(timeout=60)
+        assert results["raw"].ok and results["decoded"].ok
+        snap = service.metrics.snapshot()
+        assert snap["coalesced"] == 1
+        assert snap["compiles"] == 1
+        assert snap["requests"] == (
+            snap["hits"] + snap["misses"] + snap["coalesced"]
+        )
+
+    def test_failed_raw_compile_reports_error(self):
+        service = CompileService(retries=0, fallback=False)
+
+        def fail(request, key):
+            return None, SOURCE_FALLBACK, "RuntimeError: injected"
+
+        service._compile_with_recovery = fail
+        served = service.serve_raw(CompileRequest(small_bmm(), HW))
+        assert not served.ok
+        assert "injected" in served.error

@@ -1,0 +1,514 @@
+"""Tests for the always-on compilation server (repro.serving)."""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.runtime.pipeline import CompileResult
+from repro.hardware import xeon_gold_6240
+from repro.ir.chains import batch_gemm_chain
+from repro.runtime.serialization import FORMAT_VERSION
+from repro.service import CompileService, cache_key
+from repro.serving import (
+    STATUS_BAD_REQUEST,
+    STATUS_DRAINING,
+    STATUS_ERROR,
+    STATUS_REJECTED,
+    TIER_BATCH,
+    TIER_INTERACTIVE,
+    AdmissionController,
+    AsyncServingClient,
+    BackgroundServer,
+    ProtocolError,
+    QuotaManager,
+    Rejected,
+    ServerConfig,
+    ServerError,
+    ServingClient,
+    TokenBucket,
+    compile_message,
+    http_get,
+    parse_compile_request,
+)
+from repro.serving.protocol import parse_tenant, parse_tier
+
+HW = xeon_gold_6240()
+
+
+def small_bmm(name=None):
+    return batch_gemm_chain(2, 64, 32, 32, 64, name=name)
+
+
+def synthetic_entry(key, payload_bytes=0):
+    return {
+        "format_version": FORMAT_VERSION,
+        "key": key,
+        "chain": "synthetic",
+        "hardware": HW.name,
+        "use_fusion": True,
+        "fused_plan": {"stub": True, "pad": "x" * payload_bytes},
+        "unfused_plans": [],
+    }
+
+
+def fast_service(delay=0.0, **kwargs):
+    """A CompileService whose compiles are instant synthetic entries."""
+    service = CompileService(**kwargs)
+
+    def fake(request, key):
+        if delay:
+            time.sleep(delay)
+        return synthetic_entry(key), "compiled", None
+
+    service._compile_with_recovery = fake
+    return service
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_wire_round_trip_recomputes_key(self):
+        chain = small_bmm()
+        message = compile_message(chain, "xeon-gold-6240")
+        rebuilt = parse_compile_request(
+            json.loads(json.dumps(message))  # force a full wire round trip
+        )
+        assert rebuilt.key == cache_key(chain, HW)
+
+    def test_hardware_dict_and_preset_agree(self):
+        chain = small_bmm()
+        via_preset = parse_compile_request(
+            compile_message(chain, "xeon-gold-6240")
+        )
+        via_dict = parse_compile_request(compile_message(chain, HW))
+        assert via_preset.key == via_dict.key
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda m: m.pop("chain"),
+            lambda m: m.update(chain=[1, 2]),
+            lambda m: m.update(chain={"nonsense": True}),
+            lambda m: m.pop("hardware"),
+            lambda m: m.update(hardware="no-such-preset"),
+            lambda m: m.update(config={"no_such_field": 1}),
+            lambda m: m.update(config="not-a-dict"),
+            lambda m: m.update(force_fusion="yes"),
+        ],
+    )
+    def test_malformed_compiles_raise_protocol_error(self, mutate):
+        message = compile_message(small_bmm(), "xeon-gold-6240")
+        mutate(message)
+        with pytest.raises(ProtocolError):
+            parse_compile_request(message)
+
+    def test_tier_and_tenant_parsing(self):
+        assert parse_tier({}) == TIER_INTERACTIVE
+        assert parse_tier({"tier": TIER_BATCH}) == TIER_BATCH
+        assert parse_tenant({}) == "default"
+        assert parse_tenant({"tenant": "team-a"}) == "team-a"
+        with pytest.raises(ProtocolError):
+            parse_tier({"tier": "realtime"})
+        with pytest.raises(ProtocolError):
+            parse_tenant({"tenant": ""})
+        with pytest.raises(ProtocolError):
+            parse_tenant({"tenant": 7})
+
+
+# ----------------------------------------------------------------------
+# admission
+# ----------------------------------------------------------------------
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_interactive_dispatched_before_batch(self):
+        async def scenario():
+            admission = AdmissionController(
+                interactive_capacity=4, batch_capacity=4
+            )
+            admission.submit(TIER_BATCH, "b1")
+            admission.submit(TIER_INTERACTIVE, "i1")
+            admission.submit(TIER_BATCH, "b2")
+            admission.submit(TIER_INTERACTIVE, "i2")
+            return [await admission.next_job() for _ in range(4)]
+
+        assert run(scenario()) == ["i1", "i2", "b1", "b2"]
+
+    def test_full_queue_sheds_with_retry_after(self):
+        admission = AdmissionController(
+            interactive_capacity=2, batch_capacity=2, workers=2
+        )
+        admission.submit(TIER_INTERACTIVE, "a")
+        admission.submit(TIER_INTERACTIVE, "b")
+        with pytest.raises(Rejected) as info:
+            admission.submit(TIER_INTERACTIVE, "c")
+        assert info.value.status == STATUS_REJECTED
+        assert info.value.retry_after > 0
+        assert admission.shed[TIER_INTERACTIVE] == 1
+        # the batch queue still has room
+        admission.submit(TIER_BATCH, "d")
+
+    def test_draining_refuses_submissions(self):
+        admission = AdmissionController()
+        admission.start_draining()
+        with pytest.raises(Rejected) as info:
+            admission.submit(TIER_INTERACTIVE, "x")
+        assert info.value.status == STATUS_DRAINING
+
+    def test_retry_after_tracks_service_estimate(self):
+        admission = AdmissionController(workers=1)
+        before = admission.retry_after(TIER_INTERACTIVE)
+        for _ in range(50):
+            admission.observe_service(TIER_INTERACTIVE, 2.0)
+        assert admission.retry_after(TIER_INTERACTIVE) > before
+
+    def test_snapshot_shape(self):
+        admission = AdmissionController()
+        admission.submit(TIER_BATCH, "j")
+        snap = admission.snapshot()
+        assert snap[TIER_BATCH]["depth"] == 1
+        assert snap[TIER_BATCH]["admitted"] == 1
+        assert snap[TIER_INTERACTIVE]["depth"] == 0
+        for tier in snap.values():
+            assert set(tier) == {
+                "depth",
+                "capacity",
+                "admitted",
+                "completed",
+                "shed",
+                "service_estimate_seconds",
+            }
+
+
+# ----------------------------------------------------------------------
+# quotas
+# ----------------------------------------------------------------------
+class TestQuotas:
+    def test_token_bucket_refills_over_time(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        now = 100.0
+        assert bucket.try_take(now)
+        assert bucket.try_take(now)
+        assert not bucket.try_take(now)
+        assert bucket.seconds_until_token(now) == pytest.approx(0.1)
+        assert bucket.try_take(now + 0.11)
+
+    def test_rate_limit_rejects_with_retry_after(self):
+        quotas = QuotaManager(rate=0.001, burst=1.0)
+        quotas.admit("t")
+        with pytest.raises(Rejected) as info:
+            quotas.admit("t")
+        assert info.value.status == STATUS_REJECTED
+        assert info.value.retry_after > 0
+
+    def test_inflight_quota_and_release(self):
+        quotas = QuotaManager(max_inflight=2)
+        quotas.admit("t")
+        quotas.admit("t")
+        with pytest.raises(Rejected):
+            quotas.admit("t")
+        quotas.release("t")
+        quotas.admit("t")  # freed slot admits again
+        snap = quotas.snapshot()["t"]
+        assert snap["rejected_inflight"] == 1
+        assert snap["inflight"] == 2
+
+    def test_limits_of_zero_disable_checks(self):
+        quotas = QuotaManager()
+        for _ in range(100):
+            quotas.admit("t")
+
+    def test_overrides_apply_per_tenant(self):
+        quotas = QuotaManager(
+            max_inflight=0, overrides={"noisy": {"max_inflight": 1}}
+        )
+        quotas.admit("noisy")
+        with pytest.raises(Rejected):
+            quotas.admit("noisy")
+        for _ in range(5):
+            quotas.admit("quiet")
+
+    def test_tenants_are_isolated(self):
+        quotas = QuotaManager(rate=0.001, burst=1.0)
+        quotas.admit("a")
+        quotas.admit("b")  # b's bucket is untouched by a's spend
+
+
+# ----------------------------------------------------------------------
+# end-to-end over a real compile
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def live_server():
+    config = ServerConfig(port=0, workers=2, shards=2, compact_interval=0)
+    with BackgroundServer(config) as bg:
+        yield bg
+
+
+class TestEndToEnd:
+    def test_cold_then_warm_then_decode(self, live_server):
+        chain = small_bmm("e2e")
+        with ServingClient(live_server.host, live_server.port) as client:
+            cold = client.compile(chain, "xeon-gold-6240", check=True)
+            warm = client.compile(chain, "xeon-gold-6240", check=True)
+        assert cold.key == warm.key == cache_key(chain, HW)
+        assert not cold.from_cache
+        assert warm.from_cache and warm.source == "memory"
+        result = warm.decode("xeon-gold-6240")
+        assert isinstance(result, CompileResult)
+        assert result.kernels
+        # warm service time skips the optimizer entirely
+        assert warm.service_seconds < cold.service_seconds
+
+    def test_stats_and_metrics_invariant(self, live_server):
+        chain = small_bmm("e2e-stats")
+        with ServingClient(live_server.host, live_server.port) as client:
+            client.compile(chain, "xeon-gold-6240", check=True)
+            stats = client.stats()
+        assert stats["requests"] == (
+            stats["hits"] + stats["misses"] + stats["coalesced"]
+        )
+        serving = stats["serving"]
+        assert serving["draining"] is False
+        assert serving["workers"] == 2
+        assert set(serving["queues"]) == {TIER_INTERACTIVE, TIER_BATCH}
+        assert "serve_warm" in stats["latencies"] or stats["requests"] > 0
+
+    def test_ping(self, live_server):
+        with ServingClient(live_server.host, live_server.port) as client:
+            assert client.ping()
+
+    def test_http_stats_healthz_and_404(self, live_server):
+        host, port = live_server.host, live_server.port
+        status, body = http_get(host, port, "/healthz")
+        assert status == 200 and body["ok"] is True
+        status, body = http_get(host, port, "/stats")
+        assert status == 200
+        assert body["requests"] >= 0 and "serving" in body
+        status, body = http_get(host, port, "/nope")
+        assert status == 404 and body["ok"] is False
+
+    def test_malformed_requests_get_400(self, live_server):
+        async def scenario():
+            client = await AsyncServingClient.open(
+                live_server.host, live_server.port
+            )
+            bad_chain = await client.send_raw(
+                {"op": "compile", "chain": {"junk": 1}, "hardware": "a100"}
+            )
+            bad_op = await client.send_raw({"op": "explode"})
+            await client.close()
+            return bad_chain, bad_op
+
+        bad_chain, bad_op = run(scenario())
+        assert not bad_chain["ok"]
+        assert bad_chain["status"] == STATUS_BAD_REQUEST
+        assert not bad_op["ok"] and bad_op["status"] == STATUS_BAD_REQUEST
+
+    def test_invalid_json_line_gets_400_not_disconnect(self, live_server):
+        with socket.create_connection(
+            (live_server.host, live_server.port), timeout=10
+        ) as sock:
+            sock.sendall(b"this is not json\n")
+            reply = json.loads(sock.makefile("rb").readline())
+        assert reply["ok"] is False
+        assert reply["status"] == STATUS_BAD_REQUEST
+
+    def test_async_pipelining_warm_hits(self, live_server):
+        chain = small_bmm("e2e-pipeline")
+
+        async def scenario():
+            client = await AsyncServingClient.open(
+                live_server.host, live_server.port
+            )
+            await client.compile(chain, "xeon-gold-6240", check=True)
+            replies = await asyncio.gather(
+                *(
+                    client.compile(
+                        chain, "xeon-gold-6240", tier=TIER_BATCH, check=True
+                    )
+                    for _ in range(32)
+                )
+            )
+            await client.close()
+            return replies
+
+        replies = run(scenario())
+        assert len(replies) == 32
+        assert all(reply.from_cache for reply in replies)
+
+    def test_check_raises_server_error(self, live_server):
+        async def scenario():
+            client = await AsyncServingClient.open(
+                live_server.host, live_server.port
+            )
+            try:
+                reply = await client.send_raw({"op": "compile"})
+            finally:
+                await client.close()
+            return reply
+
+        reply = run(scenario())
+        assert reply["status"] == STATUS_BAD_REQUEST
+
+
+# ----------------------------------------------------------------------
+# shedding, quotas, and failures through the wire
+# ----------------------------------------------------------------------
+class TestAdmissionOverWire:
+    def test_queue_full_sheds_429_with_retry_after(self):
+        service = fast_service(delay=0.15)
+        config = ServerConfig(
+            port=0,
+            workers=1,
+            interactive_queue=1,
+            batch_queue=1,
+            compact_interval=0,
+        )
+        with BackgroundServer(config, service=service) as bg:
+
+            async def scenario():
+                client = await AsyncServingClient.open(bg.host, bg.port)
+                sends = [
+                    client.compile(
+                        small_bmm(f"shed-{i}"), "xeon-gold-6240"
+                    )
+                    for i in range(8)
+                ]
+                replies = await asyncio.gather(*sends)
+                await client.close()
+                return replies
+
+            replies = run(scenario())
+        shed = [r for r in replies if r.status == STATUS_REJECTED]
+        served = [r for r in replies if r.ok]
+        assert served, "some requests must be admitted"
+        assert shed, "an 8-deep burst into a 1-slot queue must shed"
+        assert all(r.retry_after > 0 for r in shed)
+        stats = service.metrics.snapshot()
+        assert stats["requests"] == (
+            stats["hits"] + stats["misses"] + stats["coalesced"]
+        )
+
+    def test_tenant_rate_limit_over_wire(self):
+        service = fast_service()
+        config = ServerConfig(
+            port=0,
+            workers=1,
+            tenant_rate=0.001,
+            tenant_burst=1.0,
+            compact_interval=0,
+        )
+        with BackgroundServer(config, service=service) as bg:
+            with ServingClient(bg.host, bg.port, tenant="limited") as client:
+                first = client.compile(small_bmm("rate-a"), "xeon-gold-6240")
+                assert first.ok
+                second = client.compile(
+                    small_bmm("rate-b"), "xeon-gold-6240"
+                )
+        assert second.status == STATUS_REJECTED
+        assert second.retry_after > 0
+        with pytest.raises(ServerError):
+            second.raise_for_status()
+
+    def test_compile_failure_maps_to_500(self):
+        service = CompileService()
+
+        def always_fail(request, key):
+            return None, "fallback", "RuntimeError: injected"
+
+        service._compile_with_recovery = always_fail
+        config = ServerConfig(port=0, workers=1, compact_interval=0)
+        with BackgroundServer(config, service=service) as bg:
+            with ServingClient(bg.host, bg.port) as client:
+                reply = client.compile(small_bmm("fail"), "xeon-gold-6240")
+        assert reply.status == STATUS_ERROR
+        assert "injected" in reply.error
+
+
+# ----------------------------------------------------------------------
+# drain + hot restart
+# ----------------------------------------------------------------------
+class TestDrainAndRestart:
+    def test_drain_completes_every_admitted_request(self):
+        service = fast_service(delay=0.05)
+        config = ServerConfig(port=0, workers=2, compact_interval=0)
+        bg = BackgroundServer(config, service=service).start()
+        try:
+            replies = []
+
+            def client_thread():
+                with ServingClient(bg.host, bg.port) as client:
+                    for i in range(6):
+                        replies.append(
+                            client.compile(
+                                small_bmm(f"drain-{i}"), "xeon-gold-6240"
+                            )
+                        )
+
+            thread = threading.Thread(target=client_thread)
+            thread.start()
+            time.sleep(0.12)  # a few requests in flight mid-drain
+            bg.drain()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            snap = bg.stats()["serving"]
+        finally:
+            bg.stop()
+        admitted = [r for r in replies if r.status != STATUS_DRAINING]
+        assert admitted, "requests sent before the drain must be admitted"
+        assert all(r.ok for r in admitted), (
+            "every admitted request must complete during the drain: "
+            f"{[r.error for r in admitted if not r.ok]}"
+        )
+        for tier in snap["queues"].values():
+            assert tier["depth"] == 0
+            assert tier["admitted"] == tier["completed"]
+
+    def test_drained_listener_refuses_new_connections(self):
+        service = fast_service()
+        config = ServerConfig(port=0, workers=1, compact_interval=0)
+        bg = BackgroundServer(config, service=service).start()
+        try:
+            host, port = bg.host, bg.port
+            bg.drain()
+            with pytest.raises(OSError):
+                socket.create_connection((host, port), timeout=2).close()
+        finally:
+            bg.stop()
+
+    def test_checkpoint_restore_and_cache_rewarm(self, tmp_path):
+        cache_dir = str(tmp_path / "plans")
+        service = fast_service(cache_dir=cache_dir, shards=2)
+        config = ServerConfig(
+            port=0, workers=1, cache_dir=cache_dir, shards=2,
+            compact_interval=0,
+        )
+        with BackgroundServer(config, service=service) as bg:
+            with ServingClient(bg.host, bg.port) as client:
+                for i in range(3):
+                    client.compile(
+                        small_bmm(f"restart-{i}"), "xeon-gold-6240",
+                        check=True,
+                    )
+            bg.drain()
+        assert (tmp_path / "plans" / "server-state.json").exists()
+
+        service2 = fast_service(cache_dir=cache_dir, shards=2)
+        with BackgroundServer(config, service=service2) as bg2:
+            stats = bg2.stats()
+            assert stats["serving"]["warmed_entries"] == 3
+            assert stats["serving"]["restored_counters"] is True
+            assert stats["requests"] >= 3  # counters carried across restart
+            # re-warmed entries serve from memory without recompiling
+            with ServingClient(bg2.host, bg2.port) as client:
+                reply = client.compile(
+                    small_bmm("restart-0"), "xeon-gold-6240", check=True
+                )
+        assert reply.source == "memory"
