@@ -40,6 +40,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Optional
 
@@ -124,7 +125,7 @@ def _render_stats(stats: dict) -> str:
         f"failures {stats['failures']}  retries {stats['retries']}  "
         f"fallbacks {stats['fallbacks']}  timeouts {stats['timeouts']}",
         f"evictions {stats['evictions']}  corrupt entries "
-        f"{stats['corrupt_entries']}",
+        f"{stats['corrupt_entries']}  warm-started {stats.get('warm_near', 0)}",
         f"compile latency: p50 {latency['p50']:.2f}s  "
         f"p90 {latency['p90']:.2f}s  p99 {latency['p99']:.2f}s  "
         f"({latency['count']} samples)",
@@ -132,6 +133,13 @@ def _render_stats(stats: dict) -> str:
         f"memory, {cache['disk_entries']} on disk "
         f"({cache['disk_bytes']} bytes) at {cache['cache_dir'] or '<none>'}",
     ]
+    index = stats.get("shape_index")
+    if index:
+        state = "on" if index.get("enabled") else "off"
+        lines.append(
+            f"shape index: {index['entries']} entries across "
+            f"{index['structures']} structures (warm start {state})"
+        )
     return "\n".join(lines)
 
 
@@ -240,6 +248,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"  shard {shard['shard']:02d}: "
                 f"{shard['disk_entries']} entries, "
                 f"{shard['disk_bytes']} bytes"
+            )
+        if args.cache_dir:
+            from .service.shapes import INDEX_FILENAME, ShapeIndex
+
+            index = ShapeIndex(
+                pathlib.Path(args.cache_dir) / INDEX_FILENAME
+            )
+            istats = index.stats()
+            print(
+                f"shape index: {istats['entries']} entries across "
+                f"{istats['structures']} structures"
+                + (
+                    f" ({istats['dropped_records']} dropped records)"
+                    if istats["dropped_records"]
+                    else ""
+                )
             )
         return 0
     keys = cache.disk_keys()

@@ -14,13 +14,14 @@ step for a single chain.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from ..hardware.spec import HardwareSpec
 from ..ir.chain import OperatorChain, single_op_chain
 from .optimizer import ChimeraConfig, ChimeraOptimizer
 from .plan import FusionPlan
 from .search import SearchPolicy
+from .warmstart import ChainHints, PlanHint
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,17 +61,24 @@ def plan_unfused(
     hardware: HardwareSpec,
     config: Optional[ChimeraConfig] = None,
     policy: Optional[SearchPolicy] = None,
+    hints: Optional[Mapping[str, PlanHint]] = None,
 ) -> Tuple[FusionPlan, ...]:
     """Plan every operator of ``chain`` as its own kernel.
 
     Intermediates become each kernel's IO tensors, so their DRAM round-trip
-    is charged automatically by Algorithm 1.
+    is charged automatically by Algorithm 1.  ``hints`` (per-operator
+    warm-start plans from a neighboring shape, keyed by operator name)
+    speed the per-op solves up without changing them.
     """
     optimizer = ChimeraOptimizer(hardware, config, policy=policy)
     plans: List[FusionPlan] = []
     for op in chain.ops:
         sub_chain = single_op_chain(op, chain.tensors)
-        plans.append(optimizer.optimize(sub_chain))
+        plans.append(
+            optimizer.optimize(
+                sub_chain, hint=(hints or {}).get(op.name)
+            )
+        )
     return tuple(plans)
 
 
@@ -79,11 +87,25 @@ def decide_fusion(
     hardware: HardwareSpec,
     config: Optional[ChimeraConfig] = None,
     policy: Optional[SearchPolicy] = None,
+    hints: Optional[ChainHints] = None,
 ) -> FusionDecision:
-    """Plan fused and unfused executions and pick the faster one."""
+    """Plan fused and unfused executions and pick the faster one.
+
+    ``hints`` carries a neighboring shape's fused and per-operator plans;
+    both alternatives warm-start from them, and the decision (a comparison
+    of the identical resulting plans' predicted times) is unchanged.
+    """
     optimizer = ChimeraOptimizer(hardware, config, policy=policy)
-    fused = optimizer.optimize(chain)
-    unfused = plan_unfused(chain, hardware, config, policy)
+    fused = optimizer.optimize(
+        chain, hint=hints.fused if hints is not None else None
+    )
+    unfused = plan_unfused(
+        chain,
+        hardware,
+        config,
+        policy,
+        hints=hints.unfused if hints is not None else None,
+    )
     fused_time = fused.predicted_time
     unfused_time = sum(plan.predicted_time for plan in unfused)
     return FusionDecision(

@@ -24,6 +24,7 @@ from .movement import MovementModel
 from .plan import LevelSchedule
 from .search import SearchPolicy, SearchStats, chain_digest, memoized_solve_tiles
 from .solver import ConstraintFn
+from .warmstart import PlanHint
 
 
 def boundary_bandwidth(hardware: HardwareSpec, level_index: int) -> float:
@@ -58,6 +59,7 @@ def solve_hierarchy(
     policy: Optional[SearchPolicy] = None,
     stats: Optional[SearchStats] = None,
     engine: Optional[str] = None,
+    hint: Optional[PlanHint] = None,
 ) -> List[LevelSchedule]:
     """Solve tile sizes for every on-chip level under one block order.
 
@@ -66,7 +68,10 @@ def solve_hierarchy(
     ``constraints_token`` keeps constrained solves memoizable.  Every
     level's solve runs on the same model ``engine`` (``scalar``/``tables``,
     ``None`` defers to ``REPRO_MODEL_ENGINE``); the engines return
-    bit-identical schedules.
+    bit-identical schedules.  ``hint`` (a neighboring shape's per-level
+    tiles) warm-starts each level's solve without changing its result —
+    the solver's canonical descent collapses the DV-flat ridge, so, like
+    the engine, the hint stays out of the memo key.
 
     Returns:
         schedules innermost-first (matching ``HardwareSpec.on_chip_levels``).
@@ -81,6 +86,7 @@ def solve_hierarchy(
         raw_capacity = hardware.per_block_capacity(level)
         assert raw_capacity is not None  # on-chip levels are bounded
         capacity = raw_capacity * capacity_utilization
+        level_hint = hint.level(level.name) if hint is not None else None
         solution = memoized_solve_tiles(
             model,
             float(capacity),
@@ -94,6 +100,9 @@ def solve_hierarchy(
             digest=digest,
             stats=stats,
             engine=engine,
+            x0_hint=(
+                None if level_hint is None else dict(level_hint.tiles)
+            ),
         )
         schedules_outer_first.append(
             LevelSchedule(

@@ -39,6 +39,7 @@ from .search import (
 )
 from .solver import ConstraintFn
 from .tables import ENGINE_TABLES, movement_tables, resolve_model_engine
+from .warmstart import PlanHint
 
 
 @dataclasses.dataclass(frozen=True)
@@ -190,6 +191,7 @@ class ChimeraOptimizer:
         chain: OperatorChain,
         *,
         stats: Optional[SearchStats] = None,
+        hint: Optional[PlanHint] = None,
     ) -> FusionPlan:
         """Pick the block order and tiles minimizing data movement.
 
@@ -197,6 +199,11 @@ class ChimeraOptimizer:
             stats: optional :class:`SearchStats` accumulator filled with the
                 search counters of this run (also available aggregated via
                 ``repro.core.search.search_stats_snapshot``).
+            hint: a neighboring shape's plan (same chain structure,
+                different extents).  Each level's search solves the
+                neighbor's winning order first and seeds SLSQP from its
+                tiles — a pure speed knob: pruning stays admissible and
+                the returned plan is identical to the cold run's.
 
         Returns:
             a fused :class:`FusionPlan` with one schedule per on-chip level.
@@ -293,6 +300,9 @@ class ChimeraOptimizer:
                     candidates, level_min_tiles, capacity, parent_tiles
                 )
                 top = ranked[: max(1, self.config.top_candidates)]
+                level_hint = (
+                    hint.level(level.name) if hint is not None else None
+                )
                 model, solution = search_tiles(
                     top,
                     capacity,
@@ -308,6 +318,14 @@ class ChimeraOptimizer:
                     digest=digest,
                     executor=executor,
                     engine=self.engine,
+                    x0_hint=(
+                        None
+                        if level_hint is None
+                        else dict(level_hint.tiles)
+                    ),
+                    incumbent_hint=(
+                        None if level_hint is None else level_hint.order
+                    ),
                 )
                 bandwidth = self.hardware.levels[level_index + 1].bandwidth
                 schedules_outer_first.append(
@@ -365,7 +383,11 @@ class ChimeraOptimizer:
         )
 
     def plan_for_order(
-        self, chain: OperatorChain, order: Sequence[str]
+        self,
+        chain: OperatorChain,
+        order: Sequence[str],
+        *,
+        hint: Optional[PlanHint] = None,
     ) -> FusionPlan:
         """Solve tiles for one explicit block order (ablations, Figure 8)."""
         model = MovementModel(chain, order)
@@ -381,6 +403,7 @@ class ChimeraOptimizer:
             capacity_utilization=self.config.capacity_utilization,
             policy=self.policy,
             engine=self.engine,
+            hint=hint,
         )
         flops = executed_flops(chain, model.perm, schedules[0].tiles)
         return FusionPlan(

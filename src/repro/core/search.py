@@ -273,7 +273,11 @@ def _upper_tile_bounds_tables(
         # all-ones probe alone decides feasibility.
         probe = _ones(model)
         return {} if _fits(model, probe, capacity, constraints) else None
-    evaluator = TablesEvaluator(model, names, constraints)
+    # Bound probes only use the batched (interpreted numpy) paths, so
+    # skip row-kernel codegen: paying per-candidate generation for all
+    # enumerated orders — most of which the bound then prunes — used to
+    # dominate the whole pruning pass.
+    evaluator = TablesEvaluator(model, names, constraints, fast_kernels=False)
 
     def fits(values: np.ndarray) -> np.ndarray:
         return (
@@ -481,14 +485,39 @@ def _solution_key(
     return (0 if solution.feasible else 1, solution.dv, perm)
 
 
+def _best_result(
+    results: List[Tuple[MovementModel, TileSolution]]
+) -> Tuple[MovementModel, TileSolution]:
+    """The eps-aware total-order minimum over solved candidates.
+
+    First minimize ``(infeasible, dv, perm)`` exactly, then — because
+    mathematically tied DVs differ by ulps between symmetric orders — give
+    the win to the smallest order tuple among results on the same DV
+    plateau (within :data:`_DV_TIE_MARGIN` of the minimum, same
+    feasibility class).  The plateau representative is independent of the
+    solve sequence, which keeps warm-started searches byte-identical to
+    cold ones.
+    """
+    best = min(results, key=lambda pair: _solution_key(pair[1], pair[0].perm))
+    feasible_class = best[1].feasible
+    ceiling = best[1].dv * (1.0 + _DV_TIE_MARGIN)
+    tied = [
+        pair
+        for pair in results
+        if pair[1].feasible == feasible_class and pair[1].dv <= ceiling
+    ]
+    return min(tied, key=lambda pair: pair[0].perm)
+
+
 def _solve_payload(payload: Tuple) -> TileSolution:
     """Top-level worker entry (must be picklable for the process pool).
 
     The engine travels in the payload: worker processes must solve with
     the engine the parent resolved, not re-read their own environment.
+    So does the warm-start hint (a plain dict of floats, picklable).
     """
     (model, capacity, min_tiles, quanta, constraints, max_parent, starts,
-     hard_min_tiles, engine) = payload
+     hard_min_tiles, engine, x0_hint) = payload
     return solve_tiles(
         model,
         capacity,
@@ -499,6 +528,7 @@ def _solve_payload(payload: Tuple) -> TileSolution:
         starts=starts,
         hard_min_tiles=hard_min_tiles,
         engine=engine,
+        x0_hint=x0_hint,
     )
 
 
@@ -516,10 +546,18 @@ class _Solver:
         constraints_token: Optional[Hashable],
         memo: SolveMemo,
         engine: str,
+        x0_hint: Optional[Mapping[str, float]] = None,
     ) -> None:
         self.capacity = capacity
         self.kwargs = solve_kwargs
         self.engine = engine
+        # The warm-start hint travels to every solve but stays OUT of the
+        # memo key: a hinted solve converges somewhere on the same
+        # DV-flat ridge as the multi-start sweep, and the solver's
+        # canonical descent collapses every ridge point to one integer
+        # solution — so, like the engine, the hint changes how fast a
+        # solve runs, never what it returns.
+        self.x0_hint = dict(x0_hint) if x0_hint else None
         self.policy = policy
         self.stats = stats
         self.memo = memo
@@ -567,6 +605,7 @@ class _Solver:
             self.kwargs.get("starts", 4),
             self.kwargs.get("hard_min_tiles"),
             self.engine,
+            self.x0_hint,
         )
 
     def solve(self, model: MovementModel) -> TileSolution:
@@ -586,23 +625,75 @@ class _Solver:
             self.memo.put(key, solution)
 
 
+#: Relative margin under which two DV values are considered tied.  The
+#: lower bound and the solver evaluate DV through different floating-point
+#: paths (and symmetric twin orders sum the same terms in different
+#: sequences), so mathematically equal DVs differ by a few ulps.  Exact
+#: comparisons once made the winner depend on which candidate was solved
+#: first: each traversal order pruned the *other's* winner over a one-ulp
+#: difference.  DV plateaus in this problem are separated by real gaps
+#: (ceil steps), so values within this relative margin are the same
+#: plateau — ties are broken by the order tuple, identically from every
+#: solve sequence.
+_DV_TIE_MARGIN = 1e-9
+
+
 def _prunable(
     bound: float,
     perm: Tuple[str, ...],
     incumbent: Tuple[MovementModel, TileSolution],
 ) -> bool:
-    """True when a candidate provably cannot win the total order.
+    """True when a candidate provably cannot win the eps-aware total order.
 
-    The candidate's best conceivable outcome is ``(feasible, bound, perm)``;
-    it loses to a *feasible* incumbent when the bound is strictly worse, or
-    ties the incumbent's DV with a lexicographically larger order tuple.
+    The candidate's best conceivable outcome is ``(feasible, bound,
+    perm)``; against a *feasible* incumbent it loses when the bound is
+    worse than the incumbent's DV by more than the tie margin, or when it
+    can at best tie (bound already inside the margin) and its order tuple
+    is lexicographically larger — mirroring how :func:`_best_result`
+    resolves solved ties, so pruning decisions agree with the winner
+    selection no matter which candidate was solved first.
     """
     model, solution = incumbent
     if not solution.feasible:
         return False
-    if bound > solution.dv:
+    if bound > solution.dv * (1.0 + _DV_TIE_MARGIN):
         return True
-    return bound == solution.dv and perm > model.perm
+    return (
+        bound >= solution.dv * (1.0 - _DV_TIE_MARGIN) and perm > model.perm
+    )
+
+
+def _hint_index(
+    bounded: List[Tuple[float, MovementModel]],
+    incumbent_hint: Sequence[str],
+) -> Optional[int]:
+    """Position of the candidate the incumbent hint names, or ``None``.
+
+    Exact permutation match first; failing that, the hint's DV *signature*
+    (candidates are deduplicated by signature, so the neighbor's exact
+    order may be represented by a symmetric twin).  A hint that matches
+    nothing — wrong loops, wrong structure, adversarial neighbor — is
+    simply ignored.
+    """
+    hint = tuple(incumbent_hint)
+    for index, (_, model) in enumerate(bounded):
+        if model.perm == hint:
+            return index
+    if not bounded:
+        return None
+    reference = bounded[0][1]
+    try:
+        digest = MovementModel(
+            reference.chain,
+            hint,
+            reuse_intermediates=reference.reuse_intermediates,
+        ).signature_digest()
+    except Exception:  # noqa: BLE001 - adversarial hints must not raise
+        return None
+    for index, (_, model) in enumerate(bounded):
+        if model.signature_digest() == digest:
+            return index
+    return None
 
 
 def search_tiles(
@@ -621,6 +712,8 @@ def search_tiles(
     digest: Optional[str] = None,
     executor: Optional[concurrent.futures.Executor] = None,
     engine: Optional[str] = None,
+    x0_hint: Optional[Mapping[str, float]] = None,
+    incumbent_hint: Optional[Sequence[str]] = None,
 ) -> Tuple[MovementModel, TileSolution]:
     """Pick the best (model, tile solution) among candidate orders.
 
@@ -643,6 +736,19 @@ def search_tiles(
             defers to ``REPRO_MODEL_ENGINE``.  Like ``policy``, the engine
             changes how fast the search runs, never what it returns, so it
             stays out of the memo key.
+        x0_hint: warm-start tiles forwarded to every candidate's
+            :func:`solve_tiles` call (loop names are shared across orders
+            of one chain, so a neighbor's tile magnitudes transfer).  The
+            solver's canonical descent makes hinted and cold solves
+            return the identical integer solution, so the hint changes
+            how fast the search runs, never its result.
+        incumbent_hint: a neighboring shape's winning order.  The matching
+            candidate (exact permutation or DV-signature twin) is solved
+            *first*, so the DV lower bound prunes against a near-optimal
+            incumbent from the start.  The candidate set is never extended
+            and pruning stays admissible, so — like every other knob here —
+            the hint changes how fast the search runs, never its winner.
+            Unmatched (e.g. adversarial) hints are ignored.
 
     Returns:
         the winning ``(model, solution)`` pair.
@@ -671,6 +777,7 @@ def search_tiles(
         constraints_token=constraints_token,
         memo=_GLOBAL_MEMO,
         engine=engine,
+        x0_hint=x0_hint,
     )
 
     if policy.prune:
@@ -684,6 +791,15 @@ def search_tiles(
         bounded.sort(key=lambda item: (item[0], item[1].perm))
     else:
         bounded = [(-math.inf, model) for model in models]
+
+    if incumbent_hint is not None:
+        # Solve the neighbor's winning order first: its solution becomes
+        # the incumbent before any other candidate is considered, so the
+        # DV bound prunes maximally.  Reordering the solve sequence never
+        # changes the reduce's total-order minimum.
+        index = _hint_index(bounded, incumbent_hint)
+        if index is not None and index > 0:
+            bounded.insert(0, bounded.pop(index))
 
     results: List[Tuple[MovementModel, TileSolution]] = []
     incumbent: Optional[Tuple[MovementModel, TileSolution]] = None
@@ -748,10 +864,7 @@ def search_tiles(
     if stats is not None:
         stats.merge(local)
     record_search_stats(local)
-    best_model, best_solution = min(
-        results, key=lambda pair: _solution_key(pair[1], pair[0].perm)
-    )
-    return best_model, best_solution
+    return _best_result(results)
 
 
 def memoized_solve_tiles(
@@ -769,14 +882,17 @@ def memoized_solve_tiles(
     digest: Optional[str] = None,
     stats: Optional[SearchStats] = None,
     engine: Optional[str] = None,
+    x0_hint: Optional[Mapping[str, float]] = None,
 ) -> TileSolution:
     """Memo-aware :func:`solve_tiles` for fixed-order solves.
 
     Keyed on the exact permutation (not the signature), so ablation paths
     that deliberately compare symmetric orders still solve under their own
     order while repeated solves of the same order hit the memo.  The
-    engine is not part of the key: both engines return bit-identical
-    solutions.
+    engine is not part of the key (both engines return bit-identical
+    solutions), and neither is ``x0_hint`` — the solver canonicalizes the
+    refined integer point across the DV-flat ridge, so a warm start
+    changes solve latency, never the solution.
     """
     policy = policy or SearchPolicy.from_env()
     local = SearchStats()
@@ -815,6 +931,7 @@ def memoized_solve_tiles(
             starts=starts,
             hard_min_tiles=hard_min_tiles,
             engine=engine,
+            x0_hint=x0_hint,
         )
         local.solves += 1
         local.solve_seconds += time.perf_counter() - started

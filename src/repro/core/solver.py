@@ -25,7 +25,18 @@ This module implements the same recipe for *arbitrary* chains:
   optimum with the *exact* (ceil-based) DV and the exact MU, honouring
   per-loop minimum tiles and quanta imposed by the micro kernels.  Under
   the tables engine the whole lattice is scored in one batched
-  ``volume_batch``/``usage_batch`` call.
+  ``volume_batch``/``usage_batch`` call;
+* the refined point is then **canonicalized** by a deterministic cyclic
+  per-coordinate scan to the minimum of ``(DV, MU, tile)`` over each
+  loop's aligned tile range (:func:`_canonical_descent`).  The exact
+  ceil-based DV is piecewise constant, so the continuous optimum sits on
+  a DV-flat ridge whose floor/ceil lattice depends on *which* ridge point
+  SLSQP converged to; the scan collapses every ridge point to the same
+  integer solution.  That makes the returned solution independent of the
+  SLSQP starting point — the property that lets warm-started (single
+  start, ``x0_hint``) and cold (multi-start sweep) solves return
+  byte-identical plans — and, as a bonus, canonical points never waste
+  memory: among equal-DV tiles the scan keeps the smallest MU.
 """
 
 from __future__ import annotations
@@ -51,6 +62,13 @@ ConstraintFn = Callable[[Mapping[str, float]], float]
 #: it True — both engines share the analytic-gradient trajectory, and that
 #: sharing is what makes their plans byte-identical.
 _ANALYTIC_JAC = True
+
+#: Largest 2-D grid the canonical descent's pairwise pass will score.
+#: Depends only on bounds and quanta — never on where SLSQP landed — so
+#: skipping an oversized pair is itself start-invariant.  4096 rows is one
+#: cheap batched evaluation under the tables engine and keeps the scalar
+#: reference loop bounded.
+_PAIR_SCAN_CAP = 4096
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,6 +121,7 @@ def solve_tiles(
     starts: int = 4,
     hard_min_tiles: Optional[Mapping[str, int]] = None,
     engine: Optional[str] = None,
+    x0_hint: Optional[Mapping[str, float]] = None,
 ) -> TileSolution:
     """Minimize DV(S) s.t. MU(S) <= capacity for one movement model.
 
@@ -129,6 +148,19 @@ def solve_tiles(
         engine: model evaluation engine (``scalar``/``tables``); ``None``
             defers to ``REPRO_MODEL_ENGINE``.  Both engines return
             bit-identical solutions.
+        x0_hint: warm-start tile vector (e.g. a neighboring shape's solved
+            tiles).  When given, the continuous SLSQP stage is skipped
+            entirely: the hint — clipped into bounds and projected
+            feasible — feeds the integer refinement directly, whose
+            :func:`_canonical_descent` performs *global* per-coordinate
+            scans (plus pairwise merges) over the aligned grids and so
+            reaches the canonical ridge corner from any near-optimal
+            entry point, exactly where the multi-start sweep's refinement
+            lands.  If the hinted refinement comes back infeasible, the
+            full sweep runs as the fallback.  A hint therefore only
+            changes how fast the solve runs, never the returned solution
+            (``continuous`` is diagnostics-only and records the projected
+            hint), and callers must keep it out of memo keys.
 
     Returns:
         the best feasible integer solution found; ``feasible=False`` with
@@ -141,7 +173,14 @@ def solve_tiles(
     min_tiles = dict(min_tiles or {})
     hard_min_tiles = dict(hard_min_tiles or {})
     quanta = dict(quanta or {})
-    evaluator = evaluator_for(model, names, constraints, engine)
+    # A warm-started solve converges in a handful of SLSQP iterations, too
+    # few to amortize per-model row-kernel codegen — start interpreted and
+    # generate the kernels only if the hint fails and the multi-start
+    # sweep (thousands of evaluations) has to run.  Both paths are
+    # bit-identical (tables module contract), so this is latency-only.
+    evaluator = evaluator_for(
+        model, names, constraints, engine, fast_kernels=not x0_hint
+    )
 
     upper_src = max_parent or {}
     upper = np.array(
@@ -248,10 +287,9 @@ def solve_tiles(
 
     best_x: Optional[np.ndarray] = None
     best_val = math.inf
-    for start_idx in range(max(1, starts)):
-        frac = start_idx / max(1, starts - 1) if starts > 1 else 0.5
-        x0 = log_lower + frac * (log_upper - log_lower)
-        x0 = _project_feasible(x0, capacity_slack, log_lower)
+
+    def attempt(x0: np.ndarray) -> None:
+        nonlocal best_x, best_val
         try:
             if _ANALYTIC_JAC:
                 res = optimize.minimize(
@@ -275,34 +313,66 @@ def solve_tiles(
                     options={"maxiter": 200, "ftol": 1e-9},
                 )
         except (ValueError, RuntimeError):
-            continue
+            return
         if res.x is None:
-            continue
+            return
         x = np.clip(res.x, log_lower, log_upper)
         if capacity_slack(x) < -1e-6 * capacity * inv_capacity:
-            continue
+            return
         val = objective(x)[0]
         if val < best_val:
             best_val, best_x = val, x
+
+    def refine_at(x: np.ndarray) -> TileSolution:
+        continuous = {n: float(v) for n, v in zip(names, np.exp(x))}
+        solution = _integer_refine(
+            model,
+            continuous,
+            capacity,
+            names,
+            lower,
+            upper,
+            quanta,
+            constraints,
+            evaluator=evaluator,
+        )
+        return dataclasses.replace(solution, continuous=continuous)
+
+    if x0_hint:
+        # Warm start: skip SLSQP altogether.  The canonical descent's
+        # single-coordinate scans are *global* per-coordinate argmins over
+        # the aligned grids (and its pair scans merge product-flat
+        # valleys), so the projected hint — near-optimal for a neighboring
+        # shape — lands in the canonical corner's basin without a
+        # continuous solve.  ``continuous`` is diagnostics-only and
+        # records the projected hint.  If the hinted refinement comes back
+        # infeasible the full sweep below runs instead, so a degraded hint
+        # can change latency but never the returned solution.
+        mid = (log_lower + log_upper) / 2
+        logs = mid.copy()
+        for idx, name in enumerate(names):
+            value = x0_hint.get(name)
+            if value is not None and value > 0:
+                logs[idx] = math.log(float(value))
+        x0 = np.clip(logs, log_lower, log_upper)
+        hinted = refine_at(_project_feasible(x0, capacity_slack, log_lower))
+        if hinted.feasible:
+            return hinted
+
+    # Cold path — and the fallback when the hinted refinement fails.
+    if x0_hint and isinstance(evaluator, TablesEvaluator):
+        evaluator.ensure_fast_kernels()
+    for start_idx in range(max(1, starts)):
+        frac = start_idx / max(1, starts - 1) if starts > 1 else 0.5
+        x0 = log_lower + frac * (log_upper - log_lower)
+        attempt(_project_feasible(x0, capacity_slack, log_lower))
 
     if best_x is None:
         best_x = _project_feasible(
             (log_lower + log_upper) / 2, capacity_slack, log_lower
         )
 
-    continuous = {n: float(v) for n, v in zip(names, np.exp(best_x))}
-    solution = _integer_refine(
-        model,
-        continuous,
-        capacity,
-        names,
-        lower,
-        upper,
-        quanta,
-        constraints,
-        evaluator=evaluator,
-    )
-    return dataclasses.replace(solution, continuous=continuous)
+    return refine_at(best_x)
 
 
 def _project_feasible(
@@ -373,6 +443,212 @@ def _lattice_values(
     return candidate_values
 
 
+def _coordinate_candidates(lo: int, hi: int, quantum: int) -> List[int]:
+    """Every aligned tile for one loop, ascending (``_quantize`` semantics:
+    an empty or quantum-defeating range degrades to the whole loop)."""
+    if lo > hi:
+        return [hi]
+    if quantum <= 1:
+        return list(range(lo, hi + 1))
+    first = ((lo + quantum - 1) // quantum) * quantum
+    values = list(range(first, hi + 1, quantum))
+    if not values:  # quantum does not fit between the bounds at all
+        return [hi]
+    return values
+
+
+def _canonical_descent(
+    model: MovementModel,
+    tiles: Dict[str, int],
+    capacity: float,
+    names: Sequence[str],
+    lower: np.ndarray,
+    upper: np.ndarray,
+    quanta: Mapping[str, int],
+    constraints: Sequence[ConstraintFn],
+    evaluator=None,
+    max_passes: int = 16,
+) -> Tuple[float, float, Dict[str, int]]:
+    """Collapse a feasible integer point to its canonical ridge corner.
+
+    The exact (ceil-based) DV is piecewise constant in every tile, so the
+    continuous optimum sits on a DV-flat ridge: two converged SLSQP runs
+    (e.g. a warm-started solve and the multi-start sweep) can land on
+    different ridge points whose floor/ceil lattices disagree — same DV,
+    different tiles.  This scan makes the *returned* integer solution a
+    function of the ridge, not of the landing point:
+
+    * **single-coordinate passes** cycle over the loops in order and move
+      each tile to the feasible aligned value minimizing ``(DV, MU,
+      tile)`` with the other tiles held fixed;
+    * when those stall, **pairwise passes** jointly minimize each ordered
+      loop pair over its full 2-D aligned grid — product-flat valleys
+      (e.g. ``m``·``l`` trade-offs where every corner ties in DV) are not
+      traversable one coordinate at a time, but every start agrees on a
+      2-D grid's global ``(DV, MU, t_i, t_j)`` minimum.  Pairs whose grid
+      exceeds a fixed cap are skipped — the cap depends only on bounds
+      and quanta, never on the landing point, so skipping is itself
+      start-invariant.
+
+    The candidate grids depend only on the bounds and quanta, each
+    accepted move strictly decreases the ``(DV, MU, tiles)`` key (so the
+    scan terminates), and the scalar and tables engines share the exact
+    selection rule — the tables path scores each grid in one batched
+    evaluation.
+    """
+    current = dict(tiles)
+    use_tables = isinstance(evaluator, TablesEvaluator)
+    names = list(names)
+    # Raw aligned grids are a pure function of bounds, quanta and extents —
+    # every start sees the same ones, so cap/skip decisions made from them
+    # are start-invariant by construction.  With no extra constraints the
+    # grids shrink to ceil-bucket lower edges: each movement term is
+    # piecewise constant in a multiplier loop's tile (the effective tile is
+    # ``extent / trips``) and monotone increasing in footprint-only loops,
+    # and MU is monotone, so within one ``ceil(extent / tile)`` bucket the
+    # ``(DV, MU, tile)`` key is strictly minimized at the bucket's smallest
+    # aligned value — dropping the rest cannot change any scan's argmin.
+    # An arbitrary extra constraint could make an edge infeasible while a
+    # larger in-bucket tile is feasible, so constrained solves keep the
+    # full grids.
+    extents = model.chain.loop_extents()
+
+    def _raw_grid(idx: int) -> List[int]:
+        candidates = _coordinate_candidates(
+            int(lower[idx]), int(upper[idx]), quanta.get(names[idx], 1)
+        )
+        if constraints:
+            return candidates
+        extent = int(extents[names[idx]])
+        edges: List[int] = []
+        last_trips = None
+        for tile in candidates:  # ascending, so trips is nonincreasing
+            trips = -(-extent // tile)
+            if trips != last_trips:
+                edges.append(tile)
+                last_trips = trips
+        return edges
+
+    raw_grids = [_raw_grid(idx) for idx in range(len(names))]
+
+    def grid_for(idx: int) -> List[int]:
+        # The current value rides along so its key is scored by the same
+        # engine pass as every candidate.
+        return sorted(set(raw_grids[idx]) | {current[names[idx]]})
+
+    def score(rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(dv, mu, feasible) per row; dv is NaN on infeasible rows (never
+        consulted — feasible rows only)."""
+        count = rows.shape[0]
+        if use_tables:
+            mu = evaluator.usage_batch(rows)
+            ok = (mu <= capacity) & evaluator.constraints_ok_batch(rows)
+            dv = np.full(count, np.nan)
+            if ok.any():  # exact DV only where it can be selected
+                dv[ok] = evaluator.volume_exact_batch(rows[ok])
+            return dv, mu, ok
+        dv = np.full(count, np.nan)
+        mu = np.empty(count)
+        ok = np.zeros(count, dtype=bool)
+        for row in range(count):
+            trial = dict(current)
+            for idx, name in enumerate(names):
+                trial[name] = int(rows[row, idx])
+            mu[row] = model.usage(trial)
+            if mu[row] > capacity or any(
+                fn(trial) > 0 for fn in constraints
+            ):
+                continue
+            ok[row] = True
+            dv[row] = model.volume(trial, exact=True)
+        return dv, mu, ok
+
+    def base_row() -> np.ndarray:
+        return np.array([float(current[n]) for n in names], dtype=float)
+
+    def accept(rows: np.ndarray, moved: Sequence[int]) -> bool:
+        """Jump to the feasible row minimizing (dv, mu, moved tiles...) if
+        it strictly beats the current point's row (always included)."""
+        dv, mu, ok = score(rows)
+        feasible = np.nonzero(ok)[0]
+        if not feasible.size:
+            return False
+        columns = [rows[feasible, idx] for idx in reversed(moved)]
+        order = np.lexsort(tuple(columns) + (mu[feasible], dv[feasible]))
+        row = int(feasible[order[0]])
+        cur = base_row()
+        if all(rows[row, idx] == cur[idx] for idx in moved):
+            return False
+        cur_rows = np.nonzero((rows == cur).all(axis=1))[0]
+        if cur_rows.size and ok[cur_rows[0]]:
+            ref = int(cur_rows[0])
+            best_key = (dv[row], mu[row]) + tuple(
+                rows[row, idx] for idx in moved
+            )
+            cur_key = (dv[ref], mu[ref]) + tuple(
+                rows[ref, idx] for idx in moved
+            )
+            if not best_key < cur_key:
+                return False
+        for idx in moved:
+            current[names[idx]] = int(rows[row, idx])
+        return True
+
+    def pinned(idx: int) -> bool:
+        """A coordinate already sitting on its only aligned value cannot
+        move, and scanning it re-evaluates rows an earlier (stalled) scan
+        already rejected — skipping changes nothing."""
+        return (
+            len(raw_grids[idx]) == 1
+            and raw_grids[idx][0] == current[names[idx]]
+        )
+
+    def single_pass() -> bool:
+        improved = False
+        for idx in range(len(names)):
+            if pinned(idx):
+                continue
+            candidates = grid_for(idx)
+            rows = np.tile(base_row(), (len(candidates), 1))
+            rows[:, idx] = np.asarray(candidates, dtype=float)
+            improved |= accept(rows, [idx])
+        return improved
+
+    def pair_pass() -> bool:
+        improved = False
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                # The cap is computed from the raw grids so every start
+                # skips the same pairs.  A pair with a pinned side is a
+                # single-coordinate scan in disguise — already stalled.
+                if len(raw_grids[i]) * len(raw_grids[j]) > _PAIR_SCAN_CAP:
+                    continue
+                if pinned(i) or pinned(j):
+                    continue
+                grid_i, grid_j = grid_for(i), grid_for(j)
+                rows = np.tile(
+                    base_row(), (len(grid_i) * len(grid_j), 1)
+                )
+                mesh_i, mesh_j = np.meshgrid(
+                    np.asarray(grid_i, dtype=float),
+                    np.asarray(grid_j, dtype=float),
+                    indexing="ij",
+                )
+                rows[:, i] = mesh_i.reshape(-1)
+                rows[:, j] = mesh_j.reshape(-1)
+                improved |= accept(rows, [i, j])
+        return improved
+
+    for _ in range(max_passes):
+        if single_pass():
+            continue
+        if not pair_pass():
+            break
+    row = base_row().reshape(1, -1)
+    dv, mu, _ = score(row)
+    return float(dv[0]), float(mu[0]), current
+
+
 def _integer_refine(
     model: MovementModel,
     continuous: Mapping[str, float],
@@ -391,7 +667,9 @@ def _integer_refine(
     Both paths replicate the same selection rule — first-occurrence
     (in ``itertools.product`` order) strict minimum of DV among feasible
     points, first-occurrence ``(MU, DV)`` minimum as infeasible fallback —
-    so they pick the identical lattice point.
+    so they pick the identical lattice point.  Every feasible result is
+    then canonicalized by :func:`_canonical_descent`, which erases the
+    lattice's dependence on the exact continuous landing point.
     """
     candidate_values = _lattice_values(continuous, names, lower, upper, quanta)
 
@@ -436,7 +714,17 @@ def _integer_refine(
                     best = entry
 
     if best is not None:
-        dv, mu, tiles = best
+        dv, mu, tiles = _canonical_descent(
+            model,
+            best[2],
+            capacity,
+            names,
+            lower,
+            upper,
+            quanta,
+            constraints,
+            evaluator=evaluator,
+        )
         return TileSolution(tiles, dv, mu, True, {})
 
     # No feasible lattice point: shrink the min-MU candidate geometrically.
@@ -447,8 +735,18 @@ def _integer_refine(
         if model.usage(shrunk) <= capacity and all(
             fn(shrunk) <= 0 for fn in constraints
         ):
-            dv = model.volume(shrunk, exact=True)
-            return TileSolution(shrunk, dv, model.usage(shrunk), True, {})
+            dv, mu, shrunk = _canonical_descent(
+                model,
+                shrunk,
+                capacity,
+                names,
+                lower,
+                upper,
+                quanta,
+                constraints,
+                evaluator=evaluator,
+            )
+            return TileSolution(shrunk, dv, mu, True, {})
         shrunk = {
             n: max(1, t // 2) if n in set(names) else t for n, t in shrunk.items()
         }

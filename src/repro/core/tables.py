@@ -981,6 +981,8 @@ class TablesEvaluator:
         model: MovementModel,
         names: Sequence[str],
         constraints: Sequence[Callable[[Mapping[str, float]], float]] = (),
+        *,
+        fast_kernels: bool = True,
     ) -> None:
         self.model = model
         self.tables = movement_tables(model)
@@ -994,10 +996,14 @@ class TablesEvaluator:
         ]
         # Solver-facing evaluators run thousands of row evaluations per
         # solve — switch the shared tables to their generated kernels.
-        self.tables.ensure_fast_kernels()
-        for compiled in self._compiled:
-            if compiled is not None:
-                compiled.ensure_fast_kernels(self._width)
+        # ``fast_kernels=False`` skips the generation: batch-only users
+        # (bound probes) never touch the row kernels, and warm-started
+        # solves converge in so few evaluations that interpreted rows beat
+        # paying the per-model codegen cost.  The interpreted and generated
+        # paths return bit-identical floats (module contract), so this is
+        # a latency knob only.
+        if fast_kernels:
+            self.ensure_fast_kernels()
         # One SLSQP point is evaluated by several closures (objective,
         # capacity slack, jacobians); the solver hands them the *same*
         # values array per point, so the expanded row is cached by object
@@ -1005,6 +1011,14 @@ class TablesEvaluator:
         # equal contents — the cached row is bit-identical to a rebuild.
         self._row_src: Optional[object] = None
         self._row_cache: Optional[List[float]] = None
+
+    def ensure_fast_kernels(self) -> None:
+        """Generate the unrolled row kernels for the tables and compiled
+        constraints (idempotent; shared across evaluators of one model)."""
+        self.tables.ensure_fast_kernels()
+        for compiled in self._compiled:
+            if compiled is not None:
+                compiled.ensure_fast_kernels(self._width)
 
     def _row(self, values: Sequence[float]) -> List[float]:
         if values is self._row_src:
@@ -1096,9 +1110,17 @@ def evaluator_for(
     names: Sequence[str],
     constraints: Sequence[Callable[[Mapping[str, float]], float]] = (),
     engine: Optional[str] = None,
+    *,
+    fast_kernels: bool = True,
 ):
-    """The evaluator implementing ``engine`` for one solve."""
+    """The evaluator implementing ``engine`` for one solve.
+
+    ``fast_kernels=False`` defers row-kernel codegen (tables engine only);
+    see :class:`TablesEvaluator`.
+    """
     engine = resolve_model_engine(engine)
     if engine == ENGINE_TABLES:
-        return TablesEvaluator(model, names, constraints)
+        return TablesEvaluator(
+            model, names, constraints, fast_kernels=fast_kernels
+        )
     return ScalarEvaluator(model, names, constraints)

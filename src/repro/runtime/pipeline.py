@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 from .. import microkernel
 from ..codegen.kernel import FusedKernel, build_kernel
 from ..core.fusion import FusionDecision, decide_fusion
+from ..core.warmstart import ChainHints
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle exists only for typing
     from ..service import CompileService
@@ -85,6 +86,7 @@ def compile_chain(
     force_fusion: Optional[bool] = None,
     service: Optional["CompileService"] = None,
     policy: Optional[SearchPolicy] = None,
+    hints: Optional[ChainHints] = None,
 ) -> CompileResult:
     """Compile an operator chain for a hardware target.
 
@@ -101,6 +103,11 @@ def compile_chain(
             workers).  Affects compile latency only, never the plan, so it
             is not part of the service cache key; defaults to the
             ``REPRO_SEARCH_*`` environment.
+        hints: warm-start hints from a neighboring shape's cached plan
+            (see :mod:`repro.core.warmstart`).  Like ``policy``, a pure
+            speed knob — the returned plan is byte-identical with or
+            without hints.  Ignored on the service path: the service
+            derives its own hints from its shape index.
 
     Returns:
         executable kernels plus the planning decision.
@@ -108,7 +115,7 @@ def compile_chain(
     if service is not None:
         return service.compile(chain, hardware, config, force_fusion=force_fusion)
     cfg = chimera_config(chain, hardware, config)
-    decision = decide_fusion(chain, hardware, cfg, policy)
+    decision = decide_fusion(chain, hardware, cfg, policy, hints=hints)
     if force_fusion is not None:
         decision = dataclasses.replace(decision, use_fusion=force_fusion)
     return CompileResult(

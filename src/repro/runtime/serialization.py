@@ -33,7 +33,7 @@ from ..ir.loops import Loop, LoopKind
 from ..ir.operator import OperatorSpec
 from ..ir.tensor import TensorSpec
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 PathLike = Union[str, pathlib.Path]
 

@@ -8,8 +8,12 @@ This package provides that layer:
   hashing (:mod:`repro.service.keys`);
 * :class:`PlanCache` — in-memory LRU over an atomic, corruption-tolerant
   on-disk JSON store (:mod:`repro.service.cache`);
-* :class:`CompileService` — cached + coalesced + failure-degrading
-  ``compile`` / ``serve`` front end (:mod:`repro.service.service`);
+* :class:`ShapeIndex` — shape-bucketed nearest-plan index that turns
+  near-miss requests into warm-started (but byte-identical) compiles
+  (:mod:`repro.service.shapes`);
+* :class:`CompileService` — cached + coalesced + warm-starting +
+  failure-degrading ``compile`` / ``serve`` front end
+  (:mod:`repro.service.service`);
 * :func:`compile_batch` — parallel fan-out with per-request isolation
   (:mod:`repro.service.batch`);
 * :class:`ServiceMetrics` — thread-safe counters and latency percentiles
@@ -45,14 +49,24 @@ from .cache import (
     shard_index,
     validate_entry,
 )
-from .keys import cache_key, canonical_request
+from .keys import (
+    cache_key,
+    canonical_request,
+    extent_vector,
+    structure_key,
+    structure_request,
+)
 from .metrics import ServiceMetrics, percentile, summarize
 from .service import (
+    ENV_WARM_START,
     SOURCE_COALESCED,
     SOURCE_COMPILED,
     SOURCE_DISK,
     SOURCE_FALLBACK,
     SOURCE_MEMORY,
+    WARM_COLD,
+    WARM_EXACT,
+    WARM_NEAR,
     CompilationFailure,
     CompileRequest,
     CompileService,
@@ -60,7 +74,9 @@ from .service import (
     ServedCompile,
     as_request,
     decode_plan_entry,
+    warm_start_enabled,
 )
+from .shapes import ShapeIndex, ShapeNeighbor, log_extent_distance
 
 __all__ = [
     "BatchItem",
@@ -79,6 +95,12 @@ __all__ = [
     "validate_entry",
     "cache_key",
     "canonical_request",
+    "structure_key",
+    "structure_request",
+    "extent_vector",
+    "ShapeIndex",
+    "ShapeNeighbor",
+    "log_extent_distance",
     "ServiceMetrics",
     "percentile",
     "summarize",
@@ -94,4 +116,9 @@ __all__ = [
     "SOURCE_COALESCED",
     "SOURCE_COMPILED",
     "SOURCE_FALLBACK",
+    "WARM_EXACT",
+    "WARM_NEAR",
+    "WARM_COLD",
+    "ENV_WARM_START",
+    "warm_start_enabled",
 ]

@@ -47,7 +47,7 @@ import tempfile
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..runtime.serialization import FORMAT_VERSION
 from .metrics import ServiceMetrics
@@ -259,6 +259,64 @@ class PlanCache:
     # ------------------------------------------------------------------
     # maintenance (hot restart + background compaction)
     # ------------------------------------------------------------------
+    def dated_disk_entries(self) -> List[Tuple[float, str]]:
+        """``(mtime, key)`` for every disk entry, newest first.
+
+        Ties in mtime (coarse filesystem clocks stamp whole batches with
+        one timestamp) break on the key, so the order — and therefore
+        which entries a bounded warm-up loads — is deterministic.
+        """
+        if self.cache_dir is None:
+            return []
+        dated: List[Tuple[float, str]] = []
+        for path in self.cache_dir.glob(f"*{ENTRY_SUFFIX}"):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue  # racing eviction/compaction
+            dated.append((mtime, path.name[: -len(ENTRY_SUFFIX)]))
+        dated.sort(key=lambda pair: (-pair[0], pair[1]))
+        return dated
+
+    def warm_keys(
+        self, keys: Iterable[str], max_loads: Optional[int] = None
+    ) -> int:
+        """Load the given disk keys into the memory tier, in order.
+
+        Stops **before** loading once ``max_loads`` (clamped to the entry
+        capacity) or the byte budget is reached — inserting past the
+        budget would evict from the LRU front, i.e. throw away the very
+        entries just warmed.  Keys already resident, missing from disk or
+        corrupt are skipped without consuming budget.  Returns the number
+        of entries loaded.
+        """
+        if self.cache_dir is None or self.capacity == 0:
+            return 0
+        budget = (
+            self.capacity
+            if max_loads is None
+            else min(max_loads, self.capacity)
+        )
+        loaded = 0
+        with self._lock:
+            for key in keys:
+                if loaded >= budget:
+                    break
+                if (
+                    self.max_memory_bytes is not None
+                    and self._memory_bytes >= self.max_memory_bytes
+                    and loaded > 0
+                ):
+                    break
+                if key in self._memory:
+                    continue
+                slot = self._load_disk(key)
+                if slot is None:
+                    continue
+                self._insert_memory(key, slot[0], slot[1])
+                loaded += 1
+        return loaded
+
     def warm_memory(self, limit: Optional[int] = None) -> int:
         """Refill the memory tier from disk, newest entries first.
 
@@ -271,34 +329,9 @@ class PlanCache:
         """
         if self.cache_dir is None or self.capacity == 0:
             return 0
-        budget = self.capacity if limit is None else min(limit, self.capacity)
-        dated = []
-        for path in self.cache_dir.glob(f"*{ENTRY_SUFFIX}"):
-            try:
-                dated.append((path.stat().st_mtime, path))
-            except OSError:
-                continue
-        dated.sort(key=lambda pair: pair[0], reverse=True)
-        loaded = 0
-        with self._lock:
-            for _, path in dated:
-                if loaded >= budget:
-                    break
-                if (
-                    self.max_memory_bytes is not None
-                    and self._memory_bytes >= self.max_memory_bytes
-                    and loaded > 0
-                ):
-                    break
-                key = path.name[: -len(ENTRY_SUFFIX)]
-                if key in self._memory:
-                    continue
-                slot = self._load_disk(key)
-                if slot is None:
-                    continue
-                self._insert_memory(key, slot[0], slot[1])
-                loaded += 1
-        return loaded
+        return self.warm_keys(
+            (key for _, key in self.dated_disk_entries()), max_loads=limit
+        )
 
     def compact(
         self,
@@ -558,10 +591,30 @@ class ShardedPlanCache:
             shard.clear_memory()
 
     def warm_memory(self, limit: Optional[int] = None) -> int:
-        per_limit = (
-            max(1, -(-limit // len(self._shards))) if limit is not None else None
+        """Refill the memory tiers with the globally newest disk entries.
+
+        ``limit`` bounds the *total* across shards.  The per-shard entry
+        listings are merged and sorted by ``(-mtime, key)`` before the
+        budget is applied — dividing the limit evenly per shard would load
+        ``limit / shards`` entries from *every* shard, resurrecting stale
+        entries on cold shards while dropping fresh ones on hot shards.
+        """
+        budget = self.capacity if limit is None else min(limit, self.capacity)
+        if budget <= 0:
+            return 0
+        merged: List[Tuple[float, str, int]] = []
+        for index, shard in enumerate(self._shards):
+            for mtime, key in shard.dated_disk_entries():
+                merged.append((-mtime, key, index))
+        merged.sort()
+        per_shard_keys: List[List[str]] = [[] for _ in self._shards]
+        for _, key, index in merged[:budget]:
+            per_shard_keys[index].append(key)
+        return sum(
+            shard.warm_keys(keys)
+            for shard, keys in zip(self._shards, per_shard_keys)
+            if keys
         )
-        return sum(shard.warm_memory(per_limit) for shard in self._shards)
 
     def compact(
         self,

@@ -8,8 +8,25 @@ optimizer config ordered.  Two structurally identical requests — even built
 by different code paths or in different processes — hash to the same key,
 which is what makes the on-disk store shareable across services and runs.
 
-``FORMAT_VERSION`` is folded into the hash so that a format bump silently
-invalidates every stale entry instead of failing to decode it.
+``config=None`` canonicalizes to the *default* config's encoding: passing
+``None`` and passing ``ChimeraConfig()`` describe the same compilation, so
+they must hash to the same key (``None`` used to be encoded verbatim, which
+split structurally identical requests across two keys).
+
+Alongside the exact key this module derives the *bucketed* key the
+shape-generalizing cache indexes on:
+
+* :func:`structure_key` hashes the canonical request with every loop
+  extent, tensor shape, flop count, and the (shape-derived) chain name
+  nulled out — two requests share a structure key exactly when they are
+  the same chain family on the same hardware under the same config, and
+  differ only in their loop extents;
+* :func:`extent_vector` extracts those extents in a canonical order, so a
+  near-miss lookup can rank same-structure entries by distance in
+  log-extent space.
+
+``FORMAT_VERSION`` is folded into both hashes so that a format bump
+silently invalidates every stale entry instead of failing to decode it.
 """
 
 from __future__ import annotations
@@ -17,7 +34,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.optimizer import ChimeraConfig
 from ..hardware.spec import HardwareSpec
@@ -29,11 +46,13 @@ from ..runtime.serialization import (
 )
 
 
-def config_to_dict(config: Optional[ChimeraConfig]) -> Optional[Dict[str, Any]]:
-    """Encode an optimizer config canonically (mapping fields sorted)."""
-    if config is None:
-        return None
-    data = dataclasses.asdict(config)
+def config_to_dict(config: Optional[ChimeraConfig]) -> Dict[str, Any]:
+    """Encode an optimizer config canonically (mapping fields sorted).
+
+    ``None`` means "use the defaults", so it encodes as the default
+    config's dict — structurally identical requests must collide.
+    """
+    data = dataclasses.asdict(config if config is not None else ChimeraConfig())
     for field in ("min_tiles", "quanta"):
         if data.get(field) is not None:
             data[field] = {name: data[field][name] for name in sorted(data[field])}
@@ -60,6 +79,11 @@ def canonical_request(
     }
 
 
+def _hash_payload(payload: Dict[str, Any]) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 def cache_key(
     chain: OperatorChain,
     hardware: HardwareSpec,
@@ -67,9 +91,52 @@ def cache_key(
     force_fusion: Optional[bool] = None,
 ) -> str:
     """Stable content hash identifying one compilation request."""
-    payload = json.dumps(
-        canonical_request(chain, hardware, config, force_fusion),
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return _hash_payload(canonical_request(chain, hardware, config, force_fusion))
+
+
+def structure_request(
+    chain: OperatorChain,
+    hardware: HardwareSpec,
+    config: Optional[ChimeraConfig] = None,
+    force_fusion: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """The canonical request with everything shape-derived nulled out.
+
+    Loop extents, tensor shapes, per-op flop counts and the chain name
+    (which commonly embeds the shape, e.g. ``bmm_chain_b1_m128_...``) are
+    replaced by ``None``; operator names, access patterns, dtypes, the
+    hardware model and the config stay.  Two requests with equal structure
+    payloads differ only in their loop extents — exactly the pairs whose
+    plans can warm-start each other.
+    """
+    request = canonical_request(chain, hardware, config, force_fusion)
+    chain_data = request["chain"]
+    chain_data["name"] = None
+    for op in chain_data["ops"]:
+        op["loops"] = [[name, None, kind] for name, _, kind in op["loops"]]
+        op["flops"] = None
+    chain_data["tensors"] = {
+        name: {"shape": None, "dtype": spec["dtype"]}
+        for name, spec in chain_data["tensors"].items()
+    }
+    return request
+
+
+def structure_key(
+    chain: OperatorChain,
+    hardware: HardwareSpec,
+    config: Optional[ChimeraConfig] = None,
+    force_fusion: Optional[bool] = None,
+) -> str:
+    """Bucketed key: hash of the extent-free canonical request."""
+    return _hash_payload(structure_request(chain, hardware, config, force_fusion))
+
+
+def extent_vector(chain: OperatorChain) -> List[int]:
+    """Loop extents in canonical (op order, loop order) sequence.
+
+    Same-structure chains produce equal-length vectors whose positions
+    line up, so the shape index can measure their distance in log-extent
+    space without re-deriving the IR.
+    """
+    return [int(loop.extent) for op in chain.ops for loop in op.loops]

@@ -14,6 +14,12 @@ layer a deployment needs:
   the per-operator *unfused* plan (each operator planned as its own
   kernel), so a single pathological chain yields a slower-but-correct
   result instead of an exception;
+* **warm starting** — a miss whose *shape* is new but whose chain
+  structure matches a cached plan (see :class:`repro.service.ShapeIndex`)
+  seeds the optimizer with the neighbor's winning loop order and tile
+  sizes; the search still proves optimality, so the plan is byte-identical
+  to a cold compile, just found faster.  Replies label the path taken via
+  ``warm_start`` (``"exact"``/``"near"``/``"cold"``);
 * **metrics** — hits, misses, evictions, coalesced requests, failures and
   compile-latency percentiles, via :meth:`CompileService.stats`.
 
@@ -24,13 +30,15 @@ transient, and caching the degraded plan would pin the slow path forever.
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.fusion import FusionDecision, plan_unfused
 from ..core.optimizer import ChimeraConfig
 from ..core.search import search_stats_snapshot
+from ..core.warmstart import ChainHints, hints_from_entry
 from ..hardware.spec import HardwareSpec
 from ..ir.chain import OperatorChain
 from ..runtime import pipeline
@@ -42,8 +50,9 @@ from ..runtime.serialization import (
     plan_to_dict,
 )
 from .cache import PathLike, PlanCache, ShardedPlanCache, open_cache
-from .keys import cache_key
+from .keys import cache_key, extent_vector, structure_key
 from .metrics import ServiceMetrics
+from .shapes import INDEX_FILENAME, ShapeIndex
 
 #: ``ServedCompile.source`` values, in the order a request tries them.
 SOURCE_MEMORY = "memory"
@@ -51,6 +60,32 @@ SOURCE_DISK = "disk"
 SOURCE_COALESCED = "coalesced"
 SOURCE_COMPILED = "compiled"
 SOURCE_FALLBACK = "fallback"
+
+#: ``warm_start`` labels: how much cached knowledge served the request.
+WARM_EXACT = "exact"  # cache hit — the plan itself was reused
+WARM_NEAR = "near"  # fresh compile warm-started from a shape neighbor
+WARM_COLD = "cold"  # fresh compile with no usable neighbor
+
+#: Environment knob: set to ``0``/``false``/``off`` to disable near-miss
+#: warm starting (the shape index is still *recorded*, so re-enabling the
+#: knob picks up history).  Compiled plans are byte-identical either way —
+#: this exists for A/B latency measurement and as a belt-and-suspenders
+#: escape hatch.
+ENV_WARM_START = "REPRO_WARM_START"
+
+#: Nearest neighbors probed per miss; past the first few, entries are
+#: either evicted (skipped anyway) or too far to seed a useful start.
+NEIGHBOR_PROBES = 4
+
+
+def warm_start_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the warm-start knob (explicit override beats environment)."""
+    if override is not None:
+        return override
+    raw = os.environ.get(ENV_WARM_START)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
 
 
 class CompilationFailure(RuntimeError):
@@ -119,6 +154,9 @@ class ServedCompile:
             (degraded unfused plan after optimizer errors).
         seconds: wall-clock service time for this request.
         error: the final error message when ``result`` is ``None``.
+        warm_start: ``"exact"`` for cache hits, ``"near"`` for a fresh
+            compile warm-started from a shape neighbor, ``"cold"``
+            otherwise.  Coalesced requests inherit the leader's label.
     """
 
     request: CompileRequest
@@ -127,6 +165,7 @@ class ServedCompile:
     source: str
     seconds: float
     error: Optional[str] = None
+    warm_start: str = WARM_COLD
 
     @property
     def ok(self) -> bool:
@@ -152,6 +191,7 @@ class RawServed:
     source: str
     seconds: float
     error: Optional[str] = None
+    warm_start: str = WARM_COLD
 
     @property
     def ok(self) -> bool:
@@ -169,6 +209,9 @@ class _InFlight:
         self.done = threading.Event()
         self.entry: Optional[Dict[str, Any]] = None
         self.error: Optional[str] = None
+        # Label of the leader's compile; followers report the same one,
+        # since they share the result it produced.
+        self.warm_start: str = WARM_COLD
 
 
 RequestLike = Union[CompileRequest, Tuple[OperatorChain, HardwareSpec]]
@@ -204,6 +247,9 @@ class CompileService:
             serve from; overrides every cache-shaping argument above, and
             the service adopts the cache's metrics registry so counters
             land in one place.
+        warm_start: enable near-miss warm starting (``None`` defers to the
+            ``REPRO_WARM_START`` environment knob, default on).  The shape
+            index is recorded either way; the flag only gates lookups.
     """
 
     def __init__(
@@ -217,6 +263,7 @@ class CompileService:
         max_memory_bytes: Optional[int] = None,
         metrics_window: int = 2048,
         cache: Optional[Union[PlanCache, ShardedPlanCache]] = None,
+        warm_start: Optional[bool] = None,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -234,6 +281,14 @@ class CompileService:
             )
         self.retries = retries
         self.fallback = fallback
+        self.warm_start = warm_start_enabled(warm_start)
+        # The index lives at the cache root (above the shard directories)
+        # and persists with the disk tier; a memory-only cache gets a
+        # memory-only index with the same lifetime.
+        index_root = getattr(self.cache, "cache_dir", None)
+        self.shape_index = ShapeIndex(
+            path=index_root / INDEX_FILENAME if index_root else None
+        )
         self._inflight: Dict[str, _InFlight] = {}
         self._lock = threading.Lock()
 
@@ -293,7 +348,9 @@ class CompileService:
                     leader = True
 
         if entry is not None:
-            return self._serve_entry(request, key, entry, tier, started)
+            return self._serve_entry(
+                request, key, entry, tier, started, warm=WARM_EXACT
+            )
 
         if not leader:
             self.metrics.count("coalesced")
@@ -306,9 +363,15 @@ class CompileService:
                     source=SOURCE_COALESCED,
                     seconds=time.perf_counter() - started,
                     error=flight.error,
+                    warm_start=flight.warm_start,
                 )
             return self._serve_entry(
-                request, key, flight.entry, SOURCE_COALESCED, started
+                request,
+                key,
+                flight.entry,
+                SOURCE_COALESCED,
+                started,
+                warm=flight.warm_start,
             )
 
         return self._lead_compile(request, key, flight, started)
@@ -355,6 +418,7 @@ class CompileService:
                 entry=entry,
                 source=tier,
                 seconds=time.perf_counter() - started,
+                warm_start=WARM_EXACT,
             )
 
         if not leader:
@@ -366,19 +430,25 @@ class CompileService:
                 source=SOURCE_COALESCED,
                 seconds=time.perf_counter() - started,
                 error=flight.error,
+                warm_start=flight.warm_start,
             )
 
         self.metrics.count("misses")
         entry = None
         source = SOURCE_COMPILED
         error: Optional[str] = None
+        warm = WARM_COLD
         try:
-            entry, source, error = self._compile_with_recovery(request, key)
+            entry, source, error, warm = self._compile_with_recovery(
+                request, key
+            )
             if entry is not None and source == SOURCE_COMPILED:
                 self.cache.put(key, entry)
+                self._record_shape(request, key)
         finally:
             flight.entry = entry
             flight.error = error
+            flight.warm_start = warm
             with self._lock:
                 self._inflight.pop(key, None)
             flight.done.set()
@@ -388,6 +458,7 @@ class CompileService:
             source=source,
             seconds=time.perf_counter() - started,
             error=error,
+            warm_start=warm,
         )
 
     def compile_batch(self, requests, **kwargs):
@@ -401,12 +472,19 @@ class CompileService:
         snap = self.metrics.snapshot()
         snap["search"] = search_stats_snapshot()
         snap["cache"] = self.cache.stats()
+        index_stats = self.shape_index.stats()
+        index_stats["enabled"] = self.warm_start
+        snap["shape_index"] = index_stats
         return snap
 
     def clear_cache(self, memory_only: bool = False) -> int:
         if memory_only:
             self.cache.clear_memory()
             return 0
+        # A full clear deletes every entry the index points at, so the
+        # index must go too — stale records would only produce misses in
+        # :meth:`_near_hints` (correct, but wasted lookups).
+        self.shape_index.clear()
         return self.cache.clear()
 
     # ------------------------------------------------------------------
@@ -423,13 +501,18 @@ class CompileService:
         entry: Optional[Dict[str, Any]] = None
         source = SOURCE_COMPILED
         error: Optional[str] = None
+        warm = WARM_COLD
         try:
-            entry, source, error = self._compile_with_recovery(request, key)
+            entry, source, error, warm = self._compile_with_recovery(
+                request, key
+            )
             if entry is not None and source == SOURCE_COMPILED:
                 self.cache.put(key, entry)
+                self._record_shape(request, key)
         finally:
             flight.entry = entry
             flight.error = error
+            flight.warm_start = warm
             with self._lock:
                 self._inflight.pop(key, None)
             flight.done.set()
@@ -442,6 +525,7 @@ class CompileService:
                 source=source,
                 seconds=time.perf_counter() - started,
                 error=error,
+                warm_start=warm,
             )
         result = self._decode_entry(entry, request.hardware)
         return ServedCompile(
@@ -450,18 +534,89 @@ class CompileService:
             result=result,
             source=source,
             seconds=time.perf_counter() - started,
+            warm_start=warm,
         )
+
+    # ------------------------------------------------------------------
+    # warm-start path: shape index maintenance and neighbor hints
+    # ------------------------------------------------------------------
+    def _structure_of(
+        self, request: CompileRequest
+    ) -> Tuple[Optional[str], Optional[List[int]]]:
+        """(structure key, extent vector) for the request, or ``(None, None)``.
+
+        Warm starting is a latency optimization: a request whose IR trips
+        up the structure hash must compile cold, never fail.
+        """
+        try:
+            return (
+                structure_key(
+                    request.chain,
+                    request.hardware,
+                    request.config,
+                    request.force_fusion,
+                ),
+                extent_vector(request.chain),
+            )
+        except Exception:  # noqa: BLE001 - degrade to a cold compile
+            return None, None
+
+    def _record_shape(self, request: CompileRequest, key: str) -> None:
+        """Index a freshly cached plan under its shape bucket.
+
+        Recorded even when ``warm_start`` is disabled, so flipping the
+        knob on later starts with full history rather than an empty index.
+        """
+        structure, extents = self._structure_of(request)
+        if structure is not None and extents is not None:
+            self.shape_index.record(structure, key, extents)
+
+    def _near_hints(
+        self, request: CompileRequest, key: str
+    ) -> Optional[ChainHints]:
+        """Warm-start hints from the nearest same-structure cached plan.
+
+        Probes the closest few neighbors (their entries may have been
+        evicted since they were indexed) and returns hints from the first
+        one whose entry still decodes into something usable.
+        """
+        if not self.warm_start:
+            return None
+        structure, extents = self._structure_of(request)
+        if structure is None or extents is None:
+            return None
+        neighbors = self.shape_index.neighbors(
+            structure, extents, limit=NEIGHBOR_PROBES, exclude=key
+        )
+        for neighbor in neighbors:
+            entry = self.cache.get(neighbor.key)
+            if entry is None:
+                # Evicted from both tiers since it was recorded.
+                self.shape_index.forget(neighbor.key)
+                continue
+            hints = hints_from_entry(entry)
+            if hints is not None:
+                return hints
+        return None
 
     def _compile_with_recovery(
         self, request: CompileRequest, key: str
-    ) -> Tuple[Optional[Dict[str, Any]], str, Optional[str]]:
+    ) -> Tuple[Optional[Dict[str, Any]], str, Optional[str], str]:
         """Optimizer run with retry, then the unfused fallback.
 
-        Returns ``(entry, source, error)``; ``entry`` is ``None`` only when
-        every recovery path failed.
+        Returns ``(entry, source, error, warm_start)``; ``entry`` is
+        ``None`` only when every recovery path failed.  Neighbor hints are
+        passed to the first attempt only: if the warm-started attempt
+        fails, retries run cold so a pathological hint cannot wedge the
+        request (the hint path is designed to be invariant, but recovery
+        must not depend on that).
         """
+        hints = self._near_hints(request, key)
+        if hints is not None:
+            self.metrics.count("warm_near")
         last_error: Optional[BaseException] = None
         for attempt in range(self.retries + 1):
+            attempt_hints = hints if attempt == 0 else None
             try:
                 compile_started = time.perf_counter()
                 result = pipeline.compile_chain(
@@ -469,6 +624,7 @@ class CompileService:
                     request.hardware,
                     request.config,
                     force_fusion=request.force_fusion,
+                    hints=attempt_hints,
                 )
                 elapsed = time.perf_counter() - compile_started
                 self.metrics.count("compiles")
@@ -477,6 +633,7 @@ class CompileService:
                     self._encode_result(request, key, result, elapsed),
                     SOURCE_COMPILED,
                     None,
+                    WARM_NEAR if attempt_hints is not None else WARM_COLD,
                 )
             except Exception as exc:  # noqa: BLE001 - isolate optimizer bugs
                 last_error = exc
@@ -488,11 +645,16 @@ class CompileService:
             try:
                 entry = self._fallback_entry(request, key)
                 self.metrics.count("fallbacks")
-                return entry, SOURCE_FALLBACK, None
+                return entry, SOURCE_FALLBACK, None, WARM_COLD
             except Exception as exc:  # noqa: BLE001
                 last_error = exc
                 self.metrics.count("failures")
-        return None, SOURCE_FALLBACK, f"{type(last_error).__name__}: {last_error}"
+        return (
+            None,
+            SOURCE_FALLBACK,
+            f"{type(last_error).__name__}: {last_error}",
+            WARM_COLD,
+        )
 
     def _fallback_entry(
         self, request: CompileRequest, key: str
@@ -559,6 +721,7 @@ class CompileService:
         entry: Dict[str, Any],
         source: str,
         started: float,
+        warm: str = WARM_EXACT,
     ) -> ServedCompile:
         try:
             result = self._decode_entry(entry, request.hardware)
@@ -566,6 +729,7 @@ class CompileService:
             # A cached-but-undecodable entry: evict and recompile once.
             self.metrics.count("corrupt_entries")
             self.cache.delete(key)
+            self.shape_index.forget(key)
             if source in (SOURCE_MEMORY, SOURCE_DISK):
                 # The hit never produced a result: retract it, then re-enter
                 # the lookup without re-counting the request, so the
@@ -580,6 +744,7 @@ class CompileService:
                 source=source,
                 seconds=time.perf_counter() - started,
                 error=str(exc),
+                warm_start=warm,
             )
         return ServedCompile(
             request=request,
@@ -587,4 +752,5 @@ class CompileService:
             result=result,
             source=source,
             seconds=time.perf_counter() - started,
+            warm_start=warm,
         )

@@ -1,0 +1,275 @@
+"""Shape-generalizing plan index: nearest cached plan for a new shape.
+
+A compile-service cache keyed on the full canonical request only ever hits
+when the *exact* shape recurs.  Production workloads rarely oblige —
+dynamic batch sizes and sequence lengths produce endless near-duplicates
+of a handful of chain structures.  :class:`ShapeIndex` closes that gap:
+
+* every compiled entry is recorded under its **structure key**
+  (:func:`repro.service.keys.structure_key` — the canonical request with
+  loop extents, tensor shapes, flops and the shape-mangled chain name
+  nulled out) together with its **extent vector**
+  (:func:`repro.service.keys.extent_vector`);
+* a cache miss looks up its own structure key and receives the cached
+  plans nearest in **log-extent space** — the natural metric for tile
+  solves, whose bounds and optima move with the logarithm of the loop
+  extents.
+
+The index never affects what a compile returns, only how fast it runs:
+the neighbor's plan seeds warm starts (:mod:`repro.core.warmstart`) whose
+results are byte-identical to a cold compile.  Losing or corrupting the
+index therefore costs latency, never correctness — which is why a
+crash-truncated tail line is simply skipped on load.
+
+Persistence is a single append-only JSONL file (``shape-index.jsonl``)
+next to the cache shards, one record per ``put``; reloading replays the
+file with last-write-wins per (structure, key).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import pathlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: File name of the persisted index, placed at the cache-directory root
+#: (next to the ``shard-XX/`` subdirectories, never inside one — the index
+#: spans every shard).
+INDEX_FILENAME = "shape-index.jsonl"
+
+#: Most-recent entries remembered per structure.  Shapes drift; bounding
+#: the per-structure ring keeps lookups O(small) and the memory footprint
+#: independent of service uptime.
+DEFAULT_PER_STRUCTURE = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class ShapeNeighbor:
+    """One nearest-plan candidate for a missed shape.
+
+    Attributes:
+        key: the neighbor's full cache key (look the entry up there).
+        extents: the neighbor's extent vector.
+        distance: Euclidean distance in log-extent space.
+    """
+
+    key: str
+    extents: List[int]
+    distance: float
+
+
+def log_extent_distance(
+    a: Sequence[int], b: Sequence[int]
+) -> Optional[float]:
+    """Euclidean distance between two extent vectors in log space.
+
+    ``None`` when the vectors disagree in length or contain non-positive
+    extents — such records cannot belong to the same chain structure and
+    are never offered as neighbors.
+    """
+    if len(a) != len(b):
+        return None
+    total = 0.0
+    for x, y in zip(a, b):
+        if x <= 0 or y <= 0:
+            return None
+        d = math.log(x) - math.log(y)
+        total += d * d
+    return math.sqrt(total)
+
+
+class ShapeIndex:
+    """Maps (structure key, extent vector) records to nearest cached plans.
+
+    Thread-safe; all mutation happens under one lock.  With ``path=None``
+    the index is memory-only (mirrors a memory-only plan cache).
+
+    Args:
+        path: JSONL file backing the index (created on first record).
+        per_structure: most-recent entries kept per structure key.
+    """
+
+    def __init__(
+        self,
+        path: Optional[PathLike] = None,
+        per_structure: int = DEFAULT_PER_STRUCTURE,
+    ) -> None:
+        if per_structure < 1:
+            raise ValueError(
+                f"per_structure must be >= 1, got {per_structure}"
+            )
+        self.path = pathlib.Path(path) if path is not None else None
+        self.per_structure = per_structure
+        # structure key -> (cache key -> extent vector), insertion-ordered
+        # so the oldest record per structure is evicted first.
+        self._structures: Dict[str, "OrderedDict[str, List[int]]"] = {}
+        self._lock = threading.Lock()
+        self._dropped_records = 0
+        if self.path is not None:
+            self._load()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        """Replay the JSONL file; unparsable lines (a crash-truncated tail,
+        an interleaved partial write) are counted and skipped."""
+        assert self.path is not None
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self._dropped_records += 1
+                continue
+            if not self._valid_record(record):
+                self._dropped_records += 1
+                continue
+            self._remember(
+                record["structure"],
+                record["key"],
+                [int(v) for v in record["extents"]],
+            )
+
+    @staticmethod
+    def _valid_record(record: Any) -> bool:
+        return (
+            isinstance(record, dict)
+            and isinstance(record.get("structure"), str)
+            and isinstance(record.get("key"), str)
+            and isinstance(record.get("extents"), list)
+            and all(
+                isinstance(v, int) and v > 0 for v in record["extents"]
+            )
+        )
+
+    def _append_line(self, record: Dict[str, Any]) -> None:
+        assert self.path is not None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        # O_APPEND writes of one short line are atomic on POSIX, so
+        # concurrent services sharing a cache directory interleave whole
+        # records; a torn line from a crash is skipped on load.
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _remember(
+        self, structure: str, key: str, extents: List[int]
+    ) -> None:
+        ring = self._structures.get(structure)
+        if ring is None:
+            ring = OrderedDict()
+            self._structures[structure] = ring
+        ring.pop(key, None)
+        ring[key] = extents
+        while len(ring) > self.per_structure:
+            ring.popitem(last=False)
+
+    def record(
+        self, structure: str, key: str, extents: Sequence[int]
+    ) -> None:
+        """Register a freshly cached plan under its structure key."""
+        extents = [int(v) for v in extents]
+        with self._lock:
+            self._remember(structure, key, extents)
+            if self.path is not None:
+                try:
+                    self._append_line(
+                        {
+                            "structure": structure,
+                            "key": key,
+                            "extents": extents,
+                        }
+                    )
+                except OSError:
+                    # The index is a latency optimization: failing to
+                    # persist a record must never fail the compile.
+                    pass
+
+    def forget(self, key: str) -> None:
+        """Drop every record pointing at ``key`` (entry deleted/corrupt)."""
+        with self._lock:
+            for ring in self._structures.values():
+                ring.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all records and truncate the backing file."""
+        with self._lock:
+            self._structures.clear()
+            self._dropped_records = 0
+            if self.path is not None:
+                try:
+                    self.path.unlink()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def neighbors(
+        self,
+        structure: str,
+        extents: Sequence[int],
+        limit: int = 4,
+        exclude: Optional[str] = None,
+    ) -> List[ShapeNeighbor]:
+        """Nearest recorded plans for a missed shape, closest first.
+
+        Ties in distance break on the cache key, so the ordering — and
+        therefore which neighbor seeds the warm start — is deterministic
+        across processes and dict orders.  ``exclude`` drops the missed
+        request's own key (a stale self-record after an eviction).
+        """
+        probe = [int(v) for v in extents]
+        with self._lock:
+            ring = self._structures.get(structure)
+            if not ring:
+                return []
+            candidates = list(ring.items())
+        scored: List[ShapeNeighbor] = []
+        for key, recorded in candidates:
+            if exclude is not None and key == exclude:
+                continue
+            distance = log_extent_distance(probe, recorded)
+            if distance is None:
+                continue
+            scored.append(
+                ShapeNeighbor(key=key, extents=recorded, distance=distance)
+            )
+        scored.sort(key=lambda n: (n.distance, n.key))
+        return scored[: max(0, limit)]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(ring) for ring in self._structures.values())
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "structures": len(self._structures),
+                "entries": sum(
+                    len(ring) for ring in self._structures.values()
+                ),
+                "per_structure": self.per_structure,
+                "dropped_records": self._dropped_records,
+                "path": str(self.path) if self.path is not None else None,
+            }

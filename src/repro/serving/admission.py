@@ -10,9 +10,12 @@ The server admits a compile request into one of two tiers:
 Each tier owns a bounded FIFO.  When a tier's queue is full the request is
 **shed** immediately — an explicit 429-style :class:`Rejected` carrying a
 ``retry_after`` hint — instead of being buffered into an ever-growing
-backlog.  The hint is the queue's expected drain time: ``(depth + 1) *
-EWMA(service seconds) / workers``, so clients back off proportionally to
-actual load rather than a fixed constant.
+backlog.  The hint is the expected drain time of the tier's own queue
+*plus every higher-priority queue ahead of it* (strict-priority dispatch
+means batch work waits for interactive to empty), each scaled by that
+tier's EWMA service-time estimate and divided by the worker count — so
+clients back off proportionally to actual load rather than a fixed
+constant.
 
 Dispatch is strict-priority but non-preemptive: a worker that frees up
 always takes the oldest interactive job first, batch only when the
@@ -122,9 +125,23 @@ class AdmissionController:
         self._ready.release()
 
     def retry_after(self, tier: str) -> float:
-        """Expected seconds until the tier's queue has room again."""
+        """Expected seconds until the tier's queue has room again.
+
+        Dispatch is strict-priority, so a queued job waits behind its own
+        queue *and* every job in higher-priority tiers: a batch hint that
+        ignored a deep interactive queue would tell clients to come back
+        long before a worker could possibly reach them, turning one shed
+        into a retry storm.  The estimate is therefore the drain time of
+        this tier's queue (plus the slot the retry would occupy) plus the
+        drain time of everything queued ahead of it.
+        """
         depth = len(self._queues[tier])
-        return (depth + 1) * self._estimate[tier] / self.workers
+        seconds = (depth + 1) * self._estimate[tier]
+        for higher in TIERS:
+            if higher == tier:
+                break
+            seconds += len(self._queues[higher]) * self._estimate[higher]
+        return seconds / self.workers
 
     # ------------------------------------------------------------------
     # dispatch side

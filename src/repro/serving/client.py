@@ -65,6 +65,10 @@ class CompileReply:
     status: int
     key: Optional[str] = None
     source: Optional[str] = None
+    #: ``"exact"`` (cache hit), ``"near"`` (fresh compile warm-started
+    #: from a shape neighbor) or ``"cold"``; ``None`` from pre-warm-start
+    #: servers.
+    warm_start: Optional[str] = None
     tier: Optional[str] = None
     entry: Optional[Dict[str, Any]] = None
     seconds: float = 0.0
@@ -104,6 +108,7 @@ def _reply_from_message(message: Dict[str, Any]) -> CompileReply:
         status=int(message.get("status", 0)),
         key=message.get("key"),
         source=message.get("source"),
+        warm_start=message.get("warm_start"),
         tier=message.get("tier"),
         entry=message.get("entry"),
         seconds=float(message.get("seconds", 0.0)),

@@ -18,8 +18,15 @@ Other ops: ``{"op": "stats", "id": 1}`` and ``{"op": "ping", "id": 2}``.
 Response shape (compile)::
 
     {"id": 7, "ok": true, "status": 200, "key": "...", "source": "memory",
+     "warm_start": "exact" | "near" | "cold",
      "entry": {...cache entry...}, "seconds": 0.0009,
      "queue_seconds": 0.0001}
+
+``warm_start`` reports how much cached knowledge served the request:
+``"exact"`` for cache hits, ``"near"`` when a fresh compile was
+warm-started from the nearest same-structure cached plan (byte-identical
+result, lower latency), ``"cold"`` otherwise; coalesced requests inherit
+the leader's label.
 
 Error responses carry ``ok=false``, an HTTP-flavoured ``status`` code and
 an ``error`` string; admission rejections (429/503) add a ``retry_after``

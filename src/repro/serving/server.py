@@ -605,6 +605,7 @@ class CompileServer:
             request_id,
             key=raw.key,
             source=raw.source,
+            warm_start=raw.warm_start,
             tier=tier,
             entry=raw.entry,
             seconds=round(total, 6),

@@ -195,6 +195,86 @@ class TestWarmAndCompact:
         fresh.warm_memory()
         assert fresh.memory_bytes() <= 2000
 
+    def test_warm_memory_limit_is_global_across_shards(self, tmp_path):
+        """Regression: ``limit=N`` used to be applied per shard, loading
+        up to ``shards * N`` entries — and dividing it instead would load
+        the per-shard newest rather than the globally newest.  The limit
+        must select the N globally newest entries."""
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=4)
+        for i in range(12):
+            cache.put(hexkey(i), make_entry(hexkey(i)))
+        # Stamp three entries (landing on different shards) far newer.
+        newest = time.time() + 100
+        for i in (1, 6, 11):
+            path = (
+                tmp_path
+                / SHARD_DIR_FORMAT.format(shard_index(hexkey(i), 4))
+                / f"{hexkey(i)}.plan.json"
+            )
+            os.utime(path, (newest, newest))
+
+        fresh = ShardedPlanCache(cache_dir=tmp_path, shards=4)
+        assert fresh.warm_memory(limit=3) == 3
+        assert fresh.memory_len() == 3
+        for i in (1, 6, 11):
+            assert fresh.get_with_tier(hexkey(i))[1] == "memory"
+
+    def test_warm_memory_tie_break_is_deterministic(self, tmp_path):
+        """Equal mtimes (coarse filesystem clocks) break on the key, so
+        two processes warming the same directory load the same entries."""
+        cache = ShardedPlanCache(cache_dir=tmp_path, shards=2)
+        for i in range(8):
+            cache.put(hexkey(i), make_entry(hexkey(i)))
+        stamp = time.time() + 50
+        for i in range(8):
+            path = (
+                tmp_path
+                / SHARD_DIR_FORMAT.format(shard_index(hexkey(i), 2))
+                / f"{hexkey(i)}.plan.json"
+            )
+            os.utime(path, (stamp, stamp))
+
+        loads = []
+        for _ in range(2):
+            fresh = ShardedPlanCache(cache_dir=tmp_path, shards=2)
+            assert fresh.warm_memory(limit=4) == 4
+            loads.append(
+                sorted(
+                    key
+                    for key in fresh.keys()
+                    if fresh.get_with_tier(key)[1] == "memory"
+                )
+            )
+        assert loads[0] == loads[1]
+        # ties sort on the key ascending
+        assert loads[0] == sorted(hexkey(i) for i in range(4))
+
+    def test_warm_keys_stops_before_evicting_warmed_entries(self, tmp_path):
+        """``warm_keys`` must stop *before* inserting past the capacity:
+        one insert too many would evict from the LRU front — exactly the
+        entries it just warmed."""
+        cache = PlanCache(cache_dir=tmp_path, capacity=16)
+        for i in range(6):
+            cache.put(hexkey(i), make_entry(hexkey(i)))
+        fresh = PlanCache(cache_dir=tmp_path, capacity=3)
+        loaded = fresh.warm_keys([hexkey(i) for i in range(6)])
+        assert loaded == 3
+        assert fresh.memory_len() == 3
+        # The first three keys offered are the three resident.
+        for i in range(3):
+            assert fresh.get_with_tier(hexkey(i))[1] == "memory"
+
+    def test_warm_keys_skips_missing_and_duplicate_keys(self, tmp_path):
+        cache = PlanCache(cache_dir=tmp_path, capacity=8)
+        for i in range(3):
+            cache.put(hexkey(i), make_entry(hexkey(i)))
+        fresh = PlanCache(cache_dir=tmp_path, capacity=8)
+        loaded = fresh.warm_keys(
+            [hexkey(0), hexkey(0), hexkey(99), hexkey(1)]
+        )
+        assert loaded == 2
+        assert fresh.memory_len() == 2
+
     def test_compact_removes_corrupt_entries(self, tmp_path):
         metrics = ServiceMetrics()
         cache = ShardedPlanCache(cache_dir=tmp_path, shards=2, metrics=metrics)
@@ -262,7 +342,7 @@ class TestShardedServiceFuzz:
 
         def fake(request, key):
             time.sleep(0.001)
-            return make_entry(key, pad=600), "compiled", None
+            return make_entry(key, pad=600), "compiled", None, "cold"
 
         service._compile_with_recovery = fake
         request = CompileRequest(chain=batch_gemm_chain(2, 64, 32, 32, 64),
@@ -312,7 +392,7 @@ class TestShardedServiceFuzz:
         service = CompileService(cache_dir=tmp_path, shards=2)
 
         def fake(request, key):
-            return make_entry(key), "compiled", None
+            return make_entry(key), "compiled", None, "cold"
 
         service._compile_with_recovery = fake
         config = ServerConfig(port=0, workers=4, compact_interval=0)
@@ -355,7 +435,7 @@ class TestServiceCacheStats:
         service = CompileService(cache_dir=tmp_path, shards=2)
 
         def fake(request, key):
-            return make_entry(key), "compiled", None
+            return make_entry(key), "compiled", None, "cold"
 
         service._compile_with_recovery = fake
         request = CompileRequest(chain=batch_gemm_chain(2, 64, 32, 32, 64),

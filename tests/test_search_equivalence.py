@@ -119,6 +119,121 @@ class TestEngineEquivalence:
         assert tables == scalar
 
 
+def perturbed_gemm():
+    """Same structure as :func:`gemm_workload`, different extents."""
+    return batch_gemm_chain(1, 112, 64, 72, 128, name="equiv_gemm_p")
+
+
+def perturbed_conv():
+    """Same structure as :func:`conv_workload`, different extents."""
+    return conv_chain(1, 16, 26, 26, 24, 16, 1, 1, 3, 1, name="equiv_conv_p")
+
+
+WARM_PAIRS = [
+    (gemm_workload, perturbed_gemm),
+    (conv_workload, perturbed_conv),
+]
+
+
+def canonical_decision(served):
+    decision = served.result.decision
+    return json.dumps(
+        {
+            "use_fusion": decision.use_fusion,
+            "fused": (
+                None
+                if decision.fused_plan is None
+                else plan_to_dict(decision.fused_plan)
+            ),
+            "unfused": [
+                plan_to_dict(plan) for plan in decision.unfused_plans
+            ],
+        },
+        sort_keys=True,
+    )
+
+
+def clear_global_memos():
+    """Hints must prove equivalence on their own, not via shared memos."""
+    solve_memo().clear()
+    reset_search_stats()
+    clear_tables_memo()
+
+
+@pytest.mark.parametrize("hw", PRESETS, ids=lambda h: h.name)
+@pytest.mark.parametrize(
+    "pair", WARM_PAIRS, ids=["gemm_chain", "conv_chain"]
+)
+class TestWarmStartEquivalence:
+    """Cold, exact-hit and near-miss warm-started compiles must agree.
+
+    The service's shape index turns a miss on a new shape into a compile
+    warm-started from the nearest same-structure cached plan.  Warm starts
+    are latency-only (see :mod:`repro.core.warmstart`), so every path must
+    produce byte-identical plans.
+    """
+
+    def test_cold_exact_and_near_are_byte_identical(self, pair, hw):
+        from repro.service import WARM_EXACT, WARM_NEAR, CompileService
+
+        build_base, build_near = pair
+        warm_service = CompileService(warm_start=True)
+        clear_global_memos()
+        seeded = warm_service.serve((build_base(), hw))
+        assert seeded.warm_start == "cold"
+
+        # Near miss: new extents, same structure -> warm-started compile.
+        clear_global_memos()
+        near = warm_service.serve((build_near(), hw))
+        assert near.source == "compiled"
+        assert near.warm_start == WARM_NEAR
+
+        # Exact hit: the same request replays the cached plan verbatim.
+        exact = warm_service.serve((build_near(), hw))
+        assert exact.from_cache
+        assert exact.warm_start == WARM_EXACT
+        assert canonical_decision(exact) == canonical_decision(near)
+
+        # Cold twin: a warm-start-disabled service compiling the same
+        # shape from scratch must land on the same bytes.
+        cold_service = CompileService(warm_start=False)
+        clear_global_memos()
+        cold = cold_service.serve((build_near(), hw))
+        assert cold.warm_start == "cold"
+        assert canonical_decision(near) == canonical_decision(cold)
+
+    def test_adversarial_wrong_neighbor_hint_is_harmless(self, pair, hw):
+        """A hint from an unrelated chain must not change the plan.
+
+        The order hint matches no candidate permutation (different loop
+        names), so it is ignored; foreign tile values at most start SLSQP
+        somewhere unhelpful, and the solver's fallback sweep still proves
+        the optimum.
+        """
+        from repro.core.warmstart import plan_hint_from_dict
+
+        build_base, build_near = pair
+        chain = build_near()
+        # The "wrong neighbor": the other family's plan on the same
+        # hardware (conv hints for gemm and vice versa).
+        other = (
+            conv_workload() if build_base is gemm_workload else gemm_workload()
+        )
+        clear_global_memos()
+        wrong_plan = ChimeraOptimizer(hw).optimize(other)
+        wrong_hint = plan_hint_from_dict(plan_to_dict(wrong_plan))
+        assert wrong_hint is not None
+
+        baseline = serialized_plan(
+            chain, hw, SearchPolicy(prune=True, memoize=True, workers=1)
+        )
+        clear_global_memos()
+        hinted = ChimeraOptimizer(
+            hw, policy=SearchPolicy(prune=True, memoize=True, workers=1)
+        ).optimize(chain, hint=wrong_hint)
+        assert json.dumps(plan_to_dict(hinted), sort_keys=True) == baseline
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("hw", PRESETS, ids=lambda h: h.name)
 @pytest.mark.parametrize("name", ["G1", "G4", "C4", "C6"])

@@ -69,6 +69,21 @@ class TestCacheKey:
         assert cache_key(chain, HW, ChimeraConfig(alpha=4)) != base
         assert cache_key(chain, HW, force_fusion=True) != base
 
+    def test_default_config_aliases_none(self):
+        """Regression: ``config=None`` and an explicit default config are
+        the same request and must hash to the same key (the alias used to
+        split one compile across two cache entries)."""
+        chain = small_bmm()
+        assert cache_key(chain, HW, None) == cache_key(
+            chain, HW, ChimeraConfig()
+        )
+
+    def test_non_default_config_still_distinct(self):
+        chain = small_bmm()
+        assert cache_key(chain, HW, ChimeraConfig()) != cache_key(
+            chain, HW, ChimeraConfig(top_candidates=32)
+        )
+
     def test_canonical_request_is_json_stable(self):
         chain = small_bmm()
         a = json.dumps(canonical_request(chain, HW), sort_keys=True)
@@ -264,11 +279,11 @@ def fail_fused_optimize(monkeypatch, failures):
     """Make whole-chain (multi-op) optimizer runs raise; single ops pass."""
     original = ChimeraOptimizer.optimize
 
-    def flaky(self, chain):
+    def flaky(self, chain, **kwargs):
         if len(chain.ops) > 1:
             failures.append(chain.name)
             raise RuntimeError("injected optimizer failure")
-        return original(self, chain)
+        return original(self, chain, **kwargs)
 
     monkeypatch.setattr(ChimeraOptimizer, "optimize", flaky)
 
@@ -478,10 +493,10 @@ class TestBatch:
         """One failing request degrades to fallback; the batch survives."""
         original = ChimeraOptimizer.optimize
 
-        def flaky(self, chain):
+        def flaky(self, chain, **kwargs):
             if chain.name == "batch_c3":
                 raise RuntimeError("injected failure for batch_c3")
-            return original(self, chain)
+            return original(self, chain, **kwargs)
 
         monkeypatch.setattr(ChimeraOptimizer, "optimize", flaky)
         service = CompileService()
@@ -724,9 +739,128 @@ class TestServeRaw:
         service = CompileService(retries=0, fallback=False)
 
         def fail(request, key):
-            return None, SOURCE_FALLBACK, "RuntimeError: injected"
+            return None, SOURCE_FALLBACK, "RuntimeError: injected", "cold"
 
         service._compile_with_recovery = fail
         served = service.serve_raw(CompileRequest(small_bmm(), HW))
         assert not served.ok
         assert "injected" in served.error
+
+
+# ----------------------------------------------------------------------
+# shape index + warm-started near misses
+# ----------------------------------------------------------------------
+class TestWarmStartService:
+    def base_chain(self):
+        return batch_gemm_chain(2, 64, 32, 32, 64, name="warm_base")
+
+    def near_chain(self):
+        return batch_gemm_chain(2, 72, 32, 40, 64, name="warm_near")
+
+    def test_near_miss_is_labeled_and_counted(self):
+        from repro.service import WARM_COLD, WARM_EXACT, WARM_NEAR
+
+        service = CompileService(warm_start=True)
+        cold = service.serve(CompileRequest(self.base_chain(), HW))
+        assert cold.warm_start == WARM_COLD
+        near = service.serve(CompileRequest(self.near_chain(), HW))
+        assert near.source == SOURCE_COMPILED
+        assert near.warm_start == WARM_NEAR
+        exact = service.serve(CompileRequest(self.near_chain(), HW))
+        assert exact.source == SOURCE_MEMORY
+        assert exact.warm_start == WARM_EXACT
+        stats = service.stats()
+        assert stats["warm_near"] == 1
+        assert stats["shape_index"]["entries"] == 2
+        assert stats["shape_index"]["structures"] == 1
+        assert stats["shape_index"]["enabled"] is True
+
+    def test_disabled_warm_start_still_records_index(self):
+        from repro.service import WARM_COLD
+
+        service = CompileService(warm_start=False)
+        service.serve(CompileRequest(self.base_chain(), HW))
+        near = service.serve(CompileRequest(self.near_chain(), HW))
+        assert near.warm_start == WARM_COLD
+        stats = service.stats()
+        assert stats.get("warm_near", 0) == 0
+        # Recording continues so flipping the knob on later has history.
+        assert stats["shape_index"]["entries"] == 2
+        assert stats["shape_index"]["enabled"] is False
+
+    def test_env_knob_disables_warm_start(self, monkeypatch):
+        from repro.service import ENV_WARM_START, WARM_COLD
+
+        monkeypatch.setenv(ENV_WARM_START, "0")
+        service = CompileService()
+        assert service.warm_start is False
+        service.serve(CompileRequest(self.base_chain(), HW))
+        near = service.serve(CompileRequest(self.near_chain(), HW))
+        assert near.warm_start == WARM_COLD
+
+    def test_index_persists_across_service_restart(self, tmp_path):
+        from repro.service import WARM_NEAR
+
+        first = CompileService(cache_dir=tmp_path, warm_start=True)
+        first.serve(CompileRequest(self.base_chain(), HW))
+        assert (tmp_path / "shape-index.jsonl").exists()
+
+        second = CompileService(cache_dir=tmp_path, warm_start=True)
+        assert len(second.shape_index) == 1
+        near = second.serve(CompileRequest(self.near_chain(), HW))
+        assert near.warm_start == WARM_NEAR
+
+    def test_near_plan_matches_cold_plan(self):
+        warm = CompileService(warm_start=True)
+        warm.serve(CompileRequest(self.base_chain(), HW))
+        near = warm.serve(CompileRequest(self.near_chain(), HW))
+        cold = CompileService(warm_start=False).serve(
+            CompileRequest(self.near_chain(), HW)
+        )
+
+        def canonical(served):
+            from repro.runtime.serialization import plan_to_dict
+
+            decision = served.result.decision
+            return json.dumps(
+                {
+                    "use_fusion": decision.use_fusion,
+                    "fused": plan_to_dict(decision.fused_plan),
+                    "unfused": [
+                        plan_to_dict(p) for p in decision.unfused_plans
+                    ],
+                },
+                sort_keys=True,
+            )
+
+        assert canonical(near) == canonical(cold)
+
+    def test_full_clear_drops_index(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path, warm_start=True)
+        service.serve(CompileRequest(self.base_chain(), HW))
+        assert len(service.shape_index) == 1
+        service.clear_cache()
+        assert len(service.shape_index) == 0
+        assert not (tmp_path / "shape-index.jsonl").exists()
+        # Memory-only clears keep the index: disk entries still back it.
+        service.serve(CompileRequest(self.base_chain(), HW))
+        service.clear_cache(memory_only=True)
+        assert len(service.shape_index) == 1
+
+    def test_raw_path_reports_warm_labels(self):
+        from repro.service import WARM_EXACT, WARM_NEAR
+
+        service = CompileService(warm_start=True)
+        service.serve_raw(CompileRequest(self.base_chain(), HW))
+        near = service.serve_raw(CompileRequest(self.near_chain(), HW))
+        assert near.warm_start == WARM_NEAR
+        exact = service.serve_raw(CompileRequest(self.near_chain(), HW))
+        assert exact.warm_start == WARM_EXACT
+
+    def test_different_structure_never_hints(self):
+        from repro.service import WARM_COLD
+
+        service = CompileService(warm_start=True)
+        service.serve(CompileRequest(self.base_chain(), HW))
+        other = service.serve(CompileRequest(small_conv(), HW))
+        assert other.warm_start == WARM_COLD

@@ -62,7 +62,7 @@ def fast_service(delay=0.0, **kwargs):
     def fake(request, key):
         if delay:
             time.sleep(delay)
-        return synthetic_entry(key), "compiled", None
+        return synthetic_entry(key), "compiled", None, "cold"
 
     service._compile_with_recovery = fake
     return service
@@ -168,6 +168,34 @@ class TestAdmission:
         for _ in range(50):
             admission.observe_service(TIER_INTERACTIVE, 2.0)
         assert admission.retry_after(TIER_INTERACTIVE) > before
+
+    def test_batch_retry_after_counts_interactive_backlog(self):
+        """Strict-priority dispatch: a batch job waits behind every queued
+        interactive job, so the batch hint must grow with interactive
+        depth (the regression was a hint computed from batch depth
+        alone)."""
+        admission = AdmissionController(
+            interactive_capacity=16, batch_capacity=16, workers=2
+        )
+        # Pin the estimates so the expectation is exact.
+        for _ in range(200):
+            admission.observe_service(TIER_INTERACTIVE, 1.0)
+            admission.observe_service(TIER_BATCH, 3.0)
+        empty_hint = admission.retry_after(TIER_BATCH)
+        for i in range(8):
+            admission.submit(TIER_INTERACTIVE, f"i{i}")
+        loaded_hint = admission.retry_after(TIER_BATCH)
+        assert loaded_hint > empty_hint
+        # (0 batch queued + retry slot) * ~3s + 8 interactive * ~1s, over
+        # 2 workers = ~5.5s.
+        assert loaded_hint == pytest.approx(5.5, rel=0.05)
+        # The interactive hint is unaffected by batch backlog: nothing
+        # dispatches ahead of the top tier.
+        for i in range(8):
+            admission.submit(TIER_BATCH, f"b{i}")
+        assert admission.retry_after(
+            TIER_INTERACTIVE
+        ) == pytest.approx((8 + 1) * 1.0 / 2, rel=0.05)
 
     def test_snapshot_shape(self):
         admission = AdmissionController()
@@ -421,7 +449,7 @@ class TestAdmissionOverWire:
         service = CompileService()
 
         def always_fail(request, key):
-            return None, "fallback", "RuntimeError: injected"
+            return None, "fallback", "RuntimeError: injected", "cold"
 
         service._compile_with_recovery = always_fail
         config = ServerConfig(port=0, workers=1, compact_interval=0)
