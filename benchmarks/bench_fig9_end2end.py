@@ -12,7 +12,8 @@ from conftest import emit, run_once
 from repro.analysis import geomean, render_table
 from repro.baselines import get_system
 from repro.hardware import a100
-from repro.workloads import build_network, is_fusable_chain, network_config
+from repro.ir.graph import partition_graph
+from repro.workloads import build_network, network_config
 
 NETWORKS = (
     "TF-Small", "TF-Base", "TF-Large",
@@ -36,10 +37,12 @@ def test_fig9_end_to_end(benchmark, runner):
         totals = {name: {} for name in NETWORKS}
         for net_name in NETWORKS:
             dag = build_network(network_config(net_name))
+            partition = partition_graph(dag)
+            fusable = {node.name for node in partition.chains}
             for pairing, (base_key, chain_key) in PAIRINGS.items():
                 total = 0.0
-                for node in dag.nodes:
-                    key = chain_key if is_fusable_chain(node) else base_key
+                for node in partition.all_nodes():
+                    key = chain_key if node.name in fusable else base_key
                     result = runner.run(key, node.chain, hw)
                     total += result.time * node.repeat
                 totals[net_name][pairing] = total

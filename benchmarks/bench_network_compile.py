@@ -1,6 +1,7 @@
-"""Network compilation: cold serial vs. cold batch vs. warm-cache batch.
+"""Network compilation: service speedups and stitched-vs-unstitched plans.
 
-Compiles Bert-Base end-to-end three ways through the same service:
+Part one compiles Bert-Base end-to-end three ways through the same
+service:
 
 1. **cold serial** — no service, one ``compile_chain`` per node;
 2. **cold batch** — empty cache, nodes fanned through ``compile_batch``;
@@ -10,21 +11,117 @@ All three must produce byte-identical serialized NetworkPlans (the
 determinism contract), the plan's end-to-end time must beat the
 all-unfused baseline, and the warm batch must be at least
 ``MIN_WARM_SPEEDUP``x faster than the cold serial compile.
+
+Part two measures what memory-intensive stitching buys: each network is
+compiled twice, ``stitch=True`` (softmax/layernorm/elementwise glue folded
+into the adjacent compute-intensive block schedules) and ``stitch=False``
+(every graph node compiled on its own).  Gate: the stitched plan's
+predicted end-to-end time must not exceed the unstitched plan's, and the
+stitched partition must actually merge nodes.  Results land in
+``benchmarks/results/bench_stitching.txt`` and
+``benchmarks/results/BENCH_stitching.json``.
+
+Run the stitching comparison standalone with
+``python benchmarks/bench_network_compile.py [--smoke]``; ``--smoke``
+restricts to Bert-Small (CI keeps it quick) but enforces the same gate.
 """
 
+import argparse
+import json
+import pathlib
+import sys
 import tempfile
-
-from conftest import emit, run_once
 
 import repro
 from repro.analysis import render_table
-from repro.runtime.network import benchmark_network_compile
+from repro.runtime.network import benchmark_network_compile, compile_network
 from repro.workloads import build_network, network_config
 
 MIN_WARM_SPEEDUP = 5.0
 
+RESULTS_JSON = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_stitching.json"
+)
+
+FULL_NETWORKS = ("Bert-Small", "Bert-Base")
+SMOKE_NETWORKS = ("Bert-Small",)
+
+
+def run_stitching_experiment(smoke=False):
+    """Compile each network with and without stitching; compare plans."""
+    hw = repro.xeon_gold_6240()
+    networks = SMOKE_NETWORKS if smoke else FULL_NETWORKS
+
+    per_network = {}
+    rows = []
+    for name in networks:
+        dag = build_network(network_config(name))
+        stitched = compile_network(dag, hw, stitch=True)
+        unstitched = compile_network(dag, hw, stitch=False)
+        ratio = stitched.total_time / unstitched.total_time
+        per_network[name] = {
+            "stitched_time_s": stitched.total_time,
+            "unstitched_time_s": unstitched.total_time,
+            "ratio": ratio,
+            "stitched_nodes": list(stitched.stitched_nodes),
+            "stitched_plan_nodes": len(stitched.nodes),
+            "unstitched_plan_nodes": len(unstitched.nodes),
+            "stitched_kernels": stitched.kernel_count,
+            "unstitched_kernels": unstitched.kernel_count,
+        }
+        rows.append([
+            name,
+            f"{len(stitched.nodes)} ({len(stitched.stitched_nodes)} merged)",
+            str(len(unstitched.nodes)),
+            f"{stitched.total_time * 1e3:.3f} ms",
+            f"{unstitched.total_time * 1e3:.3f} ms",
+            f"{ratio:.3f}",
+        ])
+
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "hardware": hw.name,
+        "networks": per_network,
+    }
+    text = render_table(
+        ["network", "stitched nodes", "unstitched nodes",
+         "stitched time", "unstitched time", "ratio"],
+        rows,
+    )
+    return payload, text
+
+
+def _finish_stitching(payload, text, write_json):
+    if write_json:
+        RESULTS_JSON.parent.mkdir(exist_ok=True)
+        RESULTS_JSON.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    for name, stats in payload["networks"].items():
+        assert stats["stitched_nodes"], (
+            f"{name}: stitching merged no graph nodes — the partition "
+            f"should fold attention softmax (and the other glue runs) "
+            f"into compute-intensive chains"
+        )
+        assert stats["stitched_time_s"] <= stats["unstitched_time_s"], (
+            f"{name}: stitched plan predicted "
+            f"{stats['stitched_time_s'] * 1e3:.3f} ms, slower than the "
+            f"unstitched {stats['unstitched_time_s'] * 1e3:.3f} ms"
+        )
+
+
+def test_stitching_speedup(benchmark):
+    from conftest import emit, run_once
+
+    payload, text = run_once(
+        benchmark, lambda: run_stitching_experiment(smoke=False)
+    )
+    _finish_stitching(payload, text, write_json=True)
+    emit("bench_stitching", text)
+
 
 def test_network_compile(benchmark):
+    from conftest import emit, run_once
     dag = build_network(network_config("Bert-Base"))
     hw = repro.xeon_gold_6240()
 
@@ -56,3 +153,27 @@ def test_network_compile(benchmark):
         f"({plan.speedup_over_unfused:.3f}x over all-unfused), "
         f"warm-cache threshold {MIN_WARM_SPEEDUP:.0f}x",
     )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="stitched vs unstitched network compilation"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="Bert-Small only, same gate, no JSON artifact",
+    )
+    args = parser.parse_args(argv)
+    payload, text = run_stitching_experiment(smoke=args.smoke)
+    print(text)
+    for name, stats in payload["networks"].items():
+        print(f"{name}: stitched/unstitched time ratio "
+              f"{stats['ratio']:.3f}, merged nodes "
+              f"{', '.join(stats['stitched_nodes']) or 'none'}")
+    _finish_stitching(payload, text, write_json=not args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,7 +98,10 @@ def network_plan_table(plan) -> str:
     rows = []
     for node in plan.nodes:
         if node.fusable:
-            kind = "chain"
+            # Stitched nodes are fusable chains assembled from several
+            # graph nodes; surface the fold so the table reads like the
+            # partition.
+            kind = "stitched" if getattr(node, "stitched", ()) else "chain"
             decision = "fused" if node.fused else "unfused"
         else:
             # Fusion is only a decision for fusable chains; single ops and

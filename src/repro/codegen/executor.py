@@ -275,6 +275,15 @@ def _elementwise_block(
         arrays[out_a.tensor][out_slices] = exp
         sums = row_sums[op.name]
         sums[out_slices[:-1]] += exp.sum(axis=-1)
+    elif op.tag == "layer_norm":
+        # The fused layer norm: copy the raw values and accumulate per-row
+        # sum and sum of squares; normalization is deferred to kernel end
+        # (see _apply_deferred_layer_norm), when every block of the row has
+        # been accumulated.
+        arrays[out_a.tensor][out_slices] = src
+        acc = row_sums[op.name]
+        acc[0][out_slices[:-1]] += src.sum(axis=-1)
+        acc[1][out_slices[:-1]] += (src * src).sum(axis=-1)
     else:
         raise NotImplementedError(
             f"no block executor for memory-intensive op {op.tag!r}"
@@ -284,18 +293,28 @@ def _elementwise_block(
 def _prepare_state(
     chain: OperatorChain, arrays: Arrays
 ) -> Tuple[Dict[str, np.ndarray], Dict[str, bool]]:
-    """Softmax row-sum accumulators and halo-output flags (both engines)."""
+    """Row-reduction accumulators and halo-output flags (both engines).
+
+    ``row_sums[op]`` holds a per-row ``(rows...)`` exp-sum for softmax
+    operators, and a ``(2, rows...)`` sum / sum-of-squares pair for
+    layer_norm operators (accumulated across blocks, consumed by the
+    deferred normalization at kernel end).
+    """
     row_sums: Dict[str, np.ndarray] = {}
     halo_ops: Dict[str, bool] = {}
     for op in chain.ops:
+        out_shape = arrays[op.output.tensor].shape
         if op.tag == "softmax":
-            out_shape = arrays[op.output.tensor].shape
             row_sums[op.name] = np.zeros(out_shape[:-1], dtype=np.float64)
+        elif op.tag == "layer_norm":
+            row_sums[op.name] = np.zeros(
+                (2,) + out_shape[:-1], dtype=np.float64
+            )
         halo_ops[op.name] = _has_halo_output(op)
-        if halo_ops[op.name] and op.tag == "softmax":
+        if halo_ops[op.name] and op.tag in ("softmax", "layer_norm"):
             raise NotImplementedError(
-                "softmax with overlapping (halo) output regions would "
-                "double-count row sums"
+                f"{op.tag} with overlapping (halo) output regions would "
+                "double-count row accumulators"
             )
     return row_sums, halo_ops
 
@@ -378,6 +397,7 @@ def _execute_program_legacy(
             _elementwise_block(op, arrays, block, row_sums)
 
     _apply_deferred_softmax_division(chain, arrays, row_sums)
+    _apply_deferred_layer_norm(chain, arrays, row_sums)
     return _crop_outputs(chain, arrays)
 
 
@@ -575,6 +595,15 @@ def _build_elementwise_runner(
             exp = np.exp(src_arr[src_sl[row]])
             out_arr[out_sl[row]] = exp
             sums[sum_sl[row]] += exp.sum(axis=-1)
+    elif op.tag == "layer_norm":
+        acc = row_sums[op.name]
+        sum_sl = [sl[:-1] for sl in out_sl]
+
+        def run(row: int) -> None:
+            src = src_arr[src_sl[row]]
+            out_arr[out_sl[row]] = src
+            acc[0][sum_sl[row]] += src.sum(axis=-1)
+            acc[1][sum_sl[row]] += (src * src).sum(axis=-1)
     else:
         raise NotImplementedError(
             f"no block executor for memory-intensive op {op.tag!r}"
@@ -617,6 +646,7 @@ def _execute_program_compiled(
         runners[index](row)
 
     _apply_deferred_softmax_division(chain, arrays, row_sums)
+    _apply_deferred_layer_norm(chain, arrays, row_sums)
     return _crop_outputs(chain, arrays)
 
 
@@ -647,6 +677,11 @@ def _apply_deferred_softmax_division(
                 "deferred softmax division needs the consumer's output to "
                 "be a chain output"
             )
+        if consumer.tag not in ("gemm", "batch_gemm"):
+            raise NotImplementedError(
+                "deferred softmax division can only swap past a linear "
+                f"(gemm/batch_gemm) consumer, not {consumer.tag!r}"
+            )
         # Broadcast the row sums onto the consumer output: match loop names
         # of the sum's dims (the softmax output dims minus the reduced one)
         # against the consumer output dims.
@@ -661,6 +696,37 @@ def _apply_deferred_softmax_division(
                 index.append(None)
         sums = row_sums[op.name]
         arrays[target] /= np.maximum(sums[tuple(index)], 1e-300)
+
+
+def _apply_deferred_layer_norm(
+    chain: OperatorChain,
+    arrays: Arrays,
+    row_sums: Mapping[str, np.ndarray],
+) -> None:
+    """Finalize stitched layer_norm ops from their deferred accumulators.
+
+    The block engines wrote the raw source values and accumulated per-row
+    sum / sum-of-squares; once every block has run, mean and variance are
+    exact and the normalization is applied in one vector pass.  A
+    layer_norm stitched mid-chain would hand un-normalized values to its
+    consumers, so it must be the chain's last reader of its output.
+    """
+    for op in chain.ops:
+        if op.tag != "layer_norm":
+            continue
+        out_name = op.output.tensor
+        if chain.consumers_of(out_name):
+            raise NotImplementedError(
+                "deferred layer_norm needs its output to be a chain "
+                "output with no in-chain consumers"
+            )
+        n = chain.tensors[out_name].shape[-1]
+        acc = row_sums[op.name]
+        mean = acc[0] / n
+        var = np.maximum(acc[1] / n - mean * mean, 0.0)
+        arrays[out_name] = (arrays[out_name] - mean[..., None]) / np.sqrt(
+            var[..., None] + 1e-5
+        )
 
 
 def execute_plan(plan, inputs: Mapping[str, np.ndarray]) -> Arrays:
@@ -702,6 +768,11 @@ def execute_reference(
             arrays[op.output.tensor] = 0.5 * src * (
                 1.0 + np.tanh(0.7978845608 * (src + 0.044715 * src**3))
             )
+        elif op.tag == "layer_norm":
+            src = arrays[op.reads[0].tensor]
+            mean = src.mean(axis=-1, keepdims=True)
+            var = src.var(axis=-1, keepdims=True)
+            arrays[op.output.tensor] = (src - mean) / np.sqrt(var + 1e-5)
         else:
             raise NotImplementedError(f"no reference for {op.tag!r}")
     outputs: Arrays = {}

@@ -21,6 +21,18 @@ Only the chain's IO tensors move — intermediates stay on chip (their DM is
 0).  :class:`MovementModel` precompiles the permutation into per-tensor
 multiplier sets so the tile-size solver can evaluate DV(S) and MU(S) cheaply
 and in either the exact (ceil) or smooth (real-valued) form.
+
+**Stitched memory-intensive ops** (see :mod:`repro.ir.stitch`) need no
+special cases here, by construction: stitching turns the bridge tensor
+between a CI operator and its softmax/layer-norm/elementwise neighbor into
+a chain *intermediate*, so its DV term vanishes exactly like any other
+fused intermediate, while the stitched op still contributes its MU rows
+(its tile footprint joins the per-block usage sum that
+:class:`repro.core.tables.MovementTables` turns into the unified-buffer
+capacity row).  When the shared buffer cannot hold the stitched
+intermediate at a candidate tiling, that capacity constraint — not an ad
+hoc penalty — rejects the tiling; :func:`unfused_round_trip_bytes` prices
+what the fallback (unstitched) execution pays instead.
 """
 
 from __future__ import annotations
@@ -95,6 +107,24 @@ def algorithm1(
         active = [n for n in active if not chain.is_private(n, op)]
         usage = max(usage, total_df)
     return volume, usage
+
+
+def unfused_round_trip_bytes(chain: OperatorChain) -> int:
+    """DRAM bytes the *unfused* execution round-trips for intermediates.
+
+    Every chain intermediate — including the bridge tensors stitching
+    created — is written to DRAM once and read back once per consuming
+    operator when the chain runs as separate kernels.  This is the lower
+    bound on the traffic fusion-with-stitching removes, used by the
+    stitching benchmark and tests to sanity-check the simulator's
+    counters against the analytical model.
+    """
+    total = 0
+    for name in chain.intermediate_tensors():
+        spec = chain.tensors[name]
+        readers = len(chain.consumers_of(name))
+        total += spec.nbytes * (1 + readers)
+    return total
 
 
 @dataclasses.dataclass(frozen=True)

@@ -27,6 +27,15 @@ for the reference path); call sites may override per call.  Compiled
 tables are memoized per model instance and, across models, in a bounded
 process-global LRU keyed by chain identity + ``signature_digest()`` —
 permutations with equal signatures share one compilation.
+
+Stitched chains (:mod:`repro.ir.stitch`) compile through the same tables:
+each stitched memory-intensive op contributes ordinary MU rows (its tile
+footprint joins every access-group usage sum), its bridge tensor has no DV
+term at all (it is a chain intermediate), and the unified-buffer capacity
+constraint (:class:`_ConstraintTable`, the "capacity row") is what rejects
+tilings whose stitched intermediate tile overflows the shared buffer — so
+the bit-for-bit scalar/tables contract extends to stitched plans with no
+new code paths.
 """
 
 from __future__ import annotations

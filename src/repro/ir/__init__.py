@@ -11,6 +11,7 @@ Public surface:
 * :mod:`repro.ir.builders` — GEMM / conv / softmax / relu constructors.
 * :mod:`repro.ir.chains` — fused chain constructors (Figure 1 workloads).
 * :mod:`repro.ir.graph` — whole-network compute DAGs.
+* :mod:`repro.ir.stitch` — folding memory-intensive glue into CI chains.
 """
 
 from .access import AffineExpr, TensorAccess
@@ -28,15 +29,20 @@ from .chains import (
 )
 from .dtypes import DType, FP16, FP32, FP64, INT8, INT32, dtype
 from .graph import (
+    STITCHABLE_TAGS,
     ComputeDAG,
     GraphBuilder,
     GraphNode,
     GraphPartition,
+    StitchedChain,
+    StitchedOp,
     is_fusable,
     partition_graph,
+    stitching_enabled,
 )
 from .loops import Loop, LoopKind
 from .operator import OperatorKind, OperatorSpec
+from .stitch import StitchError, rename_chain_tensors, stitch_nodes
 from .tensor import TensorSpec
 
 __all__ = [
@@ -64,8 +70,15 @@ __all__ = [
     "GraphBuilder",
     "GraphNode",
     "GraphPartition",
+    "STITCHABLE_TAGS",
+    "StitchedChain",
+    "StitchedOp",
+    "StitchError",
     "is_fusable",
     "partition_graph",
+    "rename_chain_tensors",
+    "stitch_nodes",
+    "stitching_enabled",
     "Loop",
     "LoopKind",
     "OperatorKind",

@@ -164,6 +164,18 @@ class OperatorSpec:
             writes=writes,
         )
 
+    def renamed_tensors(self, mapping: Mapping[str, str]) -> "OperatorSpec":
+        """Rename accessed tensors without touching the iteration space."""
+        reads = tuple(
+            dataclasses.replace(a, tensor=mapping.get(a.tensor, a.tensor))
+            for a in self.reads
+        )
+        writes = tuple(
+            dataclasses.replace(a, tensor=mapping.get(a.tensor, a.tensor))
+            for a in self.writes
+        )
+        return dataclasses.replace(self, reads=reads, writes=writes)
+
     def renamed_loops(self, mapping: Mapping[str, str]) -> "OperatorSpec":
         """Rename loops (a special case of substitution with coefficient 1)."""
         expr_map = {old: AffineExpr.var(new) for old, new in mapping.items()}

@@ -1,0 +1,268 @@
+"""Stitching memory-intensive glue into compute-intensive chains.
+
+Chimera's graph partitioner (PR 3) exiled softmax / layer-norm /
+elementwise nodes to an unfused remainder, so a real transformer never
+compiled end-to-end fused.  Following FusionStitching and Neptune (see
+PAPERS.md), :func:`stitch_nodes` merges a producer/consumer run of graph
+nodes into ONE :class:`OperatorChain`: the bridge tensor between two
+nodes becomes a chain intermediate, so Algorithm 1's data-volume model
+stops charging its DRAM round-trip automatically (chain intermediates
+have DM = 0; see :mod:`repro.core.movement`) and the block scheduler
+emits the stitched op's compute inside the adjacent compute-intensive
+block's loop nest.
+
+The merge is the same affine-substitution fold used inside
+:func:`repro.ir.chains.fuse_sequence`, generalized to whole chains with
+independent namespaces: producer loops/tensors are renamed out of the
+way of the consumer's, the producer's output loops are substituted by
+the consumer's access expressions of the bridge tensor, and the
+producer's operators are prepended.  Any structural mismatch raises
+:class:`StitchError`; callers (the graph partitioner) treat that as
+"do not stitch", never as a hard failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .access import AffineExpr
+from .chain import OperatorChain
+from .loops import Loop, LoopKind
+from .operator import OperatorSpec
+from .tensor import TensorSpec
+
+
+class StitchError(ValueError):
+    """A node run cannot be merged into a single chain.
+
+    Raised for structural reasons only (ambiguous bridge tensor, strided
+    producer output, multiple consumers).  The partitioner catches it and
+    falls back to classifying the nodes individually, so degenerate
+    shapes never break compilation.
+    """
+
+
+def rename_chain_tensors(
+    chain: OperatorChain, mapping: Mapping[str, str]
+) -> OperatorChain:
+    """Rename tensors of ``chain``, rejecting collisions."""
+    for old, new in mapping.items():
+        if new in chain.tensors and new not in mapping:
+            raise StitchError(
+                f"chain {chain.name!r}: renaming {old!r} -> {new!r} collides"
+            )
+    ops = tuple(op.renamed_tensors(mapping) for op in chain.ops)
+    tensors = {
+        mapping.get(name, name): dataclasses.replace(
+            spec, name=mapping.get(name, name)
+        )
+        for name, spec in chain.tensors.items()
+    }
+    if len(tensors) != len(chain.tensors):
+        raise StitchError(f"chain {chain.name!r}: tensor rename collides")
+    return OperatorChain(chain.name, ops, tensors)
+
+
+def _unique(base: str, taken: set) -> str:
+    name = base
+    suffix = 1
+    while name in taken:
+        name = f"{base}~{suffix}"
+        suffix += 1
+    taken.add(name)
+    return name
+
+
+def _read_only_tensors(ops: Sequence[OperatorSpec]) -> Tuple[str, ...]:
+    """Tensors read but never written by ``ops`` (the fold's open inputs)."""
+    written = {a.tensor for op in ops for a in op.writes}
+    seen: List[str] = []
+    for op in ops:
+        for access in op.reads:
+            if access.tensor not in written and access.tensor not in seen:
+                seen.append(access.tensor)
+    return tuple(seen)
+
+
+def find_bridge(
+    producer: OperatorChain, consumer_inputs: Mapping[str, TensorSpec]
+) -> Tuple[str, str]:
+    """Match the producer's single output against the consumer's inputs.
+
+    The graph carries no tensor-identity edges (nodes are independent
+    chains), so the bridge is recovered structurally: the producer must
+    have exactly one output tensor, and exactly one consumer input must
+    share its shape and dtype.  Ambiguity (e.g. a degenerate config where
+    several inputs collapse to the same shape) raises :class:`StitchError`
+    so the caller falls back to not stitching.
+    """
+    outputs = producer.output_tensors()
+    if len(outputs) != 1:
+        raise StitchError(
+            f"chain {producer.name!r} has {len(outputs)} outputs; "
+            "stitching needs exactly one"
+        )
+    out_name = outputs[0]
+    spec = producer.tensors[out_name]
+    matches = [
+        name
+        for name, candidate in consumer_inputs.items()
+        if candidate.shape == spec.shape and candidate.dtype == spec.dtype
+    ]
+    if len(matches) != 1:
+        raise StitchError(
+            f"bridge for {producer.name!r} output {out_name!r} "
+            f"{spec.shape} is ambiguous: matches {sorted(matches)}"
+        )
+    return out_name, matches[0]
+
+
+def _fold_producer(
+    stage_name: str,
+    producer: OperatorChain,
+    folded_ops: List[OperatorSpec],
+    folded_tensors: Dict[str, TensorSpec],
+) -> Tuple[List[OperatorSpec], Dict[str, TensorSpec]]:
+    """Fold one producer chain into the already-folded consumer suffix."""
+    consumer_inputs = {
+        name: folded_tensors[name] for name in _read_only_tensors(folded_ops)
+    }
+    out_name, bridge_name = find_bridge(producer, consumer_inputs)
+
+    # Rename producer loops and tensors out of the consumer's namespace.
+    folded_loops = {l.name for op in folded_ops for l in op.loops}
+    producer_loops = {l.name for op in producer.ops for l in op.loops}
+    taken = set(folded_loops) | set(producer_loops)
+    loop_map = {
+        name: _unique(f"{stage_name}.{name}", taken)
+        for name in sorted(producer_loops)
+        if name in folded_loops
+    }
+    tensor_taken = set(folded_tensors) | set(producer.tensors)
+    tensor_map = {
+        name: _unique(f"{stage_name}.{name}", tensor_taken)
+        for name in sorted(producer.tensors)
+        if name in folded_tensors and name != out_name
+    }
+    if out_name in folded_tensors and out_name != bridge_name:
+        tensor_map[out_name] = _unique(f"{stage_name}.{out_name}", tensor_taken)
+    if loop_map:
+        producer = OperatorChain(
+            producer.name,
+            tuple(op.renamed_loops(loop_map) for op in producer.ops),
+            producer.tensors,
+        )
+    if tensor_map:
+        producer = rename_chain_tensors(producer, tensor_map)
+        out_name = tensor_map.get(out_name, out_name)
+
+    # Rename the consumer's bridge input to the producer's output name so
+    # the merged chain sees one shared intermediate.
+    if bridge_name != out_name:
+        folded_ops = [
+            op.renamed_tensors({bridge_name: out_name}) for op in folded_ops
+        ]
+        spec = folded_tensors.pop(bridge_name)
+        folded_tensors[out_name] = dataclasses.replace(spec, name=out_name)
+
+    readers = [
+        op for op in folded_ops if any(a.tensor == out_name for a in op.reads)
+    ]
+    if len(readers) != 1:
+        raise StitchError(
+            f"bridge {out_name!r} has {len(readers)} consumers; "
+            "stitching needs exactly one"
+        )
+    consumer_access = readers[0].access_of(out_name)
+
+    writers = [
+        op for op in producer.ops if any(a.tensor == out_name for a in op.writes)
+    ]
+    if len(writers) != 1:
+        raise StitchError(
+            f"chain {producer.name!r} writes bridge {out_name!r} "
+            f"{len(writers)} times"
+        )
+    final_op = writers[0]
+    out_access = final_op.access_of(out_name)
+    mapping: Dict[str, AffineExpr] = {}
+    for dim, expr in zip(out_access.dims, consumer_access.dims):
+        if len(dim.terms) != 1 or dim.terms[0][1] != 1 or dim.offset != 0:
+            raise StitchError(
+                f"producer {final_op.name!r} output dim {dim} is not a "
+                "plain loop; cannot stitch"
+            )
+        loop_name = dim.terms[0][0]
+        if loop_name in mapping:
+            raise StitchError(
+                f"producer {final_op.name!r} output repeats loop "
+                f"{loop_name!r}; cannot stitch"
+            )
+        mapping[loop_name] = expr
+
+    downstream: Dict[str, Loop] = {}
+    for op in folded_ops:
+        for loop in op.loops:
+            known = downstream.get(loop.name)
+            if known is not None and known.extent != loop.extent:
+                raise StitchError(
+                    f"consumer loop {loop.name!r} has conflicting extents"
+                )
+            downstream[loop.name] = Loop(loop.name, loop.extent, LoopKind.SPATIAL)
+
+    # Substitute per-op with only the loops that op actually uses:
+    # ``substituted`` introduces every loop referenced by the mapping's
+    # expressions, which would graft consumer loops onto producer ops that
+    # never touched the bridge loops.
+    new_ops: List[OperatorSpec] = []
+    for op in producer.ops:
+        op_map = {k: v for k, v in mapping.items() if op.has_loop(k)}
+        new_ops.append(op.substituted(op_map, downstream) if op_map else op)
+
+    merged_tensors = dict(folded_tensors)
+    for name, spec in producer.tensors.items():
+        known = merged_tensors.get(name)
+        if known is not None and known != spec:
+            raise StitchError(
+                f"tensor {name!r} declared with conflicting specs"
+            )
+        merged_tensors[name] = spec
+    return new_ops + folded_ops, merged_tensors
+
+
+def stitch_nodes(
+    name: str, stages: Sequence[Tuple[str, OperatorChain]]
+) -> OperatorChain:
+    """Merge a producer->consumer run of chains into one fused chain.
+
+    Args:
+        name: name of the merged chain.
+        stages: ``(stage_name, chain)`` pairs in producer-to-consumer
+            order; each stage's single output feeds exactly one operator
+            of the folded suffix after it.
+
+    Returns:
+        one :class:`OperatorChain` whose bridge tensors are chain
+        intermediates (never counted in DV, never touch DRAM when the
+        fused plan keeps them in the shared buffer).
+
+    Raises:
+        StitchError: when the run cannot be merged structurally.
+    """
+    if len(stages) < 2:
+        raise StitchError("stitching needs at least two stages")
+    _, last_chain = stages[-1]
+    folded_ops = list(last_chain.ops)
+    folded_tensors = dict(last_chain.tensors)
+    for stage_name, stage_chain in reversed(stages[:-1]):
+        folded_ops, folded_tensors = _fold_producer(
+            stage_name, stage_chain, folded_ops, folded_tensors
+        )
+    op_names = [op.name for op in folded_ops]
+    if len(set(op_names)) != len(op_names):
+        raise StitchError(
+            f"stitched chain {name!r} has duplicate operator names: "
+            f"{sorted(op_names)}"
+        )
+    return OperatorChain(name, tuple(folded_ops), folded_tensors)

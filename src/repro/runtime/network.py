@@ -36,7 +36,7 @@ from ..core.optimizer import ChimeraConfig
 from ..core.plan import FusionPlan
 from ..core.search import SearchPolicy
 from ..hardware.spec import HardwareSpec
-from ..ir.graph import ComputeDAG, GraphNode, partition_graph
+from ..ir.graph import ComputeDAG, GraphNode, StitchedOp, partition_graph
 from ..workloads.networks import NetworkTiming
 from . import pipeline
 from .pipeline import CompileResult
@@ -68,6 +68,11 @@ class NodePlan:
         time: per-execution time of the chosen kernels.
         unfused_time: per-execution time of the all-unfused alternative
             (equals ``time`` when the node runs unfused).
+        members: original DAG node names this plan node covers — more than
+            one when the partitioner stitched a run of nodes into one
+            fused chain.
+        stitched: the memory-intensive operators stitched into this node
+            (empty for ordinary nodes).
         source: where the compile came from (``"compiled"``, a cache tier,
             ``"coalesced"``, or ``"fallback"``); diagnostic only — it is
             deliberately **not** serialized, so plans stay byte-identical
@@ -81,7 +86,13 @@ class NodePlan:
     plans: Tuple[FusionPlan, ...]
     time: float
     unfused_time: float
+    members: Tuple[str, ...] = ()
+    stitched: Tuple[StitchedOp, ...] = ()
     source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            object.__setattr__(self, "members", (self.name,))
 
     @property
     def total_time(self) -> float:
@@ -133,6 +144,11 @@ class NetworkPlan:
     @property
     def fused_nodes(self) -> Tuple[str, ...]:
         return tuple(n.name for n in self.nodes if n.fused and n.fusable)
+
+    @property
+    def stitched_nodes(self) -> Tuple[str, ...]:
+        """Plan nodes that merged several graph nodes via stitching."""
+        return tuple(n.name for n in self.nodes if n.stitched)
 
     @property
     def kernel_count(self) -> int:
@@ -195,6 +211,8 @@ def _node_plan(
     fusable: bool,
     source: str,
     simulate: bool,
+    members: Tuple[str, ...] = (),
+    stitched: Tuple[StitchedOp, ...] = (),
 ) -> NodePlan:
     """Assemble one node's entry from its compile result."""
     decision: FusionDecision = result.decision
@@ -216,6 +234,8 @@ def _node_plan(
         plans=chosen,
         time=time_chosen,
         unfused_time=time_unfused,
+        members=members or (node.name,),
+        stitched=stitched,
         source=source,
     )
 
@@ -230,6 +250,7 @@ def compile_network(
     max_workers: Optional[int] = None,
     timeout: Optional[float] = None,
     timing: str = TIMING_PREDICTED,
+    stitch: Optional[bool] = None,
 ) -> NetworkPlan:
     """Compile every node of a network DAG into a :class:`NetworkPlan`.
 
@@ -248,6 +269,10 @@ def compile_network(
         timing: ``"predicted"`` (analytical kernel times, default) or
             ``"simulated"`` (memory-hierarchy simulation per node —
             seconds per node).
+        stitch: force memory-intensive stitching on/off for the partition
+            (default: the ``REPRO_STITCH`` environment, on).  Stitched
+            plan nodes cover several graph nodes; see
+            :attr:`NodePlan.members`.
 
     Returns:
         the assembled, serializable network plan.
@@ -264,12 +289,13 @@ def compile_network(
             f"(use {TIMING_PREDICTED!r} or {TIMING_SIMULATED!r})"
         )
     simulate = timing == TIMING_SIMULATED
-    partition = partition_graph(dag)
+    partition = partition_graph(dag, stitch=stitch)
     fusable_names = {node.name for node in partition.chains}
+    plan_nodes = partition.all_nodes()
 
     results: Dict[str, Tuple[CompileResult, str]] = {}
     if service is None:
-        for node in dag.nodes:
+        for node in plan_nodes:
             result = pipeline.compile_chain(
                 node.chain, hardware, config, policy=policy
             )
@@ -279,13 +305,13 @@ def compile_network(
 
         requests = [
             CompileRequest(chain=node.chain, hardware=hardware, config=config)
-            for node in dag.nodes
+            for node in plan_nodes
         ]
         report = service.compile_batch(
             requests, max_workers=max_workers, timeout=timeout
         )
         failures: List[str] = []
-        for node, item in zip(dag.nodes, report.items):
+        for node, item in zip(plan_nodes, report.items):
             if item.served is None or item.served.result is None:
                 failures.append(
                     f"{node.name}: {item.error or item.status}"
@@ -295,23 +321,27 @@ def compile_network(
         if failures:
             raise NetworkCompilationError(
                 f"network {dag.name!r} on {hardware.name}: "
-                f"{len(failures)}/{len(dag.nodes)} nodes failed — "
+                f"{len(failures)}/{len(plan_nodes)} nodes failed — "
                 + "; ".join(failures)
             )
 
-    nodes = tuple(
-        _node_plan(
-            node,
-            results[node.name][0],
-            hardware,
-            node.name in fusable_names,
-            results[node.name][1],
-            simulate,
+    nodes = []
+    for node in plan_nodes:
+        record = partition.stitched_record(node.name)
+        nodes.append(
+            _node_plan(
+                node,
+                results[node.name][0],
+                hardware,
+                node.name in fusable_names,
+                results[node.name][1],
+                simulate,
+                members=partition.members_of(node.name),
+                stitched=record.stitched if record is not None else (),
+            )
         )
-        for node in dag.nodes
-    )
     return NetworkPlan(
-        network=dag.name, hardware=hardware, nodes=nodes, timing=timing
+        network=dag.name, hardware=hardware, nodes=tuple(nodes), timing=timing
     )
 
 

@@ -33,7 +33,9 @@ from ..ir.loops import Loop, LoopKind
 from ..ir.operator import OperatorSpec
 from ..ir.tensor import TensorSpec
 
-FORMAT_VERSION = 2
+#: Version 3 added stitched-node membership (``members`` / ``stitched``)
+#: to network plan nodes.
+FORMAT_VERSION = 3
 
 PathLike = Union[str, pathlib.Path]
 
@@ -289,6 +291,16 @@ def network_plan_to_dict(plan: "NetworkPlan") -> Dict[str, Any]:
                 "plans": [plan_to_dict(p) for p in node.plans],
                 "time": node.time,
                 "unfused_time": node.unfused_time,
+                "members": list(node.members),
+                "stitched": [
+                    {
+                        "node": s.node,
+                        "op": s.op,
+                        "tag": s.tag,
+                        "role": s.role,
+                    }
+                    for s in node.stitched
+                ],
             }
             for node in plan.nodes
         ],
@@ -301,6 +313,7 @@ def network_plan_from_dict(data: Dict[str, Any]) -> "NetworkPlan":
     Raises:
         PlanFormatError: for unknown format versions or missing fields.
     """
+    from ..ir.graph import StitchedOp
     from .network import NetworkPlan, NodePlan
 
     version = data.get("format_version")
@@ -323,6 +336,16 @@ def network_plan_from_dict(data: Dict[str, Any]) -> "NetworkPlan":
                     plans=tuple(plan_from_dict(p) for p in nd["plans"]),
                     time=nd["time"],
                     unfused_time=nd["unfused_time"],
+                    members=tuple(nd["members"]),
+                    stitched=tuple(
+                        StitchedOp(
+                            node=sd["node"],
+                            op=sd["op"],
+                            tag=sd["tag"],
+                            role=sd["role"],
+                        )
+                        for sd in nd["stitched"]
+                    ),
                 )
                 for nd in data["nodes"]
             ),

@@ -10,6 +10,7 @@ from .hierarchy import MemoryHierarchySim, SimConfig
 from .linecache import (
     LineHierarchySim,
     SetAssociativeCache,
+    boundary_fill_traffic,
     measure_movement_lines,
     simulate_movement_lines,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "SimConfig",
     "LineHierarchySim",
     "SetAssociativeCache",
+    "boundary_fill_traffic",
     "measure_movement_lines",
     "simulate_movement_lines",
     "SimReport",

@@ -21,12 +21,24 @@ Two engines produce **identical counters**:
     are, after the first, guaranteed MRU hits in the innermost level and
     touch nothing else — so a run of length ``n`` contributes ``n - 1``
     straight to that level's hit counter;
-  - reads walk inward-out and writes touch only the innermost level, so
-    level ``k+1``'s input stream is exactly level ``k``'s read-miss
-    stream — levels can be simulated one at a time;
+  - reads walk inward-out, demand writes land in the innermost level,
+    and a dirty victim evicted from level ``k`` installs into level
+    ``k+1`` (the write-back path) — so level ``k+1``'s input stream is
+    exactly level ``k``'s read misses interleaved with its dirty
+    write-backs, and levels can still be simulated one at a time;
   - a boundary query therefore needs only the levels up to the requested
     one (lazy simulation), because a level's counters depend only on its
     own input stream.
+
+The write-back installation is what makes fusion visible at line
+granularity: a produced-then-consumed intermediate that outgrows the
+innermost level migrates outward through the hierarchy instead of
+falling off the chip, so its later reads hit in an outer level.
+Stitched chains (:mod:`repro.ir.stitch`) lean on exactly this — the
+bridge tensor between a CI block and its folded memory-intensive op
+stays somewhere on chip, contributing zero DRAM-boundary *fills*
+(:func:`boundary_fill_traffic` attributes them per tensor), whereas the
+unstitched per-op programs write it back and re-read it cold.
 
 The equivalence suite (``tests/test_compiled_schedule.py``) asserts
 field-by-field equal :class:`CacheStats` between the engines.
@@ -84,6 +96,18 @@ class SetAssociativeCache:
         Misses fill the line (counted in ``fill_bytes`` for reads) and may
         evict the set's LRU way (dirty evictions count as write-backs).
         """
+        hit, _ = self.demand(line, write=write)
+        return hit
+
+    def demand(
+        self, line: int, *, write: bool = False
+    ) -> Tuple[bool, Optional[int]]:
+        """Demand access returning (hit, evicted dirty victim line).
+
+        The victim (None when the eviction was clean or absent) lets a
+        hierarchy install it into the next level outward — the write-back
+        path that keeps produced-then-consumed intermediates on chip.
+        """
         index = line % self.num_sets
         tag = line // self.num_sets
         ways = self._sets[index]
@@ -95,7 +119,7 @@ class SetAssociativeCache:
                     self.stats.write_hits += 1
                 else:
                     self.stats.read_hits += 1
-                return True
+                return True, None
         if write:
             self.stats.write_misses += 1
         else:
@@ -103,18 +127,53 @@ class SetAssociativeCache:
             self.stats.fill_bytes += self.line_bytes
         ways.append((tag, write))
         if len(ways) > self.ways:
-            _, dirty = ways.pop(0)
+            victim_tag, dirty = ways.pop(0)
             if dirty:
                 self.stats.writeback_bytes += self.line_bytes
-        return False
+                return False, victim_tag * self.num_sets + index
+        return False, None
+
+    def install(self, line: int) -> Optional[int]:
+        """Install a dirty line written back from the level inward.
+
+        Installs are not demand traffic: no hit/miss/fill counters move.
+        The line lands dirty at MRU; an evicted dirty victim is counted
+        as this level's write-back and returned for further cascading.
+        """
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        ways = self._sets[index]
+        for position, (resident, _) in enumerate(ways):
+            if resident == tag:
+                ways.pop(position)
+                ways.append((tag, True))
+                return None
+        ways.append((tag, True))
+        if len(ways) > self.ways:
+            victim_tag, dirty = ways.pop(0)
+            if dirty:
+                self.stats.writeback_bytes += self.line_bytes
+                return victim_tag * self.num_sets + index
+        return None
 
     def flush(self) -> None:
         """Write back all dirty lines."""
-        for ways in self._sets:
-            for _, dirty in ways:
+        self.drain()
+
+    def drain(self) -> List[int]:
+        """Flush, returning the dirty lines in eviction order.
+
+        A hierarchy installs them into the next level outward so the
+        final level's write-back counter is the true DRAM write traffic.
+        """
+        dirty_lines: List[int] = []
+        for index, ways in enumerate(self._sets):
+            for tag, dirty in ways:
                 if dirty:
                     self.stats.writeback_bytes += self.line_bytes
+                    dirty_lines.append(tag * self.num_sets + index)
             ways.clear()
+        return dirty_lines
 
     @property
     def traffic(self) -> float:
@@ -203,21 +262,44 @@ class LineHierarchySim:
             )
         ]
 
+    def _install(self, level: int, line: Optional[int]) -> None:
+        """Cascade a written-back line outward from ``level``."""
+        while line is not None and level < len(self.caches):
+            line = self.caches[level].install(line)
+            level += 1
+
+    def _demand_read(self, level: int, line: int) -> None:
+        """Read walking outward; victims install after the read passes.
+
+        The ordering (read miss propagates to the next level before the
+        victim of this level's fill installs there) mirrors the fast
+        engine's event stream exactly, keeping the engines bit-identical.
+        """
+        if level >= len(self.caches):
+            return
+        hit, victim = self.caches[level].demand(line)
+        if not hit:
+            self._demand_read(level + 1, line)
+        if victim is not None:
+            self._install(level + 1, victim)
+
     def access_line(self, line: int, *, write: bool = False) -> None:
         if write:
-            self.caches[0].access(line, write=True)
+            _, victim = self.caches[0].demand(line, write=True)
+            if victim is not None:
+                self._install(1, victim)
             return
-        for cache in self.caches:
-            if cache.access(line):
-                return
+        self._demand_read(0, line)
 
     def access_span(self, first: int, last: int, *, write: bool = False) -> None:
         for line in range(first, last + 1):
             self.access_line(line, write=write)
 
     def flush(self) -> None:
-        for cache in self.caches:
-            cache.flush()
+        """Drain inner levels outward: dead data still pays every hop."""
+        for index, cache in enumerate(self.caches):
+            for line in cache.drain():
+                self._install(index + 1, line)
 
     def boundary_traffic(self) -> Dict[str, float]:
         """Bytes crossing each level's outer boundary (fills + write-backs)."""
@@ -416,14 +498,16 @@ def _replay_innermost(
 
     Per set a plain dict keyed by line (insertion order = LRU order,
     pop + reinsert = move-to-MRU) holds the dirty bit.  Returns the
-    level's post-flush stats and (optionally) its read-miss stream —
-    which is exactly the next level's input, since writes stop here.
+    level's post-flush stats and (optionally) its output event stream —
+    the next level's input: read misses interleaved, in order, with the
+    dirty victims this level writes back (``line << 1 | kind``, kind 1
+    for a write-back install).
     """
     sets: List[Dict[int, bool]] = [dict() for _ in range(num_sets)]
     read_hits = read_misses = write_hits = write_misses = 0
     writeback_lines = 0
-    missed: List[int] = []
-    miss_append = missed.append
+    events: List[int] = []
+    emit = events.append
     sentinel = -1  # dirty bits are bools; -1 marks "absent"
 
     for line, set_index, write in zip(
@@ -437,12 +521,14 @@ def _replay_innermost(
             else:
                 read_misses += 1
                 if collect_misses:
-                    miss_append(line)
+                    emit(line << 1)
             entries[line] = write
             if len(entries) > ways:
                 victim = next(iter(entries))
                 if entries.pop(victim):
                     writeback_lines += 1
+                    if collect_misses:
+                        emit((victim << 1) | 1)
         else:
             entries[line] = dirty or write
             if write:
@@ -450,11 +536,14 @@ def _replay_innermost(
             else:
                 read_hits += 1
 
-    # Flush: every still-resident dirty line writes back.
+    # Flush: every still-resident dirty line writes back (installing
+    # into the next level outward, exactly like mid-stream victims).
     for entries in sets:
-        for dirty in entries.values():
+        for line, dirty in entries.items():
             if dirty:
                 writeback_lines += 1
+                if collect_misses:
+                    emit((line << 1) | 1)
 
     stats = CacheStats(
         read_hits=read_hits + stream.repeat_read_hits,
@@ -464,45 +553,72 @@ def _replay_innermost(
         fill_bytes=read_misses * line_bytes,
         writeback_bytes=writeback_lines * line_bytes,
     )
-    return stats, missed
+    return stats, events
 
 
-def _replay_reads(
-    lines: Sequence[int],
+def _replay_events(
+    events: Sequence[int],
     ways: int,
     num_sets: int,
     line_bytes: int,
     collect_misses: bool,
 ) -> Tuple[CacheStats, List[int]]:
-    """Replay a read-only miss stream through one outer level.
+    """Replay one outer level's input event stream.
 
-    Outer levels never see writes (writes land in the innermost level
-    only), so entries are never dirty and flush writes nothing back.
+    Events are the inner level's read misses (demand reads here) and its
+    dirty write-backs (installs here).  Installs are not demand traffic:
+    they land dirty at MRU without touching hit/miss/fill counters, and
+    they never fetch from the next level on absence — data arrives from
+    inside the chip.  The level's own output stream has the same shape,
+    so levels still factor and a boundary query stays lazy.
     """
-    sets: List[Dict[int, None]] = [dict() for _ in range(num_sets)]
+    sets: List[Dict[int, bool]] = [dict() for _ in range(num_sets)]
     read_hits = read_misses = 0
-    missed: List[int] = []
-    miss_append = missed.append
+    writeback_lines = 0
+    out: List[int] = []
+    emit = out.append
     sentinel = -1
-    for line in lines:
+    for event in events:
+        line = event >> 1
         entries = sets[line % num_sets]
-        if entries.pop(line, sentinel) is sentinel:
+        dirty = entries.pop(line, sentinel)
+        if event & 1:  # write-back install from the level inward
+            entries[line] = True
+            if dirty is sentinel and len(entries) > ways:
+                victim = next(iter(entries))
+                if entries.pop(victim):
+                    writeback_lines += 1
+                    if collect_misses:
+                        emit((victim << 1) | 1)
+        elif dirty is sentinel:  # demand read miss
             read_misses += 1
             if collect_misses:
-                miss_append(line)
-            entries[line] = None
+                emit(line << 1)
+            entries[line] = False
             if len(entries) > ways:
-                del entries[next(iter(entries))]
-        else:
-            entries[line] = None
+                victim = next(iter(entries))
+                if entries.pop(victim):
+                    writeback_lines += 1
+                    if collect_misses:
+                        emit((victim << 1) | 1)
+        else:  # demand read hit (dirty bit survives)
+            entries[line] = dirty
             read_hits += 1
+
+    for entries in sets:
+        for line, dirty in entries.items():
+            if dirty:
+                writeback_lines += 1
+                if collect_misses:
+                    emit((line << 1) | 1)
 
     stats = CacheStats(
         read_hits=read_hits,
         read_misses=read_misses,
         fill_bytes=read_misses * line_bytes,
+        writeback_bytes=writeback_lines * line_bytes,
     )
-    return stats, missed
+    return stats, out
 
 
 def simulate_movement_lines(
@@ -559,21 +675,20 @@ def simulate_movement_lines(
         last = [name for name, _ in levels].index(upto_level)
 
     results: Dict[str, CacheStats] = {}
-    missed: List[int] = []
+    events: List[int] = []
     for index in range(last + 1):
         name, capacity = levels[index]
         eff_ways, num_sets = _geometry(capacity, line_bytes, ways)
         if index == 0:
-            stats, missed = _replay_innermost(
+            stats, events = _replay_innermost(
                 stream, eff_ways, num_sets, line_bytes,
                 collect_misses=index < last,
             )
         else:
-            # This level's input: the previous level's read misses (all
-            # reads — writes stop at the innermost level, and only a
-            # run's first access can miss there).
-            stats, missed = _replay_reads(
-                missed, eff_ways, num_sets, line_bytes,
+            # This level's input: the previous level's read misses plus
+            # its dirty write-backs, interleaved in eviction order.
+            stats, events = _replay_events(
+                events, eff_ways, num_sets, line_bytes,
                 collect_misses=index < last,
             )
         results[name] = stats
@@ -610,3 +725,67 @@ def measure_movement_lines(
     )
     level_stats = stats[level]
     return float(level_stats.fill_bytes + level_stats.writeback_bytes)
+
+
+def boundary_fill_traffic(
+    chain,
+    hardware: HardwareSpec,
+    program: BlockProgram,
+    level: Optional[str] = None,
+    *,
+    line_bytes: int = 64,
+    ways: int = 8,
+    shared_capacity_per_core: bool = True,
+) -> Dict[str, int]:
+    """Per-tensor fill bytes a level fetches from the next level outward.
+
+    With ``level`` left at the outermost on-chip level this is the read
+    traffic crossing the DRAM boundary, attributed to tensors by address
+    span (tensor placements are page-aligned, so no line is shared).
+    Tensors that never miss at the level — e.g. a stitched bridge tensor
+    written on chip and re-read before eviction from the hierarchy — get
+    a zero entry, which is how the stitching suite proves an
+    intermediate's round trip disappeared rather than just shrank.
+
+    Only fills are attributed: write-backs of dead intermediates at the
+    final flush are unavoidable for any cache (it cannot know the data
+    is dead), so the read side is where stitching's saving shows.
+    """
+    levels = _level_capacities(hardware, shared_capacity_per_core)
+    names = [name for name, _ in levels]
+    if level is None:
+        level = names[-1]
+    stream = _line_stream(program, line_bytes)
+    events: Sequence[int] = []
+    for index in range(names.index(level) + 1):
+        _, capacity = levels[index]
+        eff_ways, num_sets = _geometry(capacity, line_bytes, ways)
+        if index == 0:
+            _, events = _replay_innermost(
+                stream, eff_ways, num_sets, line_bytes, collect_misses=True
+            )
+        else:
+            _, events = _replay_events(
+                events, eff_ways, num_sets, line_bytes, collect_misses=True
+            )
+
+    layouts = build_layouts(chain)
+    starts, ends, order = [], [], []
+    for name, layout in sorted(
+        layouts.items(), key=lambda item: item[1].base
+    ):
+        start = layout.base * layout.elem_bytes // line_bytes
+        nbytes = layout.strides[0] * layout.shape[0] * layout.elem_bytes
+        starts.append(start)
+        ends.append(start + (nbytes + line_bytes - 1) // line_bytes)
+        order.append(name)
+
+    counts = {name: 0 for name in layouts}
+    if events:
+        raw = np.asarray(events, dtype=np.int64)
+        lines = raw[(raw & 1) == 0] >> 1  # demand-read fills only
+        slots = np.searchsorted(np.asarray(starts), lines, side="right") - 1
+        for slot, count in zip(*np.unique(slots, return_counts=True)):
+            if 0 <= slot < len(order) and lines[slots == slot].max() < ends[slot]:
+                counts[order[slot]] += int(count) * line_bytes
+    return counts

@@ -3,14 +3,18 @@
 Each encoder layer contributes:
 
 * the QKV projection and output projection (compute-intensive GEMMs),
-* the attention batch GEMM chain with softmax (the fusable target),
+* the attention score/softmax/value operators (stitched into one fused
+  chain by the partitioner — the paper's Figure 2 workload),
 * the two FFN GEMMs with a GELU between,
 * residual LayerNorms (memory-intensive).
 
-Only the attention batch GEMM chain is replaced by Chimera in the paper's
-end-to-end runs (Relay+Chimera); everything else runs under the host
-compiler, which :func:`network_time` models by timing chain nodes and
-non-chain nodes with independently chosen systems.
+The graph carries each operator as its own node; it is
+:func:`repro.ir.graph.partition_graph` that decides what fuses.  With
+stitching on, attention compiles as one chain with softmax on-chip, and
+the FFN/LayerNorm glue rides along with the adjacent GEMMs.
+:func:`network_time` times the partition's chain nodes and remainder
+nodes with independently chosen systems, mirroring the paper's
+Relay+Chimera end-to-end setup.
 """
 
 from __future__ import annotations
@@ -21,9 +25,15 @@ from typing import Dict, Mapping, Optional
 from ..baselines.systems import get_system
 from ..hardware.spec import HardwareSpec
 from ..ir import builders
-from ..ir.chains import batch_gemm_chain
 from ..ir.dtypes import FP16
-from ..ir.graph import ComputeDAG, GraphBuilder, GraphNode, is_fusable
+from ..ir.graph import (
+    ComputeDAG,
+    GraphBuilder,
+    GraphNode,
+    GraphPartition,
+    is_fusable,
+    partition_graph,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,15 +115,24 @@ def build_network(config: NetworkConfig) -> ComputeDAG:
     )
     qkv = builder.add_op(qkv_op, qkv_tensors, repeat=repeat)
 
-    attention = batch_gemm_chain(
-        config.heads,
-        seq,
-        config.head_dim,
-        config.head_dim,
-        seq,
-        with_softmax=True,
-    ).with_name(f"{config.name}-attention")
-    attn = builder.add_chain(attention, deps=[qkv], repeat=repeat)
+    # Attention as three graph nodes (QK^T, softmax, AV).  The stitching
+    # partitioner merges them back into one fused chain — softmax rides
+    # inside the batch-GEMM block schedule instead of round-tripping its
+    # (heads, seq, seq) score matrix through DRAM.
+    score_op, score_tensors = builders.batch_gemm(
+        "attention_score", config.heads, seq, config.head_dim, seq
+    )
+    score = builder.add_op(score_op, score_tensors, deps=[qkv], repeat=repeat)
+
+    sm_op, sm_tensors = builders.softmax(
+        "attention_softmax", (config.heads, seq, seq)
+    )
+    sm = builder.add_op(sm_op, sm_tensors, deps=[score], repeat=repeat)
+
+    value_op, value_tensors = builders.batch_gemm(
+        "attention_value", config.heads, seq, seq, config.head_dim
+    )
+    attn = builder.add_op(value_op, value_tensors, deps=[sm], repeat=repeat)
 
     out_op, out_tensors = builders.gemm("out_proj", seq, hidden, hidden)
     out = builder.add_op(out_op, out_tensors, deps=[attn], repeat=repeat)
@@ -171,6 +190,7 @@ def network_time(
     base_system: str,
     chain_system: Optional[str] = None,
     chain_times: Optional[Mapping[str, float]] = None,
+    partition: Optional[GraphPartition] = None,
 ) -> "NetworkTiming":
     """Time a network with one system for chains and one for the rest.
 
@@ -183,11 +203,16 @@ def network_time(
         hardware: machine model to time on.
         base_system: registry key timing the non-chain nodes.
         chain_system: registry key timing the fusable chains analytically.
-        chain_times: per-execution chain times by node name — typically
-            ``{n.name: n.time for n in network_plan.nodes}`` from a
-            compiled :class:`repro.runtime.NetworkPlan`, replacing the
-            analytic chain model with plan-backed timings.  Exactly one of
-            ``chain_system`` / ``chain_times`` must be given.
+        chain_times: per-execution chain times by *partition* node name —
+            typically ``{n.name: n.time for n in network_plan.nodes}``
+            from a compiled :class:`repro.runtime.NetworkPlan`, replacing
+            the analytic chain model with plan-backed timings.  Exactly
+            one of ``chain_system`` / ``chain_times`` must be given.
+        partition: the graph partition to time (defaults to
+            ``partition_graph(dag)``, which stitches MI glue under
+            ``REPRO_STITCH``).  Pass the partition a plan was compiled
+            from so ``chain_times`` keys line up with stitched node
+            names.
 
     Raises:
         ValueError: when neither or both chain sources are given, or when
@@ -197,11 +222,14 @@ def network_time(
         raise ValueError(
             "pass exactly one of chain_system= or chain_times="
         )
+    if partition is None:
+        partition = partition_graph(dag)
     base = get_system(base_system)
     chain_sys = None if chain_system is None else get_system(chain_system)
+    chain_names = {node.name for node in partition.chains}
     node_times: Dict[str, float] = {}
-    for node in dag.nodes:
-        if is_fusable_chain(node):
+    for node in partition.all_nodes():
+        if node.name in chain_names:
             if chain_sys is not None:
                 per_exec = chain_sys.run(node.chain, hardware).time
             else:

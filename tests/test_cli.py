@@ -102,6 +102,11 @@ class TestServiceCli:
 
 
 class TestNetworkCli:
+    @pytest.fixture(autouse=True)
+    def _force_stitching(self, monkeypatch):
+        # The table assertions describe the stitched partition.
+        monkeypatch.setenv("REPRO_STITCH", "1")
+
     def test_compile_network_table_then_warm_json(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "plans")
         out_path = tmp_path / "bert-small.network.json"
@@ -111,7 +116,8 @@ class TestNetworkCli:
             "--out", str(out_path),
         ]) == 0
         cold = capsys.readouterr().out
-        assert "Bert-Small-attention" in cold
+        assert "attention_score+attention_softmax+attention_value" in cold
+        assert "stitched" in cold
         assert "end-to-end" in cold
         assert out_path.exists()
 

@@ -9,6 +9,7 @@ from repro.ir.chains import gemm_chain
 from repro.sim.linecache import (
     LineHierarchySim,
     SetAssociativeCache,
+    boundary_fill_traffic,
     build_layouts,
     measure_movement_lines,
     region_lines,
@@ -47,6 +48,75 @@ class TestSetAssociativeCache:
     def test_tiny_capacity_degrades_ways(self):
         cache = SetAssociativeCache("L1", 64, line_bytes=64, ways=8)
         assert cache.ways == 1
+
+
+class TestWriteBackInstallation:
+    """Dirty victims install into the next level out — the path that keeps
+    produced-then-consumed intermediates on chip across kernel stages."""
+
+    def _sim(self):
+        levels = (
+            MemoryLevel("L1", 128, 1e9),    # 2 lines at 64B, direct-mapped
+            MemoryLevel("L2", 1024, 1e9),   # 16 lines
+            MemoryLevel("DRAM", None, 1e9),
+        )
+        hw = HardwareSpec(
+            name="tiny", backend="cpu", peak_flops=1e9, num_cores=1,
+            levels=levels,
+        )
+        return LineHierarchySim(hw, ways=1)
+
+    def test_install_is_not_demand_traffic(self):
+        cache = SetAssociativeCache("L2", 1024, line_bytes=64, ways=1)
+        assert cache.install(3) is None
+        assert cache.stats.fill_bytes == 0
+        assert cache.stats.read_misses == 0
+        assert cache.access(3)  # the installed line is resident
+
+    def test_install_cascades_its_own_dirty_victim(self):
+        cache = SetAssociativeCache("L2", 128, line_bytes=64, ways=1)
+        assert cache.install(0) is None
+        victim = cache.install(2)  # same set: evicts dirty line 0
+        assert victim == 0
+        assert cache.stats.writeback_bytes == 64
+
+    def test_evicted_dirty_line_lands_in_next_level(self):
+        sim = self._sim()
+        l1, l2 = sim.caches
+        sim.access_line(0, write=True)
+        sim.access_line(2)  # conflicts with line 0 in L1: dirty eviction
+        assert l1.stats.writeback_bytes == 64
+        sim.access_line(0)  # L1 miss, but L2 holds the written-back line
+        assert l2.stats.read_hits == 1
+        assert l2.stats.fill_bytes == 64  # only line 2 was demand-filled
+
+    def test_flush_drains_inner_levels_outward(self):
+        sim = self._sim()
+        l1, l2 = sim.caches
+        sim.access_line(0, write=True)
+        sim.flush()
+        # The dirty line pays every hop: L1 -> L2, then L2 -> DRAM, so the
+        # outermost write-back counter is the true DRAM write traffic.
+        assert l1.stats.writeback_bytes == 64
+        assert l2.stats.writeback_bytes == 64
+
+    def test_boundary_fill_traffic_attributes_compulsory_io(self):
+        """With the full LLC, a fused chain's DRAM fills are exactly the
+        compulsory input fetches; intermediates never cross the boundary."""
+        chain = gemm_chain(16, 16, 16, 16)
+        hw = xeon_gold_6240()
+        program = lower_schedule(
+            chain, ("m", "l", "k", "n"),
+            {"m": 16, "l": 16, "k": 16, "n": 16},
+        )
+        fills = boundary_fill_traffic(
+            chain, hw, program, shared_capacity_per_core=False
+        )
+        assert set(fills) == set(chain.tensors)
+        for name in chain.input_tensors():
+            assert fills[name] >= chain.tensors[name].nbytes
+        for name in chain.intermediate_tensors():
+            assert fills[name] == 0
 
 
 class TestLayouts:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.hardware import a100, xeon_gold_6240
+from repro.ir.graph import partition_graph
 from repro.workloads import (
     NETWORKS,
     NetworkConfig,
@@ -106,10 +107,15 @@ class TestNetworks:
         assert "ffn1" in names and "ln2" in names
         assert all(n.repeat == 4 for n in dag.nodes)
 
-    def test_only_attention_is_fusable(self):
+    def test_fusable_chains_come_from_stitching(self):
+        # The attention block is built from single-op graph nodes, so no
+        # raw node is a fusable chain on its own; the stitched partition
+        # reassembles attention (and the other glue runs) into chains.
         dag = build_network(network_config("Bert-Small"))
-        fusable = [n.name for n in dag.nodes if is_fusable_chain(n)]
-        assert len(fusable) == 1 and "attention" in fusable[0]
+        assert not any(is_fusable_chain(n) for n in dag.nodes)
+        partition = partition_graph(dag, stitch=True)
+        chain_names = [n.name for n in partition.chains]
+        assert any("attention" in name for name in chain_names)
 
     def test_network_flops_scale_with_layers(self):
         small = build_network(network_config("Bert-Small"))
@@ -147,7 +153,10 @@ class TestDegenerateConfigs:
             dag, xeon_gold_6240(), base_system="relay",
             chain_system="ansor",
         )
-        assert set(timing.node_times) == {n.name for n in dag.nodes}
+        partition = partition_graph(dag)
+        assert set(timing.node_times) == {
+            n.name for n in partition.all_nodes()
+        }
         for name, value in timing.node_times.items():
             assert value > 0, f"node {name} timed at {value}"
         assert timing.total > 0
@@ -167,7 +176,7 @@ class TestDegenerateConfigs:
         with pytest.raises(ValueError, match="chain_times misses"):
             network_time(
                 dag, xeon_gold_6240(), base_system="relay",
-                chain_times={},
+                chain_times={}, partition=partition_graph(dag, stitch=True),
             )
 
     def test_exactly_one_chain_source_required(self):
@@ -194,7 +203,10 @@ class TestNetworkTiming:
             dag, hw, base_system="relay", chain_system="cudnn"
         )
         assert with_chimera.total < with_cudnn.total
-        assert set(with_chimera.node_times) == {n.name for n in dag.nodes}
+        partition = partition_graph(dag)
+        assert set(with_chimera.node_times) == {
+            n.name for n in partition.all_nodes()
+        }
 
 
 class TestBreakdown:
