@@ -1,0 +1,119 @@
+"""Uniform ``BENCH_*.json`` artifact writing for the benchmark suite.
+
+Every gated benchmark persists a machine-readable artifact next to its
+text report.  Historically each benchmark rolled its own JSON layout;
+this module gives them one envelope so downstream tooling can diff
+artifacts across benchmarks and runs without per-file special cases:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "benchmark": "graph_schedule",
+      "mode": "full",
+      "preset": "xeon-gold-6240",
+      "gates": [{"name": "...", "passed": true, "detail": "..."}],
+      "payload": { ... benchmark-specific results ... }
+    }
+
+Usage::
+
+    gates = [gate("peak-reduced", sched < naive, f"{sched} < {naive}")]
+    write_artifact("graph_schedule", payload, preset=hw.name, gates=gates)
+    assert_gates(gates)
+
+``assert_gates`` raises on the first failing gate *after* the artifact is
+written, so a red run still leaves its evidence on disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Optional, Sequence
+
+#: Bump when the artifact envelope (not a benchmark's payload) changes.
+SCHEMA_VERSION = 1
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """One pass/fail criterion of a gated benchmark.
+
+    Attributes:
+        name: short stable identifier (artifact diffing keys on it).
+        passed: whether the criterion held.
+        detail: human-readable evidence (the compared numbers).
+    """
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+def gate(name: str, passed: bool, detail: str = "") -> Gate:
+    """Build a :class:`Gate`, coercing truthiness to a plain bool."""
+    return Gate(name=name, passed=bool(passed), detail=detail)
+
+
+def write_artifact(
+    benchmark: str,
+    payload: Any,
+    *,
+    preset: str,
+    gates: Sequence[Gate] = (),
+    mode: str = "full",
+    results_dir: Optional[pathlib.Path] = None,
+) -> pathlib.Path:
+    """Write ``BENCH_{benchmark}.json`` in the shared envelope.
+
+    Args:
+        benchmark: artifact name (file becomes ``BENCH_{benchmark}.json``).
+        payload: benchmark-specific JSON-ready results.
+        preset: hardware preset the run used.
+        gates: the gate results to stamp in (pass *and* fail — the
+            artifact records what was checked, not only what succeeded).
+        mode: ``"full"`` or ``"smoke"``.
+        results_dir: override the output directory (tests).
+
+    Returns:
+        the path written.
+    """
+    directory = RESULTS_DIR if results_dir is None else results_dir
+    directory.mkdir(exist_ok=True, parents=True)
+    path = directory / f"BENCH_{benchmark}.json"
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "mode": mode,
+        "preset": preset,
+        "gates": [dataclasses.asdict(g) for g in gates],
+        "payload": payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def assert_gates(gates: Sequence[Gate]) -> None:
+    """Raise ``AssertionError`` naming every failed gate (none: no-op)."""
+    failed = [g for g in gates if not g.passed]
+    if failed:
+        raise AssertionError(
+            "benchmark gate(s) failed: "
+            + "; ".join(f"{g.name} ({g.detail})" for g in failed)
+        )
+
+
+def load_artifact(path: pathlib.Path) -> Any:
+    """Read an artifact back, validating the envelope version."""
+    document = json.loads(pathlib.Path(path).read_text())
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"artifact {path} has schema_version {version!r}; "
+            f"this build reads {SCHEMA_VERSION}"
+        )
+    return document

@@ -19,7 +19,8 @@ into the adjacent compute-intensive block schedules) and ``stitch=False``
 predicted end-to-end time must not exceed the unstitched plan's, and the
 stitched partition must actually merge nodes.  Results land in
 ``benchmarks/results/bench_stitching.txt`` and
-``benchmarks/results/BENCH_stitching.json``.
+``benchmarks/results/BENCH_stitching.json`` (the shared
+``benchmarks/artifact.py`` envelope: schema version, preset, gates).
 
 Run the stitching comparison standalone with
 ``python benchmarks/bench_network_compile.py [--smoke]``; ``--smoke``
@@ -27,21 +28,19 @@ restricts to Bert-Small (CI keeps it quick) but enforces the same gate.
 """
 
 import argparse
-import json
 import pathlib
 import sys
 import tempfile
 
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
 import repro
+from artifact import assert_gates, gate, write_artifact
 from repro.analysis import render_table
 from repro.runtime.network import benchmark_network_compile, compile_network
 from repro.workloads import build_network, network_config
 
 MIN_WARM_SPEEDUP = 5.0
-
-RESULTS_JSON = (
-    pathlib.Path(__file__).parent / "results" / "BENCH_stitching.json"
-)
 
 FULL_NETWORKS = ("Bert-Small", "Bert-Base")
 SMOKE_NETWORKS = ("Bert-Small",)
@@ -92,22 +91,28 @@ def run_stitching_experiment(smoke=False):
 
 
 def _finish_stitching(payload, text, write_json):
-    if write_json:
-        RESULTS_JSON.parent.mkdir(exist_ok=True)
-        RESULTS_JSON.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        )
+    gates = []
     for name, stats in payload["networks"].items():
-        assert stats["stitched_nodes"], (
-            f"{name}: stitching merged no graph nodes — the partition "
-            f"should fold attention softmax (and the other glue runs) "
-            f"into compute-intensive chains"
+        gates.append(gate(
+            f"{name}-merges-nodes",
+            bool(stats["stitched_nodes"]),
+            f"stitched nodes: {', '.join(stats['stitched_nodes']) or 'none'}",
+        ))
+        gates.append(gate(
+            f"{name}-stitched-not-slower",
+            stats["stitched_time_s"] <= stats["unstitched_time_s"],
+            f"stitched {stats['stitched_time_s'] * 1e3:.3f} ms vs "
+            f"unstitched {stats['unstitched_time_s'] * 1e3:.3f} ms",
+        ))
+    if write_json:
+        write_artifact(
+            "stitching",
+            payload,
+            preset=payload["hardware"],
+            gates=gates,
+            mode=payload["mode"],
         )
-        assert stats["stitched_time_s"] <= stats["unstitched_time_s"], (
-            f"{name}: stitched plan predicted "
-            f"{stats['stitched_time_s'] * 1e3:.3f} ms, slower than the "
-            f"unstitched {stats['unstitched_time_s'] * 1e3:.3f} ms"
-        )
+    assert_gates(gates)
 
 
 def test_stitching_speedup(benchmark):

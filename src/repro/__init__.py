@@ -43,6 +43,7 @@ from .ir import (
 )
 from .runtime import (
     CompileResult,
+    GraphSchedule,
     NetworkCompilationError,
     NetworkPlan,
     PlanFormatError,
@@ -54,6 +55,7 @@ from .runtime import (
     optimize_chain,
     save_network_plan,
     save_plan,
+    schedule_partition,
 )
 from .service import (
     CompilationFailure,
@@ -85,9 +87,11 @@ __all__ = [
     "mlp_chain",
     "separable_chain",
     "CompileResult",
+    "GraphSchedule",
     "NetworkCompilationError",
     "NetworkPlan",
     "PlanFormatError",
+    "schedule_partition",
     "compare",
     "compile_chain",
     "compile_network",

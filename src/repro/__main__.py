@@ -177,6 +177,7 @@ def _cmd_compile_network(args: argparse.Namespace) -> int:
     service = CompileService(
         cache_dir=args.cache_dir, memory_capacity=args.memory_capacity
     )
+    schedule = None if args.schedule is None else args.schedule == "on"
     plan = compile_network(
         dag,
         hw,
@@ -184,11 +185,14 @@ def _cmd_compile_network(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         timeout=args.timeout,
         timing="simulated" if args.simulate else "predicted",
+        schedule=schedule,
+        memory_budget=args.memory_budget,
     )
     if args.out:
         save_network_plan(plan, args.out)
     if args.json:
         stats = service.stats()
+        sched = plan.schedule
         payload = {
             "network": plan.network,
             "hardware": hw.name,
@@ -199,6 +203,24 @@ def _cmd_compile_network(args: argparse.Namespace) -> int:
             "total_time": plan.total_time,
             "unfused_total_time": plan.unfused_total_time,
             "speedup_over_unfused": plan.speedup_over_unfused,
+            "schedule": None if sched is None else {
+                "execution_order": list(sched.order),
+                "peak_memory_bytes": sched.peak_bytes,
+                "naive_peak_bytes": sched.naive_peak_bytes,
+                "peak_reduction": sched.peak_reduction,
+                "memory_budget": sched.memory_budget,
+                "within_budget": sched.within_budget,
+                "evictions": [
+                    {
+                        "producer": record.producer,
+                        "decision": record.decision,
+                        "nbytes": record.nbytes,
+                        "overhead_time": record.overhead_time,
+                    }
+                    for record in sched.evictions
+                ],
+                "overhead_time": sched.overhead_time,
+            },
             "plan_bytes": len(network_plan_json(plan)),
             "service": {
                 "requests": stats["requests"],
@@ -478,6 +500,13 @@ def main(argv: Optional[list] = None) -> int:
                          help="time nodes on the memory-hierarchy "
                               "simulator (slow) instead of the "
                               "analytical model")
+    network.add_argument("--schedule", choices=["on", "off"], default=None,
+                         help="graph-level execution scheduling "
+                              "(default: the REPRO_SCHED environment, on)")
+    network.add_argument("--memory-budget", type=int, default=None,
+                         help="residency budget in bytes for the "
+                              "scheduler (default: the preset's "
+                              "DRAM-side capacity)")
     network.add_argument("--out", default=None,
                          help="write the serialized NetworkPlan here")
     network.add_argument("--json", action="store_true",

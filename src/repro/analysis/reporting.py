@@ -88,13 +88,26 @@ def render_table_ii() -> str:
     return render_table(headers, rows)
 
 
+def format_bytes(value: float) -> str:
+    """Human-readable byte count for memory columns."""
+    for unit, scale in (("GB", 1024 ** 3), ("MB", 1024 ** 2), ("KB", 1024)):
+        if value >= scale:
+            return f"{value / scale:.2f}{unit}"
+    return f"{value:.0f}B"
+
+
 def network_plan_table(plan) -> str:
     """Per-node report for a :class:`repro.runtime.NetworkPlan`.
 
     Duck-typed (any object with ``nodes`` carrying ``name``/``repeat``/
     ``fusable``/``fused``/``kernels``/``source``/``time``/``total_time``)
-    so the analysis layer stays import-light.
+    so the analysis layer stays import-light.  When the plan carries a
+    graph schedule, each row also reports the node's execution position,
+    the resident intermediate bytes at that step, and the residency
+    decision (``keep``/``rematerialize``/``spill``) for the node's
+    output; unscheduled plans render ``-`` in those columns.
     """
+    schedule = getattr(plan, "schedule", None)
     rows = []
     for node in plan.nodes:
         if node.fusable:
@@ -108,6 +121,16 @@ def network_plan_table(plan) -> str:
             # memory-intensive glue have nothing to fuse.
             kind = "ops" if len(node.plans[0].chain.ops) > 1 else "op"
             decision = "-"
+        if schedule is None:
+            pos = live = residency = "-"
+        else:
+            index = schedule.position(node.name)
+            pos = str(index)
+            live = format_bytes(schedule.live_bytes[index])
+            record = schedule.residency_of(node.name)
+            # Nodes without a residency record produce network outputs —
+            # nothing downstream consumes them, so nothing is decided.
+            residency = record.decision if record is not None else "-"
         rows.append(
             [
                 node.name,
@@ -118,11 +141,14 @@ def network_plan_table(plan) -> str:
                 node.source or "-",
                 f"{node.time * 1e6:.2f} us",
                 f"{node.total_time * 1e6:.2f} us",
+                pos,
+                live,
+                residency,
             ]
         )
     return render_table(
         ["node", "kind", "decision", "kernels", "repeat", "source",
-         "per-exec", "total"],
+         "per-exec", "total", "pos", "live", "residency"],
         rows,
     )
 

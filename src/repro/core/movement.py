@@ -123,8 +123,25 @@ def unfused_round_trip_bytes(chain: OperatorChain) -> int:
     for name in chain.intermediate_tensors():
         spec = chain.tensors[name]
         readers = len(chain.consumers_of(name))
-        total += spec.nbytes * (1 + readers)
+        total += spill_round_trip_bytes(spec.nbytes, readers)
     return total
+
+
+def spill_round_trip_bytes(nbytes: int, readers: int) -> int:
+    """DRAM bytes one evicted tensor round-trips: one fill, ``readers`` reads.
+
+    The same accounting Algorithm 1 applies at the chain level — a tensor
+    that cannot stay resident crosses the DRAM boundary once on the write
+    side and once per consumer on the read side — reused by
+    :mod:`repro.runtime.scheduler` to price graph-level spill decisions
+    (seconds follow by dividing through the DRAM bandwidth, exactly like
+    any other movement-model volume).
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if readers < 0:
+        raise ValueError(f"readers must be >= 0, got {readers}")
+    return nbytes * (1 + readers)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -45,6 +45,25 @@ class GraphNode:
         if self.repeat < 1:
             raise ValueError(f"node {self.name!r} repeat must be >= 1")
 
+    def output_bytes(self) -> int:
+        """Bytes of the chain's output tensors (dtype-scaled extents).
+
+        This is the footprint the node's result occupies while it waits
+        for downstream consumers — the quantity the graph-level scheduler
+        accounts as live between producer and last consumer.
+        """
+        return sum(
+            self.chain.tensors[name].nbytes
+            for name in self.chain.output_tensors()
+        )
+
+    def input_bytes(self) -> int:
+        """Bytes of the chain's input tensors."""
+        return sum(
+            self.chain.tensors[name].nbytes
+            for name in self.chain.input_tensors()
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class ComputeDAG:
@@ -79,6 +98,28 @@ class ComputeDAG:
 
     def chains(self) -> Tuple[OperatorChain, ...]:
         return tuple(n.chain for n in self.nodes)
+
+    def consumers(self) -> Dict[str, Tuple[str, ...]]:
+        """Node name -> names of the nodes that depend on it (DAG order)."""
+        table: Dict[str, List[str]] = {node.name: [] for node in self.nodes}
+        for node in self.nodes:
+            for dep in node.deps:
+                table[dep].append(node.name)
+        return {name: tuple(users) for name, users in table.items()}
+
+    def intermediate_bytes(self) -> int:
+        """Total bytes of node outputs consumed elsewhere in the graph.
+
+        Nodes without consumers are network outputs; their results go
+        straight to DRAM and never occupy scheduler-managed residency, so
+        they are excluded (as are graph inputs, which no node produces).
+        """
+        consumed = self.consumers()
+        return sum(
+            node.output_bytes()
+            for node in self.nodes
+            if consumed[node.name]
+        )
 
     def __str__(self) -> str:
         return f"ComputeDAG({self.name}, {len(self.nodes)} nodes)"
@@ -185,6 +226,31 @@ class GraphPartition:
             if record.node.name == name:
                 return record
         return None
+
+    def edges(self) -> Dict[str, Tuple[str, ...]]:
+        """Producer -> consumers over *partition* nodes.
+
+        Node ``deps`` reference original DAG node names; stitched nodes
+        cover several of those, so each dep is first resolved to the
+        partition node owning it.  Self-edges (a dep satisfied inside the
+        same merged node) are dropped.  Consumers are listed in partition
+        order (chains first, then remainder), deduplicated.
+        """
+        owner: Dict[str, str] = {}
+        for node in self.all_nodes():
+            for member in self.members_of(node.name):
+                owner[member] = node.name
+        table: Dict[str, List[str]] = {
+            node.name: [] for node in self.all_nodes()
+        }
+        for node in self.all_nodes():
+            for dep in node.deps:
+                producer = owner.get(dep)
+                if producer is None or producer == node.name:
+                    continue
+                if node.name not in table[producer]:
+                    table[producer].append(node.name)
+        return {name: tuple(users) for name, users in table.items()}
 
     def total_flops(self) -> int:
         return sum(

@@ -40,6 +40,7 @@ from ..ir.graph import ComputeDAG, GraphNode, StitchedOp, partition_graph
 from ..workloads.networks import NetworkTiming
 from . import pipeline
 from .pipeline import CompileResult
+from .scheduler import GraphSchedule, schedule_partition, scheduling_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle exists only for typing
     from ..service import CompileService
@@ -77,6 +78,11 @@ class NodePlan:
             ``"coalesced"``, or ``"fallback"``); diagnostic only — it is
             deliberately **not** serialized, so plans stay byte-identical
             across cold and warm caches.
+        spill_time: seconds per network run charged for this node's
+            output residency decision — the DRAM round trip when its
+            intermediate is spilled, or the recompute time when it is
+            rematerialized (repeat counts folded in; 0 when kept or when
+            scheduling is off).
     """
 
     name: str
@@ -89,6 +95,7 @@ class NodePlan:
     members: Tuple[str, ...] = ()
     stitched: Tuple[StitchedOp, ...] = ()
     source: Optional[str] = None
+    spill_time: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.members:
@@ -96,7 +103,7 @@ class NodePlan:
 
     @property
     def total_time(self) -> float:
-        return self.time * self.repeat
+        return self.time * self.repeat + self.spill_time
 
     @property
     def kernels(self) -> int:
@@ -116,6 +123,7 @@ class NetworkPlan:
     hardware: HardwareSpec
     nodes: Tuple[NodePlan, ...]
     timing: str = TIMING_PREDICTED
+    schedule: Optional[GraphSchedule] = None
 
     def __post_init__(self) -> None:
         if self.timing not in (TIMING_PREDICTED, TIMING_SIMULATED):
@@ -134,8 +142,39 @@ class NetworkPlan:
 
     @property
     def unfused_total_time(self) -> float:
-        """The all-unfused baseline over the same kernels."""
-        return sum(node.unfused_time * node.repeat for node in self.nodes)
+        """The all-unfused baseline over the same kernels.
+
+        Residency overhead (``spill_time``) charges both sides: the
+        execution order and the eviction set are fixed before the
+        per-node fuse-or-not choice, so the baseline pays the same
+        graph-level traffic.
+        """
+        return sum(
+            node.unfused_time * node.repeat + node.spill_time
+            for node in self.nodes
+        )
+
+    @property
+    def execution_order(self) -> Tuple[str, ...]:
+        """Node names in execution order (the plan's node order)."""
+        if self.schedule is not None:
+            return self.schedule.order
+        return tuple(node.name for node in self.nodes)
+
+    @property
+    def peak_memory_bytes(self) -> Optional[int]:
+        """Scheduled peak resident intermediate bytes (None unscheduled)."""
+        return None if self.schedule is None else self.schedule.peak_bytes
+
+    @property
+    def memory_budget(self) -> Optional[int]:
+        """The residency budget the schedule was solved for."""
+        return None if self.schedule is None else self.schedule.memory_budget
+
+    @property
+    def spill_total_time(self) -> float:
+        """Seconds per run spent on graph-level spills and recomputes."""
+        return sum(node.spill_time for node in self.nodes)
 
     @property
     def speedup_over_unfused(self) -> float:
@@ -176,6 +215,8 @@ class NetworkPlan:
             f"({self.speedup_over_unfused:.2f}x vs unfused, "
             f"{self.timing} timing)"
         )
+        if self.schedule is not None:
+            summary += "\n" + self.schedule.describe()
         return network_plan_table(self) + "\n" + summary
 
     def __str__(self) -> str:
@@ -213,6 +254,7 @@ def _node_plan(
     simulate: bool,
     members: Tuple[str, ...] = (),
     stitched: Tuple[StitchedOp, ...] = (),
+    spill_time: float = 0.0,
 ) -> NodePlan:
     """Assemble one node's entry from its compile result."""
     decision: FusionDecision = result.decision
@@ -237,6 +279,7 @@ def _node_plan(
         members=members or (node.name,),
         stitched=stitched,
         source=source,
+        spill_time=spill_time,
     )
 
 
@@ -251,6 +294,8 @@ def compile_network(
     timeout: Optional[float] = None,
     timing: str = TIMING_PREDICTED,
     stitch: Optional[bool] = None,
+    schedule: Optional[bool] = None,
+    memory_budget: Optional[int] = None,
 ) -> NetworkPlan:
     """Compile every node of a network DAG into a :class:`NetworkPlan`.
 
@@ -273,6 +318,15 @@ def compile_network(
             (default: the ``REPRO_STITCH`` environment, on).  Stitched
             plan nodes cover several graph nodes; see
             :attr:`NodePlan.members`.
+        schedule: force graph-level execution scheduling on/off (default:
+            the ``REPRO_SCHED`` environment, on).  When on, the plan's
+            nodes are ordered by the peak-memory-minimizing schedule and
+            ``NetworkPlan.schedule`` carries the residency decisions;
+            when off, nodes keep the partition order and ``schedule`` is
+            ``None``.
+        memory_budget: residency budget in bytes for the scheduler
+            (default: the hardware's DRAM-side capacity; see
+            :func:`repro.runtime.scheduler.default_memory_budget`).
 
     Returns:
         the assembled, serializable network plan.
@@ -325,8 +379,35 @@ def compile_network(
                 + "; ".join(failures)
             )
 
+    do_schedule = scheduling_enabled() if schedule is None else schedule
+    graph_schedule: Optional[GraphSchedule] = None
+    ordered_nodes = list(plan_nodes)
+    overheads: Dict[str, float] = {}
+    if do_schedule:
+        # Price rematerialization with the kernels' analytical times —
+        # available before (and independent of) the simulated lowering,
+        # which breaks the schedule-needs-times / times-follow-schedule
+        # circularity deterministically.
+        node_times = {
+            name: sum(kernel.plan.predicted_time for kernel in result.kernels)
+            for name, (result, _source) in results.items()
+        }
+        graph_schedule = schedule_partition(
+            partition,
+            hardware,
+            node_times=node_times,
+            memory_budget=memory_budget,
+            dag_order=[node.name for node in dag.nodes],
+        )
+        by_name = {node.name: node for node in plan_nodes}
+        ordered_nodes = [by_name[name] for name in graph_schedule.order]
+        overheads = {
+            record.producer: record.overhead_time
+            for record in graph_schedule.residency
+        }
+
     nodes = []
-    for node in plan_nodes:
+    for node in ordered_nodes:
         record = partition.stitched_record(node.name)
         nodes.append(
             _node_plan(
@@ -338,10 +419,31 @@ def compile_network(
                 simulate,
                 members=partition.members_of(node.name),
                 stitched=record.stitched if record is not None else (),
+                spill_time=overheads.get(node.name, 0.0),
             )
         )
+    if simulate and graph_schedule is not None:
+        # The simulated path replays the scheduled order through the
+        # residency simulator and refuses to ship a plan whose predicted
+        # peak the replay cannot reproduce.
+        from ..sim.residency import replay_schedule
+
+        trace = replay_schedule(graph_schedule)
+        if (
+            trace.peak_bytes != graph_schedule.peak_bytes
+            or trace.live_bytes != graph_schedule.live_bytes
+        ):
+            raise NetworkCompilationError(
+                f"network {dag.name!r} on {hardware.name}: schedule "
+                f"replay measured peak {trace.peak_bytes} bytes but the "
+                f"scheduler predicted {graph_schedule.peak_bytes}"
+            )
     return NetworkPlan(
-        network=dag.name, hardware=hardware, nodes=tuple(nodes), timing=timing
+        network=dag.name,
+        hardware=hardware,
+        nodes=tuple(nodes),
+        timing=timing,
+        schedule=graph_schedule,
     )
 
 

@@ -34,8 +34,11 @@ from ..ir.operator import OperatorSpec
 from ..ir.tensor import TensorSpec
 
 #: Version 3 added stitched-node membership (``members`` / ``stitched``)
-#: to network plan nodes.
-FORMAT_VERSION = 3
+#: to network plan nodes.  Version 4 added graph-level execution
+#: scheduling: per-node ``spill_time`` and the network-level ``schedule``
+#: (execution order, live-byte profile, residency decisions; ``null``
+#: when compiled with ``REPRO_SCHED=0``).
+FORMAT_VERSION = 4
 
 PathLike = Union[str, pathlib.Path]
 
@@ -271,6 +274,58 @@ def plan_from_dict(data: Dict[str, Any]) -> FusionPlan:
 # ----------------------------------------------------------------------
 # network plan encoding
 # ----------------------------------------------------------------------
+def _encode_schedule(schedule: Any) -> Any:
+    if schedule is None:
+        return None
+    return {
+        "graph": schedule.graph,
+        "order": list(schedule.order),
+        "live_bytes": list(schedule.live_bytes),
+        "peak_bytes": schedule.peak_bytes,
+        "naive_peak_bytes": schedule.naive_peak_bytes,
+        "memory_budget": schedule.memory_budget,
+        "seed": schedule.seed,
+        "residency": [
+            {
+                "producer": record.producer,
+                "tensor": record.tensor,
+                "nbytes": record.nbytes,
+                "consumers": list(record.consumers),
+                "decision": record.decision,
+                "overhead_time": record.overhead_time,
+            }
+            for record in schedule.residency
+        ],
+    }
+
+
+def _decode_schedule(data: Any) -> Any:
+    from .scheduler import GraphSchedule, TensorResidency
+
+    if data is None:
+        return None
+    return GraphSchedule(
+        graph=data["graph"],
+        order=tuple(data["order"]),
+        live_bytes=tuple(data["live_bytes"]),
+        peak_bytes=data["peak_bytes"],
+        naive_peak_bytes=data["naive_peak_bytes"],
+        memory_budget=data["memory_budget"],
+        seed=data["seed"],
+        residency=tuple(
+            TensorResidency(
+                producer=rd["producer"],
+                tensor=rd["tensor"],
+                nbytes=rd["nbytes"],
+                consumers=tuple(rd["consumers"]),
+                decision=rd["decision"],
+                overhead_time=rd["overhead_time"],
+            )
+            for rd in data["residency"]
+        ),
+    )
+
+
 def network_plan_to_dict(plan: "NetworkPlan") -> Dict[str, Any]:
     """Encode a network plan as JSON-ready data.
 
@@ -282,6 +337,7 @@ def network_plan_to_dict(plan: "NetworkPlan") -> Dict[str, Any]:
         "network": plan.network,
         "hardware": hardware_to_dict(plan.hardware),
         "timing": plan.timing,
+        "schedule": _encode_schedule(plan.schedule),
         "nodes": [
             {
                 "name": node.name,
@@ -291,6 +347,7 @@ def network_plan_to_dict(plan: "NetworkPlan") -> Dict[str, Any]:
                 "plans": [plan_to_dict(p) for p in node.plans],
                 "time": node.time,
                 "unfused_time": node.unfused_time,
+                "spill_time": node.spill_time,
                 "members": list(node.members),
                 "stitched": [
                     {
@@ -327,6 +384,7 @@ def network_plan_from_dict(data: Dict[str, Any]) -> "NetworkPlan":
             network=data["network"],
             hardware=hardware_from_dict(data["hardware"]),
             timing=data["timing"],
+            schedule=_decode_schedule(data["schedule"]),
             nodes=tuple(
                 NodePlan(
                     name=nd["name"],
@@ -336,6 +394,7 @@ def network_plan_from_dict(data: Dict[str, Any]) -> "NetworkPlan":
                     plans=tuple(plan_from_dict(p) for p in nd["plans"]),
                     time=nd["time"],
                     unfused_time=nd["unfused_time"],
+                    spill_time=nd["spill_time"],
                     members=tuple(nd["members"]),
                     stitched=tuple(
                         StitchedOp(

@@ -20,6 +20,7 @@ from .profiler import (
     simulate_program,
     simulate_sequence,
 )
+from .residency import ResidencyTrace, ScheduleReplayError, replay_schedule
 from .timing import movement_times, roofline_time
 from .trace import (
     RegionAccess,
@@ -42,6 +43,9 @@ __all__ = [
     "simulate_plan",
     "simulate_program",
     "simulate_sequence",
+    "ResidencyTrace",
+    "ScheduleReplayError",
+    "replay_schedule",
     "movement_times",
     "roofline_time",
     "RegionAccess",

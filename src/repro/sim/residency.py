@@ -1,0 +1,137 @@
+"""Stepwise replay of graph schedules: the residency cross-check.
+
+The scheduler (:mod:`repro.runtime.scheduler`) computes peak resident
+bytes analytically from live intervals.  :func:`replay_schedule` is the
+measurement-side counterpart: it walks the scheduled execution order one
+node at a time, maintains an explicit resident set under the schedule's
+residency decisions, and reports the observed peak and the DRAM traffic
+the evictions generate.  :func:`repro.runtime.compile_network` runs this
+replay on the simulated-timing path and refuses to emit a plan whose
+predicted peak the replay cannot reproduce — the same
+predict-then-simulate contract the tile-level movement model honours.
+
+All quantities are per network pass: node ``repeat`` counts scale time
+and traffic totals, not the resident set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle exists only for typing
+    from ..runtime.scheduler import GraphSchedule
+
+
+class ScheduleReplayError(ValueError):
+    """A schedule is internally inconsistent under stepwise replay."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ResidencyTrace:
+    """What one pass of a scheduled graph does to memory.
+
+    Attributes:
+        graph: the replayed graph's name.
+        live_bytes: observed resident bytes at every execution step.
+        peak_bytes: ``max(live_bytes)``.
+        spill_bytes: DRAM bytes moved by spilled tensors (one write at
+            the producer, one read per consumer).
+        recompute_runs: producer re-executions forced by rematerialized
+            tensors (one per consumer).
+    """
+
+    graph: str
+    live_bytes: Tuple[int, ...]
+    peak_bytes: int
+    spill_bytes: int
+    recompute_runs: int
+
+
+def replay_schedule(schedule: "GraphSchedule") -> ResidencyTrace:
+    """Replay a schedule step by step and measure its memory behaviour.
+
+    Independent of the scheduler's interval arithmetic: the replay keeps
+    an explicit resident-set dictionary, admits a kept tensor at its
+    producer step, frees it after its last consumer, and materializes
+    evicted tensors transiently at the steps that touch them.  A legal
+    schedule replays to exactly its predicted ``live_bytes`` profile.
+
+    Raises:
+        ScheduleReplayError: when a consumer executes before its
+            producer, or a residency record names a node missing from
+            the order — either means the schedule is corrupt.
+    """
+    from ..runtime.scheduler import KEEP, REMATERIALIZE, SPILL
+
+    position = {name: index for index, name in enumerate(schedule.order)}
+    for record in schedule.residency:
+        if record.producer not in position:
+            raise ScheduleReplayError(
+                f"schedule {schedule.graph!r}: residency record for "
+                f"{record.producer!r} has no node in the order"
+            )
+        for consumer in record.consumers:
+            if consumer not in position:
+                raise ScheduleReplayError(
+                    f"schedule {schedule.graph!r}: consumer {consumer!r} "
+                    f"of {record.producer!r} has no node in the order"
+                )
+            if position[consumer] <= position[record.producer]:
+                raise ScheduleReplayError(
+                    f"schedule {schedule.graph!r}: {consumer!r} executes "
+                    f"at step {position[consumer]} but its input from "
+                    f"{record.producer!r} is produced at step "
+                    f"{position[record.producer]}"
+                )
+
+    by_producer = {record.producer: record for record in schedule.residency}
+    readers: Dict[str, List[str]] = {name: [] for name in schedule.order}
+    for record in schedule.residency:
+        for consumer in record.consumers:
+            readers[consumer].append(record.producer)
+
+    resident: Dict[str, int] = {}
+    free_after: Dict[int, List[str]] = {}
+    live: List[int] = []
+    spill_bytes = 0
+    recompute_runs = 0
+    for step, name in enumerate(schedule.order):
+        transient = 0
+        # Inputs this node reads: kept ones are already resident; evicted
+        # ones materialize for the duration of this step only.
+        for producer in readers[name]:
+            record = by_producer[producer]
+            if record.decision == KEEP:
+                if producer not in resident:  # pragma: no cover - guarded
+                    raise ScheduleReplayError(
+                        f"schedule {schedule.graph!r}: kept tensor of "
+                        f"{producer!r} was freed before {name!r} read it"
+                    )
+            elif record.decision == SPILL:
+                transient += record.nbytes
+                spill_bytes += record.nbytes
+            elif record.decision == REMATERIALIZE:
+                transient += record.nbytes
+                recompute_runs += 1
+        # This node's own output, if consumed downstream.
+        record = by_producer.get(name)
+        if record is not None:
+            if record.decision == KEEP:
+                resident[name] = record.nbytes
+                last = max(position[c] for c in record.consumers)
+                free_after.setdefault(last, []).append(name)
+            else:
+                transient += record.nbytes
+                if record.decision == SPILL:
+                    spill_bytes += record.nbytes
+        live.append(sum(resident.values()) + transient)
+        for finished in free_after.pop(step, ()):
+            del resident[finished]
+    return ResidencyTrace(
+        graph=schedule.graph,
+        live_bytes=tuple(live),
+        peak_bytes=max(live) if live else 0,
+        spill_bytes=spill_bytes,
+        recompute_runs=recompute_runs,
+    )

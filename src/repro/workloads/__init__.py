@@ -17,10 +17,12 @@ from .networks import (
     NETWORKS,
     NetworkConfig,
     NetworkTiming,
+    build_multibranch_network,
     build_network,
     is_fusable_chain,
     network_config,
     network_time,
+    pack_networks,
 )
 
 __all__ = [
@@ -37,8 +39,10 @@ __all__ = [
     "NETWORKS",
     "NetworkConfig",
     "NetworkTiming",
+    "build_multibranch_network",
     "build_network",
     "is_fusable_chain",
     "network_config",
     "network_time",
+    "pack_networks",
 ]

@@ -20,7 +20,7 @@ Relay+Chimera end-to-end setup.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..baselines.systems import get_system
 from ..hardware.spec import HardwareSpec
@@ -161,6 +161,110 @@ def build_network(config: NetworkConfig) -> ComputeDAG:
     return builder.build()
 
 
+def pack_networks(
+    dags: Sequence[ComputeDAG],
+    *,
+    name: Optional[str] = None,
+    interleave: bool = True,
+) -> ComputeDAG:
+    """Combine several networks into one multi-tenant graph.
+
+    The serving scenario behind graph-level scheduling: one box hosts
+    several tenants' networks, compiled and executed as a single DAG.
+    Node names get a ``t{i}.`` tenant prefix (deps rewritten to match);
+    chains are shared untouched, so identical tenants still hit the same
+    plan-cache entries.
+
+    Args:
+        dags: the tenant graphs, one entry per tenant.
+        interleave: emit nodes round-robin across tenants (the order a
+            naive scheduler executes them in, keeping every tenant's
+            working set live at once — the baseline the memory-minimizing
+            scheduler improves on).  ``False`` concatenates tenant by
+            tenant instead.  Both orders are valid topological orders;
+            per-tenant relative order is preserved either way.
+
+    Raises:
+        ValueError: for an empty tenant list.
+    """
+    if not dags:
+        raise ValueError("pack_networks needs at least one network")
+    packed_name = name or "+".join(dag.name for dag in dags)
+    per_tenant: List[List[GraphNode]] = []
+    for index, dag in enumerate(dags):
+        prefix = f"t{index}."
+        per_tenant.append(
+            [
+                GraphNode(
+                    name=prefix + node.name,
+                    chain=node.chain,
+                    deps=tuple(prefix + dep for dep in node.deps),
+                    repeat=node.repeat,
+                )
+                for node in dag.nodes
+            ]
+        )
+    nodes: List[GraphNode] = []
+    if interleave:
+        depth = max(len(tenant) for tenant in per_tenant)
+        for step in range(depth):
+            for tenant in per_tenant:
+                if step < len(tenant):
+                    nodes.append(tenant[step])
+    else:
+        for tenant in per_tenant:
+            nodes.extend(tenant)
+    return ComputeDAG(packed_name, tuple(nodes))
+
+
+def build_multibranch_network(
+    *,
+    branches: int = 8,
+    seq: int = 512,
+    width: int = 2048,
+    reduce_dim: int = 64,
+    name: Optional[str] = None,
+) -> ComputeDAG:
+    """A synthetic wide graph: one stem fanning into parallel GEMM branches.
+
+    Each branch expands the stem activation to a ``seq x width`` working
+    tensor and immediately reduces it back to ``seq x reduce_dim``; a head
+    GEMM joins every branch result.  The graph is emitted breadth-first
+    (all expands, then all reduces) — the naive topological order, which
+    keeps every branch's wide intermediate live simultaneously.  A
+    depth-first schedule retires each branch before starting the next, so
+    the peak drops by roughly the branch count: the stress shape for the
+    graph-level scheduler benchmarks.
+
+    Raises:
+        ValueError: for a non-positive branch count.
+    """
+    if branches < 1:
+        raise ValueError(f"branches must be >= 1, got {branches}")
+    builder = GraphBuilder(name or f"MultiBranch-{branches}x")
+    stem_op, stem_tensors = builders.gemm(
+        "stem", seq, reduce_dim, reduce_dim, dtype=FP16
+    )
+    stem = builder.add_op(stem_op, stem_tensors)
+    expands = []
+    for index in range(branches):
+        op, tensors = builders.gemm(
+            f"b{index}.expand", seq, reduce_dim, width, dtype=FP16
+        )
+        expands.append(builder.add_op(op, tensors, deps=[stem]))
+    reduces = []
+    for index in range(branches):
+        op, tensors = builders.gemm(
+            f"b{index}.reduce", seq, width, reduce_dim, dtype=FP16
+        )
+        reduces.append(builder.add_op(op, tensors, deps=[expands[index]]))
+    head_op, head_tensors = builders.gemm(
+        "head", seq, branches * reduce_dim, reduce_dim, dtype=FP16
+    )
+    builder.add_op(head_op, head_tensors, deps=reduces)
+    return builder.build()
+
+
 def is_fusable_chain(node: GraphNode) -> bool:
     """Whether a node is a compute-intensive chain (Chimera's target).
 
@@ -191,6 +295,7 @@ def network_time(
     chain_system: Optional[str] = None,
     chain_times: Optional[Mapping[str, float]] = None,
     partition: Optional[GraphPartition] = None,
+    schedule: Optional[Any] = None,
 ) -> "NetworkTiming":
     """Time a network with one system for chains and one for the rest.
 
@@ -213,10 +318,16 @@ def network_time(
             ``REPRO_STITCH``).  Pass the partition a plan was compiled
             from so ``chain_times`` keys line up with stitched node
             names.
+        schedule: a :class:`repro.runtime.scheduler.GraphSchedule` (or
+            anything with its ``residency`` records); each evicted
+            intermediate's spill/recompute overhead is charged to its
+            producer node, so the timing reflects the scheduled
+            residency, not free infinite memory.
 
     Raises:
-        ValueError: when neither or both chain sources are given, or when
-            ``chain_times`` misses a fusable chain node.
+        ValueError: when neither or both chain sources are given, when
+            ``chain_times`` misses a fusable chain node, or when
+            ``schedule`` charges a node the partition does not have.
     """
     if (chain_system is None) == (chain_times is None):
         raise ValueError(
@@ -242,4 +353,15 @@ def network_time(
         else:
             per_exec = base.run(node.chain, hardware).time
         node_times[node.name] = per_exec * node.repeat
+    if schedule is not None:
+        for record in schedule.residency:
+            if record.overhead_time == 0:
+                continue
+            if record.producer not in node_times:
+                raise ValueError(
+                    f"schedule charges node {record.producer!r} which the "
+                    f"partition of {dag.name!r} does not have"
+                )
+            # overhead_time is per network run with repeats folded in.
+            node_times[record.producer] += record.overhead_time
     return NetworkTiming(network=dag.name, node_times=node_times)
