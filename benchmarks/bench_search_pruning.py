@@ -5,16 +5,30 @@ order; the DV lower bound (``repro.core.search``) skips solves that cannot
 beat the incumbent and the solve memo collapses symmetric orders.  This
 benchmark cold-compiles the attention GEMM chain (G1) on every hardware
 preset under the exhaustive baseline and under pruning + memoization, and
-reports latency plus orders solved vs. pruned.  The two paths must pick
-byte-identical plans; the pruned path must be >= 3x faster where the
-candidate space is large (the NPU preset enumerates the most orders).
+reports latency plus orders solved vs. pruned.
+
+Gates (written to ``BENCH_search_pruning.json`` via the shared artifact
+envelope):
+
+* the exhaustive and pruned paths pick byte-identical plans on every
+  preset;
+* the pruned path is >= ``MIN_SPEEDUP``x faster on the preset whose
+  candidate space is large (the NPU preset enumerates the most orders).
+
+Run standalone with ``python benchmarks/bench_search_pruning.py
+[--smoke]``; smoke restricts to the gated preset but enforces the same
+gates.
 """
 
+import argparse
 import json
+import pathlib
+import sys
 import time
 
-from conftest import emit, run_once
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
+from artifact import assert_gates, gate, write_artifact
 from repro.analysis import render_table
 from repro.core.optimizer import ChimeraOptimizer
 from repro.core.search import (
@@ -44,42 +58,70 @@ def cold_optimize(chain, hw, policy):
     return plan, stats, elapsed
 
 
-def test_search_pruning_speedup(benchmark):
+def run_pruning_experiment(smoke=False):
     chain = gemm_chain_config("G1").build()
-
-    def experiment():
-        rows = []
-        speedups = {}
-        for hw in all_presets():
-            base_plan, base_stats, base_s = cold_optimize(
-                chain, hw, SearchPolicy.exhaustive()
-            )
-            fast_plan, fast_stats, fast_s = cold_optimize(
-                chain, hw, SearchPolicy(prune=True, memoize=True, workers=1)
-            )
-            assert json.dumps(plan_to_dict(fast_plan), sort_keys=True) == (
-                json.dumps(plan_to_dict(base_plan), sort_keys=True)
-            ), f"pruned plan diverged from exhaustive on {hw.name}"
-            speedups[hw.name] = base_s / fast_s
-            rows.append(
-                [
-                    hw.name,
-                    f"{base_s * 1e3:.0f} ms ({base_stats.solves} solves)",
-                    f"{fast_s * 1e3:.0f} ms ({fast_stats.solves} solves)",
-                    str(fast_stats.pruned),
-                    str(fast_stats.memo_hits),
-                    f"{base_s / fast_s:.1f}x",
-                ]
-            )
-        assert speedups[GATED_PRESET] >= MIN_SPEEDUP, (
-            f"pruning+memoization speedup on {GATED_PRESET} was "
-            f"{speedups[GATED_PRESET]:.1f}x, expected >= {MIN_SPEEDUP}x"
+    presets = [
+        hw
+        for hw in all_presets()
+        if not smoke or hw.name == GATED_PRESET
+    ]
+    rows = []
+    per_preset = {}
+    divergent = []
+    for hw in presets:
+        base_plan, base_stats, base_s = cold_optimize(
+            chain, hw, SearchPolicy.exhaustive()
         )
-        return rows, speedups
-
-    rows, speedups = run_once(benchmark, experiment)
-    emit(
-        "search_pruning",
+        fast_plan, fast_stats, fast_s = cold_optimize(
+            chain, hw, SearchPolicy(prune=True, memoize=True, workers=1)
+        )
+        if json.dumps(plan_to_dict(fast_plan), sort_keys=True) != (
+            json.dumps(plan_to_dict(base_plan), sort_keys=True)
+        ):
+            divergent.append(hw.name)
+        per_preset[hw.name] = {
+            "exhaustive_s": base_s,
+            "exhaustive_solves": base_stats.solves,
+            "pruned_s": fast_s,
+            "pruned_solves": fast_stats.solves,
+            "pruned": fast_stats.pruned,
+            "memo_hits": fast_stats.memo_hits,
+            "speedup": base_s / fast_s,
+        }
+        rows.append(
+            [
+                hw.name,
+                f"{base_s * 1e3:.0f} ms ({base_stats.solves} solves)",
+                f"{fast_s * 1e3:.0f} ms ({fast_stats.solves} solves)",
+                str(fast_stats.pruned),
+                str(fast_stats.memo_hits),
+                f"{base_s / fast_s:.1f}x",
+            ]
+        )
+    gated = per_preset[GATED_PRESET]["speedup"]
+    gates = [
+        gate(
+            "pruned-plans-byte-identical",
+            not divergent,
+            "pruned plan diverged from exhaustive on: "
+            + ", ".join(divergent)
+            if divergent
+            else f"{len(presets)} preset(s) byte-identical",
+        ),
+        gate(
+            f"{GATED_PRESET}-speedup-{MIN_SPEEDUP:.0f}x",
+            gated >= MIN_SPEEDUP,
+            f"pruning+memoization speedup {gated:.1f}x",
+        ),
+    ]
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "workload": "G1",
+        "gated_preset": GATED_PRESET,
+        "min_speedup": MIN_SPEEDUP,
+        "presets": per_preset,
+    }
+    text = (
         render_table(
             [
                 "hardware", "exhaustive", "pruned+memo",
@@ -88,6 +130,49 @@ def test_search_pruning_speedup(benchmark):
             rows,
         )
         + "\n\nplans byte-identical on every preset; "
-        + f"{GATED_PRESET} speedup {speedups[GATED_PRESET]:.1f}x "
-        + f"(gate: >= {MIN_SPEEDUP:.0f}x)",
+        + f"{GATED_PRESET} speedup {gated:.1f}x "
+        + f"(gate: >= {MIN_SPEEDUP:.0f}x)"
     )
+    return payload, text, gates
+
+
+def _finish(payload, text, gates, write_json):
+    if write_json:
+        write_artifact(
+            "search_pruning",
+            payload,
+            preset=",".join(payload["presets"]),
+            gates=gates,
+            mode=payload["mode"],
+        )
+    assert_gates(gates)
+
+
+def test_search_pruning_speedup(benchmark):
+    from conftest import emit, run_once
+
+    payload, text, gates = run_once(
+        benchmark, lambda: run_pruning_experiment(smoke=False)
+    )
+    _finish(payload, text, gates, write_json=True)
+    emit("search_pruning", text)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="order-search pruning vs the exhaustive baseline"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="gated preset only, same gates, no JSON artifact",
+    )
+    args = parser.parse_args(argv)
+    payload, text, gates = run_pruning_experiment(smoke=args.smoke)
+    print(text)
+    _finish(payload, text, gates, write_json=not args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

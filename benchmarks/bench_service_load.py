@@ -22,7 +22,8 @@ Three experiments against a loopback :class:`repro.serving.CompileServer`:
 
 Run standalone with ``python benchmarks/bench_service_load.py [--smoke]``;
 CI runs the smoke mode.  Results land in
-``benchmarks/results/BENCH_service_load.json`` (full mode only).
+``benchmarks/results/BENCH_service_load.json`` (full mode only, shared
+artifact envelope).
 """
 
 import argparse
@@ -33,7 +34,10 @@ import sys
 import tempfile
 import time
 
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
 import repro
+from artifact import assert_gates, gate, write_artifact
 from repro.analysis import render_table
 from repro.hardware import preset
 from repro.service import cache_key
@@ -45,10 +49,6 @@ from repro.serving import (
     BackgroundServer,
     ServerConfig,
     ServingClient,
-)
-
-RESULTS_JSON = (
-    pathlib.Path(__file__).parent / "results" / "BENCH_service_load.json"
 )
 
 FULL_CONCURRENCY = 1000
@@ -258,38 +258,52 @@ def run_experiment(smoke=False):
         ["drain wall clock", f"{drain['drain_s'] * 1e3:.0f} ms"],
     ]
     text = render_table(["metric", "value"], rows)
-    return payload, text
+    gates = [
+        gate(
+            "warm-zero-shed",
+            warm["shed"] == 0,
+            f"{warm['shed']} of {warm['concurrency']} warm requests shed",
+        ),
+        gate(
+            f"warm-p99-within-{SERVICE_GATE_RATIO:.0f}x-serialization",
+            warm["service_p99_ratio"] <= SERVICE_GATE_RATIO,
+            f"warm-hit p99 service time {warm['service_p99_ratio']:.1f}x "
+            "the bare key+JSON round trip",
+        ),
+        gate(
+            f"wall-within-{WALL_GATE_RATIO:.0f}x-serialization",
+            warm["wall_ratio"] <= WALL_GATE_RATIO,
+            f"mean per-request wall share {warm['wall_ratio']:.1f}x the "
+            "bare round trip",
+        ),
+        gate(
+            "drain-loss-free",
+            drain["admitted"] == drain["completed"],
+            f"{drain['admitted']} admitted, {drain['completed']} completed",
+        ),
+    ]
+    return payload, text, gates
 
 
-def _finish(payload, text, write_json):
+def _finish(payload, text, gates, write_json):
     if write_json:
-        RESULTS_JSON.parent.mkdir(exist_ok=True)
-        RESULTS_JSON.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        write_artifact(
+            "service_load",
+            payload,
+            preset="xeon-gold-6240",
+            gates=gates,
+            mode=payload["mode"],
         )
-    warm = payload["warm"]
-    assert warm["shed"] == 0, (
-        f"{warm['shed']} warm requests were shed; queues must absorb the "
-        "burst"
-    )
-    assert warm["service_p99_ratio"] <= SERVICE_GATE_RATIO, (
-        f"warm-hit p99 service time is {warm['service_p99_ratio']:.1f}x "
-        f"the bare key+JSON round trip (gate {SERVICE_GATE_RATIO:.0f}x) — "
-        "the warm path is no longer serialization-dominated"
-    )
-    assert warm["wall_ratio"] <= WALL_GATE_RATIO, (
-        f"mean per-request wall share is {warm['wall_ratio']:.1f}x the "
-        f"bare round trip (gate {WALL_GATE_RATIO:.0f}x)"
-    )
-    drain = payload["drain"]
-    assert drain["admitted"] == drain["completed"]
+    assert_gates(gates)
 
 
 def test_service_load(benchmark):
     from conftest import emit, run_once
 
-    payload, text = run_once(benchmark, lambda: run_experiment(smoke=False))
-    _finish(payload, text, write_json=True)
+    payload, text, gates = run_once(
+        benchmark, lambda: run_experiment(smoke=False)
+    )
+    _finish(payload, text, gates, write_json=True)
     emit("bench_service_load", text)
 
 
@@ -301,7 +315,7 @@ def main(argv=None):
         help="200-deep burst and a small drain, no JSON artifact",
     )
     args = parser.parse_args(argv)
-    payload, text = run_experiment(smoke=args.smoke)
+    payload, text, gates = run_experiment(smoke=args.smoke)
     print(text)
     warm = payload["warm"]
     print(
@@ -312,7 +326,7 @@ def main(argv=None):
         f"{payload['drain']['admitted'] - payload['drain']['completed']} "
         "request(s)"
     )
-    _finish(payload, text, write_json=not args.smoke)
+    _finish(payload, text, gates, write_json=not args.smoke)
     return 0
 
 

@@ -31,7 +31,8 @@ exactly — dominates their compile time.
 Gate: aggregate (total cold seconds / total warm seconds over the sweep)
 must be >= 2x, and every warm plan must serialize byte-identically to its
 cold twin.  Results land in ``benchmarks/results/bench_warm_start.txt``
-and ``benchmarks/results/BENCH_warm_start.json``.
+and ``benchmarks/results/BENCH_warm_start.json`` (shared artifact
+envelope).
 
 Run standalone with ``python benchmarks/bench_warm_start.py [--smoke]``;
 ``--smoke`` restricts to a few shapes on one preset (CI keeps it quick)
@@ -45,6 +46,9 @@ import random
 import sys
 import time
 
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from artifact import assert_gates, gate, write_artifact
 from repro.analysis import render_table
 from repro.core.search import reset_search_stats, solve_memo
 from repro.core.tables import clear_tables_memo
@@ -52,10 +56,6 @@ from repro.hardware import all_presets
 from repro.ir.chains import gemm_chain
 from repro.runtime.serialization import plan_to_dict
 from repro.service import WARM_NEAR, CompileService
-
-RESULTS_JSON = (
-    pathlib.Path(__file__).parent / "results" / "BENCH_warm_start.json"
-)
 
 #: Base GEMM-chain shape (m, n, k, l); the sweep perturbs every extent.
 BASE_SHAPE = (512, 512, 512, 128)
@@ -193,33 +193,42 @@ def run_experiment(smoke=False):
     text = render_table(
         ["preset", "shapes", "near", "cold", "warm", "speedup"], rows
     )
-    return payload, text
+    gates = [
+        gate(
+            "warm-plans-byte-identical",
+            payload["plan_mismatches"] == 0,
+            f"{payload['plan_mismatches']} warm-started plan(s) diverged "
+            "from their cold twins",
+        ),
+        gate(
+            f"aggregate-speedup-{GATE}x",
+            payload["aggregate_speedup"] >= GATE,
+            f"{payload['aggregate_speedup']:.2f}x over "
+            f"{len(shapes) * len(presets)} near-miss compiles",
+        ),
+    ]
+    return payload, text, gates
 
 
-def _finish(payload, text, write_json):
+def _finish(payload, text, gates, write_json):
     if write_json:
-        RESULTS_JSON.parent.mkdir(exist_ok=True)
-        RESULTS_JSON.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        write_artifact(
+            "warm_start",
+            payload,
+            preset=",".join(payload["presets"]),
+            gates=gates,
+            mode=payload["mode"],
         )
-    assert payload["plan_mismatches"] == 0, (
-        f"{payload['plan_mismatches']} warm-started plan(s) diverged from "
-        f"their cold twins — warm starts must be byte-identical"
-    )
-    assert payload["aggregate_speedup"] >= payload["gate"], (
-        f"warm-started near-miss compile speedup was "
-        f"{payload['aggregate_speedup']:.2f}x, expected >= "
-        f"{payload['gate']:.1f}x"
-    )
+    assert_gates(gates)
 
 
 def test_warm_start_speedup(benchmark):
     from conftest import emit, run_once
 
-    payload, text = run_once(
+    payload, text, gates = run_once(
         benchmark, lambda: run_experiment(smoke=False)
     )
-    _finish(payload, text, write_json=True)
+    _finish(payload, text, gates, write_json=True)
     emit("bench_warm_start", text)
 
 
@@ -231,12 +240,12 @@ def main(argv=None):
         help="few shapes on one preset, same gate, no JSON artifact",
     )
     args = parser.parse_args(argv)
-    payload, text = run_experiment(smoke=args.smoke)
+    payload, text, gates = run_experiment(smoke=args.smoke)
     print(text)
     print(f"\naggregate speedup {payload['aggregate_speedup']:.2f}x "
           f"(gate {payload['gate']:.1f}x, mode {payload['mode']}, "
           f"mismatches {payload['plan_mismatches']})")
-    _finish(payload, text, write_json=not args.smoke)
+    _finish(payload, text, gates, write_json=not args.smoke)
     return 0
 
 

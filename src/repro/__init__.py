@@ -30,7 +30,17 @@ Subpackages:
 
 from .codegen import execute_reference, random_inputs
 from .core import ChimeraConfig, ChimeraOptimizer, FusionPlan, decide_fusion
-from .hardware import a100, ascend_910, preset, xeon_gold_6240
+from .hardware import (
+    InterCoreLink,
+    a100,
+    a100_nvlinked_sms,
+    ascend_910,
+    ascend_910_cluster,
+    mesh_npu_16,
+    multicore_presets,
+    preset,
+    xeon_gold_6240,
+)
 from .ir import (
     OperatorChain,
     attention_chain,
@@ -74,8 +84,13 @@ __all__ = [
     "ChimeraOptimizer",
     "FusionPlan",
     "decide_fusion",
+    "InterCoreLink",
     "a100",
+    "a100_nvlinked_sms",
     "ascend_910",
+    "ascend_910_cluster",
+    "mesh_npu_16",
+    "multicore_presets",
     "preset",
     "xeon_gold_6240",
     "OperatorChain",

@@ -4,6 +4,8 @@ Commands:
 
 * ``plan`` — optimize a named workload and print the fusion plan, the
   simulated profile, and optionally the generated source.
+* ``hardware`` — print one preset's full machine model (levels, vector
+  and matrix units, unified buffer, inter-core link), or every preset.
 * ``compare`` — run a workload across systems (one Figure 5/6/7 row).
 * ``validate`` — Figure-8 style model validation for a GEMM chain.
 * ``workloads`` — list the Table IV / Table V configurations.
@@ -27,6 +29,9 @@ Examples::
 
     python -m repro plan G1 --hw xeon-gold-6240 --softmax
     python -m repro plan C3 --hw a100 --source
+    python -m repro plan G1 --hw mesh-npu-16 --cores 8
+    python -m repro hardware mesh-npu-16
+    python -m repro hardware --all
     python -m repro compare G2 --hw a100
     python -m repro validate --size 512 --order m,l,k,n
     python -m repro workloads
@@ -55,6 +60,23 @@ from .service import CompileRequest, CompileService, open_cache
 from .workloads import conv_chain_config, gemm_chain_config
 
 
+def _apply_cores(args: argparse.Namespace) -> None:
+    """Force the block-to-core partition count for this process.
+
+    Thin wrapper over the ``REPRO_CORES`` environment knob
+    (:mod:`repro.core.multicore`): inert on presets without an
+    inter-core link, so single-core plans are untouched.
+    """
+    import os
+
+    from .core.multicore import ENV_CORES
+
+    if getattr(args, "cores", None) is not None:
+        if args.cores < 1:
+            raise SystemExit(f"--cores must be >= 1, got {args.cores}")
+        os.environ[ENV_CORES] = str(args.cores)
+
+
 def _build_workload(
     name: str, softmax: bool, relu: bool, batch: Optional[int]
 ) -> OperatorChain:
@@ -68,6 +90,7 @@ def _build_workload(
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
+    _apply_cores(args)
     hw = preset(args.hw)
     chain = _build_workload(args.workload, args.softmax, args.relu, args.batch)
     print(chain.describe())
@@ -86,7 +109,22 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hardware(args: argparse.Namespace) -> int:
+    from .hardware import multicore_presets
+    from .hardware.presets import all_presets
+
+    if args.all:
+        specs = all_presets() + multicore_presets()
+    else:
+        if not args.name:
+            raise SystemExit("hardware: give a preset name or --all")
+        specs = (preset(args.name),)
+    print("\n\n".join(spec.describe() for spec in specs))
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
+    _apply_cores(args)
     hw = preset(args.hw)
     chain = _build_workload(args.workload, args.softmax, args.relu, args.batch)
     keys = tuple(args.systems.split(",")) if args.systems else ()
@@ -433,9 +471,22 @@ def main(argv: Optional[list] = None) -> int:
     plan.add_argument("--relu", action="store_true",
                       help="append ReLU to each convolution")
     plan.add_argument("--batch", type=int, default=None)
+    plan.add_argument("--cores", type=int, default=None,
+                      help="force the block-to-core partition count "
+                           "(sets REPRO_CORES; inert without an "
+                           "inter-core link)")
     plan.add_argument("--source", action="store_true",
                       help="print the generated kernel source")
     plan.set_defaults(fn=_cmd_plan)
+
+    hw_parser = sub.add_parser(
+        "hardware", help="print a preset's full machine model"
+    )
+    hw_parser.add_argument("name", nargs="?", default=None,
+                           help="preset name (e.g. a100, mesh-npu-16)")
+    hw_parser.add_argument("--all", action="store_true",
+                           help="print every preset, multi-core included")
+    hw_parser.set_defaults(fn=_cmd_hardware)
 
     cmp_parser = sub.add_parser("compare", help="run systems side by side")
     cmp_parser.add_argument("workload")
@@ -443,6 +494,9 @@ def main(argv: Optional[list] = None) -> int:
     cmp_parser.add_argument("--softmax", action="store_true")
     cmp_parser.add_argument("--relu", action="store_true")
     cmp_parser.add_argument("--batch", type=int, default=None)
+    cmp_parser.add_argument("--cores", type=int, default=None,
+                            help="force the block-to-core partition count "
+                                 "(sets REPRO_CORES)")
     cmp_parser.add_argument(
         "--systems", default="",
         help="comma-separated registry keys (default: all for the backend)",

@@ -100,8 +100,9 @@ def network_plan_table(plan) -> str:
     """Per-node report for a :class:`repro.runtime.NetworkPlan`.
 
     Duck-typed (any object with ``nodes`` carrying ``name``/``repeat``/
-    ``fusable``/``fused``/``kernels``/``source``/``time``/``total_time``)
-    so the analysis layer stays import-light.  When the plan carries a
+    ``fusable``/``fused``/``kernels``/``source``/``time``/``total_time``,
+    plus optionally ``cores`` for multi-core placements) so the analysis
+    layer stays import-light.  When the plan carries a
     graph schedule, each row also reports the node's execution position,
     the resident intermediate bytes at that step, and the residency
     decision (``keep``/``rematerialize``/``spill``) for the node's
@@ -137,6 +138,7 @@ def network_plan_table(plan) -> str:
                 kind,
                 decision,
                 str(node.kernels),
+                str(getattr(node, "cores", 1)),
                 str(node.repeat),
                 node.source or "-",
                 f"{node.time * 1e6:.2f} us",
@@ -147,7 +149,7 @@ def network_plan_table(plan) -> str:
             ]
         )
     return render_table(
-        ["node", "kind", "decision", "kernels", "repeat", "source",
+        ["node", "kind", "decision", "kernels", "cores", "repeat", "source",
          "per-exec", "total", "pos", "live", "residency"],
         rows,
     )

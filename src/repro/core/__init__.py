@@ -8,6 +8,7 @@
 * :mod:`repro.core.search` — pruned/memoized/parallel order search.
 * :mod:`repro.core.multilevel` — Eq. 2/3 multi-level hierarchy costs.
 * :mod:`repro.core.optimizer` — the end-to-end inter-block pass.
+* :mod:`repro.core.multicore` — block-to-core partitioning (scale-out).
 * :mod:`repro.core.fusion` — fuse-or-not profitability decisions.
 * :mod:`repro.core.plan` — :class:`FusionPlan` data model.
 """
@@ -15,6 +16,14 @@
 from .footprint import footprint_bytes, footprint_elements, op_footprint_bytes
 from .fusion import FusionDecision, decide_fusion, plan_unfused
 from .movement import MovementModel, algorithm1, executed_flops
+from .multicore import (
+    best_partitioned_plan,
+    comm_volume_bytes,
+    forced_partitions,
+    partition_factors,
+    partition_loops,
+    shard_chain,
+)
 from .multilevel import (
     boundary_bandwidth,
     minimax_cost,
@@ -22,7 +31,7 @@ from .multilevel import (
     solve_hierarchy,
 )
 from .optimizer import ChimeraConfig, ChimeraOptimizer, OptimizeStats
-from .plan import FusionPlan, LevelSchedule
+from .plan import CorePartition, FusionPlan, LevelSchedule
 from .reordering import (
     OrderSpace,
     chain_reduction_loops,
@@ -71,8 +80,15 @@ __all__ = [
     "ChimeraConfig",
     "ChimeraOptimizer",
     "OptimizeStats",
+    "CorePartition",
     "FusionPlan",
     "LevelSchedule",
+    "best_partitioned_plan",
+    "comm_volume_bytes",
+    "forced_partitions",
+    "partition_factors",
+    "partition_loops",
+    "shard_chain",
     "OrderSpace",
     "chain_reduction_loops",
     "producer_private_reductions",

@@ -18,6 +18,7 @@ from typing import List, Mapping, Optional, Tuple
 
 from ..hardware.spec import HardwareSpec
 from ..ir.chain import OperatorChain, single_op_chain
+from .multicore import best_partitioned_plan
 from .optimizer import ChimeraConfig, ChimeraOptimizer
 from .plan import FusionPlan
 from .search import SearchPolicy
@@ -94,11 +95,28 @@ def decide_fusion(
     ``hints`` carries a neighboring shape's fused and per-operator plans;
     both alternatives warm-start from them, and the decision (a comparison
     of the identical resulting plans' predicted times) is unchanged.
+
+    On hardware declaring an inter-core link, the fused alternative also
+    searches block-to-core placements (``repro.core.multicore``): the
+    chain sharded over ``p`` cores with the communication term priced by
+    the link.  A placement replaces the aggregate fused plan only when
+    strictly faster, so linkless hardware — and link-bearing hardware
+    where no placement wins — keeps today's plans byte-identically.
     """
     optimizer = ChimeraOptimizer(hardware, config, policy=policy)
     fused = optimizer.optimize(
         chain, hint=hints.fused if hints is not None else None
     )
+    if hardware.link is not None:
+        partitioned = best_partitioned_plan(
+            chain,
+            hardware,
+            config,
+            policy=policy,
+            incumbent_time=fused.predicted_time,
+        )
+        if partitioned is not None:
+            fused = partitioned
     unfused = plan_unfused(
         chain,
         hardware,

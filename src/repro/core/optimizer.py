@@ -192,6 +192,7 @@ class ChimeraOptimizer:
         *,
         stats: Optional[SearchStats] = None,
         hint: Optional[PlanHint] = None,
+        partitions: Optional[int] = None,
     ) -> FusionPlan:
         """Pick the block order and tiles minimizing data movement.
 
@@ -204,6 +205,10 @@ class ChimeraOptimizer:
                 neighbor's winning order first and seeds SLSQP from its
                 tiles — a pure speed knob: pruning stays admissible and
                 the returned plan is identical to the cold run's.
+            partitions: number of concurrently resident blocks to split
+                shared-level capacity across, when a chain is sharded over
+                that many cores (block-to-core partitioning).  ``None``
+                keeps the default one-block-per-core split bit-exactly.
 
         Returns:
             a fused :class:`FusionPlan` with one schedule per on-chip level.
@@ -238,7 +243,7 @@ class ChimeraOptimizer:
             for offset, level in enumerate(reversed(on_chip)):
                 level_index = len(on_chip) - 1 - offset
                 capacity = (
-                    float(self.hardware.per_block_capacity(level))
+                    float(self.hardware.per_block_capacity(level, partitions))
                     * self.config.capacity_utilization
                 )
                 level_min_tiles = dict(min_tiles)

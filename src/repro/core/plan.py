@@ -54,11 +54,58 @@ class LevelSchedule:
 
 
 @dataclasses.dataclass(frozen=True)
+class CorePartition:
+    """Block-to-core sharding attached to a partitioned plan.
+
+    Records how a fused chain was split over ``cores`` cores along one
+    spatial ``loop``, and the inter-core traffic that split causes.  The
+    byte and step counts are exact integers (computed identically by the
+    scalar and tables engines), so two engines agreeing on a partition
+    agree bit-for-bit.
+
+    Attributes:
+        cores: number of cores the chain is sharded over (p).
+        loop: name of the partitioned spatial loop.
+        full_extent: the loop's original extent.
+        shard_extent: per-core extent, ``ceil(full_extent / cores)``.
+        comm_bytes: total link bytes per chain execution (replicated
+            inputs, gathered intermediates, halo overlap).
+        comm_steps: latency-bearing exchange steps on the link.
+    """
+
+    cores: int
+    loop: str
+    full_extent: int
+    shard_extent: int
+    comm_bytes: int
+    comm_steps: int
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("partition needs at least one core")
+        if self.shard_extent < 1 or self.full_extent < self.shard_extent:
+            raise ValueError(
+                f"invalid shard {self.shard_extent}/{self.full_extent} "
+                f"for loop {self.loop!r}"
+            )
+        if self.comm_bytes < 0 or self.comm_steps < 0:
+            raise ValueError("communication terms must be non-negative")
+
+    def describe(self) -> str:
+        return (
+            f"{self.cores} cores along {self.loop} "
+            f"({self.full_extent} -> {self.shard_extent}/core), "
+            f"comm {self.comm_bytes / 1e6:.2f}MB in {self.comm_steps} steps"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class FusionPlan:
     """Complete inter-block optimization result for one chain.
 
     Attributes:
-        chain: the (already fused) operator chain.
+        chain: the (already fused) operator chain.  For partitioned plans
+            this is the *sharded* chain — one core's slice.
         hardware: target machine model.
         levels: one schedule per on-chip level, innermost first — mirroring
             ``HardwareSpec.on_chip_levels``.
@@ -69,6 +116,9 @@ class FusionPlan:
         compute_efficiency: fraction of peak the selected micro kernel
             sustains (1.0 before intra-block optimization).
         notes: free-form diagnostics from the optimizer.
+        partition: block-to-core sharding, or ``None`` for the aggregate
+            single-chip model.  ``None`` keeps every timing formula
+            byte-identical to the pre-partitioning model.
     """
 
     chain: OperatorChain
@@ -79,6 +129,7 @@ class FusionPlan:
     compute_efficiency: float = 1.0
     executed_flops: Optional[float] = None
     notes: Tuple[str, ...] = ()
+    partition: Optional[CorePartition] = None
 
     def __post_init__(self) -> None:
         if not self.levels:
@@ -102,8 +153,26 @@ class FusionPlan:
 
     @property
     def movement_cost(self) -> float:
-        """The slowest data movement stage across levels (Eq. 3 objective)."""
-        return max(sched.cost for sched in self.levels)
+        """The slowest data movement stage across levels (Eq. 3 objective).
+
+        Partitioned plans price each boundary at one shard's share of its
+        bandwidth: a shared source level (or DRAM) serves the ``p``
+        resident shards concurrently, so each sees ``bw / p``; a private
+        source level is one of ``num_cores`` per-core slices of the
+        chip-aggregate bandwidth the level declares.
+        """
+        if self.partition is None:
+            return max(sched.cost for sched in self.levels)
+        p = self.partition.cores
+        worst = 0.0
+        for index, sched in enumerate(self.levels):
+            source = self.hardware.levels[index + 1]
+            scale = (
+                p if (source.shared or source.is_unbounded)
+                else self.hardware.num_cores
+            )
+            worst = max(worst, scale * sched.cost)
+        return worst
 
     @property
     def unified_buffer_cost(self) -> float:
@@ -112,6 +181,8 @@ class FusionPlan:
         The paper identifies the Ascend UB as the NPU's fusion bottleneck:
         every fused intermediate passes through it once on produce and once
         on consume.  Zero on hardware without a UB or for unfused kernels.
+        Partitioned plans stage one shard's intermediates through a single
+        core's UB (the bandwidth is per-core: chip aggregate / num_cores).
         """
         if self.hardware.unified_buffer is None or not self.fused:
             return 0.0
@@ -119,7 +190,10 @@ class FusionPlan:
             self.chain.tensors[t].nbytes
             for t in self.chain.intermediate_tensors()
         )
-        return 2 * inter_bytes / self.hardware.unified_buffer_bandwidth
+        cost = 2 * inter_bytes / self.hardware.unified_buffer_bandwidth
+        if self.partition is not None:
+            cost *= self.hardware.num_cores
+        return cost
 
     @property
     def compute_time(self) -> float:
@@ -128,15 +202,39 @@ class FusionPlan:
             if self.executed_flops is not None
             else self.chain.total_flops()
         )
+        if self.partition is not None:
+            # One shard on one core: a core sustains peak / num_cores, so
+            # the shard's flops cost num_cores x the aggregate rate.  At
+            # p == num_cores this recovers the whole-chip estimate.
+            flops *= self.hardware.num_cores
         return self.hardware.compute_time(flops, self.compute_efficiency)
 
     @property
+    def comm_time(self) -> float:
+        """Inter-core link time of a partitioned plan (0 when aggregate)."""
+        if self.partition is None:
+            return 0.0
+        link = self.hardware.link
+        if link is None or self.partition.cores <= 1:
+            return 0.0
+        return (
+            self.partition.comm_bytes / link.bandwidth
+            + self.partition.comm_steps * link.step_time()
+        )
+
+    @property
     def predicted_time(self) -> float:
-        """Roofline execution estimate: pipeline stages overlap (max)."""
+        """Roofline execution estimate: pipeline stages overlap (max).
+
+        Inter-core communication is charged additively — collectives
+        synchronize the shards, so the model conservatively refuses to
+        hide them behind compute or movement.
+        """
         launches = 1 if self.fused else len(self.chain.ops)
         return (
             max(self.movement_cost, self.compute_time,
                 self.unified_buffer_cost)
+            + self.comm_time
             + launches * self.hardware.kernel_launch_overhead
         )
 
@@ -147,6 +245,8 @@ class FusionPlan:
         ]
         for sched in reversed(self.levels):
             lines.append("  " + sched.describe())
+        if self.partition is not None:
+            lines.append("  partition: " + self.partition.describe())
         if self.micro_kernel:
             lines.append(
                 f"  micro kernel: {self.micro_kernel} "

@@ -1,16 +1,37 @@
 """Hardware machine models (the substrate standing in for real devices)."""
 
-from .presets import a100, all_presets, ascend_910, preset, xeon_gold_6240
-from .spec import HardwareSpec, MatrixUnit, MemoryLevel, VectorUnit
+from .presets import (
+    a100,
+    a100_nvlinked_sms,
+    all_presets,
+    ascend_910,
+    ascend_910_cluster,
+    mesh_npu_16,
+    multicore_presets,
+    preset,
+    xeon_gold_6240,
+)
+from .spec import (
+    HardwareSpec,
+    InterCoreLink,
+    MatrixUnit,
+    MemoryLevel,
+    VectorUnit,
+)
 
 __all__ = [
     "HardwareSpec",
+    "InterCoreLink",
     "MatrixUnit",
     "MemoryLevel",
     "VectorUnit",
     "a100",
+    "a100_nvlinked_sms",
     "all_presets",
     "ascend_910",
+    "ascend_910_cluster",
+    "mesh_npu_16",
+    "multicore_presets",
     "preset",
     "xeon_gold_6240",
 ]

@@ -10,7 +10,15 @@ between compute throughput and per-level bandwidth, which these preserve.
 
 from __future__ import annotations
 
-from .spec import HardwareSpec, MatrixUnit, MemoryLevel, VectorUnit
+import dataclasses
+
+from .spec import (
+    HardwareSpec,
+    InterCoreLink,
+    MatrixUnit,
+    MemoryLevel,
+    VectorUnit,
+)
 
 KB = 1024
 MB = 1024 * KB
@@ -88,11 +96,83 @@ def ascend_910() -> HardwareSpec:
     )
 
 
+def a100_nvlinked_sms() -> HardwareSpec:
+    """A100 with the SM-to-SM path through the L2 crossbar modeled.
+
+    Same Table I device as :func:`a100`, plus an all-to-all inter-core
+    link: any SM reaches any other through the unified L2/crossbar, so a
+    broadcast or gather collective completes in one exchange step.  The
+    aggregate cross-SM bandwidth is bounded by the L2 fabric, well below
+    the 7 TB/s L2 fill rate a single block sees.
+    """
+    return dataclasses.replace(
+        a100(),
+        name="a100-nvlinked-sms",
+        link=InterCoreLink(
+            bandwidth=4500 * GB_S,
+            latency=0.3e-6,
+            topology="all_to_all",
+        ),
+    )
+
+
+def ascend_910_cluster() -> HardwareSpec:
+    """Ascend 910 with the on-chip core ring bus modeled.
+
+    Same Table I device as :func:`ascend_910`, plus the ring connecting
+    the 32 cube cores: collectives pipeline around the ring, paying a
+    step per neighbor hop.
+    """
+    return dataclasses.replace(
+        ascend_910(),
+        name="ascend-910-cluster",
+        link=InterCoreLink(
+            bandwidth=720 * GB_S,
+            latency=1.0e-6,
+            topology="ring",
+        ),
+    )
+
+
+def mesh_npu_16() -> HardwareSpec:
+    """Synthetic 16-core NPU on a 4x4 mesh NoC.
+
+    Not a Table I device — a scale-out scenario the paper never reached:
+    modest per-core compute, a *shared* on-chip SRAM whose per-block
+    share grows as a chain is partitioned over fewer cores, and a mesh
+    interconnect whose collectives sweep rows then columns.
+    """
+    return HardwareSpec(
+        name="mesh-npu-16",
+        backend="npu",
+        peak_flops=128 * TFLOPS,
+        num_cores=16,
+        levels=(
+            MemoryLevel("L0", 256 * KB, 8000 * GB_S, software_managed=True),
+            MemoryLevel("SRAM", 16 * MB, 2000 * GB_S, shared=True),
+            MemoryLevel("DRAM", None, 800 * GB_S),
+        ),
+        kernel_launch_overhead=2.5e-6,
+        matrix_unit=MatrixUnit("cube", 16, 16, 16),
+        link=InterCoreLink(
+            bandwidth=400 * GB_S,
+            latency=1.5e-6,
+            topology="mesh",
+            per_hop_cost=0.5e-6,
+        ),
+    )
+
+
 _PRESETS = {
     "xeon-gold-6240": xeon_gold_6240,
     "a100": a100,
     "ascend-910": ascend_910,
+    "a100-nvlinked-sms": a100_nvlinked_sms,
+    "ascend-910-cluster": ascend_910_cluster,
+    "mesh-npu-16": mesh_npu_16,
 }
+
+_MULTICORE = ("a100-nvlinked-sms", "ascend-910-cluster", "mesh-npu-16")
 
 
 def preset(name: str) -> HardwareSpec:
@@ -111,5 +191,19 @@ def preset(name: str) -> HardwareSpec:
 
 
 def all_presets() -> tuple:
-    """All preset specs, one per Table I device."""
-    return tuple(factory() for factory in _PRESETS.values())
+    """The single-core specs, one per Table I device.
+
+    Deliberately excludes the link-bearing variants so gate baselines
+    calibrated on the paper's devices stay put; use
+    :func:`multicore_presets` (or both) for the scale-out family.
+    """
+    return tuple(
+        factory()
+        for name, factory in _PRESETS.items()
+        if name not in _MULTICORE
+    )
+
+
+def multicore_presets() -> tuple:
+    """The link-bearing specs opening the block-to-core partitioning axis."""
+    return tuple(_PRESETS[name]() for name in _MULTICORE)

@@ -21,9 +21,13 @@ Conventions:
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Optional, Tuple
 
 from ..ir.dtypes import DType
+
+#: Topologies an :class:`InterCoreLink` may declare.
+LINK_TOPOLOGIES = ("ring", "mesh", "all_to_all")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,6 +107,66 @@ class MatrixUnit:
 
 
 @dataclasses.dataclass(frozen=True)
+class InterCoreLink:
+    """The on-chip network connecting cores (FlashFuser-style scale-out).
+
+    Declaring a link on a :class:`HardwareSpec` opens the block-to-core
+    partitioning axis in the optimizer: a fused chain may be sharded over
+    ``p`` cores, with replicated inputs, gathered intermediates and halo
+    regions priced against this link.  Specs without a link keep the
+    single-core aggregate model byte-for-byte.
+
+    Attributes:
+        bandwidth: aggregate link bytes/second (all cores combined).
+        latency: seconds per exchange step (software + wire).
+        topology: ``"ring"``, ``"mesh"`` or ``"all_to_all"`` — sets how many
+            exchange steps a broadcast/gather collective needs.
+        per_hop_cost: optional extra seconds per exchange step on top of
+            ``latency`` (switch traversal, protocol overhead).
+    """
+
+    bandwidth: float
+    latency: float
+    topology: str = "ring"
+    per_hop_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("inter-core link bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("inter-core link latency must be non-negative")
+        if self.topology not in LINK_TOPOLOGIES:
+            raise ValueError(
+                f"unknown link topology {self.topology!r}; "
+                f"known: {list(LINK_TOPOLOGIES)}"
+            )
+        if self.per_hop_cost < 0:
+            raise ValueError("per-hop cost must be non-negative")
+
+    def collective_steps(self, cores: int) -> int:
+        """Latency-bearing exchange steps to broadcast/gather over ``cores``.
+
+        Ring: a pipelined collective crosses ``cores - 1`` neighbor links.
+        Mesh: two sweeps of a ``sqrt(cores)`` grid (row then column).
+        All-to-all: one step, every pair directly connected.
+        """
+        if cores <= 1:
+            return 0
+        if self.topology == "ring":
+            return cores - 1
+        if self.topology == "mesh":
+            side = 1
+            while side * side < cores:
+                side += 1
+            return 2 * (side - 1)
+        return 1
+
+    def step_time(self) -> float:
+        """Seconds of fixed cost per exchange step."""
+        return self.latency + self.per_hop_cost
+
+
+@dataclasses.dataclass(frozen=True)
 class HardwareSpec:
     """A complete machine model.
 
@@ -123,6 +187,8 @@ class HardwareSpec:
         unified_buffer_bandwidth: bytes/second the Unified Buffer sustains
             when staging fused intermediates; the paper identifies this as
             the NPU's fusion bottleneck for large GEMMs.
+        link: inter-core network, or ``None`` for the single-core aggregate
+            model.  Declaring a link enables block-to-core partitioning.
     """
 
     name: str
@@ -135,6 +201,7 @@ class HardwareSpec:
     matrix_unit: Optional[MatrixUnit] = None
     unified_buffer: Optional[int] = None
     unified_buffer_bandwidth: float = 400e9
+    link: Optional[InterCoreLink] = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("cpu", "gpu", "npu"):
@@ -174,17 +241,39 @@ class HardwareSpec:
                 return index
         raise KeyError(f"{self.name} has no memory level {name!r}")
 
-    def per_block_capacity(self, level: MemoryLevel) -> Optional[int]:
+    def per_block_capacity(
+        self, level: MemoryLevel, partitions: Optional[int] = None
+    ) -> Optional[int]:
         """Capacity one computation block may assume at ``level``.
 
         Private levels give a block their full capacity; shared levels are
-        split across the blocks resident at once (one per core).
+        split across the blocks resident at once — one per core by default,
+        or ``partitions`` blocks when a chain is explicitly sharded over
+        that many cores (fewer resident blocks ⇒ each gets a larger share).
+
+        A degenerate share (the integer split rounds to zero bytes) is
+        floored to 1 byte and reported via ``UserWarning`` — a constraint
+        that tight makes every tile infeasible and points at a
+        misconfigured level, not a plannable machine.
         """
         if level.capacity is None:
             return None
-        if level.shared:
-            return max(1, level.capacity // self.num_cores)
-        return level.capacity
+        if not level.shared:
+            return level.capacity
+        divisor = self.num_cores if partitions is None else partitions
+        if divisor < 1:
+            raise ValueError(f"partitions must be >= 1, got {divisor}")
+        share = level.capacity // divisor
+        if share == 0:
+            warnings.warn(
+                f"{self.name}: shared level {level.name!r} "
+                f"({level.capacity} B) split {divisor} ways leaves no "
+                "meaningful per-block share; flooring to 1 byte",
+                UserWarning,
+                stacklevel=2,
+            )
+            return 1
+        return share
 
     # ------------------------------------------------------------------
     # roofline quantities
@@ -220,6 +309,28 @@ class HardwareSpec:
             share = " shared" if level.shared else ""
             lines.append(
                 f"  {level.name}: {cap}, {level.bandwidth / 1e9:.0f} GB/s{share}"
+            )
+        if self.vector_unit is not None:
+            vu = self.vector_unit
+            lines.append(
+                f"  vector unit: {vu.num_registers} x {vu.register_bits}-bit "
+                f"registers, pipeline depth {vu.fma_pipeline_depth}"
+            )
+        if self.matrix_unit is not None:
+            mu = self.matrix_unit
+            lines.append(
+                f"  matrix unit: {mu.name} {mu.m}x{mu.n}x{mu.k}"
+            )
+        if self.unified_buffer is not None:
+            lines.append(
+                f"  unified buffer: {self.unified_buffer / 1024:.0f}KB, "
+                f"{self.unified_buffer_bandwidth / 1e9:.0f} GB/s"
+            )
+        if self.link is not None:
+            lines.append(
+                f"  inter-core link: {self.link.topology}, "
+                f"{self.link.bandwidth / 1e9:.0f} GB/s, "
+                f"{self.link.latency * 1e6:.2f} us/step"
             )
         return "\n".join(lines)
 

@@ -109,6 +109,22 @@ class NodePlan:
     def kernels(self) -> int:
         return len(self.plans)
 
+    @property
+    def cores(self) -> int:
+        """Cores the node's kernels span (1 unless a plan partitioned).
+
+        Derived from the chosen plans' :class:`repro.core.CorePartition`
+        records, so it needs no serialization of its own.
+        """
+        return max(
+            (
+                plan.partition.cores
+                for plan in self.plans
+                if plan.partition is not None
+            ),
+            default=1,
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class NetworkPlan:
@@ -392,12 +408,25 @@ def compile_network(
             name: sum(kernel.plan.predicted_time for kernel in result.kernels)
             for name, (result, _source) in results.items()
         }
+        # Partitioned nodes stage their inter-core transfer buffers while
+        # they execute; the scheduler charges those bytes at the node's
+        # own step so concurrently-resident blocks on distinct cores are
+        # accounted for.
+        node_transients = {
+            name: sum(
+                int(kernel.plan.partition.comm_bytes)
+                for kernel in result.kernels
+                if kernel.plan.partition is not None
+            )
+            for name, (result, _source) in results.items()
+        }
         graph_schedule = schedule_partition(
             partition,
             hardware,
             node_times=node_times,
             memory_budget=memory_budget,
             dag_order=[node.name for node in dag.nodes],
+            node_transients=node_transients,
         )
         by_name = {node.name: node for node in plan_nodes}
         ordered_nodes = [by_name[name] for name in graph_schedule.order]

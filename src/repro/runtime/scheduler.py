@@ -148,6 +148,9 @@ class GraphSchedule:
         memory_budget: the residency budget the schedule was solved for.
         seed: annealing seed used (``REPRO_SCHED_SEED`` unless overridden).
         residency: one record per graph-level intermediate.
+        transients: sorted ``(node, nbytes)`` pairs of extra bytes resident
+            only at that node's own step — communication staging of
+            partitioned (multi-core) nodes.  Empty on linkless hardware.
     """
 
     graph: str
@@ -158,6 +161,7 @@ class GraphSchedule:
     memory_budget: int
     seed: int
     residency: Tuple[TensorResidency, ...]
+    transients: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def overhead_time(self) -> float:
@@ -222,16 +226,23 @@ def _live_profile(
     footprints: Mapping[str, int],
     consumers: Mapping[str, Tuple[str, ...]],
     decisions: Mapping[str, str],
+    transients: Mapping[str, int] = (),
 ) -> List[int]:
     """Resident intermediate bytes at each step of ``order``.
 
     Kept tensors contribute over [producer, last consumer]; evicted ones
     (spilled or rematerialized) only at the producer and consumer steps —
     in between they exist in DRAM (spill) or not at all (rematerialize).
+    ``transients`` adds per-node bytes resident only while that node
+    executes (multi-core communication staging buffers).
     """
     position = {name: index for index, name in enumerate(order)}
     deltas = [0] * (len(order) + 1)
     points = [0] * len(order)
+    if transients:
+        for name, nbytes in dict(transients).items():
+            if name in position:
+                points[position[name]] += nbytes
     for producer, nbytes in footprints.items():
         users = consumers.get(producer, ())
         if not users or nbytes == 0:
@@ -328,6 +339,7 @@ def _anneal(
     consumers: Mapping[str, Tuple[str, ...]],
     rng: random.Random,
     iterations: int,
+    transients: Mapping[str, int] = (),
 ) -> Tuple[List[str], int]:
     """Minimize the all-keep peak by legal adjacent swaps.
 
@@ -339,7 +351,9 @@ def _anneal(
     start).
     """
     current = list(order)
-    current_peak = _peak(_live_profile(current, footprints, consumers, {}))
+    current_peak = _peak(
+        _live_profile(current, footprints, consumers, {}, transients)
+    )
     best = list(current)
     best_peak = current_peak
     count = len(current)
@@ -353,7 +367,9 @@ def _anneal(
         if (left, right) in edges:
             continue
         current[index], current[index + 1] = right, left
-        peak = _peak(_live_profile(current, footprints, consumers, {}))
+        peak = _peak(
+            _live_profile(current, footprints, consumers, {}, transients)
+        )
         temperature = t_start * (t_end / t_start) ** (
             step / max(1, iterations - 1)
         )
@@ -379,6 +395,7 @@ def _decide_residency(
     node_times: Mapping[str, float],
     hardware: HardwareSpec,
     budget: int,
+    transients: Mapping[str, int] = (),
 ) -> Tuple[Dict[str, str], Dict[str, float]]:
     """Greedy eviction at the peak until the budget holds (or none helps).
 
@@ -394,7 +411,9 @@ def _decide_residency(
     overheads: Dict[str, float] = {}
     position = {name: index for index, name in enumerate(order)}
     while True:
-        live = _live_profile(order, footprints, consumers, decisions)
+        live = _live_profile(
+            order, footprints, consumers, decisions, transients
+        )
         peak = _peak(live)
         if peak <= budget or not live:
             break
@@ -448,6 +467,7 @@ def schedule_partition(
     seed: Optional[int] = None,
     anneal_iters: Optional[int] = None,
     dag_order: Optional[Sequence[str]] = None,
+    node_transients: Optional[Mapping[str, int]] = None,
 ) -> GraphSchedule:
     """Schedule a partition's nodes to minimize peak resident bytes.
 
@@ -468,6 +488,10 @@ def schedule_partition(
             interleaving (what an order-oblivious executor runs).
             Without it the baseline is reconstructed from the partition's
             chains-then-remainder layout.
+        node_transients: extra bytes resident only while a node executes
+            (multi-core communication staging of partitioned kernels);
+            counted in every live profile, including the naive baseline,
+            so the peak comparison stays apples-to-apples.
 
     Returns:
         a deterministic :class:`GraphSchedule`; its order is always a
@@ -486,12 +510,21 @@ def schedule_partition(
     footprints = {node.name: node.output_bytes() for node in nodes}
     repeats = {node.name: node.repeat for node in nodes}
     times = dict(node_times or {})
+    transients = {
+        name: int(nbytes)
+        for name, nbytes in (node_transients or {}).items()
+        if name in by_name and nbytes > 0
+    }
 
     naive = _naive_order(partition, dag_order)
-    naive_peak = _peak(_live_profile(naive, footprints, consumers, {}))
+    naive_peak = _peak(
+        _live_profile(naive, footprints, consumers, {}, transients)
+    )
 
     seeded = _dfs_seed(naive, consumers, footprints)
-    seeded_peak = _peak(_live_profile(seeded, footprints, consumers, {}))
+    seeded_peak = _peak(
+        _live_profile(seeded, footprints, consumers, {}, transients)
+    )
     if seeded_peak < naive_peak:
         incumbent, incumbent_peak = seeded, seeded_peak
     else:
@@ -506,13 +539,15 @@ def schedule_partition(
         anneal_iters = min(3000, max(200, 60 * len(nodes)))
     rng = random.Random(seed)
     order, _ = _anneal(
-        incumbent, edge_pairs, footprints, consumers, rng, anneal_iters
+        incumbent, edge_pairs, footprints, consumers, rng, anneal_iters,
+        transients,
     )
 
     decisions, overheads = _decide_residency(
-        order, footprints, consumers, repeats, times, hardware, memory_budget
+        order, footprints, consumers, repeats, times, hardware,
+        memory_budget, transients,
     )
-    live = _live_profile(order, footprints, consumers, decisions)
+    live = _live_profile(order, footprints, consumers, decisions, transients)
     position = {name: index for index, name in enumerate(order)}
     residency = []
     for producer in order:
@@ -541,6 +576,7 @@ def schedule_partition(
         memory_budget=memory_budget,
         seed=seed,
         residency=tuple(residency),
+        transients=tuple(sorted(transients.items())),
     )
 
 

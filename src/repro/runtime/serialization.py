@@ -24,8 +24,14 @@ from typing import TYPE_CHECKING, Any, Dict, Union
 if TYPE_CHECKING:  # pragma: no cover - circular only for typing
     from .network import NetworkPlan
 
-from ..core.plan import FusionPlan, LevelSchedule
-from ..hardware.spec import HardwareSpec, MatrixUnit, MemoryLevel, VectorUnit
+from ..core.plan import CorePartition, FusionPlan, LevelSchedule
+from ..hardware.spec import (
+    HardwareSpec,
+    InterCoreLink,
+    MatrixUnit,
+    MemoryLevel,
+    VectorUnit,
+)
 from ..ir.access import AffineExpr, TensorAccess
 from ..ir.chain import OperatorChain
 from ..ir.dtypes import dtype as dtype_by_name
@@ -37,8 +43,11 @@ from ..ir.tensor import TensorSpec
 #: to network plan nodes.  Version 4 added graph-level execution
 #: scheduling: per-node ``spill_time`` and the network-level ``schedule``
 #: (execution order, live-byte profile, residency decisions; ``null``
-#: when compiled with ``REPRO_SCHED=0``).
-FORMAT_VERSION = 4
+#: when compiled with ``REPRO_SCHED=0``).  Version 5 added multi-core
+#: scale-out: the hardware ``link`` (inter-core interconnect), the plan
+#: ``partition`` (block-to-core sharding and its communication term),
+#: and per-node schedule ``transients`` (comm staging bytes).
+FORMAT_VERSION = 5
 
 PathLike = Union[str, pathlib.Path]
 
@@ -175,6 +184,16 @@ def hardware_to_dict(hw: HardwareSpec) -> Dict[str, Any]:
         ),
         "unified_buffer": hw.unified_buffer,
         "unified_buffer_bandwidth": hw.unified_buffer_bandwidth,
+        "link": (
+            None
+            if hw.link is None
+            else {
+                "bandwidth": hw.link.bandwidth,
+                "latency": hw.link.latency,
+                "topology": hw.link.topology,
+                "per_hop_cost": hw.link.per_hop_cost,
+            }
+        ),
     }
 
 
@@ -182,6 +201,7 @@ def hardware_from_dict(data: Dict[str, Any]) -> HardwareSpec:
     """Rebuild a machine model from :func:`hardware_to_dict` output."""
     vector_unit = data.get("vector_unit")
     matrix_unit = data.get("matrix_unit")
+    link = data.get("link")
     return HardwareSpec(
         name=data["name"],
         backend=data["backend"],
@@ -199,6 +219,7 @@ def hardware_from_dict(data: Dict[str, Any]) -> HardwareSpec:
         matrix_unit=None if matrix_unit is None else MatrixUnit(**matrix_unit),
         unified_buffer=data["unified_buffer"],
         unified_buffer_bandwidth=data["unified_buffer_bandwidth"],
+        link=None if link is None else InterCoreLink(**link),
     )
 
 
@@ -228,6 +249,18 @@ def plan_to_dict(plan: FusionPlan) -> Dict[str, Any]:
         "compute_efficiency": plan.compute_efficiency,
         "executed_flops": plan.executed_flops,
         "notes": list(plan.notes),
+        "partition": (
+            None
+            if plan.partition is None
+            else {
+                "cores": plan.partition.cores,
+                "loop": plan.partition.loop,
+                "full_extent": plan.partition.full_extent,
+                "shard_extent": plan.partition.shard_extent,
+                "comm_bytes": plan.partition.comm_bytes,
+                "comm_steps": plan.partition.comm_steps,
+            }
+        ),
     }
 
 
@@ -264,6 +297,11 @@ def plan_from_dict(data: Dict[str, Any]) -> FusionPlan:
             compute_efficiency=data["compute_efficiency"],
             executed_flops=data["executed_flops"],
             notes=tuple(data["notes"]),
+            partition=(
+                None
+                if data["partition"] is None
+                else CorePartition(**data["partition"])
+            ),
         )
     except KeyError as exc:
         raise PlanFormatError(
@@ -285,6 +323,7 @@ def _encode_schedule(schedule: Any) -> Any:
         "naive_peak_bytes": schedule.naive_peak_bytes,
         "memory_budget": schedule.memory_budget,
         "seed": schedule.seed,
+        "transients": [list(t) for t in schedule.transients],
         "residency": [
             {
                 "producer": record.producer,
@@ -312,6 +351,9 @@ def _decode_schedule(data: Any) -> Any:
         naive_peak_bytes=data["naive_peak_bytes"],
         memory_budget=data["memory_budget"],
         seed=data["seed"],
+        transients=tuple(
+            (name, nbytes) for name, nbytes in data["transients"]
+        ),
         residency=tuple(
             TensorResidency(
                 producer=rd["producer"],

@@ -91,13 +91,23 @@ def replay_schedule(schedule: "GraphSchedule") -> ResidencyTrace:
         for consumer in record.consumers:
             readers[consumer].append(record.producer)
 
+    # Multi-core communication staging: partitioned nodes hold their
+    # link-transfer buffers only while they execute.
+    staging = dict(getattr(schedule, "transients", ()) or ())
+    for node in staging:
+        if node not in position:
+            raise ScheduleReplayError(
+                f"schedule {schedule.graph!r}: transient record for "
+                f"{node!r} has no node in the order"
+            )
+
     resident: Dict[str, int] = {}
     free_after: Dict[int, List[str]] = {}
     live: List[int] = []
     spill_bytes = 0
     recompute_runs = 0
     for step, name in enumerate(schedule.order):
-        transient = 0
+        transient = staging.get(name, 0)
         # Inputs this node reads: kept ones are already resident; evicted
         # ones materialize for the duration of this step only.
         for producer in readers[name]:

@@ -4,10 +4,15 @@ import pytest
 
 from repro.hardware import (
     HardwareSpec,
+    InterCoreLink,
     MemoryLevel,
     a100,
+    a100_nvlinked_sms,
     all_presets,
     ascend_910,
+    ascend_910_cluster,
+    mesh_npu_16,
+    multicore_presets,
     preset,
     xeon_gold_6240,
 )
@@ -123,3 +128,90 @@ class TestHardwareSpec:
     def test_describe(self):
         text = xeon_gold_6240().describe()
         assert "L2" in text and "DRAM" in text
+
+    def test_describe_is_complete(self):
+        # Every declared unit must surface in the CLI hardware output.
+        assert "vector unit" in xeon_gold_6240().describe()
+        assert "matrix unit" in a100().describe()
+        ascend = ascend_910().describe()
+        assert "matrix unit" in ascend and "unified buffer" in ascend
+        mesh = mesh_npu_16().describe()
+        assert "inter-core link: mesh" in mesh
+        assert "inter-core link" not in a100().describe()
+
+    def test_per_block_capacity_partitions(self):
+        hw = mesh_npu_16()
+        sram = hw.level("SRAM")
+        assert hw.per_block_capacity(sram) == sram.capacity // hw.num_cores
+        assert hw.per_block_capacity(sram, 4) == sram.capacity // 4
+        assert hw.per_block_capacity(sram, 1) == sram.capacity
+        # Private and unbounded levels ignore the partition count.
+        assert hw.per_block_capacity(hw.level("L0"), 4) == (
+            hw.level("L0").capacity
+        )
+        assert hw.per_block_capacity(hw.dram, 4) is None
+        with pytest.raises(ValueError, match="partitions"):
+            hw.per_block_capacity(sram, 0)
+
+    def test_per_block_capacity_degenerate_share_warns(self):
+        hw = HardwareSpec(
+            name="tiny",
+            backend="cpu",
+            peak_flops=1e12,
+            num_cores=64,
+            levels=(
+                MemoryLevel("L1", 1024, 1e9),
+                MemoryLevel("L2", 32, 1e9, shared=True),
+                MemoryLevel("DRAM", None, 1e9),
+            ),
+        )
+        with pytest.warns(UserWarning, match="no meaningful"):
+            share = hw.per_block_capacity(hw.level("L2"))
+        assert share == 1
+
+
+class TestInterCoreLink:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            InterCoreLink(bandwidth=0, latency=1e-6)
+        with pytest.raises(ValueError, match="latency"):
+            InterCoreLink(bandwidth=1e9, latency=-1.0)
+        with pytest.raises(ValueError, match="topology"):
+            InterCoreLink(bandwidth=1e9, latency=0.0, topology="torus")
+        with pytest.raises(ValueError, match="hop"):
+            InterCoreLink(bandwidth=1e9, latency=0.0, per_hop_cost=-1.0)
+
+    def test_collective_steps(self):
+        ring = InterCoreLink(1e9, 1e-6, "ring")
+        mesh = InterCoreLink(1e9, 1e-6, "mesh")
+        direct = InterCoreLink(1e9, 1e-6, "all_to_all")
+        assert ring.collective_steps(1) == 0
+        assert ring.collective_steps(8) == 7
+        assert mesh.collective_steps(16) == 6  # 2 * (4 - 1)
+        assert mesh.collective_steps(9) == 4
+        assert mesh.collective_steps(10) == 6  # side rounds up to 4
+        assert direct.collective_steps(64) == 1
+
+    def test_step_time_includes_hop_cost(self):
+        link = InterCoreLink(1e9, 1e-6, per_hop_cost=0.5e-6)
+        assert link.step_time() == pytest.approx(1.5e-6)
+
+    def test_multicore_presets(self):
+        names = [hw.name for hw in multicore_presets()]
+        assert names == [
+            "a100-nvlinked-sms", "ascend-910-cluster", "mesh-npu-16"
+        ]
+        for hw in multicore_presets():
+            assert hw.link is not None
+        # Gate-calibrated baselines stay linkless and unchanged.
+        assert all(hw.link is None for hw in all_presets())
+
+    def test_multicore_presets_extend_table_i(self):
+        # The linked variants change only the name and the link.
+        base = a100()
+        linked = a100_nvlinked_sms()
+        assert linked.levels == base.levels
+        assert linked.peak_flops == base.peak_flops
+        assert linked.link.topology == "all_to_all"
+        assert ascend_910_cluster().link.topology == "ring"
+        assert preset("mesh-npu-16").link.topology == "mesh"

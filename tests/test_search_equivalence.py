@@ -21,11 +21,11 @@ import pytest
 from repro.core.optimizer import ChimeraOptimizer
 from repro.core.search import SearchPolicy, reset_search_stats, solve_memo
 from repro.core.tables import clear_tables_memo
-from repro.hardware import all_presets
+from repro.hardware import all_presets, multicore_presets
 from repro.ir.chains import batch_gemm_chain, conv_chain
 from repro.runtime.serialization import plan_to_dict
 
-PRESETS = all_presets()
+PRESETS = all_presets() + multicore_presets()
 
 
 def gemm_workload():
@@ -117,6 +117,49 @@ class TestEngineEquivalence:
             chain, hw, SearchPolicy.exhaustive(), engine="tables"
         )
         assert tables == scalar
+
+
+@pytest.mark.parametrize(
+    "hw", multicore_presets(), ids=lambda h: h.name
+)
+class TestMulticoreEngineEquivalence:
+    """Fusion decisions on link-bearing presets must not depend on the
+    engine: the partitioned-placement search batches its communication
+    volumes through the tables engine, and the whole decision (including
+    the chosen core count) must serialize byte-identically to scalar."""
+
+    def test_decision_is_byte_identical(self, hw):
+        from repro.core.fusion import decide_fusion
+
+        chain = batch_gemm_chain(
+            8, 256, 64, 64, 256, with_softmax=True, name="equiv_mc"
+        )
+        decisions = {}
+        saved = os.environ.get("REPRO_MODEL_ENGINE")
+        try:
+            for engine in ("scalar", "tables"):
+                os.environ["REPRO_MODEL_ENGINE"] = engine
+                solve_memo().clear()
+                reset_search_stats()
+                clear_tables_memo()
+                decision = decide_fusion(chain, hw)
+                decisions[engine] = json.dumps(
+                    {
+                        "use_fusion": decision.use_fusion,
+                        "fused": plan_to_dict(decision.fused_plan),
+                        "unfused": [
+                            plan_to_dict(p)
+                            for p in decision.unfused_plans
+                        ],
+                    },
+                    sort_keys=True,
+                )
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_MODEL_ENGINE", None)
+            else:
+                os.environ["REPRO_MODEL_ENGINE"] = saved
+        assert decisions["tables"] == decisions["scalar"]
 
 
 def perturbed_gemm():

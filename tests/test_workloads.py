@@ -11,6 +11,7 @@ from repro.workloads import (
     TABLE_V,
     all_conv_chains,
     all_gemm_chains,
+    build_multibranch_network,
     build_network,
     conv_chain_config,
     gemm_chain_config,
@@ -18,6 +19,7 @@ from repro.workloads import (
     model_breakdown,
     network_config,
     network_time,
+    pack_networks,
 )
 
 
@@ -188,6 +190,83 @@ class TestDegenerateConfigs:
                 dag, xeon_gold_6240(), base_system="relay",
                 chain_system="ansor", chain_times={},
             )
+
+
+class TestPackedNetworks:
+    """Edge cases of multi-tenant packing and the synthetic wide graph."""
+
+    def test_pack_single_network(self):
+        bert = build_network(network_config("Bert-Small"))
+        packed = pack_networks([bert])
+        assert packed.name == bert.name
+        assert len(packed.nodes) == len(bert.nodes)
+        assert all(n.name.startswith("t0.") for n in packed.nodes)
+        # Deps are rewritten into the tenant namespace, structure intact.
+        assert [n.name for n in packed.nodes] == [
+            "t0." + n.name for n in bert.nodes
+        ]
+        partition_graph(packed)  # must still validate
+
+    def test_pack_empty_list_raises(self):
+        with pytest.raises(ValueError, match="at least one network"):
+            pack_networks([])
+
+    def test_pack_concatenated_order(self):
+        bert = build_network(network_config("Bert-Small"))
+        packed = pack_networks([bert] * 2, interleave=False)
+        names = [n.name for n in packed.nodes]
+        # Tenant 0's nodes all precede tenant 1's.
+        boundary = names.index("t1." + bert.nodes[0].name)
+        assert all(n.startswith("t0.") for n in names[:boundary])
+        assert all(n.startswith("t1.") for n in names[boundary:])
+
+    def test_pack_mixed_network_families(self):
+        bert = build_network(network_config("Bert-Small"))
+        wide = build_multibranch_network(
+            branches=2, seq=32, width=64, reduce_dim=16
+        )
+        packed = pack_networks([bert, wide], name="mixed")
+        assert packed.name == "mixed"
+        assert len(packed.nodes) == len(bert.nodes) + len(wide.nodes)
+        partition_graph(packed)
+
+    @pytest.mark.parametrize("branches", [0, -2])
+    def test_multibranch_rejects_non_positive_branches(self, branches):
+        with pytest.raises(ValueError, match="branches"):
+            build_multibranch_network(branches=branches)
+
+    def test_multibranch_single_branch(self):
+        dag = build_multibranch_network(
+            branches=1, seq=32, width=64, reduce_dim=16
+        )
+        # stem + expand + reduce + head, no fan-out to schedule around.
+        assert len(dag.nodes) == 4
+        assert dag.total_flops() > 0
+
+    def test_packed_network_compiles_on_mismatched_hardware(self):
+        """The same packed graph must compile per machine model.
+
+        A multi-tenant DAG is hardware-agnostic; compiling it on two
+        different presets (single-core CPU vs. a link-bearing NPU) must
+        stamp each plan with its own hardware and never leak plans
+        across machines.
+        """
+        from repro.hardware import mesh_npu_16
+        from repro.runtime.network import compile_network
+
+        wide = build_multibranch_network(
+            branches=2, seq=32, width=64, reduce_dim=16
+        )
+        packed = pack_networks([wide] * 2, name="wide-x2")
+        cpu_plan = compile_network(packed, xeon_gold_6240())
+        npu_plan = compile_network(packed, mesh_npu_16())
+        assert cpu_plan.hardware.name == "xeon-gold-6240"
+        assert npu_plan.hardware.name == "mesh-npu-16"
+        assert {n.name for n in cpu_plan.nodes} == {
+            n.name for n in npu_plan.nodes
+        }
+        # The linkless CPU preset can never produce a partitioned plan.
+        assert all(n.cores == 1 for n in cpu_plan.nodes)
 
 
 class TestNetworkTiming:
